@@ -1,0 +1,124 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§4, DESIGN.md §4). Each benchmark runs the corresponding experiment at
+// the quick preset and prints its rows, so `go test -bench=. -benchmem`
+// both measures the harness cost and produces the reproduction tables
+// (captured in bench_output.txt / EXPERIMENTS.md).
+//
+// Run a single experiment:
+//
+//	go test -bench=BenchmarkFig9Fig10 -benchtime=1x .
+package livo
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"livo/internal/experiments"
+)
+
+// benchQuality is the preset used by all experiment benchmarks: large
+// enough for the paper's shapes to hold, small enough for a laptop.
+func benchQuality() experiments.Quality {
+	return experiments.QuickQuality()
+}
+
+// runExperiment executes one experiment per benchmark iteration, printing
+// its table on the first iteration only.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	q := benchQuality()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := os.Stdout
+		if i > 0 {
+			out = nil
+		}
+		var err error
+		if out != nil {
+			fmt.Fprintf(out, "\n--- %s: %s ---\n", e.ID, e.Title)
+			err = e.Run(q, out)
+		} else {
+			err = e.Run(q, discard{})
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkTable1_Throughput regenerates Table 1 (throughput/utilization).
+func BenchmarkTable1_Throughput(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable3_Dataset regenerates Table 3 (dataset summary).
+func BenchmarkTable3_Dataset(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4_TraceStats regenerates Table 4 (trace statistics).
+func BenchmarkTable4_TraceStats(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig4_SplitSweep regenerates Fig 4 (RMSE vs split at 80 Mbps).
+func BenchmarkFig4_SplitSweep(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5_MOS regenerates Fig 5 (aggregated opinion scores).
+func BenchmarkFig5_MOS(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6_MOSPerVideo regenerates Fig 6 (opinion scores per video).
+func BenchmarkFig6_MOSPerVideo(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Fig8_MOSPerTrace regenerates Figs 7/8 (scores per trace).
+func BenchmarkFig7Fig8_MOSPerTrace(b *testing.B) { runExperiment(b, "fig7fig8") }
+
+// BenchmarkTable5_Comments regenerates Table 5 (comment categories).
+func BenchmarkTable5_Comments(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkFig9Fig10_PSSIM regenerates Figs 9/10 (PSSIM per video).
+func BenchmarkFig9Fig10_PSSIM(b *testing.B) { runExperiment(b, "fig9fig10") }
+
+// BenchmarkFig11_Stalls regenerates Fig 11 (stall rates).
+func BenchmarkFig11_Stalls(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12_CullingQuality regenerates Fig 12 (culling, no stalls).
+func BenchmarkFig12_CullingQuality(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13Fig14_FPS regenerates Figs 13/14 (frame rates).
+func BenchmarkFig13Fig14_FPS(b *testing.B) { runExperiment(b, "fig13fig14") }
+
+// BenchmarkFig15_GuardBand regenerates Fig 15 (guard band x window).
+func BenchmarkFig15_GuardBand(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16_Predictors regenerates Fig 16 (Kalman vs MLP).
+func BenchmarkFig16_Predictors(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkFig17_DepthEncoding regenerates Fig 17 (depth encodings; also
+// quantifies Fig A.1's unscaled-depth artifacts).
+func BenchmarkFig17_DepthEncoding(b *testing.B) { runExperiment(b, "fig17") }
+
+// BenchmarkTable6_Latency regenerates Table 6 (per-component latency).
+func BenchmarkTable6_Latency(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFig18Fig19_SplitStaticVsDynamic regenerates Figs 18/19.
+func BenchmarkFig18Fig19_SplitStaticVsDynamic(b *testing.B) { runExperiment(b, "fig18fig19") }
+
+// BenchmarkFig20Fig21_NoAdapt regenerates Figs 20/21 (fixed QP vs LiVo).
+func BenchmarkFig20Fig21_NoAdapt(b *testing.B) { runExperiment(b, "fig20fig21") }
+
+// BenchmarkFigA2_DepthVsColorSensitivity regenerates Fig A.2.
+func BenchmarkFigA2_DepthVsColorSensitivity(b *testing.B) { runExperiment(b, "figa2") }
+
+// BenchmarkFigA3_TraceVariability regenerates Fig A.3.
+func BenchmarkFigA3_TraceVariability(b *testing.B) { runExperiment(b, "figa3") }
+
+// BenchmarkAblationTiling regenerates the stream-composition ablation
+// (§3.2: one tiled stream vs per-camera streams).
+func BenchmarkAblationTiling(b *testing.B) { runExperiment(b, "ablation-tiling") }
+
+// BenchmarkAblationGuardBand regenerates the guard-band replay sweep.
+func BenchmarkAblationGuardBand(b *testing.B) { runExperiment(b, "ablation-guard") }

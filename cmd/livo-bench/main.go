@@ -1,0 +1,82 @@
+// Command livo-bench regenerates the paper's tables and figures from the
+// replay harness (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	livo-bench -list
+//	livo-bench -exp fig9fig10
+//	livo-bench -exp all -frames 60 -cameras 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"livo/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		frames  = flag.Int("frames", 0, "frames per replay run (default quick preset)")
+		cameras = flag.Int("cameras", 0, "cameras in the capture rig")
+		width   = flag.Int("width", 0, "per-camera width")
+		height  = flag.Int("height", 0, "per-camera height")
+		users   = flag.Int("users", 0, "user traces per video (1-3)")
+		full    = flag.Bool("full", false, "full-quality preset (slow: hours)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	q := experiments.QuickQuality()
+	if *full {
+		q = experiments.FullQuality()
+	}
+	if *frames > 0 {
+		q.Frames = *frames
+	}
+	if *cameras > 0 {
+		q.Cameras = *cameras
+	}
+	if *width > 0 {
+		q.Width = *width
+	}
+	if *height > 0 {
+		q.Height = *height
+	}
+	if *users > 0 {
+		q.Users = *users
+	}
+
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(q, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.ByID(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

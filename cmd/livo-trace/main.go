@@ -1,0 +1,72 @@
+// Command livo-trace generates the evaluation's workload inputs: the
+// bandwidth traces of Table 4 (Mahimahi-like plain text) and synthetic
+// 6-DoF user traces (CSV: t, position, quaternion), for inspection or for
+// replaying through external tools.
+//
+// Usage:
+//
+//	livo-trace -out traces/                  # both bandwidth traces
+//	livo-trace -user band2 -seconds 60 -out traces/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"livo/internal/trace"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", ".", "output directory")
+		user    = flag.String("user", "", "also generate user traces for this video")
+		seconds = flag.Float64("seconds", 60, "user trace length")
+		stats   = flag.Bool("stats", true, "print trace statistics")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	for name, tr := range trace.Traces() {
+		path := filepath.Join(*out, name+".bw")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if *stats {
+			s := tr.Stats()
+			fmt.Printf("%s -> %s  mean=%.2f max=%.2f min=%.2f p90=%.2f p10=%.2f Mbps\n",
+				name, path, s.Mean, s.Max, s.Min, s.P90, s.P10)
+		}
+	}
+	if *user == "" {
+		return
+	}
+	for i, ut := range trace.UserTraces(*user, *seconds) {
+		path := filepath.Join(*out, fmt.Sprintf("%s-user%d.pose.csv", *user, i))
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(f, "t,px,py,pz,qw,qx,qy,qz")
+		for _, s := range ut.Samples {
+			p, q := s.Pose.Position, s.Pose.Rotation
+			fmt.Fprintf(f, "%.4f,%.4f,%.4f,%.4f,%.6f,%.6f,%.6f,%.6f\n",
+				s.T, p.X, p.Y, p.Z, q.W, q.X, q.Y, q.Z)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d samples over %.1fs -> %s\n", ut.Name, len(ut.Samples), ut.Duration(), path)
+	}
+}

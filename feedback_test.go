@@ -1,0 +1,94 @@
+package livo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"livo/internal/geom"
+)
+
+func TestPoseFeedbackRoundTrip(t *testing.T) {
+	f := func(tm, px, py, pz, ax, ay, az, ang float64) bool {
+		if math.IsNaN(tm) || math.IsInf(tm, 0) {
+			return true
+		}
+		p := geom.Pose{
+			Position: geom.V3(clampF(px), clampF(py), clampF(pz)),
+			Rotation: geom.QuatFromAxisAngle(geom.V3(ax, ay, az), math.Mod(ang, math.Pi)),
+		}
+		b := marshalPose(tm, p)
+		t2, p2, err := unmarshalPose(b)
+		if err != nil || t2 != tm {
+			return false
+		}
+		return p2.Position.AlmostEqual(p.Position, 1e-12) &&
+			p.Rotation.AngleTo(p2.Rotation) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampF(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(x, 1e6)
+}
+
+func TestPoseFeedbackErrors(t *testing.T) {
+	if _, _, err := unmarshalPose([]byte{fbPose, 1, 2}); err == nil {
+		t.Error("short pose accepted")
+	}
+}
+
+func TestREMBRoundTrip(t *testing.T) {
+	b := marshalREMB(123.456e6)
+	got, err := unmarshalREMB(b)
+	if err != nil || got != 123.456e6 {
+		t.Fatalf("remb = %v, %v", got, err)
+	}
+	if _, err := unmarshalREMB([]byte{fbREMB}); err == nil {
+		t.Error("short REMB accepted")
+	}
+}
+
+func TestNACKRoundTrip(t *testing.T) {
+	b := marshalNACK(2, 0xDEADBEEF, 777)
+	stream, seq, frag, err := unmarshalNACK(b)
+	if err != nil || stream != 2 || seq != 0xDEADBEEF || frag != 777 {
+		t.Fatalf("nack = %d %d %d %v", stream, seq, frag, err)
+	}
+	if _, _, _, err := unmarshalNACK([]byte{fbNACK, 0}); err == nil {
+		t.Error("short NACK accepted")
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	b := marshalPing(3.25, fbPing)
+	if b[0] != fbPing {
+		t.Error("ping type wrong")
+	}
+	got, err := unmarshalPing(b)
+	if err != nil || got != 3.25 {
+		t.Fatalf("ping = %v, %v", got, err)
+	}
+	if _, err := unmarshalPing([]byte{fbPing}); err == nil {
+		t.Error("short ping accepted")
+	}
+}
+
+func TestFeedbackTypesDistinct(t *testing.T) {
+	types := []byte{fbPose, fbREMB, fbNACK, fbPLI, fbPing, fbPong}
+	seen := map[byte]bool{}
+	for _, ty := range types {
+		if seen[ty] {
+			t.Fatalf("duplicate feedback type %d", ty)
+		}
+		if ty == mediaMagic {
+			t.Fatalf("feedback type %d collides with media magic", ty)
+		}
+		seen[ty] = true
+	}
+}

@@ -1,0 +1,3 @@
+module livo
+
+go 1.22

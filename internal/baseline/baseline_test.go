@@ -1,0 +1,302 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"livo/internal/camera"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+	"livo/internal/scene"
+)
+
+func testViews(t *testing.T) (camera.Array, []frame.RGBDFrame) {
+	t.Helper()
+	cfg := scene.CaptureConfig{
+		Cameras: 3, Width: 64, Height: 48,
+		HFov:       math.Pi * 75 / 180,
+		RingRadius: 2.6, RingHeight: 1.5, MaxRange: 6,
+	}
+	v, err := scene.OpenVideo("office1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Array, v.Frame(0)
+}
+
+func TestMeshFromViews(t *testing.T) {
+	arr, views := testViews(t)
+	m, err := MeshFromViews(arr, views, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vertices) == 0 || len(m.Triangles) == 0 {
+		t.Fatalf("empty mesh: %d verts, %d tris", len(m.Vertices), len(m.Triangles))
+	}
+	if len(m.Colors) != len(m.Vertices) {
+		t.Fatal("colors not parallel to vertices")
+	}
+	// All triangle indices valid; edges bounded (adaptive discontinuity
+	// threshold scales with depth and step but never tolerates surface
+	// tears of meters).
+	for _, tri := range m.Triangles {
+		for k := 0; k < 3; k++ {
+			if tri[k] < 0 || int(tri[k]) >= len(m.Vertices) {
+				t.Fatal("triangle index out of range")
+			}
+		}
+		if jump(m, tri[0], tri[1]) > 1.5 {
+			t.Fatalf("edge spans a tear: %v m", jump(m, tri[0], tri[1]))
+		}
+	}
+}
+
+func TestMeshDecimationReducesSize(t *testing.T) {
+	arr, views := testViews(t)
+	m1, _ := MeshFromViews(arr, views, 1, 0.25)
+	m4, _ := MeshFromViews(arr, views, 4, 0.25)
+	if len(m4.Vertices) >= len(m1.Vertices)/4 {
+		t.Errorf("decimation weak: %d vs %d vertices", len(m4.Vertices), len(m1.Vertices))
+	}
+	d1, _ := EncodeMesh(m1, 11)
+	d4, _ := EncodeMesh(m4, 11)
+	if len(d4) >= len(d1) {
+		t.Errorf("decimated mesh not smaller: %d vs %d", len(d4), len(d1))
+	}
+}
+
+func TestMeshEncodeDecodeRoundTrip(t *testing.T) {
+	arr, views := testViews(t)
+	m, _ := MeshFromViews(arr, views, 2, 0.25)
+	data, err := EncodeMesh(m, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMesh(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vertices) != len(m.Vertices) || len(got.Triangles) != len(m.Triangles) {
+		t.Fatalf("counts changed: %d/%d vs %d/%d",
+			len(got.Vertices), len(got.Triangles), len(m.Vertices), len(m.Triangles))
+	}
+	// Vertex error bounded by quantization cell.
+	b := geom.NewAABB(m.Vertices)
+	ext := math.Max(b.Size().X, math.Max(b.Size().Y, b.Size().Z))
+	cell := ext / float64((1<<12)-1)
+	for i := range m.Vertices {
+		if d := got.Vertices[i].Dist(m.Vertices[i]); d > 2*cell {
+			t.Fatalf("vertex %d moved %v (> %v)", i, d, 2*cell)
+		}
+	}
+	// Colors exact (delta-coded bytes).
+	for i := range m.Colors {
+		if got.Colors[i] != m.Colors[i] {
+			t.Fatal("color corrupted")
+		}
+	}
+	// Connectivity exact.
+	for i := range m.Triangles {
+		if got.Triangles[i] != m.Triangles[i] {
+			t.Fatal("connectivity corrupted")
+		}
+	}
+}
+
+func TestMeshCompresses(t *testing.T) {
+	arr, views := testViews(t)
+	m, _ := MeshFromViews(arr, views, 1, 0.25)
+	data, _ := EncodeMesh(m, 11)
+	raw := len(m.Vertices)*(24+3) + len(m.Triangles)*12
+	if len(data) >= raw/3 {
+		t.Errorf("poor mesh compression: %d vs raw %d", len(data), raw)
+	}
+}
+
+func TestMeshDecodeErrors(t *testing.T) {
+	if _, err := DecodeMesh(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := DecodeMesh(make([]byte, 50)); err == nil {
+		t.Error("garbage accepted")
+	}
+	arr, views := testViews(t)
+	m, _ := MeshFromViews(arr, views, 4, 0.25)
+	data, _ := EncodeMesh(m, 11)
+	if _, err := DecodeMesh(data[:len(data)/2]); err == nil {
+		t.Error("truncated mesh accepted")
+	}
+	if _, err := EncodeMesh(m, 0); err == nil {
+		t.Error("bad quantBits accepted")
+	}
+}
+
+func TestMeshEmpty(t *testing.T) {
+	m := &Mesh{}
+	data, err := EncodeMesh(m, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMesh(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vertices) != 0 || len(got.Triangles) != 0 {
+		t.Error("empty mesh round trip not empty")
+	}
+	if got.SamplePoints(10, rand.New(rand.NewSource(1))).Len() != 0 {
+		t.Error("sampling empty mesh should yield nothing")
+	}
+}
+
+func TestSamplePointsOnSurface(t *testing.T) {
+	// Single unit right triangle in the XY plane.
+	m := &Mesh{
+		Vertices:  []geom.Vec3{{}, {X: 1}, {Y: 1}},
+		Colors:    [][3]uint8{{255, 0, 0}, {0, 255, 0}, {0, 0, 255}},
+		Triangles: [][3]int32{{0, 1, 2}},
+	}
+	pts := m.SamplePoints(500, rand.New(rand.NewSource(2)))
+	if pts.Len() != 500 {
+		t.Fatalf("sampled %d", pts.Len())
+	}
+	for _, p := range pts.Positions {
+		if p.Z != 0 || p.X < 0 || p.Y < 0 || p.X+p.Y > 1+1e-9 {
+			t.Fatalf("sample off triangle: %v", p)
+		}
+	}
+}
+
+func TestSamplePointsAreaWeighted(t *testing.T) {
+	// Two triangles, one 9x the area of the other: samples should land
+	// ~90% on the big one.
+	m := &Mesh{
+		Vertices: []geom.Vec3{
+			{}, {X: 3}, {Y: 3}, // big (area 4.5)
+			{X: 10}, {X: 11}, {X: 10, Y: 1}, // small (area 0.5)
+		},
+		Colors:    make([][3]uint8, 6),
+		Triangles: [][3]int32{{0, 1, 2}, {3, 4, 5}},
+	}
+	pts := m.SamplePoints(2000, rand.New(rand.NewSource(3)))
+	big := 0
+	for _, p := range pts.Positions {
+		if p.X < 5 {
+			big++
+		}
+	}
+	ratio := float64(big) / 2000
+	if ratio < 0.85 || ratio > 0.95 {
+		t.Errorf("big-triangle sample ratio = %v, want ~0.9", ratio)
+	}
+}
+
+func TestDracoOracleFitsBudget(t *testing.T) {
+	arr, views := testViews(t)
+	pos, cols, err := arr.PointsFromViews(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, _ := pointcloud.FromSlices(pos, cols)
+	wide := geom.NewFrustum(
+		geom.LookAt(geom.V3(0, 1.5, 3), geom.V3(0, 0.9, 0), geom.V3(0, 1, 0)),
+		geom.ViewParams{FovY: math.Pi / 2, Aspect: 1.3, Near: 0.1, Far: 10},
+	)
+	o := NewDracoOracle()
+	res, err := o.ProcessFrame(gt, wide, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled {
+		t.Skip("oracle stalled on this machine (slow encode) — covered below")
+	}
+	if res.Bytes > 50_000 {
+		t.Errorf("oracle exceeded budget: %d", res.Bytes)
+	}
+	if res.Decoded == nil || res.Decoded.Len() == 0 {
+		t.Fatal("no decoded cloud")
+	}
+	// Tighter budget picks fewer quantization bits.
+	res2, err := o.ProcessFrame(gt, wide, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Stalled && res2.QuantBits >= res.QuantBits {
+		t.Errorf("tighter budget chose >= quant bits: %d vs %d", res2.QuantBits, res.QuantBits)
+	}
+}
+
+func TestDracoOracleStallsWhenNothingFits(t *testing.T) {
+	arr, views := testViews(t)
+	pos, cols, _ := arr.PointsFromViews(views)
+	gt, _ := pointcloud.FromSlices(pos, cols)
+	wide := geom.NewFrustum(geom.PoseIdentity, geom.ViewParams{FovY: 3, Aspect: 1, Near: 0.001, Far: 100})
+	o := NewDracoOracle()
+	res, err := o.ProcessFrame(gt, wide, 100) // 100 bytes: hopeless
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stalled {
+		t.Error("oracle should stall at 100-byte budget")
+	}
+}
+
+func TestDracoOracleEmptyFrustum(t *testing.T) {
+	gt := pointcloud.New(0)
+	gt.Add(geom.V3(0, 0, -5), [3]uint8{1, 2, 3}) // behind the viewer
+	f := geom.NewFrustum(geom.PoseIdentity, geom.DefaultViewParams())
+	o := NewDracoOracle()
+	res, err := o.ProcessFrame(gt, f, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stalled || res.Decoded.Len() != 0 {
+		t.Errorf("empty-frustum frame should be trivially empty: %+v", res)
+	}
+}
+
+func TestMeshReduceConfigure(t *testing.T) {
+	arr, views := testViews(t)
+	mr := NewMeshReduce(arr)
+	if err := mr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Generous bandwidth: fine mesh (small step).
+	if err := mr.Configure(views, 200e6); err != nil {
+		t.Fatal(err)
+	}
+	fineStep := mr.Step
+	// Tight bandwidth: coarser mesh (the tiny test frames need a very low
+	// budget before step 1 stops fitting).
+	if err := mr.Configure(views, 0.2e6); err != nil {
+		t.Fatal(err)
+	}
+	if mr.Step <= fineStep {
+		t.Errorf("low bandwidth did not coarsen: %d vs %d", mr.Step, fineStep)
+	}
+}
+
+func TestMeshReduceProcessFrame(t *testing.T) {
+	arr, views := testViews(t)
+	mr := NewMeshReduce(arr)
+	if err := mr.Configure(views, 30e6); err != nil {
+		t.Fatal(err)
+	}
+	res, err := mr.ProcessFrame(views, 30e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes == 0 || res.Mesh == nil || len(res.Mesh.Vertices) == 0 {
+		t.Fatal("empty result")
+	}
+	if res.TxTime <= 0 {
+		t.Error("no transmission time")
+	}
+	// Effective frame rate model: lower capacity -> longer tx time.
+	res2, _ := mr.ProcessFrame(views, 3e6)
+	if res2.TxTime <= res.TxTime {
+		t.Error("tx time did not grow at lower capacity")
+	}
+}

@@ -1,0 +1,349 @@
+// Package baseline implements the comparison systems of §4.1:
+//
+//   - Draco-Oracle — a bandwidth-oracle wrapper around the octree
+//     point-cloud codec: given the target bandwidth and a perfect receiver
+//     frustum, it picks the highest-quality quantization that fits the
+//     byte budget; a frame stalls when nothing fits or when compression
+//     takes longer than the inter-frame interval (the paper runs it at
+//     15 fps for this reason).
+//
+//   - MeshReduce — a mesh-based full-scene streamer with *indirect*
+//     bandwidth adaptation: per-frame meshes are built from the depth
+//     images by grid triangulation, decimated to a budget chosen once from
+//     the trace's average bandwidth (offline profile), and shipped over
+//     reliable transport at ≤15 fps; instead of stalling it lets the frame
+//     rate sag (§4.3, §4.4).
+package baseline
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"livo/internal/camera"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+)
+
+// deflate compresses b at the default mesh entropy level.
+func deflate(b []byte) ([]byte, error) {
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, 5)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// inflate decompresses deflate data.
+func inflate(b []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(b))
+	defer fr.Close()
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: inflate: %w", err)
+	}
+	return out, nil
+}
+
+// Mesh is an indexed triangle mesh with per-vertex colors.
+type Mesh struct {
+	Vertices  []geom.Vec3
+	Colors    [][3]uint8
+	Triangles [][3]int32
+}
+
+// MeshFromViews reconstructs a per-frame mesh from the camera views by
+// grid triangulation: every step-th pixel becomes a vertex; neighbouring
+// vertices connect unless the edge is a depth discontinuity. The
+// discontinuity threshold adapts to the decimation: the expected spacing of
+// adjacent grid vertices on a surface at depth z is ~z*step/f, so an edge
+// is torn only when it exceeds several times that (plus the absolute
+// maxJump floor for object boundaries). Tearing across boundaries is what
+// produced the "blobs" the user study complained about — MeshReduce still
+// shows some.
+func MeshFromViews(arr camera.Array, views []frame.RGBDFrame, step int, maxJump float64) (*Mesh, error) {
+	if len(views) != arr.N() {
+		return nil, fmt.Errorf("baseline: %d views for %d cameras", len(views), arr.N())
+	}
+	if step < 1 {
+		step = 1
+	}
+	m := &Mesh{}
+	var depthsMM []float64 // per-vertex depth, for the adaptive threshold
+	for ci, view := range views {
+		if view.Depth == nil {
+			continue
+		}
+		cam := arr.Cameras[ci]
+		in := cam.Intrinsics
+		cols := (in.W + step - 1) / step
+		rows := (in.H + step - 1) / step
+		// Vertex index per grid cell; -1 = invalid.
+		idx := make([]int32, cols*rows)
+		for gy := 0; gy < rows; gy++ {
+			for gx := 0; gx < cols; gx++ {
+				u, v := gx*step, gy*step
+				mm := view.Depth.At(u, v)
+				if mm == 0 {
+					idx[gy*cols+gx] = -1
+					continue
+				}
+				idx[gy*cols+gx] = int32(len(m.Vertices))
+				m.Vertices = append(m.Vertices, cam.UnprojectToWorld(u, v, mm))
+				depthsMM = append(depthsMM, float64(mm))
+				r, g, b := view.Color.At(u, v)
+				m.Colors = append(m.Colors, [3]uint8{r, g, b})
+			}
+		}
+		edgeOK := func(a, b int32) bool {
+			d := m.Vertices[a].Dist(m.Vertices[b])
+			z := (depthsMM[a] + depthsMM[b]) / 2 / 1000
+			expected := z * float64(step) / in.Fx
+			limit := maxJump
+			if adaptive := 4 * expected; adaptive > limit {
+				limit = adaptive
+			}
+			return d <= limit
+		}
+		// Triangulate grid cells whose corners are valid and connected.
+		for gy := 0; gy+1 < rows; gy++ {
+			for gx := 0; gx+1 < cols; gx++ {
+				i00 := idx[gy*cols+gx]
+				i10 := idx[gy*cols+gx+1]
+				i01 := idx[(gy+1)*cols+gx]
+				i11 := idx[(gy+1)*cols+gx+1]
+				if i00 < 0 || i10 < 0 || i01 < 0 || i11 < 0 {
+					continue
+				}
+				if !edgeOK(i00, i10) || !edgeOK(i00, i01) ||
+					!edgeOK(i11, i10) || !edgeOK(i11, i01) {
+					continue
+				}
+				m.Triangles = append(m.Triangles, [3]int32{i00, i10, i01}, [3]int32{i10, i11, i01})
+			}
+		}
+	}
+	return m, nil
+}
+
+// jump returns the edge length between two vertices (test helper contract).
+func jump(m *Mesh, a, b int32) float64 {
+	return m.Vertices[a].Dist(m.Vertices[b])
+}
+
+// SamplePoints draws n points uniformly by triangle area with
+// barycentric-interpolated colors — how §4.1 makes meshes comparable under
+// PointSSIM ("sample as many points from the rendered mesh as there are in
+// the ground truth point cloud").
+func (m *Mesh) SamplePoints(n int, rng *rand.Rand) *pointcloud.Cloud {
+	out := pointcloud.New(n)
+	if len(m.Triangles) == 0 || n <= 0 {
+		return out
+	}
+	// Cumulative areas for area-weighted sampling.
+	cum := make([]float64, len(m.Triangles))
+	var total float64
+	for i, tri := range m.Triangles {
+		a, b, c := m.Vertices[tri[0]], m.Vertices[tri[1]], m.Vertices[tri[2]]
+		total += 0.5 * b.Sub(a).Cross(c.Sub(a)).Len()
+		cum[i] = total
+	}
+	if total == 0 {
+		return out
+	}
+	for k := 0; k < n; k++ {
+		r := rng.Float64() * total
+		// Binary search the triangle.
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < r {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		tri := m.Triangles[lo]
+		// Uniform barycentric sample.
+		u, v := rng.Float64(), rng.Float64()
+		if u+v > 1 {
+			u, v = 1-u, 1-v
+		}
+		w := 1 - u - v
+		a, b, c := m.Vertices[tri[0]], m.Vertices[tri[1]], m.Vertices[tri[2]]
+		p := a.Scale(w).Add(b.Scale(u)).Add(c.Scale(v))
+		ca, cb, cc := m.Colors[tri[0]], m.Colors[tri[1]], m.Colors[tri[2]]
+		col := [3]uint8{
+			uint8(w*float64(ca[0]) + u*float64(cb[0]) + v*float64(cc[0])),
+			uint8(w*float64(ca[1]) + u*float64(cb[1]) + v*float64(cc[1])),
+			uint8(w*float64(ca[2]) + u*float64(cb[2]) + v*float64(cc[2])),
+		}
+		out.Add(p, col)
+	}
+	return out
+}
+
+// EncodeMesh serializes the mesh in Draco-mesh style: vertex positions
+// quantized to quantBits over the bounding box and delta-coded in original
+// order (order must survive for connectivity), colors delta-coded, and
+// triangle indices delta-coded; everything deflate-compressed.
+func EncodeMesh(m *Mesh, quantBits int) ([]byte, error) {
+	if quantBits < 1 || quantBits > 16 {
+		return nil, fmt.Errorf("baseline: quantBits %d out of range", quantBits)
+	}
+	b := geom.NewAABB(m.Vertices)
+	ext := 1e-9
+	if len(m.Vertices) > 0 {
+		s := b.Size()
+		ext = math.Max(ext, math.Max(s.X, math.Max(s.Y, s.Z)))
+	} else {
+		b = geom.AABB{}
+	}
+	scale := float64(uint64(1)<<quantBits-1) / ext
+
+	var payload []byte
+	var prevQ [3]int64
+	q := func(v, min float64) int64 {
+		x := int64(math.Round((v - min) * scale))
+		if x < 0 {
+			x = 0
+		}
+		if x > int64(uint64(1)<<quantBits-1) {
+			x = int64(uint64(1)<<quantBits - 1)
+		}
+		return x
+	}
+	for i, v := range m.Vertices {
+		qs := [3]int64{q(v.X, b.Min.X), q(v.Y, b.Min.Y), q(v.Z, b.Min.Z)}
+		for k := 0; k < 3; k++ {
+			payload = binary.AppendVarint(payload, qs[k]-prevQ[k])
+		}
+		prevQ = qs
+		_ = i
+	}
+	var pc [3]uint8
+	for _, c := range m.Colors {
+		payload = append(payload, c[0]-pc[0], c[1]-pc[1], c[2]-pc[2])
+		pc = c
+	}
+	var prev int64
+	for _, tri := range m.Triangles {
+		for _, v := range tri {
+			payload = binary.AppendVarint(payload, int64(v)-prev)
+			prev = int64(v)
+		}
+	}
+	z, err := deflate(payload)
+	if err != nil {
+		return nil, err
+	}
+	hdr := []byte{'M', 'S', 'H', byte(quantBits)}
+	hdr = appendF64(hdr, b.Min.X)
+	hdr = appendF64(hdr, b.Min.Y)
+	hdr = appendF64(hdr, b.Min.Z)
+	hdr = appendF64(hdr, ext)
+	hdr = binary.AppendUvarint(hdr, uint64(len(m.Vertices)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(m.Triangles)))
+	return append(hdr, z...), nil
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// DecodeMesh reverses EncodeMesh.
+func DecodeMesh(data []byte) (*Mesh, error) {
+	if len(data) < 4+32 || string(data[:3]) != "MSH" {
+		return nil, fmt.Errorf("baseline: bad mesh header")
+	}
+	quantBits := int(data[3])
+	if quantBits < 1 || quantBits > 16 {
+		return nil, fmt.Errorf("baseline: bad quantBits %d", quantBits)
+	}
+	pos := 4
+	readF := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[pos:]))
+		pos += 8
+		return v
+	}
+	minX, minY, minZ, ext := readF(), readF(), readF(), readF()
+	nVerts, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: truncated vertex count")
+	}
+	pos += n
+	nTris, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("baseline: truncated triangle count")
+	}
+	pos += n
+	payload, err := inflate(data[pos:])
+	if err != nil {
+		return nil, err
+	}
+	scale := ext / float64(uint64(1)<<quantBits-1)
+	m := &Mesh{
+		Vertices:  make([]geom.Vec3, 0, nVerts),
+		Colors:    make([][3]uint8, 0, nVerts),
+		Triangles: make([][3]int32, 0, nTris),
+	}
+	p := 0
+	var prevQ [3]int64
+	for i := uint64(0); i < nVerts; i++ {
+		var qs [3]int64
+		for k := 0; k < 3; k++ {
+			d, n := binary.Varint(payload[p:])
+			if n <= 0 {
+				return nil, fmt.Errorf("baseline: truncated vertices")
+			}
+			p += n
+			qs[k] = prevQ[k] + d
+		}
+		prevQ = qs
+		m.Vertices = append(m.Vertices, geom.V3(
+			minX+float64(qs[0])*scale,
+			minY+float64(qs[1])*scale,
+			minZ+float64(qs[2])*scale,
+		))
+	}
+	if p+int(nVerts)*3 > len(payload) {
+		return nil, fmt.Errorf("baseline: truncated colors")
+	}
+	var pc [3]uint8
+	for i := uint64(0); i < nVerts; i++ {
+		c := [3]uint8{pc[0] + payload[p], pc[1] + payload[p+1], pc[2] + payload[p+2]}
+		p += 3
+		m.Colors = append(m.Colors, c)
+		pc = c
+	}
+	var prev int64
+	for t := uint64(0); t < nTris; t++ {
+		var tri [3]int32
+		for k := 0; k < 3; k++ {
+			d, n := binary.Varint(payload[p:])
+			if n <= 0 {
+				return nil, fmt.Errorf("baseline: truncated connectivity")
+			}
+			p += n
+			prev += d
+			if prev < 0 || prev >= int64(nVerts) {
+				return nil, fmt.Errorf("baseline: triangle index %d out of range", prev)
+			}
+			tri[k] = int32(prev)
+		}
+		m.Triangles = append(m.Triangles, tri)
+	}
+	return m, nil
+}

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"fmt"
+
+	"livo/internal/camera"
+	"livo/internal/frame"
+)
+
+// MeshReduceFPS is MeshReduce's capture rate (15 fps, Table 2).
+const MeshReduceFPS = 15
+
+// MeshReduce is the mesh-based full-scene streamer with indirect bandwidth
+// adaptation (§4.1): an offline profile maps the trace's *average*
+// bandwidth to a mesh decimation step chosen once per session; frames go
+// over reliable transport, so instead of stalls the frame rate sags when a
+// frame overruns its transmission slot (§4.3, §4.4).
+type MeshReduce struct {
+	Array camera.Array
+	// QuantBits is the geometry quantization (Draco default 11).
+	QuantBits int
+	// MaxJump is the triangulation discontinuity threshold in meters.
+	MaxJump float64
+	// Step is the decimation step chosen by Configure.
+	Step int
+	// FPS is the capture rate (default 15).
+	FPS int
+}
+
+// NewMeshReduce builds a MeshReduce instance for a camera rig.
+func NewMeshReduce(arr camera.Array) *MeshReduce {
+	return &MeshReduce{Array: arr, QuantBits: 11, MaxJump: 0.25, Step: 2, FPS: MeshReduceFPS}
+}
+
+// Configure performs the offline profiling step: it encodes the probe
+// frame at increasing decimation steps until the frame fits the per-frame
+// budget implied by the session's *average* bandwidth (this is the
+// indirect, conservative adaptation Table 1 quantifies — the budget uses a
+// safety margin and never re-adapts during the session).
+func (mr *MeshReduce) Configure(probe []frame.RGBDFrame, avgBandwidthBps float64) error {
+	// MeshReduce provisions for the average with a large safety margin so
+	// transient dips don't overrun the reliable transport — the
+	// conservative, indirect adaptation Table 1 quantifies.
+	budget := int(0.5 * avgBandwidthBps / 8 / float64(mr.FPS))
+	for step := 1; step <= 16; step++ {
+		m, err := MeshFromViews(mr.Array, probe, step, mr.MaxJump)
+		if err != nil {
+			return err
+		}
+		data, err := EncodeMesh(m, mr.QuantBits)
+		if err != nil {
+			return err
+		}
+		if len(data) <= budget {
+			mr.Step = step
+			return nil
+		}
+	}
+	mr.Step = 16
+	return nil
+}
+
+// MeshResult is MeshReduce's per-frame outcome.
+type MeshResult struct {
+	Bytes int
+	Mesh  *Mesh // decoded mesh as the receiver sees it
+	// TxTime is the transmission time at the given instantaneous capacity;
+	// the effective frame rate is min(FPS, 1/TxTime) (§4.4).
+	TxTime float64
+}
+
+// ProcessFrame meshes, encodes, and decodes one frame. capacityBps is the
+// link's instantaneous capacity used to derive the transmission time.
+func (mr *MeshReduce) ProcessFrame(views []frame.RGBDFrame, capacityBps float64) (MeshResult, error) {
+	m, err := MeshFromViews(mr.Array, views, mr.Step, mr.MaxJump)
+	if err != nil {
+		return MeshResult{}, err
+	}
+	data, err := EncodeMesh(m, mr.QuantBits)
+	if err != nil {
+		return MeshResult{}, err
+	}
+	decoded, err := DecodeMesh(data)
+	if err != nil {
+		return MeshResult{}, err
+	}
+	tx := 0.0
+	if capacityBps > 0 {
+		tx = float64(len(data)) * 8 / capacityBps
+	}
+	return MeshResult{Bytes: len(data), Mesh: decoded, TxTime: tx}, nil
+}
+
+// Validate reports configuration errors.
+func (mr *MeshReduce) Validate() error {
+	if mr.Array.N() == 0 {
+		return fmt.Errorf("baseline: meshreduce needs cameras")
+	}
+	if mr.Step < 1 {
+		return fmt.Errorf("baseline: invalid step %d", mr.Step)
+	}
+	return nil
+}

@@ -1,0 +1,229 @@
+// Package calib implements the one-shot extrinsic camera calibration LiVo
+// relies on (§3.2, [97]): given 3D correspondences between points observed
+// in a camera's local frame and their known positions in the global frame
+// (e.g. corners of a calibration target placed in the capture volume), it
+// solves for the rigid camera-to-world transform. The solver is the Kabsch
+// algorithm: optimal rotation from the cross-covariance of the centered
+// correspondences via an iterative Jacobi eigen-decomposition (no external
+// linear algebra library).
+package calib
+
+import (
+	"fmt"
+	"math"
+
+	"livo/internal/geom"
+)
+
+// Solve returns the rigid pose P minimizing Σ |P(local_i) − world_i|²,
+// i.e. the camera-to-world transform, plus the RMS residual. At least 3
+// non-collinear correspondences are required.
+func Solve(local, world []geom.Vec3) (geom.Pose, float64, error) {
+	if len(local) != len(world) {
+		return geom.Pose{}, 0, fmt.Errorf("calib: %d local vs %d world points", len(local), len(world))
+	}
+	if len(local) < 3 {
+		return geom.Pose{}, 0, fmt.Errorf("calib: need at least 3 correspondences, got %d", len(local))
+	}
+	// Centroids.
+	var cl, cw geom.Vec3
+	for i := range local {
+		cl = cl.Add(local[i])
+		cw = cw.Add(world[i])
+	}
+	n := float64(len(local))
+	cl = cl.Scale(1 / n)
+	cw = cw.Scale(1 / n)
+
+	// Cross-covariance H = Σ (local-cl)(world-cw)^T.
+	var h [3][3]float64
+	for i := range local {
+		a := local[i].Sub(cl)
+		b := world[i].Sub(cw)
+		av := [3]float64{a.X, a.Y, a.Z}
+		bv := [3]float64{b.X, b.Y, b.Z}
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				h[r][c] += av[r] * bv[c]
+			}
+		}
+	}
+
+	rot, ok := kabschRotation(h)
+	if !ok {
+		return geom.Pose{}, 0, fmt.Errorf("calib: degenerate correspondences (collinear?)")
+	}
+	// t = cw - R*cl.
+	t := cw.Sub(rot.Rotate(cl))
+	pose := geom.Pose{Position: t, Rotation: rot}
+
+	// Residual.
+	var sum float64
+	for i := range local {
+		d := pose.TransformPoint(local[i]).Sub(world[i])
+		sum += d.LenSq()
+	}
+	return pose, math.Sqrt(sum / n), nil
+}
+
+// kabschRotation computes the optimal rotation from the cross-covariance H
+// using the classic SVD identity implemented via the symmetric
+// eigen-decomposition of H^T H (Jacobi sweeps).
+func kabschRotation(h [3][3]float64) (geom.Quat, bool) {
+	// S = H^T H (symmetric positive semidefinite).
+	var s [3][3]float64
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			for k := 0; k < 3; k++ {
+				s[r][c] += h[k][r] * h[k][c]
+			}
+		}
+	}
+	evals, evecs, ok := jacobiEigen(s)
+	if !ok {
+		return geom.Quat{}, false
+	}
+	// Guard rank: at least two non-trivial singular values are needed.
+	if evals[1] <= 1e-12*math.Max(evals[0], 1e-30) {
+		return geom.Quat{}, false
+	}
+	// B_k = H v_k / sqrt(λ_k): left singular vectors scaled; rotation
+	// R = Σ b_k v_k^T, with the smallest-σ column sign-fixed so det(R)=+1.
+	var b [3][3]float64 // columns b_k
+	for k := 0; k < 3; k++ {
+		sigma := math.Sqrt(math.Max(evals[k], 0))
+		// Rank test is relative: a planar target has λ_2/λ_0 ≈ machine
+		// epsilon but not exactly zero.
+		if evals[k] < 1e-10*evals[0] {
+			// Rank-2: take b_2 = b_0 x b_1 for a proper rotation.
+			b[0][k] = b[1][0]*b[2][1] - b[2][0]*b[1][1]
+			b[1][k] = b[2][0]*b[0][1] - b[0][0]*b[2][1]
+			b[2][k] = b[0][0]*b[1][1] - b[1][0]*b[0][1]
+			continue
+		}
+		for r := 0; r < 3; r++ {
+			var v float64
+			for c := 0; c < 3; c++ {
+				v += h[r][c] * evecs[c][k]
+			}
+			b[r][k] = v / sigma
+		}
+	}
+	// Derivation: minimizing Σ|R·local − world|² maximizes tr(Rᵀ M) with
+	// M = Σ world·localᵀ = Hᵀ, whose SVD gives R = U_M V_Mᵀ. Since
+	// HᵀH = M Mᵀ, the eigenvectors computed above are U_M, and
+	// b_k = H u_k/σ_k are the columns of V_M — so R = evecs · Bᵀ.
+	compose := func() geom.Mat4 {
+		var rm geom.Mat4
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				var v float64
+				for k := 0; k < 3; k++ {
+					v += evecs[r][k] * b[c][k]
+				}
+				rm[r][c] = v
+			}
+		}
+		rm[3][3] = 1
+		return rm
+	}
+	rm := compose()
+	// Ensure a proper rotation (det +1): flip the weakest direction.
+	if det3(rm) < 0 {
+		for r := 0; r < 3; r++ {
+			b[r][2] = -b[r][2]
+		}
+		rm = compose()
+	}
+	return rotToQuat(rm), true
+}
+
+func det3(m geom.Mat4) float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+// rotToQuat converts a proper rotation matrix to a quaternion by probing
+// its action on the basis vectors through geom.LookAt-style construction.
+func rotToQuat(m geom.Mat4) geom.Quat {
+	// Shepperd's method.
+	tr := m[0][0] + m[1][1] + m[2][2]
+	var q geom.Quat
+	switch {
+	case tr > 0:
+		s := math.Sqrt(tr+1) * 2
+		q = geom.Quat{W: s / 4, X: (m[2][1] - m[1][2]) / s, Y: (m[0][2] - m[2][0]) / s, Z: (m[1][0] - m[0][1]) / s}
+	case m[0][0] > m[1][1] && m[0][0] > m[2][2]:
+		s := math.Sqrt(1+m[0][0]-m[1][1]-m[2][2]) * 2
+		q = geom.Quat{W: (m[2][1] - m[1][2]) / s, X: s / 4, Y: (m[0][1] + m[1][0]) / s, Z: (m[0][2] + m[2][0]) / s}
+	case m[1][1] > m[2][2]:
+		s := math.Sqrt(1+m[1][1]-m[0][0]-m[2][2]) * 2
+		q = geom.Quat{W: (m[0][2] - m[2][0]) / s, X: (m[0][1] + m[1][0]) / s, Y: s / 4, Z: (m[1][2] + m[2][1]) / s}
+	default:
+		s := math.Sqrt(1+m[2][2]-m[0][0]-m[1][1]) * 2
+		q = geom.Quat{W: (m[1][0] - m[0][1]) / s, X: (m[0][2] + m[2][0]) / s, Y: (m[1][2] + m[2][1]) / s, Z: s / 4}
+	}
+	return q.Normalize()
+}
+
+// jacobiEigen diagonalizes a symmetric 3x3 matrix by classical Jacobi
+// rotations, returning eigenvalues in descending order with matching
+// eigenvector columns (A v_k = λ_k v_k).
+func jacobiEigen(a [3][3]float64) (evals [3]float64, evecs [3][3]float64, ok bool) {
+	v := [3][3]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}
+	for sweep := 0; sweep < 128; sweep++ {
+		// Largest off-diagonal element.
+		p, q := 0, 1
+		if math.Abs(a[0][2]) > math.Abs(a[p][q]) {
+			p, q = 0, 2
+		}
+		if math.Abs(a[1][2]) > math.Abs(a[p][q]) {
+			p, q = 1, 2
+		}
+		apq := a[p][q]
+		if math.Abs(apq) < 1e-15 {
+			break
+		}
+		// Rotation annihilating a[p][q] (Golub & Van Loan 8.4).
+		theta := (a[q][q] - a[p][p]) / (2 * apq)
+		t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+		c := 1 / math.Sqrt(t*t+1)
+		s := t * c
+
+		app, aqq := a[p][p], a[q][q]
+		a[p][p] = app - t*apq
+		a[q][q] = aqq + t*apq
+		a[p][q], a[q][p] = 0, 0
+		r := 3 - p - q // the remaining index
+		arp, arq := a[r][p], a[r][q]
+		a[r][p] = c*arp - s*arq
+		a[p][r] = a[r][p]
+		a[r][q] = s*arp + c*arq
+		a[q][r] = a[r][q]
+		for i := 0; i < 3; i++ {
+			vip, viq := v[i][p], v[i][q]
+			v[i][p] = c*vip - s*viq
+			v[i][q] = s*vip + c*viq
+		}
+	}
+	for i := 0; i < 3; i++ {
+		evals[i] = a[i][i]
+	}
+	// Sort descending (insertion over 3 elements).
+	order := [3]int{0, 1, 2}
+	for i := 1; i < 3; i++ {
+		for j := i; j > 0 && evals[order[j]] > evals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var se [3]float64
+	var sv [3][3]float64
+	for k, idx := range order {
+		se[k] = evals[idx]
+		for r := 0; r < 3; r++ {
+			sv[r][k] = v[r][idx]
+		}
+	}
+	return se, sv, true
+}

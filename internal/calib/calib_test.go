@@ -1,0 +1,138 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"livo/internal/geom"
+)
+
+func randPose(rng *rand.Rand) geom.Pose {
+	axis := geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	return geom.Pose{
+		Position: geom.V3(rng.NormFloat64()*3, rng.NormFloat64()*3, rng.NormFloat64()*3),
+		Rotation: geom.QuatFromAxisAngle(axis, rng.Float64()*2*math.Pi-math.Pi),
+	}
+}
+
+func TestSolveExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		truth := randPose(rng)
+		n := 3 + rng.Intn(20)
+		local := make([]geom.Vec3, n)
+		world := make([]geom.Vec3, n)
+		for i := range local {
+			local[i] = geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+			world[i] = truth.TransformPoint(local[i])
+		}
+		got, rms, err := Solve(local, world)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rms > 1e-7 {
+			t.Fatalf("trial %d: residual %v", trial, rms)
+		}
+		if got.Position.Dist(truth.Position) > 1e-7 {
+			t.Fatalf("trial %d: position %v vs %v", trial, got.Position, truth.Position)
+		}
+		if truth.Rotation.AngleTo(got.Rotation) > 1e-7 {
+			t.Fatalf("trial %d: rotation off by %v rad", trial, truth.Rotation.AngleTo(got.Rotation))
+		}
+	}
+}
+
+func TestSolveNoisy(t *testing.T) {
+	// Calibration targets are measured with millimeter noise; the solved
+	// pose must average it out.
+	rng := rand.New(rand.NewSource(2))
+	truth := randPose(rng)
+	n := 40
+	local := make([]geom.Vec3, n)
+	world := make([]geom.Vec3, n)
+	for i := range local {
+		local[i] = geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		noise := geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Scale(0.002)
+		world[i] = truth.TransformPoint(local[i]).Add(noise)
+	}
+	got, rms, err := Solve(local, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 0.01 {
+		t.Errorf("residual %v", rms)
+	}
+	if got.Position.Dist(truth.Position) > 0.005 {
+		t.Errorf("position error %v", got.Position.Dist(truth.Position))
+	}
+	if ang := truth.Rotation.AngleTo(got.Rotation); ang > 0.005 {
+		t.Errorf("rotation error %v rad", ang)
+	}
+}
+
+func TestSolvePlanarTarget(t *testing.T) {
+	// A flat checkerboard target: all points coplanar — rank 2 — must
+	// still recover the full rotation (the common real-world case [97]).
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		truth := randPose(rng)
+		var local, world []geom.Vec3
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 5; x++ {
+				p := geom.V3(float64(x)*0.1, float64(y)*0.1, 0) // z = 0 plane
+				local = append(local, p)
+				world = append(world, truth.TransformPoint(p))
+			}
+		}
+		got, rms, err := Solve(local, world)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rms > 1e-7 {
+			t.Fatalf("trial %d: planar residual %v", trial, rms)
+		}
+		if ang := truth.Rotation.AngleTo(got.Rotation); ang > 1e-6 {
+			t.Fatalf("trial %d: planar rotation error %v", trial, ang)
+		}
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	if _, _, err := Solve(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, _, err := Solve(make([]geom.Vec3, 2), make([]geom.Vec3, 2)); err == nil {
+		t.Error("2 points accepted")
+	}
+	if _, _, err := Solve(make([]geom.Vec3, 3), make([]geom.Vec3, 4)); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	// Collinear points: rotation about the line is unobservable.
+	local := []geom.Vec3{{X: 0}, {X: 1}, {X: 2}, {X: 3}}
+	world := []geom.Vec3{{Y: 0}, {Y: 1}, {Y: 2}, {Y: 3}}
+	if _, _, err := Solve(local, world); err == nil {
+		t.Error("collinear target accepted")
+	}
+}
+
+func TestCalibrateSyntheticRig(t *testing.T) {
+	// End-to-end: recover a camera-ring pose from observations of a known
+	// target, as the capture rig setup would.
+	rng := rand.New(rand.NewSource(4))
+	truth := geom.LookAt(geom.V3(2.6, 1.5, 0), geom.V3(0, 0.9, 0), geom.V3(0, 1, 0))
+	// Target corners in world space.
+	var world, local []geom.Vec3
+	for i := 0; i < 12; i++ {
+		w := geom.V3(rng.Float64()-0.5, 0.5+rng.Float64(), rng.Float64()-0.5)
+		world = append(world, w)
+		local = append(local, truth.InverseTransformPoint(w))
+	}
+	got, rms, err := Solve(local, world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 1e-7 || got.Position.Dist(truth.Position) > 1e-7 {
+		t.Fatalf("rig calibration failed: rms=%v pos err=%v", rms, got.Position.Dist(truth.Position))
+	}
+}

@@ -1,0 +1,173 @@
+// Package camera models the calibrated RGB-D cameras LiVo captures from: a
+// pinhole intrinsic model, an extrinsic pose in the global frame (the output
+// of one-shot calibration [97]), projection/unprojection between pixels and
+// 3D points, and ring-shaped camera arrays encircling a scene (§3.2).
+package camera
+
+import (
+	"fmt"
+	"math"
+
+	"livo/internal/frame"
+	"livo/internal/geom"
+)
+
+// Intrinsics is a pinhole camera model. Pixel (u, v) at depth z (meters,
+// along the camera's +Z axis) corresponds to the camera-local point
+// ((u-Cx)/Fx * z, (v-Cy)/Fy * z, z).
+type Intrinsics struct {
+	W, H   int     // image resolution
+	Fx, Fy float64 // focal lengths in pixels
+	Cx, Cy float64 // principal point in pixels
+}
+
+// NewIntrinsics builds intrinsics with the given horizontal field of view
+// (radians) and a centered principal point; the vertical FoV follows from
+// the aspect ratio (square pixels).
+func NewIntrinsics(w, h int, hfov float64) Intrinsics {
+	fx := float64(w) / 2 / math.Tan(hfov/2)
+	return Intrinsics{
+		W: w, H: h,
+		Fx: fx, Fy: fx, // square pixels
+		Cx: float64(w) / 2, Cy: float64(h) / 2,
+	}
+}
+
+// Validate checks the intrinsics are usable.
+func (in Intrinsics) Validate() error {
+	if in.W <= 0 || in.H <= 0 {
+		return fmt.Errorf("camera: invalid resolution %dx%d", in.W, in.H)
+	}
+	if in.Fx <= 0 || in.Fy <= 0 {
+		return fmt.Errorf("camera: invalid focal length fx=%v fy=%v", in.Fx, in.Fy)
+	}
+	return nil
+}
+
+// Unproject maps pixel (u, v) with depth z meters to a camera-local point.
+func (in Intrinsics) Unproject(u, v int, z float64) geom.Vec3 {
+	return geom.Vec3{
+		X: (float64(u) + 0.5 - in.Cx) / in.Fx * z,
+		Y: (float64(v) + 0.5 - in.Cy) / in.Fy * z,
+		Z: z,
+	}
+}
+
+// Project maps a camera-local point to pixel coordinates and depth. ok is
+// false when the point is behind the camera or projects outside the image.
+func (in Intrinsics) Project(p geom.Vec3) (u, v int, z float64, ok bool) {
+	if p.Z <= 0 {
+		return 0, 0, 0, false
+	}
+	fu := p.X/p.Z*in.Fx + in.Cx
+	fv := p.Y/p.Z*in.Fy + in.Cy
+	u = int(math.Floor(fu))
+	v = int(math.Floor(fv))
+	if u < 0 || u >= in.W || v < 0 || v >= in.H {
+		return 0, 0, 0, false
+	}
+	return u, v, p.Z, true
+}
+
+// HFov returns the horizontal field of view in radians.
+func (in Intrinsics) HFov() float64 {
+	return 2 * math.Atan(float64(in.W)/2/in.Fx)
+}
+
+// Camera is one calibrated RGB-D camera: intrinsics plus a pose mapping the
+// camera's local coordinate frame into the global frame. The camera looks
+// down its local +Z axis.
+type Camera struct {
+	ID         int
+	Intrinsics Intrinsics
+	Pose       geom.Pose // camera-to-world
+	// MaxRange is the depth sensor range in meters (5-6 m for commodity
+	// time-of-flight cameras, §3.2).
+	MaxRange float64
+}
+
+// LocalToWorld returns the camera-to-world transform.
+func (c Camera) LocalToWorld() geom.Mat4 { return c.Pose.Mat4() }
+
+// WorldToLocal returns the world-to-camera transform.
+func (c Camera) WorldToLocal() geom.Mat4 { return c.Pose.InverseMat4() }
+
+// UnprojectToWorld maps pixel (u, v) with depth mm (millimeters, as stored
+// in a frame.DepthImage) to a world-space point.
+func (c Camera) UnprojectToWorld(u, v int, mm uint16) geom.Vec3 {
+	local := c.Intrinsics.Unproject(u, v, float64(mm)/1000)
+	return c.Pose.TransformPoint(local)
+}
+
+// ProjectFromWorld maps a world point into this camera's pixel grid.
+func (c Camera) ProjectFromWorld(p geom.Vec3) (u, v int, z float64, ok bool) {
+	return c.Intrinsics.Project(c.Pose.InverseTransformPoint(p))
+}
+
+// Array is a frame-synchronized set of calibrated RGB-D cameras encircling
+// a scene (Fig 2).
+type Array struct {
+	Cameras []Camera
+}
+
+// NewRing builds an array of n cameras evenly spaced on a circle of the
+// given radius (meters) at the given height, all aimed at the point
+// (0, lookHeight, 0). This mirrors the capture rigs in the paper's datasets
+// (10 Kinects encircling a scene).
+func NewRing(n int, radius, height, lookHeight float64, in Intrinsics, maxRange float64) Array {
+	cams := make([]Camera, n)
+	target := geom.V3(0, lookHeight, 0)
+	for i := 0; i < n; i++ {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		pos := geom.V3(radius*math.Cos(ang), height, radius*math.Sin(ang))
+		cams[i] = Camera{
+			ID:         i,
+			Intrinsics: in,
+			Pose:       geom.LookAt(pos, target, geom.V3(0, 1, 0)),
+			MaxRange:   maxRange,
+		}
+	}
+	return Array{Cameras: cams}
+}
+
+// N returns the number of cameras.
+func (a Array) N() int { return len(a.Cameras) }
+
+// PointsFromViews reconstructs world-space points (with colors) from one
+// RGB-D frame per camera — the receiver-side reconstruction step (§A.1).
+// Pixels with zero depth (no measurement, or culled) are skipped. The
+// returned slices are parallel: positions[i] has color colors[i] (packed
+// RGB). The caller may pass nil views for cameras with no frame.
+func (a Array) PointsFromViews(views []frame.RGBDFrame) (positions []geom.Vec3, colors [][3]uint8, err error) {
+	if len(views) != a.N() {
+		return nil, nil, fmt.Errorf("camera: got %d views for %d cameras", len(views), a.N())
+	}
+	for i, view := range views {
+		if view.Depth == nil {
+			continue
+		}
+		if err := view.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("camera %d: %w", i, err)
+		}
+		cam := a.Cameras[i]
+		in := cam.Intrinsics
+		if view.Depth.W != in.W || view.Depth.H != in.H {
+			return nil, nil, fmt.Errorf("camera %d: view %dx%d does not match intrinsics %dx%d",
+				i, view.Depth.W, view.Depth.H, in.W, in.H)
+		}
+		m := cam.LocalToWorld()
+		for v := 0; v < in.H; v++ {
+			for u := 0; u < in.W; u++ {
+				mm := view.Depth.At(u, v)
+				if mm == 0 {
+					continue
+				}
+				local := in.Unproject(u, v, float64(mm)/1000)
+				positions = append(positions, m.TransformPoint(local))
+				r, g, b := view.Color.At(u, v)
+				colors = append(colors, [3]uint8{r, g, b})
+			}
+		}
+	}
+	return positions, colors, nil
+}

@@ -1,0 +1,201 @@
+package camera
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"livo/internal/frame"
+	"livo/internal/geom"
+)
+
+func testIntrinsics() Intrinsics { return NewIntrinsics(64, 48, math.Pi/2) }
+
+func TestIntrinsicsValidate(t *testing.T) {
+	if err := testIntrinsics().Validate(); err != nil {
+		t.Errorf("valid intrinsics rejected: %v", err)
+	}
+	if err := (Intrinsics{W: 0, H: 10, Fx: 1, Fy: 1}).Validate(); err == nil {
+		t.Error("zero width accepted")
+	}
+	if err := (Intrinsics{W: 10, H: 10, Fx: 0, Fy: 1}).Validate(); err == nil {
+		t.Error("zero focal accepted")
+	}
+}
+
+func TestIntrinsicsHFov(t *testing.T) {
+	in := NewIntrinsics(640, 480, math.Pi/2)
+	if got := in.HFov(); math.Abs(got-math.Pi/2) > 1e-9 {
+		t.Errorf("HFov = %v, want pi/2", got)
+	}
+}
+
+func TestProjectUnprojectRoundTrip(t *testing.T) {
+	in := testIntrinsics()
+	for v := 0; v < in.H; v += 5 {
+		for u := 0; u < in.W; u += 5 {
+			p := in.Unproject(u, v, 2.5)
+			u2, v2, z, ok := in.Project(p)
+			if !ok {
+				t.Fatalf("projection of unprojected pixel (%d,%d) failed", u, v)
+			}
+			if u2 != u || v2 != v {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d)", u, v, u2, v2)
+			}
+			if math.Abs(z-2.5) > 1e-12 {
+				t.Fatalf("depth changed: %v", z)
+			}
+		}
+	}
+}
+
+func TestProjectRejects(t *testing.T) {
+	in := testIntrinsics()
+	if _, _, _, ok := in.Project(geom.V3(0, 0, -1)); ok {
+		t.Error("point behind camera projected")
+	}
+	if _, _, _, ok := in.Project(geom.V3(0, 0, 0)); ok {
+		t.Error("point at origin projected")
+	}
+	// Far off-axis point outside the image.
+	if _, _, _, ok := in.Project(geom.V3(100, 0, 1)); ok {
+		t.Error("off-image point projected")
+	}
+}
+
+func TestCameraWorldRoundTrip(t *testing.T) {
+	cam := Camera{
+		Intrinsics: testIntrinsics(),
+		Pose: geom.Pose{
+			Position: geom.V3(2, 1, -3),
+			Rotation: geom.QuatFromAxisAngle(geom.V3(0, 1, 0), 0.8),
+		},
+		MaxRange: 6,
+	}
+	world := cam.UnprojectToWorld(30, 20, 3000)
+	u, v, z, ok := cam.ProjectFromWorld(world)
+	if !ok {
+		t.Fatal("world round trip projection failed")
+	}
+	if u != 30 || v != 20 || math.Abs(z-3.0) > 1e-9 {
+		t.Fatalf("round trip = (%d,%d,%v)", u, v, z)
+	}
+}
+
+func TestNewRingGeometry(t *testing.T) {
+	in := testIntrinsics()
+	arr := NewRing(10, 3.0, 1.5, 1.0, in, 6)
+	if arr.N() != 10 {
+		t.Fatalf("N = %d", arr.N())
+	}
+	target := geom.V3(0, 1.0, 0)
+	for i, cam := range arr.Cameras {
+		if cam.ID != i {
+			t.Errorf("camera %d has ID %d", i, cam.ID)
+		}
+		// On the circle.
+		d := math.Hypot(cam.Pose.Position.X, cam.Pose.Position.Z)
+		if math.Abs(d-3.0) > 1e-9 {
+			t.Errorf("camera %d radius = %v", i, d)
+		}
+		if math.Abs(cam.Pose.Position.Y-1.5) > 1e-9 {
+			t.Errorf("camera %d height = %v", i, cam.Pose.Position.Y)
+		}
+		// Looking at the target: forward should point from camera to target.
+		want := target.Sub(cam.Pose.Position).Normalize()
+		if !cam.Pose.Forward().AlmostEqual(want, 1e-9) {
+			t.Errorf("camera %d not aimed at target", i)
+		}
+		// The scene center must be visible.
+		if _, _, _, ok := cam.ProjectFromWorld(target); !ok {
+			t.Errorf("camera %d cannot see the scene center", i)
+		}
+	}
+}
+
+func TestPointsFromViews(t *testing.T) {
+	in := NewIntrinsics(16, 12, math.Pi/2)
+	arr := NewRing(2, 2.0, 1.0, 1.0, in, 6)
+	views := make([]frame.RGBDFrame, 2)
+	for i := range views {
+		views[i] = frame.NewRGBDFrame(16, 12)
+	}
+	// One valid pixel in camera 0.
+	views[0].Depth.Set(8, 6, 1500)
+	views[0].Color.Set(8, 6, 10, 20, 30)
+	pos, col, err := arr.PointsFromViews(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 1 || len(col) != 1 {
+		t.Fatalf("got %d points", len(pos))
+	}
+	if col[0] != [3]uint8{10, 20, 30} {
+		t.Errorf("color = %v", col[0])
+	}
+	// The reconstructed point must be ~1.5 m from camera 0.
+	if d := pos[0].Dist(arr.Cameras[0].Pose.Position); math.Abs(d-1.5) > 0.1 {
+		t.Errorf("point distance from camera = %v, want ~1.5", d)
+	}
+}
+
+func TestPointsFromViewsReconstructionConsistency(t *testing.T) {
+	// Unproject then reproject through a different path: points generated
+	// from a camera's own depth map must project back onto the same pixels.
+	rng := rand.New(rand.NewSource(40))
+	in := NewIntrinsics(32, 24, math.Pi/2)
+	arr := NewRing(3, 2.5, 1.2, 1.0, in, 6)
+	views := make([]frame.RGBDFrame, 3)
+	type px struct{ cam, u, v int }
+	var stamped []px
+	for i := range views {
+		views[i] = frame.NewRGBDFrame(32, 24)
+		for k := 0; k < 20; k++ {
+			u, v := rng.Intn(32), rng.Intn(24)
+			if views[i].Depth.At(u, v) != 0 {
+				continue
+			}
+			views[i].Depth.Set(u, v, uint16(500+rng.Intn(4000)))
+			stamped = append(stamped, px{i, u, v})
+		}
+	}
+	pos, _, err := arr.PointsFromViews(views)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != len(stamped) {
+		t.Fatalf("got %d points, want %d", len(pos), len(stamped))
+	}
+	// Points come back in camera-major, row-major order; reprojecting each
+	// point into its own camera must hit a stamped pixel.
+	for _, p := range pos {
+		found := false
+		for _, s := range stamped {
+			u, v, _, ok := arr.Cameras[s.cam].ProjectFromWorld(p)
+			if ok && u == s.u && v == s.v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point %v does not reproject onto any source pixel", p)
+		}
+	}
+}
+
+func TestPointsFromViewsErrors(t *testing.T) {
+	in := testIntrinsics()
+	arr := NewRing(2, 2, 1, 1, in, 6)
+	if _, _, err := arr.PointsFromViews(nil); err == nil {
+		t.Error("accepted wrong view count")
+	}
+	views := []frame.RGBDFrame{frame.NewRGBDFrame(8, 8), frame.NewRGBDFrame(8, 8)}
+	if _, _, err := arr.PointsFromViews(views); err == nil {
+		t.Error("accepted views not matching intrinsics")
+	}
+	// Nil views are skipped.
+	ok := []frame.RGBDFrame{{}, {}}
+	if _, _, err := arr.PointsFromViews(ok); err != nil {
+		t.Errorf("nil views should be skipped: %v", err)
+	}
+}

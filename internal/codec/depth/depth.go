@@ -1,0 +1,231 @@
+// Package depth implements LiVo's depth-stream encodings (§3.2, Fig 17):
+//
+//   - Scaled16 — LiVo's scheme: 16-bit depth values scaled to occupy the
+//     full 16-bit range before coding in the single 16-bit Y plane. For a
+//     given quantizer step, scaling by k keeps values k-times further apart,
+//     so fewer distinct depths collapse into one quantization bin.
+//   - Unscaled16 — the naive 16-bit Y mode: raw millimeter values (only
+//     ~6000 of 65536 codes used), which suffers visible block artifacts
+//     (Fig A.1).
+//   - RGBPacked — prior work's approach [39, 76, 84]: the 16-bit value is
+//     split across the channels of an ordinary 8-bit color frame. Chroma
+//     subquantization and block transforms tear the low byte apart at
+//     discontinuities, producing large depth errors.
+//
+// All three ride on the same rate-adaptive video codec so Fig 17 compares
+// encodings, not codecs.
+package depth
+
+import (
+	"fmt"
+
+	"livo/internal/codec/vcodec"
+	"livo/internal/frame"
+)
+
+// Scheme selects the depth-to-video mapping.
+type Scheme int
+
+// Depth encoding schemes (Fig 17).
+const (
+	Scaled16   Scheme = iota // LiVo: full-range-scaled 16-bit Y
+	Unscaled16               // naive 16-bit Y
+	RGBPacked                // hi/lo bytes packed into color channels
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Scaled16:
+		return "scaled16"
+	case Unscaled16:
+		return "unscaled16"
+	case RGBPacked:
+		return "rgb-packed"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// DefaultMaxMM is the depth range commodity cameras cover: 6 m at
+// millimeter resolution (§3.2).
+const DefaultMaxMM = 6000
+
+// DefaultMinValidMM mirrors the sensors' minimum range: decoded depths
+// below it are treated as "no measurement", which also suppresses coding
+// noise around culled (zero) pixels.
+const DefaultMinValidMM = 150
+
+// Config parameterizes a depth encoder/decoder pair.
+type Config struct {
+	Scheme        Scheme
+	Width, Height int
+	MaxMM         uint16 // full-scale depth in millimeters (default 6000)
+	MinValidMM    uint16 // validity threshold on decode (default 150)
+	GOP           int    // passed through to the video codec
+	FlateLevel    int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxMM == 0 {
+		c.MaxMM = DefaultMaxMM
+	}
+	if c.MinValidMM == 0 {
+		c.MinValidMM = DefaultMinValidMM
+	}
+	return c
+}
+
+func (c Config) videoConfig() vcodec.Config {
+	var vc vcodec.Config
+	if c.Scheme == RGBPacked {
+		vc = vcodec.ColorConfig(c.Width, c.Height)
+	} else {
+		vc = vcodec.DepthConfig(c.Width, c.Height)
+	}
+	vc.GOP = c.GOP
+	vc.FlateLevel = c.FlateLevel
+	return vc
+}
+
+// Encoder encodes a stream of depth images under one scheme.
+type Encoder struct {
+	cfg Config
+	enc *vcodec.Encoder
+}
+
+// NewEncoder creates a depth encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	enc, err := vcodec.NewEncoder(cfg.videoConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Encoder{cfg: cfg, enc: enc}, nil
+}
+
+// toVideoFrame maps a depth image into the scheme's video-frame layout.
+func (cfg Config) toVideoFrame(im *frame.DepthImage) (*vcodec.Frame, error) {
+	if im.W != cfg.Width || im.H != cfg.Height {
+		return nil, fmt.Errorf("depth: image %dx%d does not match config %dx%d", im.W, im.H, cfg.Width, cfg.Height)
+	}
+	switch cfg.Scheme {
+	case Scaled16:
+		f := vcodec.NewFrame(im.W, im.H, 1)
+		maxMM := uint32(cfg.MaxMM)
+		for i, d := range im.Pix {
+			v := uint32(d)
+			if v > maxMM {
+				v = maxMM
+			}
+			f.Planes[0][i] = int32((v*65535 + maxMM/2) / maxMM)
+		}
+		return f, nil
+	case Unscaled16:
+		return vcodec.FromDepth(im), nil
+	case RGBPacked:
+		c := frame.NewColorImage(im.W, im.H)
+		for i, d := range im.Pix {
+			c.Pix[3*i] = uint8(d >> 8)   // high byte
+			c.Pix[3*i+1] = uint8(d)      // low byte
+			c.Pix[3*i+2] = uint8(d >> 8) // duplicated high byte adds robustness
+		}
+		return vcodec.FromColor(c), nil
+	default:
+		return nil, fmt.Errorf("depth: unknown scheme %v", cfg.Scheme)
+	}
+}
+
+// fromVideoFrame maps a decoded video frame back to a depth image.
+func (cfg Config) fromVideoFrame(f *vcodec.Frame) *frame.DepthImage {
+	var im *frame.DepthImage
+	switch cfg.Scheme {
+	case Scaled16:
+		im = frame.NewDepthImage(f.W, f.H)
+		maxMM := uint32(cfg.MaxMM)
+		for i, v := range f.Planes[0] {
+			if v < 0 {
+				v = 0
+			}
+			if v > 65535 {
+				v = 65535
+			}
+			im.Pix[i] = uint16((uint32(v)*maxMM + 32767) / 65535)
+		}
+	case Unscaled16:
+		im = f.ToDepth()
+	case RGBPacked:
+		c := f.ToColor()
+		im = frame.NewDepthImage(f.W, f.H)
+		for i := 0; i < f.W*f.H; i++ {
+			hi := (uint16(c.Pix[3*i]) + uint16(c.Pix[3*i+2])) / 2
+			lo := uint16(c.Pix[3*i+1])
+			im.Pix[i] = hi<<8 | lo
+		}
+	default:
+		im = frame.NewDepthImage(f.W, f.H)
+	}
+	// Apply the validity threshold.
+	for i, d := range im.Pix {
+		if d < cfg.MinValidMM {
+			im.Pix[i] = 0
+		}
+	}
+	return im
+}
+
+// Encode rate-controls the frame to targetBytes.
+func (e *Encoder) Encode(im *frame.DepthImage, targetBytes int) (*vcodec.Packet, error) {
+	f, err := e.cfg.toVideoFrame(im)
+	if err != nil {
+		return nil, err
+	}
+	return e.enc.Encode(f, targetBytes)
+}
+
+// EncodeQP encodes at a fixed quantization parameter (NoAdapt baseline).
+func (e *Encoder) EncodeQP(im *frame.DepthImage, qp int) (*vcodec.Packet, error) {
+	f, err := e.cfg.toVideoFrame(im)
+	if err != nil {
+		return nil, err
+	}
+	return e.enc.EncodeQP(f, qp)
+}
+
+// ForceKeyFrame forces the next frame to be a key frame.
+func (e *Encoder) ForceKeyFrame() { e.enc.ForceKeyFrame() }
+
+// LastReconDepth returns the encoder-side reconstruction of the last frame
+// as a depth image — the splitter's sender-side quality probe (§3.3).
+func (e *Encoder) LastReconDepth() *frame.DepthImage {
+	r := e.enc.LastRecon()
+	if r == nil {
+		return nil
+	}
+	return e.cfg.fromVideoFrame(r)
+}
+
+// Decoder decodes a depth stream.
+type Decoder struct {
+	cfg Config
+	dec *vcodec.Decoder
+}
+
+// NewDecoder creates a decoder matching the encoder's configuration.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	cfg = cfg.withDefaults()
+	dec, err := vcodec.NewDecoder(cfg.videoConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{cfg: cfg, dec: dec}, nil
+}
+
+// Decode reconstructs a depth image from a packet.
+func (d *Decoder) Decode(pkt *vcodec.Packet) (*frame.DepthImage, error) {
+	f, err := d.dec.Decode(pkt)
+	if err != nil {
+		return nil, err
+	}
+	return d.cfg.fromVideoFrame(f), nil
+}

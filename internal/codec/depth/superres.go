@@ -1,0 +1,112 @@
+package depth
+
+import "livo/internal/frame"
+
+// Depth super-resolution: footnote 2 of the paper notes the alternative
+// design of transmitting color at full resolution and upsampling depth at
+// the receiver, rejected because it "can incur lower quality". These
+// helpers implement that alternative so the trade-off can be measured
+// (TestSuperResolutionLosesToNative).
+
+// Downsample2x halves a depth image (picking the nearest valid sample in
+// each 2x2 block — averaging across depth discontinuities would invent
+// geometry between surfaces).
+func Downsample2x(im *frame.DepthImage) *frame.DepthImage {
+	w, h := (im.W+1)/2, (im.H+1)/2
+	out := frame.NewDepthImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Median-of-valid within the block, approximated by the
+			// min-max midpoint of valid samples when all close, else the
+			// first valid (avoids inventing mid-air points).
+			var vals []uint16
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sx, sy := 2*x+dx, 2*y+dy
+					if sx < im.W && sy < im.H {
+						if v := im.At(sx, sy); v != 0 {
+							vals = append(vals, v)
+						}
+					}
+				}
+			}
+			if len(vals) == 0 {
+				continue
+			}
+			mn, mx := vals[0], vals[0]
+			for _, v := range vals {
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if int(mx)-int(mn) < 100 { // smooth region: midpoint
+				out.Set(x, y, (mn+mx)/2)
+			} else { // discontinuity: keep the nearest surface
+				out.Set(x, y, mn)
+			}
+		}
+	}
+	return out
+}
+
+// SuperResolve2x upsamples a depth image 2x with edge-aware bilinear
+// interpolation: interpolation only happens between samples on the same
+// surface (within jumpMM); across discontinuities the nearest sample wins.
+func SuperResolve2x(im *frame.DepthImage, outW, outH int, jumpMM uint16) *frame.DepthImage {
+	out := frame.NewDepthImage(outW, outH)
+	for y := 0; y < outH; y++ {
+		for x := 0; x < outW; x++ {
+			// Source coordinates in the low-res grid.
+			fx := float64(x) / 2
+			fy := float64(y) / 2
+			x0, y0 := int(fx), int(fy)
+			x1, y1 := x0+1, y0+1
+			if x0 >= im.W {
+				x0 = im.W - 1
+			}
+			if y0 >= im.H {
+				y0 = im.H - 1
+			}
+			if x1 >= im.W {
+				x1 = x0
+			}
+			if y1 >= im.H {
+				y1 = y0
+			}
+			v00 := im.At(x0, y0)
+			v10 := im.At(x1, y0)
+			v01 := im.At(x0, y1)
+			v11 := im.At(x1, y1)
+			if v00 == 0 {
+				continue // no measurement to extend
+			}
+			mn, mx := v00, v00
+			valid := true
+			for _, v := range []uint16{v10, v01, v11} {
+				if v == 0 {
+					valid = false
+					break
+				}
+				if v < mn {
+					mn = v
+				}
+				if v > mx {
+					mx = v
+				}
+			}
+			if !valid || mx-mn > jumpMM {
+				out.Set(x, y, v00) // discontinuity or hole: nearest
+				continue
+			}
+			wx := fx - float64(x0)
+			wy := fy - float64(y0)
+			top := float64(v00)*(1-wx) + float64(v10)*wx
+			bot := float64(v01)*(1-wx) + float64(v11)*wx
+			out.Set(x, y, uint16(top*(1-wy)+bot*wy+0.5))
+		}
+	}
+	return out
+}

@@ -1,0 +1,35 @@
+package draco
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// deflate compresses b at the given flate level.
+func deflate(b []byte, level int) ([]byte, error) {
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// inflate decompresses deflate data.
+func inflate(b []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(b))
+	defer fr.Close()
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("draco: inflate: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,424 @@
+// Package draco is an octree point-cloud codec modeled on Google Draco [4],
+// the compressor behind the paper's Draco-Oracle baseline (§4.1). Like the
+// real library it exposes:
+//
+//   - a quantization parameter (QuantBits, geometry precision) — the only
+//     quality knob: the codec is NOT rate-adaptive, applications cannot ask
+//     for a target bitrate (§1's central observation);
+//   - a speed level (0 fastest .. 9 slowest/best), trading encode time for
+//     compressed size;
+//   - compute cost that grows with point count, which is why full-scene
+//     frames stall a Draco pipeline (§4.2).
+//
+// Geometry is coded as a depth-first octree over morton-sorted quantized
+// positions (occupancy byte per internal node); per-leaf average colors are
+// delta-coded in traversal order; everything is deflate-entropy-coded.
+package draco
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+)
+
+// Params are the Draco-style encoding parameters.
+type Params struct {
+	// QuantBits is the geometry quantization: positions are snapped to a
+	// 2^QuantBits grid over the cloud's bounding box. Valid range 1..16.
+	// (Draco exposes 31 levels; beyond 16 bits the grid outresolves
+	// millimeter sensors, so we cap there.)
+	QuantBits int
+	// Speed is 0 (fastest, least compression) .. 9 (slowest, best), the
+	// inverse of Draco's encoder speed setting.
+	Speed int
+	// ColorBits quantizes colors to the top ColorBits bits (1..8).
+	ColorBits int
+}
+
+// DefaultParams mirrors Draco's defaults: 11-bit positions, mid speed.
+func DefaultParams() Params { return Params{QuantBits: 11, Speed: 5, ColorBits: 8} }
+
+// Validate reports parameter errors.
+func (p Params) Validate() error {
+	if p.QuantBits < 1 || p.QuantBits > 16 {
+		return fmt.Errorf("draco: QuantBits %d out of range [1,16]", p.QuantBits)
+	}
+	if p.Speed < 0 || p.Speed > 9 {
+		return fmt.Errorf("draco: Speed %d out of range [0,9]", p.Speed)
+	}
+	if p.ColorBits < 1 || p.ColorBits > 8 {
+		return fmt.Errorf("draco: ColorBits %d out of range [1,8]", p.ColorBits)
+	}
+	return nil
+}
+
+const magic = "DRC1"
+
+// Encode compresses the cloud. Points co-located in one quantization cell
+// merge (their colors average), exactly like Draco's sequential encoder
+// with deduplication.
+func Encode(c *pointcloud.Cloud, p Params) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	hdr = append(hdr, byte(p.QuantBits), byte(p.Speed), byte(p.ColorBits))
+
+	if c.Len() == 0 {
+		hdr = binary.AppendUvarint(hdr, 0)
+		return hdr, nil
+	}
+
+	b := c.Bounds()
+	size := b.Size()
+	// Guard against degenerate (flat) clouds.
+	ext := math.Max(size.X, math.Max(size.Y, size.Z))
+	if ext <= 0 {
+		ext = 1e-9
+	}
+	scale := float64(uint64(1)<<p.QuantBits-1) / ext
+
+	// Quantize and merge per cell.
+	type cell struct {
+		r, g, b uint32
+		n       uint32
+	}
+	cells := make(map[uint64]*cell, c.Len())
+	for i, pos := range c.Positions {
+		x := quant(pos.X-b.Min.X, scale, p.QuantBits)
+		y := quant(pos.Y-b.Min.Y, scale, p.QuantBits)
+		z := quant(pos.Z-b.Min.Z, scale, p.QuantBits)
+		m := morton3(x, y, z)
+		cl := cells[m]
+		if cl == nil {
+			cl = &cell{}
+			cells[m] = cl
+		}
+		cl.r += uint32(c.Colors[i][0])
+		cl.g += uint32(c.Colors[i][1])
+		cl.b += uint32(c.Colors[i][2])
+		cl.n++
+	}
+	codes := make([]uint64, 0, len(cells))
+	for m := range cells {
+		codes = append(codes, m)
+	}
+	sortUint64(codes)
+
+	// Octree occupancy bytes, pre-order DFS over the morton-sorted array.
+	var occ []byte
+	var emit func(lo, hi, level int)
+	emit = func(lo, hi, level int) {
+		if level == p.QuantBits {
+			return // leaf
+		}
+		shift := uint(3 * (p.QuantBits - 1 - level))
+		var occByte byte
+		type rng struct{ lo, hi int }
+		var children [8]rng
+		start := lo
+		for child := 0; child < 8; child++ {
+			end := start
+			for end < hi && int((codes[end]>>shift)&7) == child {
+				end++
+			}
+			if end > start {
+				occByte |= 1 << uint(child)
+				children[child] = rng{start, end}
+			}
+			start = end
+		}
+		occ = append(occ, occByte)
+		for child := 0; child < 8; child++ {
+			if occByte&(1<<uint(child)) != 0 {
+				emit(children[child].lo, children[child].hi, level+1)
+			}
+		}
+	}
+	emit(0, len(codes), 0)
+
+	// Colors in morton order, quantized and delta-coded.
+	colShift := uint(8 - p.ColorBits)
+	cols := make([]byte, 0, 3*len(codes))
+	var pr, pg, pb byte
+	for _, m := range codes {
+		cl := cells[m]
+		r := byte(cl.r/cl.n) >> colShift
+		g := byte(cl.g/cl.n) >> colShift
+		bb := byte(cl.b/cl.n) >> colShift
+		cols = append(cols, r-pr, g-pg, bb-pb)
+		pr, pg, pb = r, g, bb
+	}
+
+	// Assemble payload.
+	payload := make([]byte, 0, len(occ)+len(cols)+64)
+	payload = appendFloat64(payload, b.Min.X)
+	payload = appendFloat64(payload, b.Min.Y)
+	payload = appendFloat64(payload, b.Min.Z)
+	payload = appendFloat64(payload, ext)
+	payload = binary.AppendUvarint(payload, uint64(len(codes)))
+	payload = binary.AppendUvarint(payload, uint64(len(occ)))
+	payload = append(payload, occ...)
+	payload = append(payload, cols...)
+
+	level := flateLevelForSpeed(p.Speed)
+	compressed, err := deflate(payload, level)
+	if err != nil {
+		return nil, err
+	}
+	out := hdr
+	out = binary.AppendUvarint(out, uint64(len(compressed)))
+	out = append(out, compressed...)
+	return out, nil
+}
+
+// Decode reconstructs a cloud (one point per occupied cell, at the cell
+// center).
+func Decode(data []byte) (*pointcloud.Cloud, error) {
+	if len(data) < len(magic)+3 {
+		return nil, fmt.Errorf("draco: truncated header")
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("draco: bad magic")
+	}
+	quantBits := int(data[4])
+	colorBits := int(data[6])
+	p := Params{QuantBits: quantBits, Speed: int(data[5]), ColorBits: colorBits}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rest := data[7:]
+	clen, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("draco: truncated length")
+	}
+	rest = rest[n:]
+	if clen == 0 {
+		return pointcloud.New(0), nil
+	}
+	if uint64(len(rest)) < clen {
+		return nil, fmt.Errorf("draco: truncated payload")
+	}
+	payload, err := inflate(rest[:clen])
+	if err != nil {
+		return nil, err
+	}
+
+	pos := 0
+	readF := func() (float64, error) {
+		if pos+8 > len(payload) {
+			return 0, fmt.Errorf("draco: truncated float")
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+		pos += 8
+		return v, nil
+	}
+	minX, err := readF()
+	if err != nil {
+		return nil, err
+	}
+	minY, err := readF()
+	if err != nil {
+		return nil, err
+	}
+	minZ, err := readF()
+	if err != nil {
+		return nil, err
+	}
+	ext, err := readF()
+	if err != nil {
+		return nil, err
+	}
+	nPoints, n := binary.Uvarint(payload[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("draco: truncated point count")
+	}
+	pos += n
+	occLen, n := binary.Uvarint(payload[pos:])
+	if n <= 0 {
+		return nil, fmt.Errorf("draco: truncated occ length")
+	}
+	pos += n
+	if pos+int(occLen) > len(payload) {
+		return nil, fmt.Errorf("draco: occupancy overruns payload")
+	}
+	occ := payload[pos : pos+int(occLen)]
+	pos += int(occLen)
+	cols := payload[pos:]
+	if uint64(len(cols)) < 3*nPoints {
+		return nil, fmt.Errorf("draco: color data short (%d < %d)", len(cols), 3*nPoints)
+	}
+
+	// Rebuild morton codes by pre-order DFS over occupancy bytes.
+	codes := make([]uint64, 0, nPoints)
+	occPos := 0
+	var walk func(prefix uint64, level int) error
+	walk = func(prefix uint64, level int) error {
+		if level == quantBits {
+			codes = append(codes, prefix)
+			return nil
+		}
+		if occPos >= len(occ) {
+			return fmt.Errorf("draco: occupancy underrun")
+		}
+		ob := occ[occPos]
+		occPos++
+		for child := 0; child < 8; child++ {
+			if ob&(1<<uint(child)) != 0 {
+				if err := walk(prefix<<3|uint64(child), level+1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if nPoints > 0 {
+		if err := walk(0, 0); err != nil {
+			return nil, err
+		}
+	}
+	if uint64(len(codes)) != nPoints {
+		return nil, fmt.Errorf("draco: octree yielded %d points, header says %d", len(codes), nPoints)
+	}
+
+	scale := ext / float64(uint64(1)<<quantBits-1)
+	colShift := uint(8 - colorBits)
+	out := pointcloud.New(int(nPoints))
+	var pr, pg, pb byte
+	for i, m := range codes {
+		x, y, z := unmorton3(m)
+		pr += cols[3*i]
+		pg += cols[3*i+1]
+		pb += cols[3*i+2]
+		out.Add(
+			geom.V3(
+				minX+float64(x)*scale,
+				minY+float64(y)*scale,
+				minZ+float64(z)*scale,
+			),
+			[3]uint8{expandColor(pr, colShift), expandColor(pg, colShift), expandColor(pb, colShift)},
+		)
+	}
+	return out, nil
+}
+
+// expandColor undoes color quantization by bit replication: the quantized
+// value's significant bits are repeated into the low bits so full-scale
+// values expand back to 255.
+func expandColor(q byte, shift uint) uint8 {
+	if shift == 0 {
+		return q
+	}
+	bits := 8 - shift // significant bits in q
+	v := uint(q) << shift
+	for fill := int(shift); fill > 0; fill -= int(bits) {
+		if fill >= int(bits) {
+			v |= uint(q) << uint(fill-int(bits))
+		} else {
+			v |= uint(q) >> uint(int(bits)-fill)
+		}
+	}
+	return uint8(v)
+}
+
+func quant(v, scale float64, bits int) uint32 {
+	q := int64(math.Round(v * scale))
+	maxQ := int64(1)<<bits - 1
+	if q < 0 {
+		q = 0
+	}
+	if q > maxQ {
+		q = maxQ
+	}
+	return uint32(q)
+}
+
+// morton3 interleaves the low 16 bits of x, y, z (x in bit 0, y in 1, z 2).
+func morton3(x, y, z uint32) uint64 {
+	return spread(x) | spread(y)<<1 | spread(z)<<2
+}
+
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0xFFFF
+	x = (x | x<<32) & 0x1F00000000FFFF
+	x = (x | x<<16) & 0x1F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+func unmorton3(m uint64) (x, y, z uint32) {
+	return compact(m), compact(m >> 1), compact(m >> 2)
+}
+
+func compact(x uint64) uint32 {
+	x &= 0x1249249249249249
+	x = (x | x>>2) & 0x10C30C30C30C30C3
+	x = (x | x>>4) & 0x100F00F00F00F00F
+	x = (x | x>>8) & 0x1F0000FF0000FF
+	x = (x | x>>16) & 0x1F00000000FFFF
+	x = (x | x>>32) & 0xFFFF
+	return uint32(x)
+}
+
+func appendFloat64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// flateLevelForSpeed maps Draco speed (0 fast .. 9 slow) to a flate level.
+func flateLevelForSpeed(speed int) int {
+	l := speed
+	if l < 1 {
+		l = 1
+	}
+	if l > 9 {
+		l = 9
+	}
+	return l
+}
+
+func sortUint64(s []uint64) {
+	// Simple LSD radix sort on bytes — O(n) and allocation-bounded, fast
+	// for the million-point clouds full scenes produce.
+	if len(s) < 64 {
+		insertionSort(s)
+		return
+	}
+	buf := make([]uint64, len(s))
+	for shift := uint(0); shift < 64; shift += 8 {
+		var counts [257]int
+		allZero := true
+		for _, v := range s {
+			bb := (v >> shift) & 0xFF
+			if bb != 0 {
+				allZero = false
+			}
+			counts[bb+1]++
+		}
+		if allZero && shift > 0 {
+			break
+		}
+		for i := 1; i < 257; i++ {
+			counts[i] += counts[i-1]
+		}
+		for _, v := range s {
+			bb := (v >> shift) & 0xFF
+			buf[counts[bb]] = v
+			counts[bb]++
+		}
+		copy(s, buf)
+	}
+}
+
+func insertionSort(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package draco
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+)
+
+func randCloud(rng *rand.Rand, n int, extent float64) *pointcloud.Cloud {
+	c := pointcloud.New(n)
+	for i := 0; i < n; i++ {
+		c.Add(
+			geom.V3(rng.Float64()*extent, rng.Float64()*extent, rng.Float64()*extent),
+			[3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))},
+		)
+	}
+	return c
+}
+
+// geomError returns the mean nearest-neighbour distance from a to b.
+func geomError(a, b *pointcloud.Cloud) float64 {
+	g := pointcloud.NewGrid(b, 0)
+	var sum float64
+	for _, p := range a.Positions {
+		_, d := g.Nearest(p)
+		sum += d
+	}
+	return sum / float64(a.Len())
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	bad := []Params{
+		{QuantBits: 0, Speed: 5, ColorBits: 8},
+		{QuantBits: 17, Speed: 5, ColorBits: 8},
+		{QuantBits: 10, Speed: -1, ColorBits: 8},
+		{QuantBits: 10, Speed: 10, ColorBits: 8},
+		{QuantBits: 10, Speed: 5, ColorBits: 0},
+		{QuantBits: 10, Speed: 5, ColorBits: 9},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestRoundTripGeometryAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	c := randCloud(rng, 2000, 3.0)
+	data, err := Encode(c, Params{QuantBits: 12, Speed: 5, ColorBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 12 bits over 3 m the cell is ~0.7 mm; allow a few cells.
+	cell := 3.0 / float64((1<<12)-1)
+	if e := geomError(c, got); e > 3*cell {
+		t.Errorf("geometry error %v > %v", e, 3*cell)
+	}
+	// Point count preserved up to deduplication.
+	if got.Len() > c.Len() {
+		t.Errorf("decode invented points: %d > %d", got.Len(), c.Len())
+	}
+}
+
+func TestRoundTripColors(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	// Well-separated points so nothing merges, full color bits.
+	c := pointcloud.New(0)
+	for i := 0; i < 100; i++ {
+		c.Add(geom.V3(float64(i)*0.1, 0, 0), [3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))})
+	}
+	data, err := Encode(c, Params{QuantBits: 14, Speed: 5, ColorBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("point count %d != %d", got.Len(), c.Len())
+	}
+	// Match each original point to its nearest decoded point; color must be
+	// exact at ColorBits=8.
+	g := pointcloud.NewGrid(got, 0)
+	for i, p := range c.Positions {
+		j, _ := g.Nearest(p)
+		if got.Colors[j] != c.Colors[i] {
+			t.Fatalf("color mismatch at %d: %v vs %v", i, got.Colors[j], c.Colors[i])
+		}
+	}
+}
+
+func TestQuantBitsControlQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	c := randCloud(rng, 3000, 2.0)
+	var prevErr float64 = math.Inf(1)
+	var prevSize int
+	for _, qb := range []int{6, 9, 12} {
+		data, err := Encode(c, Params{QuantBits: qb, Speed: 5, ColorBits: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := geomError(c, got)
+		if e >= prevErr {
+			t.Errorf("QuantBits %d error %v not better than previous %v", qb, e, prevErr)
+		}
+		if prevSize > 0 && len(data) <= prevSize {
+			t.Errorf("QuantBits %d size %d not larger than previous %d", qb, len(data), prevSize)
+		}
+		prevErr = e
+		prevSize = len(data)
+	}
+}
+
+func TestSpeedTradesSizeNotQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	c := randCloud(rng, 5000, 2.0)
+	fast, err := Encode(c, Params{QuantBits: 10, Speed: 0, ColorBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Encode(c, Params{QuantBits: 10, Speed: 9, ColorBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) > len(fast) {
+		t.Errorf("slow encode larger than fast: %d > %d", len(slow), len(fast))
+	}
+	// Same geometry either way.
+	df, _ := Decode(fast)
+	ds, _ := Decode(slow)
+	if df.Len() != ds.Len() {
+		t.Errorf("speed changed point count: %d vs %d", df.Len(), ds.Len())
+	}
+}
+
+func TestCompression(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	c := randCloud(rng, 10000, 3.0)
+	data, err := Encode(c, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) >= c.SizeBytes() {
+		t.Errorf("no compression: %d >= %d", len(data), c.SizeBytes())
+	}
+}
+
+func TestEmptyCloud(t *testing.T) {
+	data, err := Encode(pointcloud.New(0), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("empty cloud decoded to %d points", got.Len())
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	c := pointcloud.New(0)
+	c.Add(geom.V3(1, 2, 3), [3]uint8{50, 100, 150})
+	data, err := Encode(c, Params{QuantBits: 8, Speed: 3, ColorBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 1 {
+		t.Fatalf("got %d points", got.Len())
+	}
+	if !got.Positions[0].AlmostEqual(geom.V3(1, 2, 3), 0.1) {
+		t.Errorf("position = %v", got.Positions[0])
+	}
+	if got.Colors[0] != [3]uint8{50, 100, 150} {
+		t.Errorf("color = %v", got.Colors[0])
+	}
+}
+
+func TestCoplanarCloud(t *testing.T) {
+	// Degenerate extent on two axes must not divide by zero.
+	c := pointcloud.New(0)
+	for i := 0; i < 50; i++ {
+		c.Add(geom.V3(float64(i)*0.01, 5, 5), [3]uint8{1, 2, 3})
+	}
+	data, err := Encode(c, Params{QuantBits: 10, Speed: 5, ColorBits: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() == 0 {
+		t.Fatal("coplanar cloud lost all points")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil data accepted")
+	}
+	if _, err := Decode([]byte("XXXX\x0a\x05\x08\x00")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Corrupt a valid encoding.
+	c := randCloud(rand.New(rand.NewSource(85)), 100, 1.0)
+	data, _ := Encode(c, DefaultParams())
+	bad := append([]byte{}, data...)
+	bad[len(bad)/2] ^= 0xA5
+	if _, err := Decode(bad); err == nil {
+		// Corruption may still decode structurally; that's acceptable for
+		// a deflate payload, but header corruption must fail:
+		hdrBad := append([]byte{}, data...)
+		hdrBad[4] = 50 // absurd quant bits
+		if _, err := Decode(hdrBad); err == nil {
+			t.Error("corrupt header accepted")
+		}
+	}
+	// Truncated payload.
+	if _, err := Decode(data[:len(data)/2]); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestColorQuantization(t *testing.T) {
+	c := pointcloud.New(0)
+	c.Add(geom.V3(0, 0, 0), [3]uint8{255, 255, 255})
+	c.Add(geom.V3(1, 1, 1), [3]uint8{0, 0, 0})
+	data, err := Encode(c, Params{QuantBits: 8, Speed: 5, ColorBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full-scale values must expand back to full scale.
+	foundWhite, foundBlack := false, false
+	for _, col := range got.Colors {
+		if col == [3]uint8{255, 255, 255} {
+			foundWhite = true
+		}
+		if col == [3]uint8{0, 0, 0} {
+			foundBlack = true
+		}
+	}
+	if !foundWhite || !foundBlack {
+		t.Errorf("4-bit color expansion wrong: %v", got.Colors)
+	}
+}
+
+func TestMortonRoundTrip(t *testing.T) {
+	f := func(x, y, z uint16) bool {
+		m := morton3(uint32(x), uint32(y), uint32(z))
+		gx, gy, gz := unmorton3(m)
+		return gx == uint32(x) && gy == uint32(y) && gz == uint32(z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonOrderPreservesLocality(t *testing.T) {
+	// Neighbouring cells share long prefixes: children of a node are
+	// contiguous in sorted order. Check sortedness drives a valid octree
+	// (every decode reproduces encode's dedup count).
+	rng := rand.New(rand.NewSource(86))
+	for trial := 0; trial < 10; trial++ {
+		c := randCloud(rng, 200, 1.0)
+		data, err := Encode(c, Params{QuantBits: 6, Speed: 5, ColorBits: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Count distinct cells directly.
+		seen := map[[3]uint32]bool{}
+		b := c.Bounds()
+		ext := math.Max(b.Size().X, math.Max(b.Size().Y, b.Size().Z))
+		scale := float64((1<<6)-1) / ext
+		for _, p := range c.Positions {
+			seen[[3]uint32{
+				quant(p.X-b.Min.X, scale, 6),
+				quant(p.Y-b.Min.Y, scale, 6),
+				quant(p.Z-b.Min.Z, scale, 6),
+			}] = true
+		}
+		if got.Len() != len(seen) {
+			t.Fatalf("decoded %d points, expected %d distinct cells", got.Len(), len(seen))
+		}
+	}
+}
+
+func TestSortUint64(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for _, n := range []int{0, 1, 10, 63, 64, 1000} {
+		s := make([]uint64, n)
+		for i := range s {
+			s[i] = rng.Uint64()
+		}
+		sortUint64(s)
+		for i := 1; i < len(s); i++ {
+			if s[i] < s[i-1] {
+				t.Fatalf("n=%d not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestEncodingTimeGrowsWithPoints(t *testing.T) {
+	// The property the Draco-Oracle baseline depends on (§1): compression
+	// cost grows with cloud size. We check work proxy (output size) rather
+	// than wall time for robustness.
+	rng := rand.New(rand.NewSource(88))
+	small := randCloud(rng, 1000, 2.0)
+	large := randCloud(rng, 20000, 2.0)
+	ds, _ := Encode(small, DefaultParams())
+	dl, _ := Encode(large, DefaultParams())
+	if len(dl) <= len(ds) {
+		t.Errorf("larger cloud did not produce larger encoding: %d vs %d", len(dl), len(ds))
+	}
+}
+
+func BenchmarkEncode50k(b *testing.B) {
+	c := randCloud(rand.New(rand.NewSource(89)), 50000, 3.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(c, DefaultParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode50k(b *testing.B) {
+	c := randCloud(rand.New(rand.NewSource(90)), 50000, 3.0)
+	data, _ := Encode(c, DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package vcodec
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// byteWriter accumulates varint-coded symbols for one logical stream
+// (modes, motion vectors, coefficients). Streams are concatenated and
+// deflate-compressed into the final packet payload.
+type byteWriter struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *byteWriter) writeUvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *byteWriter) writeVarint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *byteWriter) writeByte(b byte) { w.buf = append(w.buf, b) }
+
+// byteReader consumes what a byteWriter produced.
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) readUvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("vcodec: truncated uvarint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) readVarint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("vcodec: truncated varint at %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) readByte() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("vcodec: truncated stream at %d", r.pos)
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// deflateBytes compresses b at the given flate level.
+func deflateBytes(b []byte, level int) ([]byte, error) {
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(b); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// inflateBytes decompresses deflate data.
+func inflateBytes(b []byte) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(b))
+	defer fr.Close()
+	out, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, fmt.Errorf("vcodec: inflate: %w", err)
+	}
+	return out, nil
+}

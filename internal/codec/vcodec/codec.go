@@ -1,0 +1,689 @@
+package vcodec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config selects the coding mode. The same Config must be used by encoder
+// and decoder (in LiVo it is exchanged at session setup, like the camera
+// calibration, §A.1).
+type Config struct {
+	Width, Height int
+	NumPlanes     int // 1 (16-bit depth) or 3 (YCbCr color)
+	BitDepth      int // 8 or 16
+	// GOP is the key-frame interval in frames (a key frame is coded without
+	// reference to the previous frame). Default 30 (one per second at 30fps).
+	GOP int
+	// SearchRadius is the motion search range in pixels; 0 selects
+	// zero-motion inter prediction only (fast, the default — tiled camera
+	// content has mostly static block positions, §3.2).
+	SearchRadius int
+	// MinQP/MaxQP bound the rate controller (defaults 0..51). Step sizes
+	// scale with bit depth (see qpToStep), so the same QP range covers
+	// 8-bit and 16-bit planes.
+	MinQP, MaxQP int
+	// ChromaQPOffset is added to the QP for planes 1 and 2, quantizing
+	// chroma more coarsely than luma (default +6). This is the codec
+	// property LiVo's depth encoding exploits: content in the Y plane is
+	// distorted less (§3.2).
+	ChromaQPOffset int
+	// Chroma420 codes planes 1 and 2 at half resolution (4:2:0), the
+	// standard conferencing configuration. Ignored for single-plane
+	// streams.
+	Chroma420 bool
+	// FlateLevel is the entropy-coder effort (flate level 1..9, default 4).
+	FlateLevel int
+}
+
+func (c Config) withDefaults() Config {
+	if c.GOP <= 0 {
+		c.GOP = 30
+	}
+	if c.MaxQP == 0 {
+		c.MaxQP = 51
+	}
+	if c.ChromaQPOffset == 0 {
+		c.ChromaQPOffset = 6
+	}
+	if c.FlateLevel == 0 {
+		c.FlateLevel = 4
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("vcodec: invalid size %dx%d", c.Width, c.Height)
+	}
+	if c.NumPlanes != 1 && c.NumPlanes != 3 {
+		return fmt.Errorf("vcodec: NumPlanes must be 1 or 3, got %d", c.NumPlanes)
+	}
+	if c.BitDepth != 8 && c.BitDepth != 16 {
+		return fmt.Errorf("vcodec: BitDepth must be 8 or 16, got %d", c.BitDepth)
+	}
+	return nil
+}
+
+// ColorConfig returns the 3-plane 8-bit 4:2:0 configuration for a color
+// stream.
+func ColorConfig(w, h int) Config {
+	return Config{Width: w, Height: h, NumPlanes: 3, BitDepth: 8, Chroma420: true}
+}
+
+// planeDims returns the coded resolution of plane p.
+func (c Config) planeDims(p int) (int, int) {
+	if p > 0 && c.Chroma420 {
+		return (c.Width + 1) / 2, (c.Height + 1) / 2
+	}
+	return c.Width, c.Height
+}
+
+// codedPicture is the codec-internal reference state: planes at their coded
+// (possibly subsampled) resolutions.
+type codedPicture struct {
+	planes [][]int32
+}
+
+// toCoded converts a full-resolution frame into coded planes.
+func (c Config) toCoded(f *Frame) *codedPicture {
+	cp := &codedPicture{planes: make([][]int32, len(f.Planes))}
+	for p := range f.Planes {
+		pw, ph := c.planeDims(p)
+		if pw == f.W && ph == f.H {
+			cp.planes[p] = f.Planes[p]
+			continue
+		}
+		cp.planes[p] = downsample2x(f.Planes[p], f.W, f.H, pw, ph)
+	}
+	return cp
+}
+
+// fromCoded expands coded planes back to a full-resolution frame.
+func (c Config) fromCoded(cp *codedPicture) *Frame {
+	f := NewFrame(c.Width, c.Height, len(cp.planes))
+	for p := range cp.planes {
+		pw, ph := c.planeDims(p)
+		if pw == c.Width && ph == c.Height {
+			copy(f.Planes[p], cp.planes[p])
+			continue
+		}
+		upsample2x(cp.planes[p], pw, ph, f.Planes[p], c.Width, c.Height)
+	}
+	return f
+}
+
+// downsample2x box-filters a plane to (dw, dh) = ceil(w/2) x ceil(h/2).
+func downsample2x(src []int32, w, h, dw, dh int) []int32 {
+	out := make([]int32, dw*dh)
+	for y := 0; y < dh; y++ {
+		for x := 0; x < dw; x++ {
+			var sum, n int32
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sx, sy := 2*x+dx, 2*y+dy
+					if sx < w && sy < h {
+						sum += src[sy*w+sx]
+						n++
+					}
+				}
+			}
+			out[y*dw+x] = (sum + n/2) / n
+		}
+	}
+	return out
+}
+
+// upsample2x nearest-neighbour expands a plane back to (w, h).
+func upsample2x(src []int32, sw, sh int, dst []int32, w, h int) {
+	for y := 0; y < h; y++ {
+		sy := y / 2
+		if sy >= sh {
+			sy = sh - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := x / 2
+			if sx >= sw {
+				sx = sw - 1
+			}
+			dst[y*w+x] = src[sy*sw+sx]
+		}
+	}
+}
+
+// DepthConfig returns the 1-plane 16-bit configuration for a depth stream
+// (the Y444_16LE analogue, §3.2).
+func DepthConfig(w, h int) Config {
+	return Config{Width: w, Height: h, NumPlanes: 1, BitDepth: 16}
+}
+
+// Packet is one encoded frame.
+type Packet struct {
+	Data []byte // self-contained compressed frame
+	Key  bool   // key (intra-only) frame
+	Seq  uint32 // frame sequence number
+	QP   int    // quantization parameter the rate controller chose
+}
+
+// SizeBytes returns the packet payload size.
+func (p *Packet) SizeBytes() int { return len(p.Data) }
+
+// block prediction modes.
+const (
+	modeInterZero = 0 // predict from co-located block of previous frame
+	modeIntra     = 1 // predict mid-level constant
+	modeInterMV   = 2 // predict from motion-compensated block
+)
+
+// Encoder is a stateful single-stream encoder. Not safe for concurrent use.
+type Encoder struct {
+	cfg      Config
+	prev     *codedPicture // previous reconstructed picture (coded dims)
+	seq      uint32
+	forceKey bool
+	// Rate model: log2(bytes) ≈ modelA - QP/6. Updated after every frame.
+	modelA   float64
+	hasModel bool
+	lastQP   int
+	// prevBackup holds the reference state from before the current encode
+	// so a corrective re-encode can roll back.
+	prevBackup *codedPicture
+}
+
+// NewEncoder creates an encoder; the config is validated and defaulted.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Encoder{cfg: cfg, lastQP: 26}, nil
+}
+
+// Config returns the encoder's (defaulted) configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// ForceKeyFrame makes the next encoded frame a key frame — the reaction to
+// a Picture Loss Indication from the receiver (§A.1).
+func (e *Encoder) ForceKeyFrame() { e.forceKey = true }
+
+// LastRecon returns the encoder's reconstruction of the last encoded frame
+// (what the decoder will see). LiVo's bandwidth splitter compares this to
+// the source frame to estimate encoding quality without a separate decode
+// (§3.3 runs parallel decoders on a GPU; sharing the encoder's recon is the
+// CPU equivalent).
+func (e *Encoder) LastRecon() *Frame {
+	if e.prev == nil {
+		return nil
+	}
+	return e.cfg.fromCoded(e.prev)
+}
+
+// EncodeQP encodes f at a fixed quantization parameter, bypassing rate
+// control (used by the LiVo-NoAdapt/Starline baseline, §4.5).
+func (e *Encoder) EncodeQP(f *Frame, qp int) (*Packet, error) {
+	return e.encode(f, qp)
+}
+
+// Encode encodes f so the packet is close to targetBytes. This is the
+// "direct" rate adaptation of §1/§3.3: the caller passes the byte budget
+// derived from the congestion controller's bandwidth estimate and the frame
+// rate, and the encoder picks QP internally (re-encoding once if the first
+// attempt misses badly, as real rate-controlled encoders do).
+func (e *Encoder) Encode(f *Frame, targetBytes int) (*Packet, error) {
+	if targetBytes <= 0 {
+		return nil, fmt.Errorf("vcodec: non-positive target %d", targetBytes)
+	}
+	qp := e.lastQP
+	if e.hasModel {
+		qp = int(math.Round(6 * (e.modelA - math.Log2(float64(targetBytes)))))
+	}
+	qp = clampQP(qp, e.cfg.MinQP, e.cfg.MaxQP)
+
+	pkt, err := e.encode(f, qp)
+	if err != nil {
+		return nil, err
+	}
+	// Corrective re-encodes when the model missed: near the rate floor the
+	// bytes-vs-QP curve flattens (per-block overhead dominates), so a
+	// single slope-based correction may fall short — iterate with growing
+	// steps until the frame fits or QP saturates. Key frames are allowed
+	// 2x slack (they are periodic and the jitter buffer absorbs them, like
+	// real conferencing encoders).
+	limit := 1.2
+	if pkt.Key {
+		limit = 2.0
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		ratio := float64(pkt.SizeBytes()) / float64(targetBytes)
+		if ratio <= limit || qp >= e.cfg.MaxQP {
+			break
+		}
+		stepUp := int(math.Ceil(6 * math.Log2(ratio)))
+		if stepUp < 4 {
+			stepUp = 4
+		}
+		qp2 := clampQP(qp+stepUp, e.cfg.MinQP, e.cfg.MaxQP)
+		if qp2 == qp {
+			break
+		}
+		// Roll back state from the previous attempt before re-encoding.
+		e.seq--
+		if pkt.Key {
+			e.forceKey = true
+		}
+		e.prev = e.prevBackup
+		pkt, err = e.encode(f, qp2)
+		if err != nil {
+			return nil, err
+		}
+		qp = qp2
+	}
+	return pkt, nil
+}
+
+func clampQP(qp, lo, hi int) int {
+	if qp < lo {
+		return lo
+	}
+	if qp > hi {
+		return hi
+	}
+	return qp
+}
+
+// encode performs one full encode at the given QP and updates state.
+func (e *Encoder) encode(f *Frame, qp int) (*Packet, error) {
+	if f.W != e.cfg.Width || f.H != e.cfg.Height || len(f.Planes) != e.cfg.NumPlanes {
+		return nil, fmt.Errorf("vcodec: frame %dx%d/%dp does not match config %dx%d/%dp",
+			f.W, f.H, len(f.Planes), e.cfg.Width, e.cfg.Height, e.cfg.NumPlanes)
+	}
+	qp = clampQP(qp, e.cfg.MinQP, e.cfg.MaxQP)
+	key := e.prev == nil || e.forceKey || (e.cfg.GOP > 0 && int(e.seq)%e.cfg.GOP == 0)
+	e.forceKey = false
+	e.prevBackup = e.prev
+
+	src := e.cfg.toCoded(f)
+	recon := &codedPicture{planes: make([][]int32, len(f.Planes))}
+	var modes, mvs, coeffs byteWriter
+	for p := range f.Planes {
+		pw, ph := e.cfg.planeDims(p)
+		recon.planes[p] = make([]int32, pw*ph)
+		pqp := qp
+		if p > 0 {
+			pqp = clampQP(qp+e.cfg.ChromaQPOffset, e.cfg.MinQP, e.cfg.MaxQP)
+		}
+		var prevPlane []int32
+		if !key {
+			prevPlane = e.prev.planes[p]
+		}
+		codePlane(src.planes[p], prevPlane, recon.planes[p], pw, ph,
+			e.cfg.BitDepth, pqp, e.cfg.SearchRadius, &modes, &mvs, &coeffs)
+	}
+
+	// Assemble payload: three length-prefixed streams, deflated.
+	var payload byteWriter
+	payload.writeUvarint(uint64(len(modes.buf)))
+	payload.buf = append(payload.buf, modes.buf...)
+	payload.writeUvarint(uint64(len(mvs.buf)))
+	payload.buf = append(payload.buf, mvs.buf...)
+	payload.writeUvarint(uint64(len(coeffs.buf)))
+	payload.buf = append(payload.buf, coeffs.buf...)
+	compressed, err := deflateBytes(payload.buf, e.cfg.FlateLevel)
+	if err != nil {
+		return nil, err
+	}
+
+	var hdr byteWriter
+	hdr.writeByte('V')
+	flags := byte(0)
+	if key {
+		flags |= 1
+	}
+	hdr.writeByte(flags)
+	hdr.writeUvarint(uint64(e.seq))
+	hdr.writeUvarint(uint64(qp))
+	data := append(hdr.buf, compressed...)
+
+	pkt := &Packet{Data: data, Key: key, Seq: e.seq, QP: qp}
+	e.seq++
+	e.prev = recon
+	// Update the rate model (EWMA over log-domain intercepts).
+	a := math.Log2(float64(len(data))) + float64(qp)/6
+	if !e.hasModel {
+		e.modelA = a
+		e.hasModel = true
+	} else {
+		e.modelA = 0.7*e.modelA + 0.3*a
+	}
+	e.lastQP = qp
+	return pkt, nil
+}
+
+// codePlane encodes one plane into the three symbol streams and writes the
+// reconstruction.
+func codePlane(src, prev, recon []int32, w, h, bitDepth, qp, radius int, modes, mvs, coeffs *byteWriter) {
+	maxVal := int32(1<<bitDepth - 1)
+	mid := int32(1 << (bitDepth - 1))
+	step := qpToStep(qp, bitDepth)
+	bx := (w + blockSize - 1) / blockSize
+	by := (h + blockSize - 1) / blockSize
+
+	var srcBlk, predBlk [blockSize * blockSize]int32
+	var fblk [blockSize * blockSize]float64
+
+	for byi := 0; byi < by; byi++ {
+		for bxi := 0; bxi < bx; bxi++ {
+			x0, y0 := bxi*blockSize, byi*blockSize
+			gather(src, w, h, x0, y0, &srcBlk)
+
+			mode := modeIntra
+			var mvx, mvy int
+			if prev != nil {
+				gather(prev, w, h, x0, y0, &predBlk)
+				zeroSAD := sad(&srcBlk, &predBlk)
+				intraSAD := sadConst(&srcBlk, mid)
+				// Prefer inter on ties: it usually costs fewer bits.
+				if zeroSAD <= intraSAD {
+					mode = modeInterZero
+				}
+				bestSAD := zeroSAD
+				if radius > 0 && zeroSAD > 0 {
+					var cand [blockSize * blockSize]int32
+					for dy := -radius; dy <= radius; dy++ {
+						for dx := -radius; dx <= radius; dx++ {
+							if dx == 0 && dy == 0 {
+								continue
+							}
+							gather(prev, w, h, x0+dx, y0+dy, &cand)
+							s := sad(&srcBlk, &cand)
+							// Small penalty so MVs are only used when they
+							// actually help (they cost extra bits).
+							if s+int64(blockSize*blockSize)/4 < bestSAD && s < intraSAD {
+								bestSAD = s
+								mode = modeInterMV
+								mvx, mvy = dx, dy
+								predBlk = cand
+							}
+						}
+					}
+					if mode == modeInterZero {
+						gather(prev, w, h, x0, y0, &predBlk)
+					}
+				}
+				if mode == modeIntra {
+					fillConst(&predBlk, mid)
+				}
+			} else {
+				fillConst(&predBlk, mid)
+			}
+
+			modes.writeByte(byte(mode))
+			if mode == modeInterMV {
+				mvs.writeVarint(int64(mvx))
+				mvs.writeVarint(int64(mvy))
+			}
+
+			// Transform + quantize the residual.
+			for i := range srcBlk {
+				fblk[i] = float64(srcBlk[i] - predBlk[i])
+			}
+			fdct2d(&fblk)
+			var q [blockSize * blockSize]int64
+			lastNZ := -1
+			for i, zi := range zigzag {
+				v := int64(math.Round(fblk[zi] / step))
+				q[i] = v
+				if v != 0 {
+					lastNZ = i
+				}
+			}
+			coeffs.writeUvarint(uint64(lastNZ + 1))
+			for i := 0; i <= lastNZ; i++ {
+				coeffs.writeVarint(q[i])
+			}
+
+			// Reconstruct exactly as the decoder will.
+			for i := range fblk {
+				fblk[i] = 0
+			}
+			for i := 0; i <= lastNZ; i++ {
+				fblk[zigzag[i]] = float64(q[i]) * step
+			}
+			idct2d(&fblk)
+			scatter(recon, w, h, x0, y0, &predBlk, &fblk, maxVal)
+		}
+	}
+}
+
+// gather copies the block at (x0, y0) from plane into dst with edge
+// clamping for out-of-bounds samples.
+func gather(plane []int32, w, h, x0, y0 int, dst *[blockSize * blockSize]int32) {
+	for y := 0; y < blockSize; y++ {
+		sy := y0 + y
+		if sy < 0 {
+			sy = 0
+		}
+		if sy >= h {
+			sy = h - 1
+		}
+		row := plane[sy*w:]
+		for x := 0; x < blockSize; x++ {
+			sx := x0 + x
+			if sx < 0 {
+				sx = 0
+			}
+			if sx >= w {
+				sx = w - 1
+			}
+			dst[y*blockSize+x] = row[sx]
+		}
+	}
+}
+
+// scatter writes pred+residual (clamped) into the in-bounds part of the
+// block at (x0, y0).
+func scatter(plane []int32, w, h, x0, y0 int, pred *[blockSize * blockSize]int32, resid *[blockSize * blockSize]float64, maxVal int32) {
+	for y := 0; y < blockSize; y++ {
+		sy := y0 + y
+		if sy >= h {
+			break
+		}
+		for x := 0; x < blockSize; x++ {
+			sx := x0 + x
+			if sx >= w {
+				break
+			}
+			v := pred[y*blockSize+x] + int32(math.Round(resid[y*blockSize+x]))
+			plane[sy*w+sx] = clampI32(v, 0, maxVal)
+		}
+	}
+}
+
+func sad(a, b *[blockSize * blockSize]int32) int64 {
+	var s int64
+	for i := range a {
+		d := int64(a[i] - b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func sadConst(a *[blockSize * blockSize]int32, c int32) int64 {
+	var s int64
+	for i := range a {
+		d := int64(a[i] - c)
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func fillConst(b *[blockSize * blockSize]int32, c int32) {
+	for i := range b {
+		b[i] = c
+	}
+}
+
+// Decoder is a stateful single-stream decoder. Packets must be fed in
+// encode order; a key packet resets the prediction chain.
+type Decoder struct {
+	cfg  Config
+	prev *codedPicture
+}
+
+// NewDecoder creates a decoder with the same configuration as the encoder.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{cfg: cfg}, nil
+}
+
+// Decode reconstructs one frame from a packet.
+func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
+	r := &byteReader{buf: pkt.Data}
+	magic, err := r.readByte()
+	if err != nil || magic != 'V' {
+		return nil, fmt.Errorf("vcodec: bad packet magic")
+	}
+	flags, err := r.readByte()
+	if err != nil {
+		return nil, err
+	}
+	key := flags&1 != 0
+	if _, err := r.readUvarint(); err != nil { // seq
+		return nil, err
+	}
+	qp64, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	qp := int(qp64)
+	if !key && d.prev == nil {
+		return nil, fmt.Errorf("vcodec: delta frame without reference")
+	}
+
+	payload, err := inflateBytes(pkt.Data[r.pos:])
+	if err != nil {
+		return nil, err
+	}
+	pr := &byteReader{buf: payload}
+	readStream := func() (*byteReader, error) {
+		n, err := pr.readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if pr.pos+int(n) > len(pr.buf) {
+			return nil, fmt.Errorf("vcodec: stream overruns payload")
+		}
+		s := &byteReader{buf: pr.buf[pr.pos : pr.pos+int(n)]}
+		pr.pos += int(n)
+		return s, nil
+	}
+	modes, err := readStream()
+	if err != nil {
+		return nil, err
+	}
+	mvs, err := readStream()
+	if err != nil {
+		return nil, err
+	}
+	coeffs, err := readStream()
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := d.cfg
+	recon := &codedPicture{planes: make([][]int32, cfg.NumPlanes)}
+	for p := 0; p < cfg.NumPlanes; p++ {
+		pw, ph := cfg.planeDims(p)
+		recon.planes[p] = make([]int32, pw*ph)
+		pqp := qp
+		if p > 0 {
+			pqp = clampQP(qp+cfg.ChromaQPOffset, cfg.MinQP, cfg.MaxQP)
+		}
+		var prevPlane []int32
+		if !key {
+			prevPlane = d.prev.planes[p]
+		}
+		if err := decodePlane(recon.planes[p], prevPlane, pw, ph,
+			cfg.BitDepth, pqp, modes, mvs, coeffs); err != nil {
+			return nil, fmt.Errorf("vcodec: plane %d: %w", p, err)
+		}
+	}
+	d.prev = recon
+	return cfg.fromCoded(recon), nil
+}
+
+func decodePlane(recon, prev []int32, w, h, bitDepth, qp int, modes, mvs, coeffs *byteReader) error {
+	maxVal := int32(1<<bitDepth - 1)
+	mid := int32(1 << (bitDepth - 1))
+	step := qpToStep(qp, bitDepth)
+	bx := (w + blockSize - 1) / blockSize
+	by := (h + blockSize - 1) / blockSize
+
+	var predBlk [blockSize * blockSize]int32
+	var fblk [blockSize * blockSize]float64
+
+	for byi := 0; byi < by; byi++ {
+		for bxi := 0; bxi < bx; bxi++ {
+			x0, y0 := bxi*blockSize, byi*blockSize
+			mode, err := modes.readByte()
+			if err != nil {
+				return err
+			}
+			switch mode {
+			case modeIntra:
+				fillConst(&predBlk, mid)
+			case modeInterZero:
+				if prev == nil {
+					return fmt.Errorf("inter block in key frame")
+				}
+				gather(prev, w, h, x0, y0, &predBlk)
+			case modeInterMV:
+				if prev == nil {
+					return fmt.Errorf("inter block in key frame")
+				}
+				dx64, err := mvs.readVarint()
+				if err != nil {
+					return err
+				}
+				dy64, err := mvs.readVarint()
+				if err != nil {
+					return err
+				}
+				gather(prev, w, h, x0+int(dx64), y0+int(dy64), &predBlk)
+			default:
+				return fmt.Errorf("unknown block mode %d", mode)
+			}
+
+			count, err := coeffs.readUvarint()
+			if err != nil {
+				return err
+			}
+			if count > blockSize*blockSize {
+				return fmt.Errorf("coefficient count %d out of range", count)
+			}
+			for i := range fblk {
+				fblk[i] = 0
+			}
+			for i := 0; i < int(count); i++ {
+				v, err := coeffs.readVarint()
+				if err != nil {
+					return err
+				}
+				fblk[zigzag[i]] = float64(v) * step
+			}
+			idct2d(&fblk)
+			scatter(recon, w, h, x0, y0, &predBlk, &fblk, maxVal)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package vcodec
+
+import "math"
+
+// blockSize is the transform block size (8x8, the classic DCT block also
+// referenced by the paper's macroblock discussion in §3.2).
+const blockSize = 8
+
+// dctMat[k][n] = c(k) * cos((2n+1)kπ/16) — the orthonormal DCT-II basis.
+var dctMat [blockSize][blockSize]float64
+
+func init() {
+	for k := 0; k < blockSize; k++ {
+		c := math.Sqrt(2.0 / blockSize)
+		if k == 0 {
+			c = math.Sqrt(1.0 / blockSize)
+		}
+		for n := 0; n < blockSize; n++ {
+			dctMat[k][n] = c * math.Cos(float64(2*n+1)*float64(k)*math.Pi/(2*blockSize))
+		}
+	}
+}
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// fdct2d computes the 2D orthonormal DCT of an 8x8 block in place.
+func fdct2d(b *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Rows: tmp = b * D^T
+	for r := 0; r < blockSize; r++ {
+		for k := 0; k < blockSize; k++ {
+			var s float64
+			for n := 0; n < blockSize; n++ {
+				s += b[r*blockSize+n] * dctMat[k][n]
+			}
+			tmp[r*blockSize+k] = s
+		}
+	}
+	// Columns: b = D * tmp
+	for c := 0; c < blockSize; c++ {
+		for k := 0; k < blockSize; k++ {
+			var s float64
+			for n := 0; n < blockSize; n++ {
+				s += tmp[n*blockSize+c] * dctMat[k][n]
+			}
+			b[k*blockSize+c] = s
+		}
+	}
+}
+
+// idct2d computes the inverse 2D DCT of an 8x8 block in place.
+func idct2d(b *[blockSize * blockSize]float64) {
+	var tmp [blockSize * blockSize]float64
+	// Columns: tmp = D^T * b
+	for c := 0; c < blockSize; c++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k < blockSize; k++ {
+				s += dctMat[k][n] * b[k*blockSize+c]
+			}
+			tmp[n*blockSize+c] = s
+		}
+	}
+	// Rows: b = tmp * D
+	for r := 0; r < blockSize; r++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k < blockSize; k++ {
+				s += tmp[r*blockSize+k] * dctMat[k][n]
+			}
+			b[r*blockSize+n] = s
+		}
+	}
+}
+
+// zigzag is the coefficient scan order: low frequencies first so trailing
+// zeros cluster for the entropy coder.
+var zigzag = buildZigzag()
+
+func buildZigzag() [blockSize * blockSize]int {
+	var order [blockSize * blockSize]int
+	idx := 0
+	for s := 0; s < 2*blockSize-1; s++ {
+		if s%2 == 0 { // up-right
+			for y := min(s, blockSize-1); y >= 0 && s-y < blockSize; y-- {
+				order[idx] = y*blockSize + (s - y)
+				idx++
+			}
+		} else { // down-left
+			for x := min(s, blockSize-1); x >= 0 && s-x < blockSize; x-- {
+				order[idx] = (s-x)*blockSize + x
+				idx++
+			}
+		}
+	}
+	return order
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// qpToStep maps a quantization parameter to a quantizer step size, doubling
+// every 6 QP like H.264/H.265 (QP 4 -> step 1.0 for 8-bit samples). As in
+// H.265, the step scales with bit depth — QP is defined relative to full
+// scale, so a 16-bit plane's minimum step is 256x an 8-bit plane's. This is
+// the codec property LiVo's depth scaling exploits (§3.2): values must be
+// spread across the full 16-bit range or the effective quantization bins
+// swallow neighbouring depths (Fig A.1).
+func qpToStep(qp, bitDepth int) float64 {
+	return math.Exp2(float64(qp-4)/6.0) * math.Exp2(float64(bitDepth-8))
+}

@@ -1,0 +1,135 @@
+// Package vcodec is a rate-adaptive 2D video codec built from scratch on the
+// stdlib. It stands in for the hardware H.265 encoders LiVo uses (NVENC via
+// GStreamer, §4.1) and provides the four properties LiVo's design depends on
+// (§3.2, §3.3; DESIGN.md):
+//
+//  1. direct rate adaptation — Encode takes a target size per frame and
+//     selects the quantization parameter to hit it;
+//  2. inter-frame prediction — P-frames predict blocks from the previous
+//     reconstructed frame (zero-motion, optional motion search) so static
+//     tiled content costs almost nothing;
+//  3. block-transform quantization — an 8x8 DCT with an H.265-style
+//     QP-to-step mapping (step doubles every 6 QP), which compresses smooth
+//     regions well and distorts discontinuities, exactly the behaviour
+//     LiVo's depth-scaling design reasons about;
+//  4. a 16-bit single-plane mode — the Y444_16LE analogue used for depth.
+//
+// Color frames are coded as 3 planes in YCbCr with a chroma QP offset (the
+// luminance plane is quantized more finely, the property LiVo's depth
+// encoding exploits by storing depth in Y).
+package vcodec
+
+import "livo/internal/frame"
+
+// Frame is a codec-internal picture: one or three planes of int32 samples.
+type Frame struct {
+	W, H   int
+	Planes [][]int32 // len 1 (depth) or 3 (Y, Cb, Cr)
+}
+
+// NewFrame allocates a zeroed frame with nplanes planes.
+func NewFrame(w, h, nplanes int) *Frame {
+	f := &Frame{W: w, H: h, Planes: make([][]int32, nplanes)}
+	for i := range f.Planes {
+		f.Planes[i] = make([]int32, w*h)
+	}
+	return f
+}
+
+// Clone deep-copies the frame.
+func (f *Frame) Clone() *Frame {
+	c := NewFrame(f.W, f.H, len(f.Planes))
+	for i := range f.Planes {
+		copy(c.Planes[i], f.Planes[i])
+	}
+	return c
+}
+
+func clampI32(x, lo, hi int32) int32 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// FromColor converts an RGB image to a 3-plane YCbCr frame (BT.601 full
+// range, the JPEG convention).
+func FromColor(im *frame.ColorImage) *Frame {
+	f := NewFrame(im.W, im.H, 3)
+	n := im.W * im.H
+	for i := 0; i < n; i++ {
+		r := int32(im.Pix[3*i])
+		g := int32(im.Pix[3*i+1])
+		b := int32(im.Pix[3*i+2])
+		// Fixed-point (x256) BT.601 full-range conversion.
+		y := (77*r + 150*g + 29*b + 128) >> 8
+		cb := ((-43*r-85*g+128*b+128)>>8 + 128)
+		cr := ((128*r-107*g-21*b+128)>>8 + 128)
+		f.Planes[0][i] = clampI32(y, 0, 255)
+		f.Planes[1][i] = clampI32(cb, 0, 255)
+		f.Planes[2][i] = clampI32(cr, 0, 255)
+	}
+	return f
+}
+
+// ToColor converts a 3-plane YCbCr frame back to RGB.
+func (f *Frame) ToColor() *frame.ColorImage {
+	im := frame.NewColorImage(f.W, f.H)
+	n := f.W * f.H
+	for i := 0; i < n; i++ {
+		y := f.Planes[0][i]
+		cb := f.Planes[1][i] - 128
+		cr := f.Planes[2][i] - 128
+		r := y + (359*cr+128)>>8
+		g := y - (88*cb+183*cr+128)>>8
+		b := y + (454*cb+128)>>8
+		im.Pix[3*i] = uint8(clampI32(r, 0, 255))
+		im.Pix[3*i+1] = uint8(clampI32(g, 0, 255))
+		im.Pix[3*i+2] = uint8(clampI32(b, 0, 255))
+	}
+	return im
+}
+
+// FromDepth wraps a 16-bit depth image as a single-plane frame. Values are
+// copied verbatim (any scaling is the caller's job; see codec/depth).
+func FromDepth(im *frame.DepthImage) *Frame {
+	f := NewFrame(im.W, im.H, 1)
+	for i, d := range im.Pix {
+		f.Planes[0][i] = int32(d)
+	}
+	return f
+}
+
+// ToDepth converts a single-plane frame back to a 16-bit depth image,
+// clamping to the valid range.
+func (f *Frame) ToDepth() *frame.DepthImage {
+	im := frame.NewDepthImage(f.W, f.H)
+	for i, v := range f.Planes[0] {
+		im.Pix[i] = uint16(clampI32(v, 0, 65535))
+	}
+	return im
+}
+
+// PlaneRMSE returns the root-mean-square error between the corresponding
+// planes of a and b — the sender-side quality estimate LiVo's bandwidth
+// splitter uses instead of PointSSIM (§3.3). Frames must have identical
+// geometry.
+func PlaneRMSE(a, b *Frame) float64 {
+	var sum float64
+	var n int
+	for p := range a.Planes {
+		ap, bp := a.Planes[p], b.Planes[p]
+		for i := range ap {
+			d := float64(ap[i] - bp[i])
+			sum += d * d
+		}
+		n += len(ap)
+	}
+	if n == 0 {
+		return 0
+	}
+	return sqrt(sum / float64(n))
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"livo/internal/camera"
+	"livo/internal/codec/depth"
+	"livo/internal/codec/vcodec"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+)
+
+// ReceiverConfig configures a LiVo receiver. Camera calibration and tiling
+// geometry are exchanged once at connection setup (§A.1).
+type ReceiverConfig struct {
+	Array      camera.Array
+	GOP        int
+	MaxDepthMM uint16
+	// VoxelSize controls receiver-side voxelization before rendering
+	// (§A.1); 0 disables it.
+	VoxelSize float64
+	// FlateLevel must match the sender's entropy setting.
+	FlateLevel int
+}
+
+func (c ReceiverConfig) withDefaults() ReceiverConfig {
+	if c.MaxDepthMM == 0 {
+		c.MaxDepthMM = depth.DefaultMaxMM
+	}
+	if c.GOP <= 0 {
+		c.GOP = 30
+	}
+	return c
+}
+
+// PairedFrame is a decoded, sequence-matched pair of tiled frames ready
+// for reconstruction.
+type PairedFrame struct {
+	Seq        uint32
+	TiledColor *frame.ColorImage
+	TiledDepth *frame.DepthImage
+}
+
+// Receiver decodes the two streams, re-synchronizes them by frame sequence
+// number, and reconstructs point clouds.
+type Receiver struct {
+	cfg      ReceiverConfig
+	tiler    *frame.Tiler
+	colorDec *vcodec.Decoder
+	depthDec *depth.Decoder
+
+	pendingColor map[uint32]*frame.ColorImage
+	pendingDepth map[uint32]*frame.DepthImage
+	markersOK    bool
+	mismatches   int
+}
+
+// NewReceiver builds a receiver matching the sender's configuration.
+func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Array.N() == 0 {
+		return nil, fmt.Errorf("core: receiver needs at least one camera")
+	}
+	in := cfg.Array.Cameras[0].Intrinsics
+	tiler, err := frame.NewTiler(cfg.Array.N(), in.W, in.H)
+	if err != nil {
+		return nil, err
+	}
+	tw, th := tiler.FrameSize()
+	colorCfg := vcodec.ColorConfig(tw, th)
+	colorCfg.GOP = cfg.GOP
+	colorCfg.FlateLevel = cfg.FlateLevel
+	colorDec, err := vcodec.NewDecoder(colorCfg)
+	if err != nil {
+		return nil, err
+	}
+	depthDec, err := depth.NewDecoder(depth.Config{
+		Scheme: depth.Scaled16,
+		Width:  tw, Height: th,
+		MaxMM:      cfg.MaxDepthMM,
+		GOP:        cfg.GOP,
+		FlateLevel: cfg.FlateLevel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		cfg:          cfg,
+		tiler:        tiler,
+		colorDec:     colorDec,
+		depthDec:     depthDec,
+		pendingColor: make(map[uint32]*frame.ColorImage),
+		pendingDepth: make(map[uint32]*frame.DepthImage),
+		markersOK:    tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
+	}, nil
+}
+
+// PushColor decodes one color packet; if its depth counterpart has already
+// arrived, the paired frame is returned.
+func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
+	f, err := r.colorDec.Decode(pkt)
+	if err != nil {
+		return nil, err
+	}
+	im := f.ToColor()
+	seq := pkt.Seq
+	if r.markersOK {
+		if mseq, err := frame.DecodeColorMarker(im); err == nil {
+			if mseq != pkt.Seq {
+				r.mismatches++
+			}
+			seq = mseq
+		}
+	}
+	if d, ok := r.pendingDepth[seq]; ok {
+		delete(r.pendingDepth, seq)
+		return r.pair(seq, im, d), nil
+	}
+	r.pendingColor[seq] = im
+	r.gc(seq)
+	return nil, nil
+}
+
+// PushDepth decodes one depth packet; if its color counterpart has already
+// arrived, the paired frame is returned.
+func (r *Receiver) PushDepth(pkt *vcodec.Packet) (*PairedFrame, error) {
+	im, err := r.depthDec.Decode(pkt)
+	if err != nil {
+		return nil, err
+	}
+	seq := pkt.Seq
+	if r.markersOK {
+		if mseq, err := frame.DecodeDepthMarker(im); err == nil {
+			if mseq != pkt.Seq {
+				r.mismatches++
+			}
+			seq = mseq
+		}
+	}
+	if c, ok := r.pendingColor[seq]; ok {
+		delete(r.pendingColor, seq)
+		return r.pair(seq, c, im), nil
+	}
+	r.pendingDepth[seq] = im
+	r.gc(seq)
+	return nil, nil
+}
+
+// pair zeroes the marker strip (it is codec payload, not scene content)
+// and wraps the frames.
+func (r *Receiver) pair(seq uint32, c *frame.ColorImage, d *frame.DepthImage) *PairedFrame {
+	if r.markersOK {
+		for y := 0; y < frame.MarkerHeight; y++ {
+			for x := 0; x < frame.MarkerWidth; x++ {
+				d.Set(x, y, 0)
+				c.Set(x, y, 0, 0, 0)
+			}
+		}
+	}
+	return &PairedFrame{Seq: seq, TiledColor: c, TiledDepth: d}
+}
+
+// gc drops stale unpaired frames: if one stream skips a frame the other
+// must not leak (LiVo "simply skips the frame", §A.1).
+func (r *Receiver) gc(latest uint32) {
+	const maxLag = 90 // 3 seconds at 30 fps
+	for seq := range r.pendingColor {
+		if int32(latest-seq) > maxLag {
+			delete(r.pendingColor, seq)
+		}
+	}
+	for seq := range r.pendingDepth {
+		if int32(latest-seq) > maxLag {
+			delete(r.pendingDepth, seq)
+		}
+	}
+}
+
+// SeqMismatches counts frames whose in-band marker disagreed with the
+// transport sequence number (should be 0 in healthy sessions).
+func (r *Receiver) SeqMismatches() int { return r.mismatches }
+
+// Reconstruct converts a paired frame into a point cloud in the global
+// frame (§A.1): extract per-camera views, unproject valid pixels,
+// voxelize, and cull to the viewer's current frustum. Pass nil frustum to
+// keep the full cloud.
+func (r *Receiver) Reconstruct(pf *PairedFrame, frustum *geom.Frustum) (*pointcloud.Cloud, error) {
+	views := make([]frame.RGBDFrame, r.cfg.Array.N())
+	for i := 0; i < r.cfg.Array.N(); i++ {
+		c, err := r.tiler.ExtractColor(pf.TiledColor, i)
+		if err != nil {
+			return nil, err
+		}
+		d, err := r.tiler.ExtractDepth(pf.TiledDepth, i)
+		if err != nil {
+			return nil, err
+		}
+		views[i] = frame.RGBDFrame{Color: c, Depth: d}
+	}
+	pos, cols, err := r.cfg.Array.PointsFromViews(views)
+	if err != nil {
+		return nil, err
+	}
+	cloud, err := pointcloud.FromSlices(pos, cols)
+	if err != nil {
+		return nil, err
+	}
+	if r.cfg.VoxelSize > 0 {
+		cloud = cloud.VoxelDownsample(r.cfg.VoxelSize)
+	}
+	if frustum != nil {
+		cloud = cloud.CullFrustum(*frustum)
+	}
+	return cloud, nil
+}

@@ -1,0 +1,376 @@
+// Package core assembles LiVo's sender and receiver pipelines (Fig 2).
+//
+// Sender, per frame: predict the receiver frustum (Kalman + guard band,
+// §3.4) → cull the N RGB-D views in pixel space → tile color and depth into
+// two large frames (§3.2) → stamp frame-sequence markers (§A.1) → encode
+// the color frame with the 8-bit codec and the depth frame with the scaled
+// 16-bit Y codec, splitting the bandwidth budget adaptively between the two
+// streams (§3.3).
+//
+// Receiver: pair decoded color/depth frames by their in-band sequence
+// markers, zero the marker strip, extract per-camera views, reconstruct the
+// point cloud in the global frame, voxelize, and cull to the current
+// (actual) frustum (§A.1).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"livo/internal/camera"
+	"livo/internal/codec/depth"
+	"livo/internal/codec/vcodec"
+	"livo/internal/cull"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/split"
+)
+
+// Variant selects which system of the evaluation a sender behaves as.
+type Variant int
+
+// Sender variants used across §4.
+const (
+	// LiVo is the full system: culling + adaptive split + rate adaptation.
+	LiVo Variant = iota
+	// LiVoNoCull disables view culling (the Starline-inspired baseline,
+	// §4.1, but keeps bandwidth adaptation).
+	LiVoNoCull
+	// LiVoNoAdapt disables bandwidth adaptation and culling, encoding at
+	// fixed quality (color QP 22, depth QP 14 — Starline's settings, §4.5).
+	LiVoNoAdapt
+	// LiVoStaticSplit keeps adaptation and culling but uses a fixed
+	// bandwidth split (the Fig 18/19 comparison).
+	LiVoStaticSplit
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case LiVo:
+		return "LiVo"
+	case LiVoNoCull:
+		return "LiVo-NoCull"
+	case LiVoNoAdapt:
+		return "LiVo-NoAdapt"
+	case LiVoStaticSplit:
+		return "LiVo-StaticSplit"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// SenderConfig configures a LiVo sender.
+type SenderConfig struct {
+	Variant Variant
+	// Array is the calibrated camera rig.
+	Array camera.Array
+	// ViewParams are the receiver headset's viewing parameters, exchanged
+	// at session setup (§3.4).
+	ViewParams geom.ViewParams
+	// FPS is the capture frame rate (30).
+	FPS int
+	// GOP is the key-frame interval for both encoders.
+	GOP int
+	// GuardBand is the culling guard band ε in meters (default 0.20).
+	GuardBand float64
+	// InitialSplit is s_i (default 0.8).
+	InitialSplit float64
+	// StaticSplit is the fixed split for LiVoStaticSplit.
+	StaticSplit float64
+	// FixedColorQP/FixedDepthQP are the LiVoNoAdapt quality settings
+	// (defaults 22 and 14, §4.5).
+	FixedColorQP, FixedDepthQP int
+	// SearchRadius is the codec motion search radius (default 0).
+	SearchRadius int
+	// MaxDepthMM is the depth scaling range (default 6000).
+	MaxDepthMM uint16
+	// FlateLevel tunes the entropy coder (default 4).
+	FlateLevel int
+	// ProbeRMSE computes the sender-side depth/color RMSE on every frame
+	// and reports it in EncodedFrame (the Fig 4 instrumentation; normally
+	// the probe only runs every k-th frame inside the splitter).
+	ProbeRMSE bool
+}
+
+func (c SenderConfig) withDefaults() SenderConfig {
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.GOP <= 0 {
+		c.GOP = 30
+	}
+	if c.GuardBand == 0 {
+		c.GuardBand = 0.20
+	}
+	if c.InitialSplit == 0 {
+		// The empirical s_i from the Fig 4 profile (§3.3).
+		c.InitialSplit = 0.85
+	}
+	if c.StaticSplit == 0 {
+		c.StaticSplit = 0.8
+	}
+	if c.FixedColorQP == 0 {
+		c.FixedColorQP = 22
+	}
+	if c.FixedDepthQP == 0 {
+		c.FixedDepthQP = 14
+	}
+	if c.MaxDepthMM == 0 {
+		c.MaxDepthMM = depth.DefaultMaxMM
+	}
+	return c
+}
+
+// EncodedFrame is the sender's per-frame output: one color packet and one
+// depth packet plus bookkeeping the experiments record.
+type EncodedFrame struct {
+	Seq         uint32
+	Color       *vcodec.Packet
+	Depth       *vcodec.Packet
+	Split       float64    // split used for this frame
+	CullStats   cull.Stats // pixels kept/total (Total==0 when not culling)
+	TargetBytes int        // byte budget for the whole frame
+	// DepthRMSEmm and ColorRMSE are the sender-side quality probes in
+	// millimeters and 8-bit levels; -1 unless probed this frame.
+	DepthRMSEmm float64
+	ColorRMSE   float64
+}
+
+// TotalBytes is the encoded size of both streams.
+func (f *EncodedFrame) TotalBytes() int {
+	return f.Color.SizeBytes() + f.Depth.SizeBytes()
+}
+
+// Sender is LiVo's per-site sending pipeline. Not safe for concurrent use;
+// the live pipeline wraps it in a dedicated goroutine (§A.1).
+type Sender struct {
+	cfg       SenderConfig
+	tiler     *frame.Tiler
+	colorEnc  *vcodec.Encoder
+	depthEnc  *depth.Encoder
+	splitter  *split.Controller
+	predictor *cull.FrustumPredictor
+	seq       uint32
+	markersOK bool
+}
+
+// NewSender builds a sender for the given configuration.
+func NewSender(cfg SenderConfig) (*Sender, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Array.N() == 0 {
+		return nil, fmt.Errorf("core: sender needs at least one camera")
+	}
+	in := cfg.Array.Cameras[0].Intrinsics
+	for i, cam := range cfg.Array.Cameras {
+		if cam.Intrinsics.W != in.W || cam.Intrinsics.H != in.H {
+			return nil, fmt.Errorf("core: camera %d resolution differs (tiling needs uniform views)", i)
+		}
+	}
+	tiler, err := frame.NewTiler(cfg.Array.N(), in.W, in.H)
+	if err != nil {
+		return nil, err
+	}
+	tw, th := tiler.FrameSize()
+
+	colorCfg := vcodec.ColorConfig(tw, th)
+	colorCfg.GOP = cfg.GOP
+	colorCfg.SearchRadius = cfg.SearchRadius
+	colorCfg.FlateLevel = cfg.FlateLevel
+	colorEnc, err := vcodec.NewEncoder(colorCfg)
+	if err != nil {
+		return nil, err
+	}
+	depthEnc, err := depth.NewEncoder(depth.Config{
+		Scheme: depth.Scaled16,
+		Width:  tw, Height: th,
+		MaxMM:      cfg.MaxDepthMM,
+		GOP:        cfg.GOP,
+		FlateLevel: cfg.FlateLevel,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	initial := cfg.InitialSplit
+	if cfg.Variant == LiVoStaticSplit {
+		initial = cfg.StaticSplit
+	}
+	s := &Sender{
+		cfg:       cfg,
+		tiler:     tiler,
+		colorEnc:  colorEnc,
+		depthEnc:  depthEnc,
+		splitter:  split.New(initial),
+		predictor: cull.NewFrustumPredictor(cfg.ViewParams),
+		markersOK: tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
+	}
+	s.predictor.Guard = cfg.GuardBand
+	return s, nil
+}
+
+// Tiler exposes the stream composition geometry (shared with the receiver
+// at session setup).
+func (s *Sender) Tiler() *frame.Tiler { return s.tiler }
+
+// ObservePose feeds receiver pose feedback (§3.4).
+func (s *Sender) ObservePose(t float64, pose geom.Pose) { s.predictor.ObservePose(t, pose) }
+
+// ObserveRTT feeds an application-level RTT sample (§3.4).
+func (s *Sender) ObserveRTT(rtt float64) { s.predictor.ObserveRTT(rtt) }
+
+// PredictedFrustum returns the guard-banded frustum the sender would cull
+// against right now.
+func (s *Sender) PredictedFrustum() geom.Frustum { return s.predictor.PredictFrustum() }
+
+// SetHorizon overrides the prediction horizon (tests and Fig 15 sweeps).
+func (s *Sender) SetHorizon(h float64) { s.predictor.SetHorizon(h) }
+
+// Split returns the current bandwidth split.
+func (s *Sender) Split() float64 { return s.splitter.Split() }
+
+// ForceKeyFrame reacts to a PLI from the receiver (§A.1).
+func (s *Sender) ForceKeyFrame() {
+	s.colorEnc.ForceKeyFrame()
+	s.depthEnc.ForceKeyFrame()
+}
+
+// cullsViews reports whether this variant culls.
+func (s *Sender) cullsViews() bool {
+	return s.cfg.Variant == LiVo || s.cfg.Variant == LiVoStaticSplit
+}
+
+// adapts reports whether this variant rate-adapts.
+func (s *Sender) adapts() bool { return s.cfg.Variant != LiVoNoAdapt }
+
+// ProcessFrame runs the full sender pipeline on one set of camera views
+// with the given bandwidth estimate (bits/second, from congestion control).
+func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*EncodedFrame, error) {
+	if len(views) != s.cfg.Array.N() {
+		return nil, fmt.Errorf("core: got %d views for %d cameras", len(views), s.cfg.Array.N())
+	}
+
+	// 1. View culling in pixel space (§3.4).
+	var st cull.Stats
+	var err error
+	if s.cullsViews() {
+		views, st, err = cull.Views(s.cfg.Array, views, s.predictor.PredictFrustum())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Stream composition: tile N views into one color + one depth frame
+	// (§3.2).
+	colorViews := make([]*frame.ColorImage, len(views))
+	depthViews := make([]*frame.DepthImage, len(views))
+	for i, v := range views {
+		if v.Color == nil {
+			colorViews[i] = frame.NewColorImage(s.tiler.TileW, s.tiler.TileH)
+			depthViews[i] = frame.NewDepthImage(s.tiler.TileW, s.tiler.TileH)
+			continue
+		}
+		colorViews[i] = v.Color
+		depthViews[i] = v.Depth
+	}
+	tiledColor, err := s.tiler.ComposeColor(colorViews)
+	if err != nil {
+		return nil, err
+	}
+	tiledDepth, err := s.tiler.ComposeDepth(depthViews)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. In-band sequence markers (§A.1).
+	if s.markersOK {
+		if err := frame.StampColorMarker(tiledColor, s.seq); err != nil {
+			return nil, err
+		}
+		if err := frame.StampDepthMarker(tiledDepth, s.seq); err != nil {
+			return nil, err
+		}
+	}
+
+	// 4. Bandwidth split + encoding (§3.3).
+	targetBytes := int(bandwidthBps / 8 / float64(s.cfg.FPS))
+	if targetBytes < 64 {
+		targetBytes = 64
+	}
+	evaluate := s.adapts() && s.cfg.Variant != LiVoStaticSplit && s.splitter.Tick()
+
+	srcColor := vcodec.FromColor(tiledColor)
+	var colorPkt, depthPkt *vcodec.Packet
+	if s.adapts() {
+		depthBudget, colorBudget := s.splitter.Budgets(targetBytes)
+		colorPkt, err = s.colorEnc.Encode(srcColor, colorBudget)
+		if err != nil {
+			return nil, err
+		}
+		depthPkt, err = s.depthEnc.Encode(tiledDepth, depthBudget)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		colorPkt, err = s.colorEnc.EncodeQP(srcColor, s.cfg.FixedColorQP)
+		if err != nil {
+			return nil, err
+		}
+		depthPkt, err = s.depthEnc.EncodeQP(tiledDepth, s.cfg.FixedDepthQP)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 5. Quality probe every k frames: compare the encoder-side
+	// reconstructions to the sources and walk the split (§3.3).
+	depthRMSE, colorRMSE := -1.0, -1.0
+	if evaluate || s.cfg.ProbeRMSE {
+		colorRecon := s.colorEnc.LastRecon()
+		depthRecon := s.depthEnc.LastReconDepth()
+		if colorRecon != nil && depthRecon != nil {
+			colorRMSE = vcodec.PlaneRMSE(srcColor, colorRecon)
+			normDepth := depthRMSENorm(tiledDepth, depthRecon, float64(s.cfg.MaxDepthMM))
+			depthRMSE = normDepth * float64(s.cfg.MaxDepthMM)
+			if evaluate {
+				s.splitter.Observe(normDepth, colorRMSE/255)
+			}
+		}
+	}
+
+	out := &EncodedFrame{
+		Seq:         s.seq,
+		Color:       colorPkt,
+		Depth:       depthPkt,
+		Split:       s.splitter.Split(),
+		CullStats:   st,
+		TargetBytes: targetBytes,
+		DepthRMSEmm: depthRMSE,
+		ColorRMSE:   colorRMSE,
+	}
+	s.seq++
+	return out, nil
+}
+
+// depthRMSENorm is the depth RMSE over reference-valid pixels, normalized
+// by the depth range so it is comparable to color RMSE/255.
+func depthRMSENorm(ref, got *frame.DepthImage, maxMM float64) float64 {
+	var sum float64
+	var n int
+	for i := range ref.Pix {
+		if ref.Pix[i] == 0 {
+			continue
+		}
+		d := float64(int(ref.Pix[i]) - int(got.Pix[i]))
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sum/float64(n)) / maxMM
+}
+
+// PredictedPose returns the predictor's current pose estimate at the
+// active horizon (diagnostics).
+func (s *Sender) PredictedPose() geom.Pose { return s.predictor.PredictPose() }

@@ -1,0 +1,203 @@
+// Package cull implements LiVo's view prediction and culling (§3.4): the
+// sender predicts the receiver's frustum at arrival time (Kalman filter on
+// pose + smoothed one-way delay estimate + guard band) and removes RGB-D
+// pixels outside it without ever reconstructing the point cloud — the
+// frustum is transformed into each camera's local coordinate frame and each
+// pixel's local-space point is tested against the six planes.
+package cull
+
+import (
+	"fmt"
+
+	"livo/internal/camera"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/predict"
+)
+
+// Stats summarizes one culling pass.
+type Stats struct {
+	Total int // valid pixels before culling
+	Kept  int // valid pixels after culling
+}
+
+// KeptFraction returns Kept/Total (1 when there was nothing to cull).
+func (s Stats) KeptFraction() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return float64(s.Kept) / float64(s.Total)
+}
+
+// Views culls the per-camera RGB-D views against the frustum, returning new
+// frames with out-of-frustum pixels zeroed in both depth and color. The
+// input frames are not modified.
+func Views(arr camera.Array, views []frame.RGBDFrame, f geom.Frustum) ([]frame.RGBDFrame, Stats, error) {
+	if len(views) != arr.N() {
+		return nil, Stats{}, fmt.Errorf("cull: %d views for %d cameras", len(views), arr.N())
+	}
+	out := make([]frame.RGBDFrame, len(views))
+	var st Stats
+	for ci, view := range views {
+		if view.Depth == nil {
+			continue
+		}
+		if err := view.Validate(); err != nil {
+			return nil, Stats{}, fmt.Errorf("cull: camera %d: %w", ci, err)
+		}
+		cam := arr.Cameras[ci]
+		in := cam.Intrinsics
+		if view.Depth.W != in.W || view.Depth.H != in.H {
+			return nil, Stats{}, fmt.Errorf("cull: camera %d view %dx%d vs intrinsics %dx%d",
+				ci, view.Depth.W, view.Depth.H, in.W, in.H)
+		}
+		// Transform the frustum once into this camera's local frame; then
+		// every pixel test is six dot products on the local point (§3.4).
+		local := f.Transform(cam.WorldToLocal())
+		culled := view.Clone()
+		for v := 0; v < in.H; v++ {
+			for u := 0; u < in.W; u++ {
+				mm := view.Depth.At(u, v)
+				if mm == 0 {
+					continue
+				}
+				st.Total++
+				p := in.Unproject(u, v, float64(mm)/1000)
+				if local.Contains(p) {
+					st.Kept++
+					continue
+				}
+				culled.Depth.Set(u, v, 0)
+				culled.Color.Set(u, v, 0, 0, 0)
+			}
+		}
+		out[ci] = culled
+	}
+	return out, st, nil
+}
+
+// FrustumPredictor combines the Kalman pose predictor with a smoothed
+// one-way delay estimate and the guard band, producing the expanded frustum
+// the sender culls against.
+type FrustumPredictor struct {
+	kalman *predict.Kalman
+	vp     geom.ViewParams
+	// Guard is the guard band ε in meters (default 0.20 — the sweet spot
+	// of Fig 15).
+	Guard float64
+	// srtt is the smoothed application-level RTT (seconds).
+	srtt    float64
+	hasRTT  bool
+	horizon float64 // explicit horizon override; <0 means use srtt/2
+}
+
+// NewFrustumPredictor builds a predictor for a receiver with the given view
+// parameters.
+func NewFrustumPredictor(vp geom.ViewParams) *FrustumPredictor {
+	return &FrustumPredictor{
+		kalman:  predict.NewKalman(),
+		vp:      vp,
+		Guard:   0.20,
+		horizon: -1,
+	}
+}
+
+// ObservePose feeds a receiver pose report (timestamped with the receiver's
+// capture time, seconds).
+func (fp *FrustumPredictor) ObservePose(t float64, pose geom.Pose) {
+	fp.kalman.Observe(t, pose)
+}
+
+// ObserveRTT feeds an application-level RTT measurement (seconds); LiVo
+// halves a smoothed RTT to estimate the one-way delay Δt (§3.4).
+func (fp *FrustumPredictor) ObserveRTT(rtt float64) {
+	if rtt < 0 {
+		return
+	}
+	if !fp.hasRTT {
+		fp.srtt = rtt
+		fp.hasRTT = true
+		return
+	}
+	fp.srtt = 0.875*fp.srtt + 0.125*rtt // TCP-style smoothing
+}
+
+// SetHorizon overrides the prediction horizon (seconds). A negative value
+// restores the default srtt/2 behaviour. Used by the Fig 15 sweep, which
+// varies the prediction window directly.
+func (fp *FrustumPredictor) SetHorizon(h float64) { fp.horizon = h }
+
+// Horizon returns the active prediction horizon in seconds.
+func (fp *FrustumPredictor) Horizon() float64 {
+	if fp.horizon >= 0 {
+		return fp.horizon
+	}
+	return fp.srtt / 2
+}
+
+// PredictPose returns the predicted receiver pose at now + horizon.
+func (fp *FrustumPredictor) PredictPose() geom.Pose {
+	return fp.kalman.Predict(fp.Horizon())
+}
+
+// PredictFrustum returns the guard-band-expanded predicted frustum the
+// sender culls against.
+func (fp *FrustumPredictor) PredictFrustum() geom.Frustum {
+	return geom.NewFrustum(fp.PredictPose(), fp.vp).Expand(fp.Guard)
+}
+
+// Accuracy measures culling quality for the Fig 15 sweep: of the valid
+// pixels inside the receiver's *actual* frustum, what fraction survived
+// culling with the predicted frustum (recall — missing pixels are holes the
+// viewer sees), plus the fraction of all pixels transmitted (data volume).
+type Accuracy struct {
+	Recall       float64 // kept ∩ actual / actual
+	SentFraction float64 // kept / total (bandwidth cost of the guard band)
+}
+
+// MeasureAccuracy evaluates a predicted frustum against the actual one on a
+// set of views.
+func MeasureAccuracy(arr camera.Array, views []frame.RGBDFrame, predicted, actual geom.Frustum) (Accuracy, error) {
+	if len(views) != arr.N() {
+		return Accuracy{}, fmt.Errorf("cull: %d views for %d cameras", len(views), arr.N())
+	}
+	var inActual, inBoth, kept, total int
+	for ci, view := range views {
+		if view.Depth == nil {
+			continue
+		}
+		cam := arr.Cameras[ci]
+		in := cam.Intrinsics
+		predLocal := predicted.Transform(cam.WorldToLocal())
+		actLocal := actual.Transform(cam.WorldToLocal())
+		for v := 0; v < in.H; v++ {
+			for u := 0; u < in.W; u++ {
+				mm := view.Depth.At(u, v)
+				if mm == 0 {
+					continue
+				}
+				total++
+				p := in.Unproject(u, v, float64(mm)/1000)
+				inPred := predLocal.Contains(p)
+				inAct := actLocal.Contains(p)
+				if inPred {
+					kept++
+				}
+				if inAct {
+					inActual++
+					if inPred {
+						inBoth++
+					}
+				}
+			}
+		}
+	}
+	acc := Accuracy{Recall: 1, SentFraction: 1}
+	if inActual > 0 {
+		acc.Recall = float64(inBoth) / float64(inActual)
+	}
+	if total > 0 {
+		acc.SentFraction = float64(kept) / float64(total)
+	}
+	return acc, nil
+}

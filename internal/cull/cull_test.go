@@ -1,0 +1,241 @@
+package cull
+
+import (
+	"math"
+	"testing"
+
+	"livo/internal/camera"
+	"livo/internal/frame"
+	"livo/internal/geom"
+)
+
+// oneCameraSetup: a single camera at (0,1,-3) looking at the origin area,
+// with two objects: one near the center, one far to the side.
+func oneCameraSetup() (camera.Array, []frame.RGBDFrame) {
+	in := camera.NewIntrinsics(64, 48, math.Pi/2)
+	cam := camera.Camera{
+		Intrinsics: in,
+		Pose:       geom.LookAt(geom.V3(0, 1, -3), geom.V3(0, 1, 0), geom.V3(0, 1, 0)),
+		MaxRange:   6,
+	}
+	arr := camera.Array{Cameras: []camera.Camera{cam}}
+	view := frame.NewRGBDFrame(64, 48)
+	// Center blob (world ~origin): pixels near image center at 3 m.
+	for v := 20; v < 28; v++ {
+		for u := 28; u < 36; u++ {
+			view.Depth.Set(u, v, 3000)
+			view.Color.Set(u, v, 200, 100, 50)
+		}
+	}
+	// Side blob: pixels near left edge at 3 m (world x ~ -2.8).
+	for v := 20; v < 28; v++ {
+		for u := 1; u < 8; u++ {
+			view.Depth.Set(u, v, 3000)
+			view.Color.Set(u, v, 10, 200, 10)
+		}
+	}
+	return arr, []frame.RGBDFrame{view}
+}
+
+func TestViewsCullsOutsidePixels(t *testing.T) {
+	arr, views := oneCameraSetup()
+	// Narrow viewer frustum from behind the camera, looking at the center:
+	// the center blob is inside, the side blob outside.
+	viewer := geom.LookAt(geom.V3(0, 1, -4), geom.V3(0, 1, 0), geom.V3(0, 1, 0))
+	f := geom.NewFrustum(viewer, geom.ViewParams{FovY: math.Pi / 8, Aspect: 1, Near: 0.1, Far: 10})
+	culled, st, err := Views(arr, views, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 2*8*8-8 { // 64 + 56 pixels stamped
+		t.Logf("total = %d", st.Total)
+	}
+	// Center blob survives.
+	if culled[0].Depth.At(32, 24) == 0 {
+		t.Error("center pixel was culled")
+	}
+	// Side blob culled, including color.
+	if culled[0].Depth.At(3, 24) != 0 {
+		t.Error("side pixel survived")
+	}
+	if r, g, b := culled[0].Color.At(3, 24); r != 0 || g != 0 || b != 0 {
+		t.Error("culled pixel color not zeroed")
+	}
+	if st.Kept == 0 || st.Kept >= st.Total {
+		t.Errorf("stats kept=%d total=%d", st.Kept, st.Total)
+	}
+	// Originals untouched.
+	if views[0].Depth.At(3, 24) == 0 {
+		t.Error("culling mutated the input")
+	}
+}
+
+func TestViewsFullFrustumKeepsEverything(t *testing.T) {
+	arr, views := oneCameraSetup()
+	viewer := geom.LookAt(geom.V3(0, 1, -5), geom.V3(0, 1, 0), geom.V3(0, 1, 0))
+	f := geom.NewFrustum(viewer, geom.ViewParams{FovY: math.Pi * 0.7, Aspect: 2, Near: 0.01, Far: 50})
+	_, st, err := Views(arr, views, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != st.Total {
+		t.Errorf("wide frustum culled %d of %d pixels", st.Total-st.Kept, st.Total)
+	}
+	if st.KeptFraction() != 1 {
+		t.Errorf("kept fraction = %v", st.KeptFraction())
+	}
+}
+
+func TestViewsErrors(t *testing.T) {
+	arr, views := oneCameraSetup()
+	f := geom.NewFrustum(geom.PoseIdentity, geom.DefaultViewParams())
+	if _, _, err := Views(arr, nil, f); err == nil {
+		t.Error("wrong view count accepted")
+	}
+	bad := []frame.RGBDFrame{frame.NewRGBDFrame(8, 8)}
+	if _, _, err := Views(arr, bad, f); err == nil {
+		t.Error("mismatched view size accepted")
+	}
+	// Nil views skipped.
+	if _, st, err := Views(arr, []frame.RGBDFrame{{}}, f); err != nil || st.Total != 0 {
+		t.Errorf("nil view not skipped: %v %+v", err, st)
+	}
+	_ = views
+}
+
+func TestCullEquivalentToPointCloudCulling(t *testing.T) {
+	// LiVo's pixel-space culling must agree with culling the reconstructed
+	// point cloud (the claim of §3.4: same result, no reconstruction).
+	arr, views := oneCameraSetup()
+	viewer := geom.LookAt(geom.V3(1, 1.5, -4), geom.V3(0, 1, 0), geom.V3(0, 1, 0))
+	f := geom.NewFrustum(viewer, geom.ViewParams{FovY: math.Pi / 6, Aspect: 1.3, Near: 0.2, Far: 9})
+
+	culled, _, err := Views(arr, views, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := arr.Cameras[0]
+	for v := 0; v < 48; v++ {
+		for u := 0; u < 64; u++ {
+			mm := views[0].Depth.At(u, v)
+			if mm == 0 {
+				continue
+			}
+			world := cam.UnprojectToWorld(u, v, mm)
+			wantKept := f.Contains(world)
+			gotKept := culled[0].Depth.At(u, v) != 0
+			if wantKept != gotKept {
+				t.Fatalf("pixel (%d,%d): world-space says kept=%v, pixel-space %v", u, v, wantKept, gotKept)
+			}
+		}
+	}
+}
+
+func TestFrustumPredictorHorizon(t *testing.T) {
+	fp := NewFrustumPredictor(geom.DefaultViewParams())
+	if fp.Horizon() != 0 {
+		t.Errorf("initial horizon = %v", fp.Horizon())
+	}
+	fp.ObserveRTT(0.2)
+	if math.Abs(fp.Horizon()-0.1) > 1e-9 {
+		t.Errorf("horizon after first RTT = %v, want 0.1", fp.Horizon())
+	}
+	// Smoothing: a spike moves the estimate only partially.
+	fp.ObserveRTT(1.0)
+	h := fp.Horizon()
+	if h <= 0.1 || h >= 0.5 {
+		t.Errorf("smoothed horizon = %v", h)
+	}
+	fp.ObserveRTT(-1) // ignored
+	if fp.Horizon() != h {
+		t.Error("negative RTT not ignored")
+	}
+	fp.SetHorizon(0.3)
+	if fp.Horizon() != 0.3 {
+		t.Error("SetHorizon ignored")
+	}
+	fp.SetHorizon(-1)
+	if fp.Horizon() != h {
+		t.Error("horizon override not cleared")
+	}
+}
+
+func TestFrustumPredictorTracksMotion(t *testing.T) {
+	fp := NewFrustumPredictor(geom.DefaultViewParams())
+	fp.ObserveRTT(0.2) // 100 ms horizon
+	// Viewer translating at constant velocity.
+	vel := geom.V3(0.8, 0, 0)
+	for i := 0; i <= 60; i++ {
+		tm := float64(i) / 30
+		fp.ObservePose(tm, geom.Pose{Position: vel.Scale(tm), Rotation: geom.QuatIdentity})
+	}
+	pred := fp.PredictPose()
+	want := vel.Scale(2.0 + 0.1)
+	if pred.Position.Dist(want) > 0.05 {
+		t.Errorf("predicted %v, want ~%v", pred.Position, want)
+	}
+	// The predicted frustum with guard band contains what the actual
+	// near-future frustum contains (probe a few points).
+	actual := geom.NewFrustum(geom.Pose{Position: want, Rotation: geom.QuatIdentity}, geom.DefaultViewParams())
+	predicted := fp.PredictFrustum()
+	probes := []geom.Vec3{
+		want.Add(geom.V3(0, 0, 2)),
+		want.Add(geom.V3(0.5, 0.2, 3)),
+		want.Add(geom.V3(-1, -0.3, 4)),
+	}
+	for _, p := range probes {
+		if actual.Contains(p) && !predicted.Contains(p) {
+			t.Errorf("guard-banded prediction missed %v", p)
+		}
+	}
+}
+
+func TestMeasureAccuracyPerfectPrediction(t *testing.T) {
+	arr, views := oneCameraSetup()
+	viewer := geom.LookAt(geom.V3(0, 1, -4), geom.V3(0, 1, 0), geom.V3(0, 1, 0))
+	f := geom.NewFrustum(viewer, geom.ViewParams{FovY: math.Pi / 4, Aspect: 1, Near: 0.1, Far: 10})
+	acc, err := MeasureAccuracy(arr, views, f, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.Recall != 1 {
+		t.Errorf("perfect prediction recall = %v", acc.Recall)
+	}
+}
+
+func TestMeasureAccuracyGuardBandTradeoff(t *testing.T) {
+	// Fig 15's tradeoff: larger guard bands raise recall and raise the
+	// fraction of points sent.
+	arr, views := oneCameraSetup()
+	actualPose := geom.LookAt(geom.V3(0.3, 1.1, -4), geom.V3(0, 1, 0), geom.V3(0, 1, 0))
+	predictedPose := geom.LookAt(geom.V3(0, 1, -4), geom.V3(0.2, 1, 0), geom.V3(0, 1, 0))
+	vp := geom.ViewParams{FovY: math.Pi / 7, Aspect: 1, Near: 0.1, Far: 10}
+	actual := geom.NewFrustum(actualPose, vp)
+	base := geom.NewFrustum(predictedPose, vp)
+
+	var prevRecall, prevSent float64 = -1, -1
+	for _, guard := range []float64{0, 0.1, 0.3, 0.5} {
+		acc, err := MeasureAccuracy(arr, views, base.Expand(guard), actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc.Recall < prevRecall-1e-9 {
+			t.Errorf("guard %v lowered recall: %v < %v", guard, acc.Recall, prevRecall)
+		}
+		if acc.SentFraction < prevSent-1e-9 {
+			t.Errorf("guard %v lowered sent fraction: %v < %v", guard, acc.SentFraction, prevSent)
+		}
+		prevRecall, prevSent = acc.Recall, acc.SentFraction
+	}
+	if prevRecall < 0.99 {
+		t.Errorf("recall at 50 cm guard = %v, want ~1", prevRecall)
+	}
+}
+
+func TestMeasureAccuracyErrors(t *testing.T) {
+	arr, _ := oneCameraSetup()
+	f := geom.NewFrustum(geom.PoseIdentity, geom.DefaultViewParams())
+	if _, err := MeasureAccuracy(arr, nil, f, f); err == nil {
+		t.Error("wrong view count accepted")
+	}
+}

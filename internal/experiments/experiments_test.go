@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"livo/internal/trace"
+)
+
+// tinyQuality keeps unit tests fast; shape assertions use relaxed margins.
+func tinyQuality() Quality {
+	q := QuickQuality()
+	q.Frames = 24
+	q.Users = 1
+	return q
+}
+
+func TestQualityScaling(t *testing.T) {
+	q := QuickQuality()
+	if q.PixelRatio() <= 0 || q.PixelRatio() >= 1 {
+		t.Errorf("pixel ratio = %v", q.PixelRatio())
+	}
+	if q.BandwidthScale() <= q.PixelRatio() {
+		t.Errorf("bandwidth scale should include the codec-efficiency factor: %v", q.BandwidthScale())
+	}
+	full := FullQuality()
+	if full.PixelRatio() <= q.PixelRatio() {
+		t.Error("full quality should have a larger pixel ratio")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	names := map[Scheme]string{
+		SchemeLiVo: "LiVo", SchemeNoCull: "LiVo-NoCull", SchemeNoAdapt: "LiVo-NoAdapt",
+		SchemeStaticSplit: "LiVo-Static", SchemeDracoOracle: "Draco-Oracle",
+		SchemeMeshReduce: "MeshReduce", SchemePerfectCull: "LiVo-PerfectCull",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d -> %q, want %q", int(s), s, want)
+		}
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme should print")
+	}
+}
+
+func TestLoadWorkload(t *testing.T) {
+	q := tinyQuality()
+	w, err := workload("toddler4", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Views) != q.Frames || len(w.GT) != q.Frames {
+		t.Fatalf("views=%d gt=%d", len(w.Views), len(w.GT))
+	}
+	if len(w.Users) != q.Users {
+		t.Fatalf("users=%d", len(w.Users))
+	}
+	for i, gt := range w.GT {
+		if gt.Len() == 0 {
+			t.Fatalf("frame %d ground truth empty", i)
+		}
+	}
+	// Cached: same pointer on second load.
+	w2, err := workload("toddler4", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2 != w {
+		t.Error("workload cache miss")
+	}
+	if _, err := LoadWorkload("nope", q); err == nil {
+		t.Error("unknown video accepted")
+	}
+}
+
+// TestReplayShapes replays one video on trace-2 across the four schemes and
+// asserts the paper's qualitative orderings (§4.2-§4.4) at tiny scale.
+func TestReplayShapes(t *testing.T) {
+	q := tinyQuality()
+	w, err := workload("pizza1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := trace.Trace2()
+	results := map[Scheme]*Result{}
+	for _, sch := range []Scheme{SchemeLiVo, SchemeNoCull, SchemeMeshReduce, SchemeDracoOracle} {
+		r, err := Run(RunConfig{Workload: w, User: w.Users[0], Net: net, Scheme: sch, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", sch, err)
+		}
+		results[sch] = r
+		t.Logf("%-13v stall=%.2f fps=%4.1f geom=%5.1f color=%5.1f util=%3.0f%%",
+			sch, r.StallRate, r.MeanFPS, r.GeomMean(), r.ColorMean(), r.UtilPct)
+	}
+	livo, nocull := results[SchemeLiVo], results[SchemeNoCull]
+	mesh, draco := results[SchemeMeshReduce], results[SchemeDracoOracle]
+
+	// Frame rates: LiVo at 30 fps, MeshReduce at ~15, Draco-Oracle worse.
+	if livo.MeanFPS < 25 {
+		t.Errorf("LiVo fps = %v", livo.MeanFPS)
+	}
+	if mesh.MeanFPS > 20 {
+		t.Errorf("MeshReduce fps = %v (should sag below LiVo)", mesh.MeanFPS)
+	}
+	// Stall ordering: Draco-Oracle stalls heavily, LiVo rarely, Mesh never.
+	if draco.StallRate < 0.3 {
+		t.Errorf("Draco-Oracle stall rate = %v", draco.StallRate)
+	}
+	if livo.StallRate > 0.25 {
+		t.Errorf("LiVo stall rate = %v", livo.StallRate)
+	}
+	if mesh.StallRate != 0 {
+		t.Errorf("MeshReduce stall rate = %v (reliable transport)", mesh.StallRate)
+	}
+	// Geometry quality: LiVo beats MeshReduce beats Draco-Oracle.
+	if livo.GeomMean() <= mesh.GeomMean() {
+		t.Errorf("geometry: LiVo %v <= MeshReduce %v", livo.GeomMean(), mesh.GeomMean())
+	}
+	if mesh.GeomMean() <= draco.GeomMean() {
+		t.Errorf("geometry: MeshReduce %v <= Draco %v", mesh.GeomMean(), draco.GeomMean())
+	}
+	// Culling should not hurt quality (Fig 12: it helps).
+	if livo.GeomMean() < nocull.GeomMean()-3 {
+		t.Errorf("culling hurt geometry: %v vs %v", livo.GeomMean(), nocull.GeomMean())
+	}
+	// Utilization: direct adaptation beats MeshReduce's indirect (Table 1).
+	if livo.UtilPct <= mesh.UtilPct {
+		t.Errorf("utilization: LiVo %v <= MeshReduce %v", livo.UtilPct, mesh.UtilPct)
+	}
+}
+
+func TestPerfectCullAtLeastAsGood(t *testing.T) {
+	q := tinyQuality()
+	w, err := workload("band2", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := trace.Trace2()
+	liv, err := Run(RunConfig{Workload: w, User: w.Users[0], Net: net, Scheme: SchemeLiVo, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perfect, err := Run(RunConfig{Workload: w, User: w.Users[0], Net: net, Scheme: SchemePerfectCull, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.5: predictive culling costs ~1% vs perfect culling.
+	if liv.GeomMean() < perfect.GeomMean()-8 {
+		t.Errorf("prediction cost too high: LiVo %v vs perfect %v", liv.GeomMean(), perfect.GeomMean())
+	}
+}
+
+func TestFixedBandwidthRuns(t *testing.T) {
+	q := tinyQuality()
+	w, err := workload("office1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := Run(RunConfig{Workload: w, User: w.Users[0], Scheme: SchemeNoCull, FixedBandwidthMbps: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Run(RunConfig{Workload: w, User: w.Users[0], Scheme: SchemeNoCull, FixedBandwidthMbps: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.GeomMean() < lo.GeomMean()-1 {
+		t.Errorf("more bandwidth, worse geometry: %v vs %v", hi.GeomMean(), lo.GeomMean())
+	}
+	if lo.Net != "fixed-30Mbps" {
+		t.Errorf("net name = %q", lo.Net)
+	}
+}
+
+func TestStaticSplitScheme(t *testing.T) {
+	q := tinyQuality()
+	w, err := workload("office1", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(RunConfig{Workload: w, User: w.Users[0], Scheme: SchemeStaticSplit, StaticSplit: 0.6, FixedBandwidthMbps: 60, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MeanSplit-0.6) > 1e-9 {
+		t.Errorf("static split moved: %v", r.MeanSplit)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 18 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if got, ok := ByID(e.ID); !ok || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed", e.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id found")
+	}
+	// Every experiment listed in DESIGN.md's index is present.
+	for _, id := range []string{"table1", "table3", "table4", "fig4", "fig5", "fig6",
+		"fig7fig8", "table5", "fig9fig10", "fig11", "fig12", "fig13fig14",
+		"fig15", "fig16", "fig17", "table6", "fig18fig19", "fig20fig21", "figa2", "figa3"} {
+		if !seen[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+}
+
+// TestCheapExperimentsProduceOutput runs the experiments that do not need
+// the full replay matrix and checks they print plausible tables.
+func TestCheapExperimentsProduceOutput(t *testing.T) {
+	q := tinyQuality()
+	q.Frames = 18
+	for _, id := range []string{"table3", "table4", "figa3", "fig15", "fig16"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(q, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		if len(out) < 80 {
+			t.Errorf("%s: suspiciously short output:\n%s", id, out)
+		}
+		if strings.Contains(out, "NaN") {
+			t.Errorf("%s: NaN in output:\n%s", id, out)
+		}
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table4(QuickQuality(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"216.90", "89.20", "trace-1", "trace-2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig16ShapesHold(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig16(tinyQuality(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MLP-3") || !strings.Contains(out, "Kalman") {
+		t.Fatalf("Fig 16 output incomplete:\n%s", out)
+	}
+	t.Log("\n" + out)
+}

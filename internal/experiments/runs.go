@@ -1,0 +1,935 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sync"
+
+	"livo/internal/codec/depth"
+	"livo/internal/codec/vcodec"
+	"livo/internal/core"
+	"livo/internal/cull"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/metrics"
+	"livo/internal/pointcloud"
+	"livo/internal/predict"
+	"livo/internal/qoe"
+	"livo/internal/scene"
+	"livo/internal/trace"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(q Quality, out io.Writer) error
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"table1", "Throughput and utilization, LiVo vs MeshReduce", Table1},
+		{"table3", "Dataset summary", Table3},
+		{"table4", "Bandwidth trace statistics", Table4},
+		{"fig4", "Color/depth RMSE vs split at 80 Mbps (band2)", Fig4},
+		{"fig5", "Aggregated opinion scores (4 schemes)", Fig5},
+		{"fig6", "Opinion scores across videos", Fig6},
+		{"fig7fig8", "Opinion scores per network trace", Fig7Fig8},
+		{"table5", "Comment category percentages", Table5},
+		{"fig9fig10", "PSSIM geometry and color across videos", Fig9Fig10},
+		{"fig11", "Stall rates across videos", Fig11},
+		{"fig12", "Culling effect on PSSIM (no stalls)", Fig12},
+		{"fig13fig14", "Achieved FPS per trace", Fig13Fig14},
+		{"fig15", "Culling accuracy vs guard band and window", Fig15},
+		{"fig16", "Kalman vs MLP pose prediction", Fig16},
+		{"fig17", "Depth encoding schemes", Fig17},
+		{"table6", "Per-component latency", Table6},
+		{"fig18fig19", "Static vs dynamic bandwidth split", Fig18Fig19},
+		{"fig20fig21", "LiVo-NoAdapt vs LiVo", Fig20Fig21},
+		{"figa2", "Depth vs color bitrate sensitivity", FigA2},
+		{"figa3", "Bandwidth trace variability", FigA3},
+		{"ablation-tiling", "Tiled vs per-camera stream composition", AblationTiling},
+		{"ablation-guard", "Guard band replay sweep", AblationGuardBand},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared matrix -------------------------------------------------------
+
+// matrix caches the full <video,user,net,scheme> replay grid per Quality.
+var (
+	matrixMu    sync.Mutex
+	matrixCache = map[string][]*Result{}
+	workloadMu  sync.Mutex
+	workloads   = map[string]*Workload{}
+)
+
+func qualityKey(q Quality) string {
+	return fmt.Sprintf("%d-%dx%d-%d-%d-%d-%d-%g",
+		q.Cameras, q.Width, q.Height, q.Frames, q.MetricEvery, q.MetricPoints, q.Users, q.CodecEfficiency)
+}
+
+// workload loads (and caches) one video's replay input.
+func workload(name string, q Quality) (*Workload, error) {
+	key := name + "/" + qualityKey(q)
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if w, ok := workloads[key]; ok {
+		return w, nil
+	}
+	w, err := LoadWorkload(name, q)
+	if err != nil {
+		return nil, err
+	}
+	// Keep at most a few workloads resident.
+	if len(workloads) > 2 {
+		for k := range workloads {
+			delete(workloads, k)
+			break
+		}
+	}
+	workloads[key] = w
+	return w, nil
+}
+
+// matrixSchemes are the four systems of the user study (§4.2).
+var matrixSchemes = []Scheme{SchemeLiVo, SchemeNoCull, SchemeMeshReduce, SchemeDracoOracle}
+
+// runMatrix replays every <video, user, net, scheme> combination once.
+func runMatrix(q Quality) ([]*Result, error) {
+	key := qualityKey(q)
+	matrixMu.Lock()
+	defer matrixMu.Unlock()
+	if res, ok := matrixCache[key]; ok {
+		return res, nil
+	}
+	nets := []*trace.Bandwidth{trace.Trace1(), trace.Trace2()}
+	var out []*Result
+	for _, video := range scene.VideoNames() {
+		w, err := workload(video, q)
+		if err != nil {
+			return nil, err
+		}
+		for ui, user := range w.Users {
+			for _, net := range nets {
+				for _, sch := range matrixSchemes {
+					res, err := Run(RunConfig{
+						Workload: w, User: user, Net: net, Scheme: sch,
+						Seed: int64(ui)*100 + 7,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("%s/%s/%s/%v: %w", video, user.Name, net.Name, sch, err)
+					}
+					out = append(out, res)
+				}
+			}
+		}
+	}
+	matrixCache[key] = out
+	return out, nil
+}
+
+// filter selects matrix rows.
+func filter(rs []*Result, keep func(*Result) bool) []*Result {
+	var out []*Result
+	for _, r := range rs {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// mosOf scores one run with the QoE model.
+func mosOf(r *Result) float64 {
+	target := 30.0
+	return qoe.Score(qoe.Measurement{
+		PSSIMGeometry: r.GeomMean(),
+		PSSIMColor:    r.ColorMean(),
+		StallRate:     r.StallRate,
+		FPS:           r.MeanFPS,
+		TargetFPS:     target,
+	})
+}
+
+func meanMOS(rs []*Result) float64 {
+	var xs []float64
+	for _, r := range rs {
+		xs = append(xs, mosOf(r))
+	}
+	return metrics.Mean(xs)
+}
+
+// --- experiments ---------------------------------------------------------
+
+// Table1 reproduces Table 1: mean throughput and utilization for
+// MeshReduce vs LiVo on both traces.
+func Table1(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Table 1: throughput (full-scale-equivalent Mbps) and utilization\n")
+	fmt.Fprintf(out, "%-9s %-14s %-12s %-14s %-12s %-14s\n",
+		"trace", "capacity", "Mesh TPS", "Mesh Util%", "LiVo TPS", "LiVo Util%")
+	for _, net := range []string{"trace-1", "trace-2"} {
+		cap := trace.Traces()[net].Stats().Mean
+		mesh := filter(rs, func(r *Result) bool { return r.Net == net && r.Scheme == SchemeMeshReduce })
+		livo := filter(rs, func(r *Result) bool { return r.Net == net && r.Scheme == SchemeLiVo })
+		var mTPS, mU, lTPS, lU []float64
+		for _, r := range mesh {
+			mTPS = append(mTPS, r.TPSMbps)
+			mU = append(mU, r.UtilPct)
+		}
+		for _, r := range livo {
+			lTPS = append(lTPS, r.TPSMbps)
+			lU = append(lU, r.UtilPct)
+		}
+		fmt.Fprintf(out, "%-9s %-14.2f %-12.2f %-14.2f %-12.2f %-14.2f\n",
+			net, cap, metrics.Mean(mTPS), metrics.Mean(mU), metrics.Mean(lTPS), metrics.Mean(lU))
+	}
+	return nil
+}
+
+// Table3 reproduces Table 3: the dataset summary with measured raw frame
+// sizes (converted to full-scale MB via the pixel ratio).
+func Table3(q Quality, out io.Writer) error {
+	fmt.Fprintf(out, "Table 3: dataset summary\n")
+	fmt.Fprintf(out, "%-10s %-28s %-10s %-8s %-14s\n", "video", "description", "dur (s)", "objects", "frame MB (fs)")
+	for _, spec := range scene.Dataset() {
+		v, err := scene.OpenVideo(spec.Name, q.capture())
+		if err != nil {
+			return err
+		}
+		views := v.Frame(0)
+		bytes := 0
+		for _, view := range views {
+			valid := view.Depth.ValidCount()
+			bytes += valid * 15 // point cloud bytes (xyz float32 + rgb)
+		}
+		fullScale := float64(bytes) / q.PixelRatio() / 1e6
+		fmt.Fprintf(out, "%-10s %-28s %-10.0f %-8d %-14.1f\n",
+			spec.Name, spec.Desc, spec.Duration, spec.Objects, fullScale)
+	}
+	return nil
+}
+
+// Table4 reproduces Table 4: bandwidth trace statistics.
+func Table4(_ Quality, out io.Writer) error {
+	fmt.Fprintf(out, "Table 4: bandwidth trace statistics (Mbps)\n")
+	fmt.Fprintf(out, "%-9s %-9s %-9s %-9s %-9s %-9s\n", "trace", "mean", "max", "min", "p90", "p10")
+	for _, name := range []string{"trace-2", "trace-1"} {
+		s := trace.Traces()[name].Stats()
+		fmt.Fprintf(out, "%-9s %-9.2f %-9.2f %-9.2f %-9.2f %-9.2f\n",
+			name, s.Mean, s.Max, s.Min, s.P90, s.P10)
+	}
+	return nil
+}
+
+// Fig4 reproduces Fig 4: sender-side color and depth RMSE across static
+// splits at a fixed 80 Mbps target on band2.
+func Fig4(q Quality, out io.Writer) error {
+	w, err := workload("band2", q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Fig 4: RMSE vs split at 80 Mbps (band2)\n")
+	fmt.Fprintf(out, "%-7s %-14s %-14s\n", "split", "colorRMSE", "depthRMSE(mm)")
+	budget := 80 * q.BandwidthScale() * 1e6
+	nFrames := q.Frames
+	if nFrames > 18 {
+		nFrames = 18
+	}
+	for split := 0.50; split <= 0.951; split += 0.05 {
+		s, err := core.NewSender(core.SenderConfig{
+			Variant: core.LiVoStaticSplit, Array: w.Array(),
+			ViewParams: geom.DefaultViewParams(), StaticSplit: split, ProbeRMSE: true,
+		})
+		if err != nil {
+			return err
+		}
+		// Static-split clamping is part of LiVo (0.5..0.9); for the sweep
+		// we want raw splits, so widen the clamp via config: the sender
+		// clamps internally, so emulate >0.9 with 0.9 (figure flattens).
+		var cSum, dSum float64
+		n := 0
+		for i := 0; i < nFrames; i++ {
+			enc, err := s.ProcessFrame(w.Views[i], budget)
+			if err != nil {
+				return err
+			}
+			if enc.ColorRMSE >= 0 && !enc.Color.Key {
+				cSum += enc.ColorRMSE
+				dSum += enc.DepthRMSEmm
+				n++
+			}
+		}
+		if n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(out, "%-7.2f %-14.3f %-14.3f\n", split, cSum/float64(n), dSum/float64(n))
+	}
+	return nil
+}
+
+// Fig5 reproduces Fig 5: aggregated opinion scores per scheme.
+func Fig5(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Fig 5: aggregated opinion scores (QoE model)\n")
+	fmt.Fprintf(out, "%-14s %-7s %-7s %-7s\n", "scheme", "MOS", "p25", "p75")
+	for _, sch := range []Scheme{SchemeDracoOracle, SchemeMeshReduce, SchemeNoCull, SchemeLiVo} {
+		sub := filter(rs, func(r *Result) bool { return r.Scheme == sch })
+		var xs []float64
+		for _, r := range sub {
+			xs = append(xs, mosOf(r))
+		}
+		fmt.Fprintf(out, "%-14v %-7.2f %-7.2f %-7.2f\n",
+			sch, metrics.Mean(xs), metrics.Percentile(xs, 25), metrics.Percentile(xs, 75))
+	}
+	return nil
+}
+
+// Fig6 reproduces Fig 6: opinion scores per video.
+func Fig6(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Fig 6: opinion scores per video\n")
+	fmt.Fprintf(out, "%-10s %-13s %-12s %-12s %-8s\n", "video", "DracoOracle", "MeshReduce", "NoCull", "LiVo")
+	for _, video := range scene.VideoNames() {
+		row := []float64{}
+		for _, sch := range []Scheme{SchemeDracoOracle, SchemeMeshReduce, SchemeNoCull, SchemeLiVo} {
+			sub := filter(rs, func(r *Result) bool { return r.Video == video && r.Scheme == sch })
+			row = append(row, meanMOS(sub))
+		}
+		fmt.Fprintf(out, "%-10s %-13.2f %-12.2f %-12.2f %-8.2f\n", video, row[0], row[1], row[2], row[3])
+	}
+	return nil
+}
+
+// Fig7Fig8 reproduces Figs 7-8: opinion scores per network trace.
+func Fig7Fig8(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Figs 7/8: opinion scores per trace\n")
+	fmt.Fprintf(out, "%-9s %-13s %-12s %-12s %-8s\n", "trace", "DracoOracle", "MeshReduce", "NoCull", "LiVo")
+	for _, net := range []string{"trace-1", "trace-2"} {
+		row := []float64{}
+		for _, sch := range []Scheme{SchemeDracoOracle, SchemeMeshReduce, SchemeNoCull, SchemeLiVo} {
+			sub := filter(rs, func(r *Result) bool { return r.Net == net && r.Scheme == sch })
+			row = append(row, meanMOS(sub))
+		}
+		fmt.Fprintf(out, "%-9s %-13.2f %-12.2f %-12.2f %-8.2f\n", net, row[0], row[1], row[2], row[3])
+	}
+	return nil
+}
+
+// Table5 reproduces Table 5: Low/Medium/High comment category percentages.
+func Table5(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Table 5: comment category percentages (L/M/H)\n")
+	fmt.Fprintf(out, "%-14s %-21s %-21s %-21s\n", "scheme", "framerate L/M/H", "stalls L/M/H", "quality L/M/H")
+	for _, sch := range []Scheme{SchemeDracoOracle, SchemeMeshReduce, SchemeNoCull, SchemeLiVo} {
+		sub := filter(rs, func(r *Result) bool { return r.Scheme == sch })
+		var fr, st, qu [3]int
+		for _, r := range sub {
+			c := qoe.Categorize(qoe.Measurement{
+				PSSIMGeometry: r.GeomMean(), PSSIMColor: r.ColorMean(),
+				StallRate: r.StallRate, FPS: r.MeanFPS, TargetFPS: 30,
+			})
+			fr[int(c.FrameRate)]++
+			st[int(c.Stalls)]++
+			qu[int(c.Quality)]++
+		}
+		n := float64(len(sub))
+		pct := func(a [3]int) string {
+			return fmt.Sprintf("%5.1f/%5.1f/%5.1f", 100*float64(a[0])/n, 100*float64(a[1])/n, 100*float64(a[2])/n)
+		}
+		fmt.Fprintf(out, "%-14v %-21s %-21s %-21s\n", sch, pct(fr), pct(st), pct(qu))
+	}
+	return nil
+}
+
+// Fig9Fig10 reproduces Figs 9-10: PSSIM geometry and color per video and
+// scheme (stalled frames scored 0, §4.3).
+func Fig9Fig10(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	for _, metric := range []string{"geometry", "color"} {
+		fmt.Fprintf(out, "Fig %s: PSSIM %s per video (mean±std)\n",
+			map[string]string{"geometry": "9", "color": "10"}[metric], metric)
+		fmt.Fprintf(out, "%-10s %-16s %-16s %-16s %-16s\n", "video", "DracoOracle", "MeshReduce", "NoCull", "LiVo")
+		for _, video := range scene.VideoNames() {
+			fmt.Fprintf(out, "%-10s", video)
+			for _, sch := range []Scheme{SchemeDracoOracle, SchemeMeshReduce, SchemeNoCull, SchemeLiVo} {
+				sub := filter(rs, func(r *Result) bool { return r.Video == video && r.Scheme == sch })
+				var xs []float64
+				for _, r := range sub {
+					if metric == "geometry" {
+						xs = append(xs, r.GeomPSSIM...)
+					} else {
+						xs = append(xs, r.ColorPSSIM...)
+					}
+				}
+				fmt.Fprintf(out, " %7.1f (±%4.1f)", metrics.Mean(xs), metrics.Std(xs))
+			}
+			fmt.Fprintln(out)
+		}
+	}
+	return nil
+}
+
+// Fig11 reproduces Fig 11: stall rates per video for the three schemes
+// that can stall (MeshReduce trades frame rate instead, §4.3).
+func Fig11(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Fig 11: stall rate (%%) per video\n")
+	fmt.Fprintf(out, "%-10s %-13s %-12s %-8s\n", "video", "DracoOracle", "NoCull", "LiVo")
+	for _, video := range scene.VideoNames() {
+		fmt.Fprintf(out, "%-10s", video)
+		for _, sch := range []Scheme{SchemeDracoOracle, SchemeNoCull, SchemeLiVo} {
+			sub := filter(rs, func(r *Result) bool { return r.Video == video && r.Scheme == sch })
+			var xs []float64
+			for _, r := range sub {
+				xs = append(xs, 100*r.StallRate)
+			}
+			fmt.Fprintf(out, " %-12.1f", metrics.Mean(xs))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// Fig12 reproduces Fig 12: culling's quality effect with stalls excluded.
+func Fig12(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Fig 12: PSSIM geometry, stall-free frames only\n")
+	fmt.Fprintf(out, "%-10s %-12s %-8s\n", "video", "NoCull", "LiVo")
+	nonZeroMean := func(xs []float64) float64 {
+		var ys []float64
+		for _, x := range xs {
+			if x > 0 {
+				ys = append(ys, x)
+			}
+		}
+		return metrics.Mean(ys)
+	}
+	for _, video := range scene.VideoNames() {
+		fmt.Fprintf(out, "%-10s", video)
+		for _, sch := range []Scheme{SchemeNoCull, SchemeLiVo} {
+			sub := filter(rs, func(r *Result) bool { return r.Video == video && r.Scheme == sch })
+			var xs []float64
+			for _, r := range sub {
+				xs = append(xs, r.GeomPSSIM...)
+			}
+			fmt.Fprintf(out, " %-11.1f", nonZeroMean(xs))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// Fig13Fig14 reproduces Figs 13-14: achieved frame rate per trace.
+func Fig13Fig14(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Figs 13/14: achieved FPS (mean±std across videos)\n")
+	fmt.Fprintf(out, "%-9s %-14s %-14s %-14s\n", "trace", "MeshReduce", "NoCull", "LiVo")
+	for _, net := range []string{"trace-1", "trace-2"} {
+		fmt.Fprintf(out, "%-9s", net)
+		for _, sch := range []Scheme{SchemeMeshReduce, SchemeNoCull, SchemeLiVo} {
+			sub := filter(rs, func(r *Result) bool { return r.Net == net && r.Scheme == sch })
+			var xs []float64
+			for _, r := range sub {
+				xs = append(xs, r.MeanFPS)
+			}
+			fmt.Fprintf(out, " %5.1f (±%4.1f)", metrics.Mean(xs), metrics.Std(xs))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// Fig15 reproduces Fig 15: culling accuracy (recall %) and sent fraction
+// for guard bands x prediction windows on band2.
+func Fig15(q Quality, out io.Writer) error {
+	// The W=30 window needs poses one second past each sampled frame: use
+	// a longer workload than the replay default.
+	if q.Frames < 75 {
+		q.Frames = 75
+	}
+	w, err := workload("band2", q)
+	if err != nil {
+		return err
+	}
+	user := w.Users[0]
+	fmt.Fprintf(out, "Fig 15: culling accuracy %% (sent fraction) on band2\n")
+	fmt.Fprintf(out, "%-10s", "guard(cm)")
+	windows := []int{5, 10, 20, 30}
+	for _, wd := range windows {
+		fmt.Fprintf(out, " %-16s", fmt.Sprintf("W=%d", wd))
+	}
+	fmt.Fprintln(out)
+	for _, guardCM := range []float64{10, 20, 30, 50} {
+		fmt.Fprintf(out, "%-10.0f", guardCM)
+		for _, wd := range windows {
+			horizon := float64(wd) / 30
+			pred := cull.NewFrustumPredictor(geom.DefaultViewParams())
+			pred.Guard = guardCM / 100
+			pred.SetHorizon(horizon)
+			var recalls, sents []float64
+			for i := 0; i < q.Frames; i++ {
+				t := float64(i) / 30
+				pred.ObservePose(t, user.At(t))
+				j := i + wd
+				if i < 10 || j >= q.Frames {
+					continue
+				}
+				actual := geom.NewFrustum(user.At(float64(j)/30), geom.DefaultViewParams())
+				acc, err := cull.MeasureAccuracy(w.Array(), w.Views[i], pred.PredictFrustum(), actual)
+				if err != nil {
+					return err
+				}
+				recalls = append(recalls, 100*acc.Recall)
+				sents = append(sents, acc.SentFraction)
+			}
+			fmt.Fprintf(out, " %6.2f (%.2f)  ", metrics.Mean(recalls), metrics.Mean(sents))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// Fig16 reproduces Fig 16: Kalman vs MLP pose prediction errors.
+func Fig16(q Quality, out io.Writer) error {
+	fmt.Fprintf(out, "Fig 16: pose prediction errors (~167 ms horizon)\n")
+	fmt.Fprintf(out, "%-16s %-14s %-16s\n", "method", "position (m)", "rotation (deg)")
+	// Train on a few traces, test on a held-out one — the small-data
+	// regime of conferencing (§3.4).
+	var train [][]geom.Pose
+	for seed := int64(40); seed < 44; seed++ {
+		u := trace.SynthUserTrace("train", seed, 25, 30)
+		var poses []geom.Pose
+		for _, s := range u.Samples {
+			poses = append(poses, s.Pose)
+		}
+		train = append(train, poses)
+	}
+	test := trace.SynthUserTrace("test", 99, 25, 30)
+	const horizonSamples = 5
+	horizon := float64(horizonSamples) / 30
+
+	evalErrors := func(observe func(float64, geom.Pose), predictPose func() geom.Pose) (float64, float64) {
+		var posErr, rotErr []float64
+		for i, s := range test.Samples {
+			observe(s.T, s.Pose)
+			j := i + horizonSamples
+			if i < 10 || j >= len(test.Samples) {
+				continue
+			}
+			p := predictPose()
+			truth := test.Samples[j].Pose
+			posErr = append(posErr, p.Position.Dist(truth.Position))
+			rotErr = append(rotErr, p.Rotation.AngleTo(truth.Rotation)*180/math.Pi)
+		}
+		return metrics.Mean(posErr), metrics.Mean(rotErr)
+	}
+
+	for _, hidden := range []int{3, 32, 64} {
+		rng := rand.New(rand.NewSource(int64(hidden)))
+		mlp, err := predict.NewMLPPredictor([]int{hidden, hidden, hidden}, rng)
+		if err != nil {
+			return err
+		}
+		epochs := 40
+		if _, err := mlp.TrainOnTraces(train, horizonSamples, epochs, 0.01, rng); err != nil {
+			return err
+		}
+		p, r := evalErrors(mlp.Observe, func() geom.Pose { return mlp.Predict(horizon) })
+		fmt.Fprintf(out, "MLP-%-12d %-14.3f %-16.2f\n", hidden, p, r)
+	}
+	k := predict.NewKalman()
+	p, r := evalErrors(k.Observe, func() geom.Pose { return k.Predict(horizon) })
+	fmt.Fprintf(out, "%-16s %-14.3f %-16.2f\n", "Kalman", p, r)
+	return nil
+}
+
+// Fig17 reproduces Fig 17 (and quantifies Fig A.1): depth encoding schemes
+// compared at equal bitrate on band2's tiled depth stream.
+func Fig17(q Quality, out io.Writer) error {
+	w, err := workload("band2", q)
+	if err != nil {
+		return err
+	}
+	tiler, err := frame.NewTiler(q.Cameras, q.Width, q.Height)
+	if err != nil {
+		return err
+	}
+	tw, th := tiler.FrameSize()
+	// Depth budget: the depth share of an 80 Mbps session.
+	budget := int(0.8 * 80 * q.BandwidthScale() * 1e6 / 8 / 30)
+	nFrames := q.Frames
+	if nFrames > 15 {
+		nFrames = 15
+	}
+	fmt.Fprintf(out, "Fig 17: depth encodings at equal bitrate (%d B/frame)\n", budget)
+	fmt.Fprintf(out, "%-12s %-16s %-16s\n", "scheme", "depthRMSE (mm)", "PSSIM geometry")
+	for _, sch := range []depth.Scheme{depth.Scaled16, depth.Unscaled16, depth.RGBPacked} {
+		enc, err := depth.NewEncoder(depth.Config{Scheme: sch, Width: tw, Height: th})
+		if err != nil {
+			return err
+		}
+		dec, err := depth.NewDecoder(depth.Config{Scheme: sch, Width: tw, Height: th})
+		if err != nil {
+			return err
+		}
+		var rmse []float64
+		var pssim []float64
+		for i := 0; i < nFrames; i++ {
+			depthViews := make([]*frame.DepthImage, q.Cameras)
+			colorViews := make([]*frame.ColorImage, q.Cameras)
+			for c, view := range w.Views[i] {
+				depthViews[c] = view.Depth
+				colorViews[c] = view.Color
+			}
+			tiled, err := tiler.ComposeDepth(depthViews)
+			if err != nil {
+				return err
+			}
+			pkt, err := enc.Encode(tiled, budget)
+			if err != nil {
+				return err
+			}
+			got, err := dec.Decode(pkt)
+			if err != nil {
+				return err
+			}
+			if i < 2 {
+				continue // rate-model warmup
+			}
+			rmse = append(rmse, metrics.DepthRMSE(tiled, got))
+			if i%q.MetricEvery == 0 {
+				// Reconstruct with decoded depth + original color and
+				// compare geometry.
+				views := make([]frame.RGBDFrame, q.Cameras)
+				for c := 0; c < q.Cameras; c++ {
+					d, err := tiler.ExtractDepth(got, c)
+					if err != nil {
+						return err
+					}
+					views[c] = frame.RGBDFrame{Color: colorViews[c], Depth: d}
+				}
+				pos, cols, err := w.Array().PointsFromViews(views)
+				if err != nil {
+					return err
+				}
+				cloud, _ := pointcloud.FromSlices(pos, cols)
+				ps := metrics.PointSSIM(w.GT[i], cloud, metrics.PSSIMOptions{MaxPoints: q.MetricPoints, K: 8, Seed: 5})
+				pssim = append(pssim, ps.Geometry)
+			}
+		}
+		fmt.Fprintf(out, "%-12v %-16.2f %-16.1f\n", sch, metrics.Mean(rmse), metrics.Mean(pssim))
+	}
+	return nil
+}
+
+// Table6 reproduces Table 6: per-component latency for LiVo and NoCull.
+func Table6(q Quality, out io.Writer) error {
+	rs, err := runMatrix(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Table 6: per-component latency (ms)\n")
+	fmt.Fprintf(out, "%-14s %-9s %-9s %-9s %-9s %-9s\n", "scheme", "sender", "network", "jitter", "receiver", "e2e")
+	for _, sch := range []Scheme{SchemeLiVo, SchemeNoCull} {
+		sub := filter(rs, func(r *Result) bool { return r.Scheme == sch })
+		agg := map[string][]float64{}
+		for _, r := range sub {
+			for k, v := range r.Latency {
+				agg[k] = append(agg[k], v*1000)
+			}
+		}
+		fmt.Fprintf(out, "%-14v %-9.1f %-9.1f %-9.1f %-9.1f %-9.1f\n", sch,
+			metrics.Mean(agg["sender"]), metrics.Mean(agg["network"]),
+			metrics.Mean(agg["jitter"]), metrics.Mean(agg["receiver"]), metrics.Mean(agg["e2e"]))
+	}
+	return nil
+}
+
+// Fig18Fig19 reproduces Figs 18-19: static splits vs LiVo's dynamic split
+// on office1 at fixed bitrates.
+func Fig18Fig19(q Quality, out io.Writer) error {
+	w, err := workload("office1", q)
+	if err != nil {
+		return err
+	}
+	user := w.Users[0]
+	splits := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+	rates := []float64{60, 80, 100, 120}
+	for _, metric := range []string{"geometry", "color"} {
+		fmt.Fprintf(out, "Fig %s: PSSIM %s, static splits vs dynamic (office1)\n",
+			map[string]string{"geometry": "18", "color": "19"}[metric], metric)
+		fmt.Fprintf(out, "%-10s", "Mbps")
+		for _, sp := range splits {
+			fmt.Fprintf(out, " s=%-6.1f", sp)
+		}
+		fmt.Fprintf(out, " %-8s\n", "dynamic")
+		for _, rate := range rates {
+			fmt.Fprintf(out, "%-10.0f", rate)
+			runOne := func(sch Scheme, sp float64) (*Result, error) {
+				return Run(RunConfig{
+					Workload: w, User: user, Scheme: sch,
+					StaticSplit: sp, FixedBandwidthMbps: rate, Seed: 11,
+				})
+			}
+			for _, sp := range splits {
+				r, err := runOne(SchemeStaticSplit, sp)
+				if err != nil {
+					return err
+				}
+				if metric == "geometry" {
+					fmt.Fprintf(out, " %-8.1f", r.GeomMean())
+				} else {
+					fmt.Fprintf(out, " %-8.1f", r.ColorMean())
+				}
+			}
+			r, err := runOne(SchemeLiVo, 0)
+			if err != nil {
+				return err
+			}
+			if metric == "geometry" {
+				fmt.Fprintf(out, " %-8.1f\n", r.GeomMean())
+			} else {
+				fmt.Fprintf(out, " %-8.1f\n", r.ColorMean())
+			}
+		}
+	}
+	return nil
+}
+
+// Fig20Fig21 reproduces Figs 20-21: fixed-QP (Starline settings) vs LiVo.
+func Fig20Fig21(q Quality, out io.Writer) error {
+	fmt.Fprintf(out, "Figs 20/21: LiVo-NoAdapt (QP 22/14) vs LiVo, PSSIM mean\n")
+	fmt.Fprintf(out, "%-9s %-16s %-16s %-16s %-16s\n",
+		"trace", "NoAdapt geom", "LiVo geom", "NoAdapt color", "LiVo color")
+	for _, netName := range []string{"trace-1", "trace-2"} {
+		net := trace.Traces()[netName]
+		var row [4][]float64
+		for _, video := range []string{"office1", "band2"} {
+			w, err := workload(video, q)
+			if err != nil {
+				return err
+			}
+			for i, sch := range []Scheme{SchemeNoAdapt, SchemeLiVo} {
+				r, err := Run(RunConfig{Workload: w, User: w.Users[0], Net: net, Scheme: sch, Seed: 21})
+				if err != nil {
+					return err
+				}
+				row[i] = append(row[i], r.GeomMean())
+				row[i+2] = append(row[i+2], r.ColorMean())
+			}
+		}
+		fmt.Fprintf(out, "%-9s %-16.1f %-16.1f %-16.1f %-16.1f\n", netName,
+			metrics.Mean(row[0]), metrics.Mean(row[1]), metrics.Mean(row[2]), metrics.Mean(row[3]))
+	}
+	return nil
+}
+
+// FigA2 reproduces Fig A.2: quality sensitivity to depth vs color bitrate.
+func FigA2(q Quality, out io.Writer) error {
+	w, err := workload("band2", q)
+	if err != nil {
+		return err
+	}
+	user := w.Users[0]
+	fmt.Fprintf(out, "Fig A.2: PSSIM vs per-stream bitrate (band2)\n")
+	fmt.Fprintf(out, "%-22s %-12s %-12s\n", "config", "geomPSSIM", "colorPSSIM")
+	// Vary the depth share by pinning static splits at a fixed total rate:
+	// low splits starve depth, high splits starve color (equivalent to the
+	// paper's fix-one-vary-other sweep at session level).
+	for _, sp := range []float64{0.5, 0.65, 0.8, 0.9} {
+		r, err := Run(RunConfig{
+			Workload: w, User: user, Scheme: SchemeStaticSplit,
+			StaticSplit: sp, FixedBandwidthMbps: 70, Seed: 31,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "depth-share=%-10.2f %-12.1f %-12.1f\n", sp, r.GeomMean(), r.ColorMean())
+	}
+	return nil
+}
+
+// FigA3 reproduces Fig A.3: trace variability over time.
+func FigA3(_ Quality, out io.Writer) error {
+	fmt.Fprintf(out, "Fig A.3: bandwidth over time (30 s windows, Mbps)\n")
+	fmt.Fprintf(out, "%-9s", "window")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(out, " %6d", i*30)
+	}
+	fmt.Fprintln(out)
+	for _, name := range []string{"trace-1", "trace-2"} {
+		tr := trace.Traces()[name]
+		fmt.Fprintf(out, "%-9s", name)
+		for wdw := 0; wdw < 10; wdw++ {
+			var sum float64
+			n := 0
+			for s := wdw * 30; s < (wdw+1)*30 && s < len(tr.Mbps); s++ {
+				sum += tr.Mbps[s]
+				n++
+			}
+			if n == 0 {
+				break
+			}
+			fmt.Fprintf(out, " %6.1f", sum/float64(n))
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// AblationTiling quantifies the §3.2 stream-composition choice: encoding
+// the N camera views as ONE tiled frame per modality versus N independent
+// per-camera streams, at the same total byte budget. Consistent tile
+// placement preserves macroblock locality, so tiling should cost little
+// compression efficiency while using 2 encoder instances instead of 2N
+// (hardware codecs cap concurrent encoders, §3.2).
+func AblationTiling(q Quality, out io.Writer) error {
+	w, err := workload("band2", q)
+	if err != nil {
+		return err
+	}
+	tiler, err := frame.NewTiler(q.Cameras, q.Width, q.Height)
+	if err != nil {
+		return err
+	}
+	tw, th := tiler.FrameSize()
+	budget := int(60 * q.BandwidthScale() * 1e6 / 8 / 30) // color share of 60 Mbps
+	nFrames := q.Frames
+	if nFrames > 15 {
+		nFrames = 15
+	}
+
+	// Tiled: one encoder for all cameras.
+	tiledCfg := vcodec.ColorConfig(tw, th)
+	tiledEnc, err := vcodec.NewEncoder(tiledCfg)
+	if err != nil {
+		return err
+	}
+	tiledDec, err := vcodec.NewDecoder(tiledCfg)
+	if err != nil {
+		return err
+	}
+	// Separate: one encoder per camera, each with budget/N.
+	sepCfg := vcodec.ColorConfig(q.Width, q.Height)
+	sepEncs := make([]*vcodec.Encoder, q.Cameras)
+	sepDecs := make([]*vcodec.Decoder, q.Cameras)
+	for i := range sepEncs {
+		if sepEncs[i], err = vcodec.NewEncoder(sepCfg); err != nil {
+			return err
+		}
+		if sepDecs[i], err = vcodec.NewDecoder(sepCfg); err != nil {
+			return err
+		}
+	}
+
+	var tiledBytes, sepBytes int
+	var tiledRMSE, sepRMSE []float64
+	for i := 0; i < nFrames; i++ {
+		colorViews := make([]*frame.ColorImage, q.Cameras)
+		for c, view := range w.Views[i] {
+			colorViews[c] = view.Color
+		}
+		tiled, err := tiler.ComposeColor(colorViews)
+		if err != nil {
+			return err
+		}
+		src := vcodec.FromColor(tiled)
+		pkt, err := tiledEnc.Encode(src, budget)
+		if err != nil {
+			return err
+		}
+		got, err := tiledDec.Decode(pkt)
+		if err != nil {
+			return err
+		}
+		if i >= 2 {
+			tiledBytes += pkt.SizeBytes()
+			tiledRMSE = append(tiledRMSE, vcodec.PlaneRMSE(src, got))
+		}
+		for c := 0; c < q.Cameras; c++ {
+			srcC := vcodec.FromColor(colorViews[c])
+			pktC, err := sepEncs[c].Encode(srcC, budget/q.Cameras)
+			if err != nil {
+				return err
+			}
+			gotC, err := sepDecs[c].Decode(pktC)
+			if err != nil {
+				return err
+			}
+			if i >= 2 {
+				sepBytes += pktC.SizeBytes()
+				sepRMSE = append(sepRMSE, vcodec.PlaneRMSE(srcC, gotC))
+			}
+		}
+	}
+	fmt.Fprintf(out, "Ablation: stream composition (band2 color, equal total budget)\n")
+	fmt.Fprintf(out, "%-22s %-10s %-12s %-10s\n", "composition", "encoders", "bytes/frame", "RMSE")
+	fmt.Fprintf(out, "%-22s %-10d %-12d %-10.2f\n", "tiled (LiVo)", 2, tiledBytes/(nFrames-2), metrics.Mean(tiledRMSE))
+	fmt.Fprintf(out, "%-22s %-10d %-12d %-10.2f\n", "per-camera streams", 2*q.Cameras, sepBytes/(nFrames-2), metrics.Mean(sepRMSE))
+	return nil
+}
+
+// AblationGuardBand sweeps the guard band's quality/bandwidth trade-off in
+// full replay (the §4.5 design-choice validation behind the fixed 20 cm).
+func AblationGuardBand(q Quality, out io.Writer) error {
+	w, err := workload("pizza1", q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Ablation: guard band in replay (pizza1, trace-2)\n")
+	fmt.Fprintf(out, "%-10s %-12s %-12s %-10s\n", "guard(cm)", "geomPSSIM", "colorPSSIM", "TPS Mbps")
+	for _, guard := range []float64{0.05, 0.10, 0.20, 0.40} {
+		r, err := Run(RunConfig{
+			Workload: w, User: w.Users[0], Net: trace.Trace2(),
+			Scheme: SchemeLiVo, GuardBand: guard, Seed: 17,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-10.0f %-12.1f %-12.1f %-10.1f\n",
+			guard*100, r.GeomMean(), r.ColorMean(), r.TPSMbps)
+	}
+	return nil
+}

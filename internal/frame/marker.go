@@ -1,0 +1,154 @@
+package frame
+
+import "fmt"
+
+// Sequence markers: WebRTC does not let applications embed frame numbers in
+// video streams, so the LiVo sender stamps a machine-readable code encoding
+// the frame sequence number into every tiled color and depth frame, and the
+// receiver decodes it to pair corresponding color/depth frames (§A.1). The
+// paper uses pre-generated QR codes; we use a binary block code: each bit is
+// a MarkerCell x MarkerCell block of saturated black/white pixels, which
+// comfortably survives lossy block-transform coding.
+
+// MarkerCell is the side length in pixels of one marker bit cell. It matches
+// the codec's block size so each bit occupies a full transform block.
+const MarkerCell = 8
+
+// MarkerBits is the number of data bits in a marker (32-bit sequence number
+// plus 8 parity bits for error detection).
+const MarkerBits = 40
+
+// MarkerWidth is the horizontal extent of a marker strip in pixels.
+const MarkerWidth = MarkerBits * MarkerCell
+
+// MarkerHeight is the vertical extent of a marker strip in pixels.
+const MarkerHeight = MarkerCell
+
+// markerParity returns the 8-bit XOR-fold of the sequence number.
+func markerParity(seq uint32) uint8 {
+	return uint8(seq) ^ uint8(seq>>8) ^ uint8(seq>>16) ^ uint8(seq>>24)
+}
+
+// markerBit reports the value of bit i (0..MarkerBits-1) for seq. Bits 0-31
+// are the sequence number LSB-first, bits 32-39 the parity byte.
+func markerBit(seq uint32, i int) bool {
+	if i < 32 {
+		return seq>>uint(i)&1 == 1
+	}
+	return markerParity(seq)>>uint(i-32)&1 == 1
+}
+
+// StampColorMarker writes the sequence marker into the top-left strip of a
+// color frame. The frame must be at least MarkerWidth x MarkerHeight.
+func StampColorMarker(im *ColorImage, seq uint32) error {
+	if im.W < MarkerWidth || im.H < MarkerHeight {
+		return fmt.Errorf("frame: %dx%d too small for marker (%dx%d)", im.W, im.H, MarkerWidth, MarkerHeight)
+	}
+	for i := 0; i < MarkerBits; i++ {
+		var v uint8
+		if markerBit(seq, i) {
+			v = 255
+		}
+		for y := 0; y < MarkerCell; y++ {
+			for x := 0; x < MarkerCell; x++ {
+				im.Set(i*MarkerCell+x, y, v, v, v)
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeColorMarker reads the sequence marker back from a (possibly lossy)
+// color frame. It averages each cell's green channel, thresholds
+// adaptively at the midpoint of the observed cell range (lossy pipelines
+// may compress the dynamic range, e.g. depth rescaling), then verifies
+// parity.
+func DecodeColorMarker(im *ColorImage) (uint32, error) {
+	if im.W < MarkerWidth || im.H < MarkerHeight {
+		return 0, fmt.Errorf("frame: %dx%d too small for marker", im.W, im.H)
+	}
+	var cells [MarkerBits]float64
+	for i := 0; i < MarkerBits; i++ {
+		sum := 0
+		for y := 0; y < MarkerCell; y++ {
+			for x := 0; x < MarkerCell; x++ {
+				_, g, _ := im.At(i*MarkerCell+x, y)
+				sum += int(g)
+			}
+		}
+		cells[i] = float64(sum) / (MarkerCell * MarkerCell)
+	}
+	return decodeCells(cells[:])
+}
+
+// decodeCells thresholds cell averages at the midpoint of their range and
+// verifies parity. An all-zero marker (seq 0) degenerates safely: the
+// threshold sits at the common value and no bit exceeds it.
+func decodeCells(cells []float64) (uint32, error) {
+	lo, hi := cells[0], cells[0]
+	for _, c := range cells {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	thr := (lo + hi) / 2
+	var seq uint32
+	var parity uint8
+	for i, c := range cells {
+		if c > thr {
+			if i < 32 {
+				seq |= 1 << uint(i)
+			} else {
+				parity |= 1 << uint(i-32)
+			}
+		}
+	}
+	if parity != markerParity(seq) {
+		return 0, fmt.Errorf("frame: marker parity mismatch (seq=%d)", seq)
+	}
+	return seq, nil
+}
+
+// StampDepthMarker writes the sequence marker into the top-left strip of a
+// depth frame using the extremes of the 16-bit range.
+func StampDepthMarker(im *DepthImage, seq uint32) error {
+	if im.W < MarkerWidth || im.H < MarkerHeight {
+		return fmt.Errorf("frame: %dx%d too small for marker (%dx%d)", im.W, im.H, MarkerWidth, MarkerHeight)
+	}
+	for i := 0; i < MarkerBits; i++ {
+		var v uint16
+		if markerBit(seq, i) {
+			v = 0xFFFF
+		}
+		for y := 0; y < MarkerCell; y++ {
+			for x := 0; x < MarkerCell; x++ {
+				im.Set(i*MarkerCell+x, y, v)
+			}
+		}
+	}
+	return nil
+}
+
+// DecodeDepthMarker reads the sequence marker back from a depth frame. The
+// threshold adapts to the observed cell range because the depth pipeline
+// rescales values (a "1" cell stamped at 0xFFFF comes back clamped to the
+// sensor's maximum range).
+func DecodeDepthMarker(im *DepthImage) (uint32, error) {
+	if im.W < MarkerWidth || im.H < MarkerHeight {
+		return 0, fmt.Errorf("frame: %dx%d too small for marker", im.W, im.H)
+	}
+	var cells [MarkerBits]float64
+	for i := 0; i < MarkerBits; i++ {
+		var sum uint64
+		for y := 0; y < MarkerCell; y++ {
+			for x := 0; x < MarkerCell; x++ {
+				sum += uint64(im.At(i*MarkerCell+x, y))
+			}
+		}
+		cells[i] = float64(sum) / (MarkerCell * MarkerCell)
+	}
+	return decodeCells(cells[:])
+}

@@ -1,0 +1,132 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pose is a rigid 6-DoF pose: a position and an orientation. It is used for
+// camera extrinsics and for viewer (headset) poses in user traces.
+type Pose struct {
+	Position Vec3
+	Rotation Quat
+}
+
+// PoseIdentity is the origin pose with no rotation.
+var PoseIdentity = Pose{Rotation: QuatIdentity}
+
+// Mat4 returns the local-to-world transform of the pose: world = R*local + t.
+func (p Pose) Mat4() Mat4 {
+	m := p.Rotation.Mat4()
+	m[0][3], m[1][3], m[2][3] = p.Position.X, p.Position.Y, p.Position.Z
+	return m
+}
+
+// InverseMat4 returns the world-to-local transform.
+func (p Pose) InverseMat4() Mat4 { return p.Mat4().InverseRigid() }
+
+// TransformPoint maps a point from the pose's local frame to world.
+func (p Pose) TransformPoint(v Vec3) Vec3 {
+	return p.Rotation.Rotate(v).Add(p.Position)
+}
+
+// InverseTransformPoint maps a world point into the pose's local frame.
+func (p Pose) InverseTransformPoint(v Vec3) Vec3 {
+	return p.Rotation.Conj().Rotate(v.Sub(p.Position))
+}
+
+// Forward returns the pose's local +Z axis in world space (view direction).
+func (p Pose) Forward() Vec3 { return p.Rotation.Rotate(Vec3{Z: 1}) }
+
+// Up returns the pose's local +Y axis in world space.
+func (p Pose) Up() Vec3 { return p.Rotation.Rotate(Vec3{Y: 1}) }
+
+// Right returns the pose's local +X axis in world space.
+func (p Pose) Right() Vec3 { return p.Rotation.Rotate(Vec3{X: 1}) }
+
+// Lerp interpolates both position (linearly) and rotation (slerp).
+func (p Pose) Lerp(q Pose, t float64) Pose {
+	return Pose{
+		Position: p.Position.Lerp(q.Position, t),
+		Rotation: p.Rotation.Slerp(q.Rotation, t),
+	}
+}
+
+// LookAt builds a pose at eye looking toward target with the given up hint.
+func LookAt(eye, target, up Vec3) Pose {
+	fwd := target.Sub(eye).Normalize()
+	if fwd.LenSq() == 0 {
+		return Pose{Position: eye, Rotation: QuatIdentity}
+	}
+	right := up.Cross(fwd).Normalize()
+	if right.LenSq() == 0 { // fwd parallel to up: pick another hint
+		right = Vec3{X: 1}.Cross(fwd).Normalize()
+		if right.LenSq() == 0 {
+			right = Vec3{Z: 1}.Cross(fwd).Normalize()
+		}
+	}
+	upOrtho := fwd.Cross(right)
+	// Build rotation matrix whose columns are the basis vectors, then
+	// convert to a quaternion.
+	var m Mat4
+	m[0][0], m[0][1], m[0][2] = right.X, upOrtho.X, fwd.X
+	m[1][0], m[1][1], m[1][2] = right.Y, upOrtho.Y, fwd.Y
+	m[2][0], m[2][1], m[2][2] = right.Z, upOrtho.Z, fwd.Z
+	m[3][3] = 1
+	return Pose{Position: eye, Rotation: quatFromMat(m)}
+}
+
+// quatFromMat extracts a unit quaternion from a pure rotation matrix.
+func quatFromMat(m Mat4) Quat {
+	tr := m[0][0] + m[1][1] + m[2][2]
+	var q Quat
+	switch {
+	case tr > 0:
+		s := sqrt(tr+1) * 2
+		q = Quat{
+			W: s / 4,
+			X: (m[2][1] - m[1][2]) / s,
+			Y: (m[0][2] - m[2][0]) / s,
+			Z: (m[1][0] - m[0][1]) / s,
+		}
+	case m[0][0] > m[1][1] && m[0][0] > m[2][2]:
+		s := sqrt(1+m[0][0]-m[1][1]-m[2][2]) * 2
+		q = Quat{
+			W: (m[2][1] - m[1][2]) / s,
+			X: s / 4,
+			Y: (m[0][1] + m[1][0]) / s,
+			Z: (m[0][2] + m[2][0]) / s,
+		}
+	case m[1][1] > m[2][2]:
+		s := sqrt(1+m[1][1]-m[0][0]-m[2][2]) * 2
+		q = Quat{
+			W: (m[0][2] - m[2][0]) / s,
+			X: (m[0][1] + m[1][0]) / s,
+			Y: s / 4,
+			Z: (m[1][2] + m[2][1]) / s,
+		}
+	default:
+		s := sqrt(1+m[2][2]-m[0][0]-m[1][1]) * 2
+		q = Quat{
+			W: (m[1][0] - m[0][1]) / s,
+			X: (m[0][2] + m[2][0]) / s,
+			Y: (m[1][2] + m[2][1]) / s,
+			Z: s / 4,
+		}
+	}
+	return q.Normalize()
+}
+
+// sqrt guards tiny negatives arising from floating-point noise in the trace
+// computations above.
+func sqrt(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}
+
+// String implements fmt.Stringer.
+func (p Pose) String() string {
+	return fmt.Sprintf("pose{pos=%v rot=%v}", p.Position, p.Rotation)
+}

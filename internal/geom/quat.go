@@ -1,0 +1,156 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quat is a rotation quaternion (W + Xi + Yj + Zk). Quaternions returned by
+// constructors in this package are unit length.
+type Quat struct {
+	W, X, Y, Z float64
+}
+
+// QuatIdentity is the no-rotation quaternion.
+var QuatIdentity = Quat{W: 1}
+
+// QuatFromAxisAngle builds a quaternion rotating angle radians about axis.
+// The axis need not be normalized; a zero axis yields the identity.
+func QuatFromAxisAngle(axis Vec3, angle float64) Quat {
+	a := axis.Normalize()
+	if a.LenSq() == 0 {
+		return QuatIdentity
+	}
+	s, c := math.Sincos(angle / 2)
+	return Quat{W: c, X: a.X * s, Y: a.Y * s, Z: a.Z * s}
+}
+
+// QuatFromEuler builds a quaternion from yaw (about Y), pitch (about X) and
+// roll (about Z), applied in yaw-pitch-roll order. This matches the headset
+// pose convention used by the user traces.
+func QuatFromEuler(yaw, pitch, roll float64) Quat {
+	qy := QuatFromAxisAngle(Vec3{Y: 1}, yaw)
+	qx := QuatFromAxisAngle(Vec3{X: 1}, pitch)
+	qz := QuatFromAxisAngle(Vec3{Z: 1}, roll)
+	return qy.Mul(qx).Mul(qz)
+}
+
+// Euler decomposes q into (yaw, pitch, roll) matching QuatFromEuler.
+func (q Quat) Euler() (yaw, pitch, roll float64) {
+	// Rotation matrix elements needed for YXZ decomposition.
+	m := q.Mat4()
+	// For R = Ry * Rx * Rz:
+	// m[1][2] = -sin(pitch)
+	pitch = math.Asin(clamp(-m[1][2], -1, 1))
+	if math.Abs(m[1][2]) < 0.9999999 {
+		yaw = math.Atan2(m[0][2], m[2][2])
+		roll = math.Atan2(m[1][0], m[1][1])
+	} else {
+		// Gimbal lock: pitch = ±90°, roll is unrecoverable; fold into yaw.
+		yaw = math.Atan2(-m[2][0], m[0][0])
+		roll = 0
+	}
+	return
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Mul returns the Hamilton product q*r (apply r first, then q).
+func (q Quat) Mul(r Quat) Quat {
+	return Quat{
+		W: q.W*r.W - q.X*r.X - q.Y*r.Y - q.Z*r.Z,
+		X: q.W*r.X + q.X*r.W + q.Y*r.Z - q.Z*r.Y,
+		Y: q.W*r.Y - q.X*r.Z + q.Y*r.W + q.Z*r.X,
+		Z: q.W*r.Z + q.X*r.Y - q.Y*r.X + q.Z*r.W,
+	}
+}
+
+// Conj returns the conjugate (inverse for unit quaternions).
+func (q Quat) Conj() Quat { return Quat{q.W, -q.X, -q.Y, -q.Z} }
+
+// Norm returns the quaternion magnitude.
+func (q Quat) Norm() float64 {
+	return math.Sqrt(q.W*q.W + q.X*q.X + q.Y*q.Y + q.Z*q.Z)
+}
+
+// Normalize returns q scaled to unit length; identity if q is zero.
+func (q Quat) Normalize() Quat {
+	n := q.Norm()
+	if n == 0 {
+		return QuatIdentity
+	}
+	return Quat{q.W / n, q.X / n, q.Y / n, q.Z / n}
+}
+
+// Rotate applies the rotation to v.
+func (q Quat) Rotate(v Vec3) Vec3 {
+	// v' = q * (0,v) * q^-1, expanded.
+	u := Vec3{q.X, q.Y, q.Z}
+	s := q.W
+	return u.Scale(2 * u.Dot(v)).
+		Add(v.Scale(s*s - u.Dot(u))).
+		Add(u.Cross(v).Scale(2 * s))
+}
+
+// Slerp spherically interpolates from q (t=0) to r (t=1).
+func (q Quat) Slerp(r Quat, t float64) Quat {
+	dot := q.W*r.W + q.X*r.X + q.Y*r.Y + q.Z*r.Z
+	if dot < 0 { // take the short way around
+		r = Quat{-r.W, -r.X, -r.Y, -r.Z}
+		dot = -dot
+	}
+	if dot > 0.9995 { // nearly parallel: lerp + renormalize
+		return Quat{
+			q.W + t*(r.W-q.W),
+			q.X + t*(r.X-q.X),
+			q.Y + t*(r.Y-q.Y),
+			q.Z + t*(r.Z-q.Z),
+		}.Normalize()
+	}
+	theta := math.Acos(clamp(dot, -1, 1))
+	sin := math.Sin(theta)
+	a := math.Sin((1-t)*theta) / sin
+	b := math.Sin(t*theta) / sin
+	return Quat{
+		a*q.W + b*r.W,
+		a*q.X + b*r.X,
+		a*q.Y + b*r.Y,
+		a*q.Z + b*r.Z,
+	}
+}
+
+// AngleTo returns the rotation angle in radians needed to go from q to r.
+func (q Quat) AngleTo(r Quat) float64 {
+	d := q.Conj().Mul(r).Normalize()
+	return 2 * math.Acos(clamp(math.Abs(d.W), -1, 1))
+}
+
+// Mat4 returns the rotation as a 4x4 matrix.
+func (q Quat) Mat4() Mat4 {
+	x, y, z, w := q.X, q.Y, q.Z, q.W
+	var m Mat4
+	m[0][0] = 1 - 2*(y*y+z*z)
+	m[0][1] = 2 * (x*y - z*w)
+	m[0][2] = 2 * (x*z + y*w)
+	m[1][0] = 2 * (x*y + z*w)
+	m[1][1] = 1 - 2*(x*x+z*z)
+	m[1][2] = 2 * (y*z - x*w)
+	m[2][0] = 2 * (x*z - y*w)
+	m[2][1] = 2 * (y*z + x*w)
+	m[2][2] = 1 - 2*(x*x+y*y)
+	m[3][3] = 1
+	return m
+}
+
+// String implements fmt.Stringer.
+func (q Quat) String() string {
+	return fmt.Sprintf("quat(w=%.4f x=%.4f y=%.4f z=%.4f)", q.W, q.X, q.Y, q.Z)
+}

@@ -1,0 +1,129 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randQuat(rng *rand.Rand) Quat {
+	axis := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+	return QuatFromAxisAngle(axis, rng.Float64()*2*math.Pi-math.Pi)
+}
+
+func TestQuatIdentityRotate(t *testing.T) {
+	v := V3(1, 2, 3)
+	if got := QuatIdentity.Rotate(v); !got.AlmostEqual(v, 1e-12) {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatAxisAngle90(t *testing.T) {
+	q := QuatFromAxisAngle(V3(0, 1, 0), math.Pi/2)
+	got := q.Rotate(V3(1, 0, 0))
+	// Right-handed rotation of +X about +Y by 90° gives -Z.
+	if !got.AlmostEqual(V3(0, 0, -1), 1e-12) {
+		t.Errorf("rotate = %v, want (0,0,-1)", got)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		q, r := randQuat(rng), randQuat(rng)
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		want := q.Rotate(r.Rotate(v))
+		got := q.Mul(r).Rotate(v)
+		if !got.AlmostEqual(want, 1e-9) {
+			t.Fatalf("composition mismatch: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestQuatConjInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		q := randQuat(rng)
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		back := q.Conj().Rotate(q.Rotate(v))
+		if !back.AlmostEqual(v, 1e-9) {
+			t.Fatalf("conj did not invert: %v vs %v", back, v)
+		}
+	}
+}
+
+func TestQuatRotatePreservesLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		q := randQuat(rng)
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		if math.Abs(q.Rotate(v).Len()-v.Len()) > 1e-9*math.Max(1, v.Len()) {
+			t.Fatalf("rotation changed length")
+		}
+	}
+}
+
+func TestQuatMat4Agrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		q := randQuat(rng)
+		v := V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		a := q.Rotate(v)
+		b := q.Mat4().TransformPoint(v)
+		if !a.AlmostEqual(b, 1e-9) {
+			t.Fatalf("quat vs matrix mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestQuatSlerpEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 20; i++ {
+		q, r := randQuat(rng), randQuat(rng)
+		v := V3(1, 0.5, -2)
+		if !q.Slerp(r, 0).Rotate(v).AlmostEqual(q.Rotate(v), 1e-9) {
+			t.Fatal("slerp(0) != q")
+		}
+		if !q.Slerp(r, 1).Rotate(v).AlmostEqual(r.Rotate(v), 1e-9) {
+			t.Fatal("slerp(1) != r")
+		}
+		// Midpoint must be unit length.
+		if math.Abs(q.Slerp(r, 0.5).Norm()-1) > 1e-9 {
+			t.Fatal("slerp(0.5) not unit")
+		}
+	}
+}
+
+func TestQuatAngleTo(t *testing.T) {
+	q := QuatIdentity
+	r := QuatFromAxisAngle(V3(1, 0, 0), 0.7)
+	if got := q.AngleTo(r); math.Abs(got-0.7) > 1e-9 {
+		t.Errorf("AngleTo = %v, want 0.7", got)
+	}
+	if got := q.AngleTo(q); got > 1e-9 {
+		t.Errorf("AngleTo self = %v", got)
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		yaw := (rng.Float64()*2 - 1) * math.Pi
+		pitch := (rng.Float64()*2 - 1) * (math.Pi/2 - 0.05) // avoid gimbal lock
+		roll := (rng.Float64()*2 - 1) * math.Pi
+		q := QuatFromEuler(yaw, pitch, roll)
+		y2, p2, r2 := q.Euler()
+		q2 := QuatFromEuler(y2, p2, r2)
+		// Compare by rotation action, not component values (double cover).
+		v := V3(1, 2, 3)
+		if !q.Rotate(v).AlmostEqual(q2.Rotate(v), 1e-6) {
+			t.Fatalf("euler round trip failed: (%v,%v,%v) -> (%v,%v,%v)", yaw, pitch, roll, y2, p2, r2)
+		}
+	}
+}
+
+func TestQuatNormalizeZero(t *testing.T) {
+	if got := (Quat{}).Normalize(); got != QuatIdentity {
+		t.Errorf("zero normalize = %v", got)
+	}
+}

@@ -1,0 +1,178 @@
+// Package pipeline provides the concurrency scaffolding of LiVo's live
+// pipeline (§A.1): each processing stage runs on its own goroutine,
+// connected to the next by a small bounded queue, and per-stage latency is
+// tracked for the Table 6 breakdown. Queues drop the oldest item when full
+// — a conferencing pipeline must prefer fresh frames over complete ones.
+package pipeline
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Queue is a bounded FIFO connecting two pipeline stages. Push never
+// blocks: when the queue is full the oldest item is dropped (and counted).
+type Queue[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	cap    int
+	drops  int64
+	closed bool
+}
+
+// NewQueue creates a queue with the given capacity (minimum 1).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an item, evicting the oldest when full. Pushing to a closed
+// queue is a no-op.
+func (q *Queue[T]) Push(item T) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	if len(q.items) >= q.cap {
+		q.items = q.items[1:]
+		q.drops++
+	}
+	q.items = append(q.items, item)
+	q.cond.Signal()
+}
+
+// Pop removes the oldest item, blocking until one is available, the queue
+// is closed, or ctx is done. ok is false on close/cancellation.
+func (q *Queue[T]) Pop(ctx context.Context) (T, bool) {
+	var zero T
+	done := make(chan struct{})
+	defer close(done)
+	// Wake the waiter if the context fires.
+	if ctx != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				q.cond.Broadcast()
+			case <-done:
+			}
+		}()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		if ctx != nil && ctx.Err() != nil {
+			return zero, false
+		}
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// TryPop removes the oldest item without blocking.
+func (q *Queue[T]) TryPop() (T, bool) {
+	var zero T
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item, true
+}
+
+// Close wakes all waiters; subsequent Pops drain remaining items then
+// return ok=false.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Drops returns how many items were evicted by full-queue pushes.
+func (q *Queue[T]) Drops() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.drops
+}
+
+// LatencyTracker accumulates per-stage processing latencies (Table 6).
+type LatencyTracker struct {
+	mu      sync.Mutex
+	samples map[string][]float64
+}
+
+// NewLatencyTracker creates an empty tracker.
+func NewLatencyTracker() *LatencyTracker {
+	return &LatencyTracker{samples: make(map[string][]float64)}
+}
+
+// Observe records one latency sample (seconds) for a stage.
+func (lt *LatencyTracker) Observe(stage string, seconds float64) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	lt.samples[stage] = append(lt.samples[stage], seconds)
+}
+
+// Time runs fn and records its duration under the stage name.
+func (lt *LatencyTracker) Time(stage string, fn func()) {
+	start := time.Now()
+	fn()
+	lt.Observe(stage, time.Since(start).Seconds())
+}
+
+// StageStats summarizes one stage's latency.
+type StageStats struct {
+	Stage string
+	Count int
+	Mean  float64
+	P95   float64
+}
+
+// Stats returns per-stage summaries sorted by stage name.
+func (lt *LatencyTracker) Stats() []StageStats {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	var out []StageStats
+	for stage, xs := range lt.samples {
+		if len(xs) == 0 {
+			continue
+		}
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		var sum float64
+		for _, x := range s {
+			sum += x
+		}
+		idx := int(0.95 * float64(len(s)-1))
+		out = append(out, StageStats{
+			Stage: stage,
+			Count: len(s),
+			Mean:  sum / float64(len(s)),
+			P95:   s[idx],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stage < out[j].Stage })
+	return out
+}

@@ -1,0 +1,163 @@
+package pipeline
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](4)
+	for i := 1; i <= 3; i++ {
+		q.Push(i)
+	}
+	for i := 1; i <= 3; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Error("pop from empty succeeded")
+	}
+}
+
+func TestQueueDropsOldest(t *testing.T) {
+	q := NewQueue[int](2)
+	q.Push(1)
+	q.Push(2)
+	q.Push(3) // evicts 1
+	if q.Drops() != 1 {
+		t.Errorf("drops = %d", q.Drops())
+	}
+	v, _ := q.TryPop()
+	if v != 2 {
+		t.Errorf("head = %d, want 2 (1 evicted)", v)
+	}
+	if q.Len() != 1 {
+		t.Errorf("len = %d", q.Len())
+	}
+}
+
+func TestQueueBlockingPop(t *testing.T) {
+	q := NewQueue[string](2)
+	done := make(chan string, 1)
+	go func() {
+		v, ok := q.Pop(context.Background())
+		if ok {
+			done <- v
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Push("hello")
+	select {
+	case v := <-done:
+		if v != "hello" {
+			t.Errorf("got %q", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop never returned")
+	}
+}
+
+func TestQueuePopCancellation(t *testing.T) {
+	q := NewQueue[int](1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop(ctx)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("cancelled pop returned ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("cancelled pop never returned")
+	}
+}
+
+func TestQueueClose(t *testing.T) {
+	q := NewQueue[int](4)
+	q.Push(7)
+	q.Close()
+	q.Push(8) // ignored after close
+	if v, ok := q.Pop(context.Background()); !ok || v != 7 {
+		t.Error("close should drain remaining items")
+	}
+	if _, ok := q.Pop(context.Background()); ok {
+		t.Error("pop after drain on closed queue succeeded")
+	}
+}
+
+func TestQueueConcurrentProducersConsumers(t *testing.T) {
+	q := NewQueue[int](64)
+	const n = 500
+	var got sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, ok := q.Pop(context.Background())
+				if !ok {
+					return
+				}
+				got.Store(v, true)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		q.Push(i)
+		if i%50 == 0 {
+			time.Sleep(time.Millisecond) // let consumers drain (no drops)
+		}
+	}
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	wg.Wait()
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if int64(count)+q.Drops() != n {
+		t.Errorf("received %d + dropped %d != %d", count, q.Drops(), n)
+	}
+}
+
+func TestLatencyTracker(t *testing.T) {
+	lt := NewLatencyTracker()
+	lt.Observe("encode", 0.010)
+	lt.Observe("encode", 0.020)
+	lt.Observe("encode", 0.030)
+	lt.Observe("cull", 0.001)
+	stats := lt.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d stages", len(stats))
+	}
+	// Sorted by name: cull, encode.
+	if stats[0].Stage != "cull" || stats[1].Stage != "encode" {
+		t.Fatalf("order: %v", stats)
+	}
+	enc := stats[1]
+	if enc.Count != 3 || enc.Mean < 0.019 || enc.Mean > 0.021 {
+		t.Errorf("encode stats: %+v", enc)
+	}
+	if enc.P95 < 0.02 {
+		t.Errorf("p95 = %v", enc.P95)
+	}
+}
+
+func TestLatencyTrackerTime(t *testing.T) {
+	lt := NewLatencyTracker()
+	lt.Time("work", func() { time.Sleep(5 * time.Millisecond) })
+	stats := lt.Stats()
+	if len(stats) != 1 || stats[0].Mean < 0.004 {
+		t.Errorf("timed stats: %+v", stats)
+	}
+}

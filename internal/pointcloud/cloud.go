@@ -1,0 +1,141 @@
+// Package pointcloud implements the 3D point-cloud representation LiVo
+// reconstructs at the receiver, plus the spatial data structures the rest of
+// the system needs: voxel-grid downsampling (used to speed up rendering,
+// §A.1), a voxel hash grid for nearest-neighbour queries (used by the
+// PointSSIM quality metric), frustum culling, and deterministic sampling.
+package pointcloud
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"livo/internal/geom"
+)
+
+// Cloud is a colored point cloud: parallel position and color slices.
+// Positions are in meters in the global frame.
+type Cloud struct {
+	Positions []geom.Vec3
+	Colors    [][3]uint8
+}
+
+// New allocates an empty cloud with the given capacity hint.
+func New(capacity int) *Cloud {
+	return &Cloud{
+		Positions: make([]geom.Vec3, 0, capacity),
+		Colors:    make([][3]uint8, 0, capacity),
+	}
+}
+
+// FromSlices wraps existing parallel slices. It returns an error when the
+// slices disagree in length.
+func FromSlices(pos []geom.Vec3, col [][3]uint8) (*Cloud, error) {
+	if len(pos) != len(col) {
+		return nil, fmt.Errorf("pointcloud: %d positions but %d colors", len(pos), len(col))
+	}
+	return &Cloud{Positions: pos, Colors: col}, nil
+}
+
+// Len returns the number of points.
+func (c *Cloud) Len() int { return len(c.Positions) }
+
+// Add appends one point.
+func (c *Cloud) Add(p geom.Vec3, col [3]uint8) {
+	c.Positions = append(c.Positions, p)
+	c.Colors = append(c.Colors, col)
+}
+
+// Clone deep-copies the cloud.
+func (c *Cloud) Clone() *Cloud {
+	out := New(c.Len())
+	out.Positions = append(out.Positions, c.Positions...)
+	out.Colors = append(out.Colors, c.Colors...)
+	return out
+}
+
+// Bounds returns the axis-aligned bounding box of the cloud.
+func (c *Cloud) Bounds() geom.AABB { return geom.NewAABB(c.Positions) }
+
+// Transform applies a rigid transform to every point in place.
+func (c *Cloud) Transform(m geom.Mat4) {
+	for i, p := range c.Positions {
+		c.Positions[i] = m.TransformPoint(p)
+	}
+}
+
+// SizeBytes returns the uncompressed size: 3 float32 coordinates plus 3
+// color bytes per point (15 B), matching how the paper sizes raw point
+// clouds (≈1 MB per 70k-point person, ≈10 MB full-scene).
+func (c *Cloud) SizeBytes() int { return c.Len() * 15 }
+
+// CullFrustum returns a new cloud containing only points inside f.
+func (c *Cloud) CullFrustum(f geom.Frustum) *Cloud {
+	out := New(c.Len() / 4)
+	for i, p := range c.Positions {
+		if f.Contains(p) {
+			out.Add(p, c.Colors[i])
+		}
+	}
+	return out
+}
+
+// Sample returns a cloud of at most n points drawn without replacement
+// using rng. If n >= Len the original cloud is cloned.
+func (c *Cloud) Sample(n int, rng *rand.Rand) *Cloud {
+	if n >= c.Len() {
+		return c.Clone()
+	}
+	idx := rng.Perm(c.Len())[:n]
+	out := New(n)
+	for _, i := range idx {
+		out.Add(c.Positions[i], c.Colors[i])
+	}
+	return out
+}
+
+// VoxelDownsample returns a cloud with at most one point per cubic voxel of
+// the given size (meters): the centroid of the voxel's points with their
+// average color. This is the receiver-side voxelization of §A.1.
+func (c *Cloud) VoxelDownsample(voxel float64) *Cloud {
+	if voxel <= 0 || c.Len() == 0 {
+		return c.Clone()
+	}
+	type acc struct {
+		sum     geom.Vec3
+		r, g, b int
+		n       int
+	}
+	cells := make(map[[3]int32]*acc, c.Len()/4)
+	inv := 1 / voxel
+	for i, p := range c.Positions {
+		k := [3]int32{
+			int32(math.Floor(p.X * inv)),
+			int32(math.Floor(p.Y * inv)),
+			int32(math.Floor(p.Z * inv)),
+		}
+		a := cells[k]
+		if a == nil {
+			a = &acc{}
+			cells[k] = a
+		}
+		a.sum = a.sum.Add(p)
+		a.r += int(c.Colors[i][0])
+		a.g += int(c.Colors[i][1])
+		a.b += int(c.Colors[i][2])
+		a.n++
+	}
+	out := New(len(cells))
+	for _, a := range cells {
+		inv := 1 / float64(a.n)
+		out.Add(a.sum.Scale(inv), [3]uint8{
+			uint8(float64(a.r)*inv + 0.5),
+			uint8(float64(a.g)*inv + 0.5),
+			uint8(float64(a.b)*inv + 0.5),
+		})
+	}
+	return out
+}
+
+// geomV3 is a local alias easing construction in I/O code.
+func geomV3(x, y, z float64) geom.Vec3 { return geom.V3(x, y, z) }

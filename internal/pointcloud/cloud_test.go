@@ -1,0 +1,225 @@
+package pointcloud
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"livo/internal/geom"
+)
+
+func randCloud(rng *rand.Rand, n int, extent float64) *Cloud {
+	c := New(n)
+	for i := 0; i < n; i++ {
+		c.Add(
+			geom.V3(rng.Float64()*extent, rng.Float64()*extent, rng.Float64()*extent),
+			[3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))},
+		)
+	}
+	return c
+}
+
+func TestCloudBasics(t *testing.T) {
+	c := New(0)
+	if c.Len() != 0 {
+		t.Fatal("new cloud not empty")
+	}
+	c.Add(geom.V3(1, 2, 3), [3]uint8{4, 5, 6})
+	if c.Len() != 1 || c.Positions[0] != geom.V3(1, 2, 3) || c.Colors[0] != [3]uint8{4, 5, 6} {
+		t.Fatal("Add failed")
+	}
+	if c.SizeBytes() != 15 {
+		t.Errorf("SizeBytes = %d", c.SizeBytes())
+	}
+}
+
+func TestFromSlices(t *testing.T) {
+	_, err := FromSlices([]geom.Vec3{{}}, nil)
+	if err == nil {
+		t.Error("mismatched slices accepted")
+	}
+	c, err := FromSlices([]geom.Vec3{{X: 1}}, [][3]uint8{{2, 3, 4}})
+	if err != nil || c.Len() != 1 {
+		t.Errorf("FromSlices failed: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := randCloud(rand.New(rand.NewSource(1)), 10, 1)
+	d := c.Clone()
+	d.Positions[0] = geom.V3(99, 99, 99)
+	d.Colors[0] = [3]uint8{0, 0, 0}
+	if c.Positions[0] == d.Positions[0] {
+		t.Error("clone aliases positions")
+	}
+}
+
+func TestTransformRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := randCloud(rng, 100, 3)
+	orig := c.Clone()
+	p := geom.Pose{
+		Position: geom.V3(1, -2, 0.5),
+		Rotation: geom.QuatFromAxisAngle(geom.V3(1, 1, 0), 0.7),
+	}
+	c.Transform(p.Mat4())
+	c.Transform(p.InverseMat4())
+	for i := range c.Positions {
+		if !c.Positions[i].AlmostEqual(orig.Positions[i], 1e-9) {
+			t.Fatalf("transform round trip failed at %d", i)
+		}
+	}
+}
+
+func TestCullFrustum(t *testing.T) {
+	c := New(0)
+	c.Add(geom.V3(0, 0, 5), [3]uint8{1, 1, 1})  // inside
+	c.Add(geom.V3(0, 0, -5), [3]uint8{2, 2, 2}) // behind
+	c.Add(geom.V3(50, 0, 5), [3]uint8{3, 3, 3}) // far outside
+	f := geom.NewFrustum(geom.PoseIdentity, geom.ViewParams{FovY: math.Pi / 2, Aspect: 1, Near: 0.1, Far: 10})
+	culled := c.CullFrustum(f)
+	if culled.Len() != 1 || culled.Colors[0] != [3]uint8{1, 1, 1} {
+		t.Fatalf("culled = %d points", culled.Len())
+	}
+}
+
+func TestSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randCloud(rng, 100, 1)
+	s := c.Sample(10, rng)
+	if s.Len() != 10 {
+		t.Fatalf("sample len = %d", s.Len())
+	}
+	// Sampling more than available clones.
+	s2 := c.Sample(1000, rng)
+	if s2.Len() != 100 {
+		t.Fatalf("oversample len = %d", s2.Len())
+	}
+	// All sampled points exist in the original.
+	seen := map[geom.Vec3]bool{}
+	for _, p := range c.Positions {
+		seen[p] = true
+	}
+	for _, p := range s.Positions {
+		if !seen[p] {
+			t.Fatal("sample invented a point")
+		}
+	}
+}
+
+func TestVoxelDownsample(t *testing.T) {
+	c := New(0)
+	// Two clusters far apart; each collapses to its centroid.
+	c.Add(geom.V3(0.01, 0.01, 0.01), [3]uint8{10, 0, 0})
+	c.Add(geom.V3(0.02, 0.02, 0.02), [3]uint8{20, 0, 0})
+	c.Add(geom.V3(5.01, 5.01, 5.01), [3]uint8{100, 0, 0})
+	d := c.VoxelDownsample(0.1)
+	if d.Len() != 2 {
+		t.Fatalf("downsampled to %d points, want 2", d.Len())
+	}
+	// Find the cluster-1 centroid.
+	var found bool
+	for i, p := range d.Positions {
+		if p.AlmostEqual(geom.V3(0.015, 0.015, 0.015), 1e-9) {
+			found = true
+			if d.Colors[i][0] != 15 {
+				t.Errorf("averaged color = %d, want 15", d.Colors[i][0])
+			}
+		}
+	}
+	if !found {
+		t.Error("centroid of cluster 1 missing")
+	}
+}
+
+func TestVoxelDownsampleDegenerate(t *testing.T) {
+	c := randCloud(rand.New(rand.NewSource(4)), 10, 1)
+	if got := c.VoxelDownsample(0); got.Len() != 10 {
+		t.Error("non-positive voxel should clone")
+	}
+	empty := New(0)
+	if got := empty.VoxelDownsample(0.1); got.Len() != 0 {
+		t.Error("empty cloud downsample should be empty")
+	}
+}
+
+func TestVoxelDownsampleReducesDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := randCloud(rng, 5000, 1.0)
+	d := c.VoxelDownsample(0.2)
+	if d.Len() >= c.Len() {
+		t.Fatalf("downsample did not reduce: %d -> %d", c.Len(), d.Len())
+	}
+	// Max one point per voxel: at most 5^3+slack cells in a 1m cube (points
+	// can land in cells [-0..5] per axis due to edge flooring).
+	if d.Len() > 6*6*6 {
+		t.Fatalf("too many voxels: %d", d.Len())
+	}
+}
+
+func TestBounds(t *testing.T) {
+	c := New(0)
+	c.Add(geom.V3(-1, 0, 2), [3]uint8{})
+	c.Add(geom.V3(3, -4, 1), [3]uint8{})
+	b := c.Bounds()
+	if b.Min != geom.V3(-1, -4, 1) || b.Max != geom.V3(3, 0, 2) {
+		t.Fatalf("bounds = %+v", b)
+	}
+}
+
+func TestPLYRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := randCloud(rng, 200, 3.0)
+	var buf bytes.Buffer
+	if err := c.WritePLY(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPLY(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatalf("count %d != %d", got.Len(), c.Len())
+	}
+	for i := range c.Positions {
+		if !got.Positions[i].AlmostEqual(c.Positions[i], 1e-5) {
+			t.Fatalf("position %d drifted: %v vs %v", i, got.Positions[i], c.Positions[i])
+		}
+		if got.Colors[i] != c.Colors[i] {
+			t.Fatalf("color %d changed", i)
+		}
+	}
+}
+
+func TestPLYHeaderIsStandard(t *testing.T) {
+	c := New(0)
+	c.Add(geom.V3(1, 2, 3), [3]uint8{4, 5, 6})
+	var buf bytes.Buffer
+	if err := c.WritePLY(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"ply\n", "format ascii 1.0", "element vertex 1", "end_header"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("PLY missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReadPLYErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"notply\n",
+		"ply\nformat binary_little_endian 1.0\nend_header\n",
+		"ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nend_header\n0\n",
+		"ply\nformat ascii 1.0\nelement vertex 2\nproperty float x\nproperty float y\nproperty float z\nproperty uchar red\nproperty uchar green\nproperty uchar blue\nend_header\n0 0 0 0 0 0\n",
+		"ply\nformat ascii 1.0\nelement vertex 1\nproperty float x\nproperty float y\nproperty float z\nproperty uchar red\nproperty uchar green\nproperty uchar blue\nend_header\nnot numbers here boo\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadPLY(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package pointcloud
+
+import (
+	"math"
+	"sort"
+
+	"livo/internal/geom"
+)
+
+// Grid is a voxel hash grid over a cloud's points, supporting
+// nearest-neighbour and k-nearest-neighbour queries. It backs the PointSSIM
+// metric (which needs per-point neighbourhoods in both the reference and the
+// distorted cloud) without an external kd-tree dependency.
+type Grid struct {
+	cloud *Cloud
+	cell  float64
+	cells map[[3]int32][]int32
+}
+
+// NewGrid indexes cloud with the given cell size (meters). A cell size near
+// the cloud's average point spacing gives the best query performance. A
+// non-positive cell defaults to an estimate from the cloud bounds.
+func NewGrid(cloud *Cloud, cell float64) *Grid {
+	if cell <= 0 {
+		cell = estimateCell(cloud)
+	}
+	g := &Grid{
+		cloud: cloud,
+		cell:  cell,
+		cells: make(map[[3]int32][]int32, cloud.Len()/2+1),
+	}
+	for i, p := range cloud.Positions {
+		k := g.key(p)
+		g.cells[k] = append(g.cells[k], int32(i))
+	}
+	return g
+}
+
+// estimateCell guesses a useful cell size ≈ the average point spacing.
+// Scanned clouds are surfaces, not volumes: points cover ~2D manifolds
+// inside the bounding box, so the area-based estimate (using the two
+// largest extents) matches real spacing far better than a volume estimate.
+func estimateCell(cloud *Cloud) float64 {
+	if cloud.Len() == 0 {
+		return 0.01
+	}
+	s := cloud.Bounds().Size()
+	ext := []float64{math.Abs(s.X), math.Abs(s.Y), math.Abs(s.Z)}
+	sort.Float64s(ext)
+	e1, e2 := math.Max(ext[2], 1e-6), math.Max(ext[1], 1e-6)
+	c := 2 * math.Sqrt(e1*e2/float64(cloud.Len()))
+	if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+		return 0.01
+	}
+	return c
+}
+
+// Cell returns the grid's cell size.
+func (g *Grid) Cell() float64 { return g.cell }
+
+func (g *Grid) key(p geom.Vec3) [3]int32 {
+	inv := 1 / g.cell
+	return [3]int32{
+		int32(math.Floor(p.X * inv)),
+		int32(math.Floor(p.Y * inv)),
+		int32(math.Floor(p.Z * inv)),
+	}
+}
+
+// maxRings bounds the ring expansion before falling back to a linear scan
+// (far queries over sparse clouds would otherwise enumerate O(r^3) cells).
+const maxRings = 24
+
+// Nearest returns the index of the point nearest to q and its distance.
+// Returns (-1, +Inf) for an empty cloud. The search expands ring by ring
+// until a hit is found and then the rings that could still hide a closer
+// point; queries far from the cloud fall back to a linear scan.
+func (g *Grid) Nearest(q geom.Vec3) (int, float64) {
+	if g.cloud.Len() == 0 {
+		return -1, math.Inf(1)
+	}
+	center := g.key(q)
+	best := -1
+	bestD := math.Inf(1)
+	for ring := 0; ring <= maxRings; ring++ {
+		if best >= 0 {
+			// Minimum possible distance from q to any cell in this ring.
+			minDist := (float64(ring) - 1) * g.cell
+			if minDist > bestD {
+				return best, bestD
+			}
+		}
+		g.scanRing(center, ring, func(i int32) {
+			d := g.cloud.Positions[i].Dist(q)
+			if d < bestD {
+				bestD = d
+				best = int(i)
+			}
+		})
+	}
+	if best >= 0 && bestD <= float64(maxRings-1)*g.cell {
+		return best, bestD
+	}
+	return g.bruteNearest(q)
+}
+
+func (g *Grid) bruteNearest(q geom.Vec3) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, p := range g.cloud.Positions {
+		if d := p.Dist(q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// scanRing visits all occupied cells whose Chebyshev distance from center is
+// exactly ring, calling fn for each point index. Returns whether any
+// occupied cell was visited.
+func (g *Grid) scanRing(center [3]int32, ring int, fn func(int32)) bool {
+	found := false
+	visit := func(k [3]int32) {
+		if pts, ok := g.cells[k]; ok {
+			found = true
+			for _, i := range pts {
+				fn(i)
+			}
+		}
+	}
+	r := int32(ring)
+	if ring == 0 {
+		visit(center)
+		return found
+	}
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for dz := -r; dz <= r; dz++ {
+				if max3(abs32(dx), abs32(dy), abs32(dz)) != r {
+					continue
+				}
+				visit([3]int32{center[0] + dx, center[1] + dy, center[2] + dz})
+			}
+		}
+	}
+	return found
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max3(a, b, c int32) int32 {
+	if b > a {
+		a = b
+	}
+	if c > a {
+		a = c
+	}
+	return a
+}
+
+// Neighbor is a point index with its distance from a query.
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+// KNearest returns up to k nearest neighbours of q sorted by distance.
+func (g *Grid) KNearest(q geom.Vec3, k int) []Neighbor {
+	if k <= 0 || g.cloud.Len() == 0 {
+		return nil
+	}
+	if k > g.cloud.Len() {
+		k = g.cloud.Len()
+	}
+	center := g.key(q)
+	var cand []Neighbor
+	// Expand rings until we have >= k candidates, then the safety-margin
+	// rings that could still hide closer points. Far/sparse queries fall
+	// back to a linear scan instead of enumerating huge empty rings.
+	extra := -1
+	for ring := 0; ; ring++ {
+		if ring > maxRings && extra < 0 {
+			cand = cand[:0]
+			for i := range g.cloud.Positions {
+				cand = append(cand, Neighbor{i, g.cloud.Positions[i].Dist(q)})
+			}
+			break
+		}
+		g.scanRing(center, ring, func(i int32) {
+			cand = append(cand, Neighbor{int(i), g.cloud.Positions[i].Dist(q)})
+		})
+		if len(cand) >= k && extra < 0 {
+			sort.Slice(cand, func(a, b int) bool { return cand[a].Dist < cand[b].Dist })
+			// Any point within the current k-th distance of q lies within
+			// this many rings of the center cell.
+			kth := cand[k-1].Dist
+			bound := int(math.Ceil(kth/g.cell)) + 1
+			if bound > 2*maxRings {
+				// Sparse cloud: cheaper to scan linearly than to walk
+				// enormous empty rings.
+				cand = cand[:0]
+				for i := range g.cloud.Positions {
+					cand = append(cand, Neighbor{i, g.cloud.Positions[i].Dist(q)})
+				}
+				break
+			}
+			if bound < ring {
+				bound = ring
+			}
+			extra = bound
+		}
+		if extra >= 0 && ring >= extra {
+			break
+		}
+	}
+	sort.Slice(cand, func(a, b int) bool { return cand[a].Dist < cand[b].Dist })
+	if len(cand) > k {
+		cand = cand[:k]
+	}
+	return cand
+}

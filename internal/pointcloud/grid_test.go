@@ -1,0 +1,132 @@
+package pointcloud
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"livo/internal/geom"
+)
+
+// bruteNearest is the reference implementation for grid queries.
+func bruteNearest(c *Cloud, q geom.Vec3) (int, float64) {
+	best, bestD := -1, math.Inf(1)
+	for i, p := range c.Positions {
+		if d := p.Dist(q); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := randCloud(rng, 500, 2.0)
+	g := NewGrid(c, 0.2)
+	for trial := 0; trial < 200; trial++ {
+		q := geom.V3(rng.Float64()*3-0.5, rng.Float64()*3-0.5, rng.Float64()*3-0.5)
+		gi, gd := g.Nearest(q)
+		bi, bd := bruteNearest(c, q)
+		if gi != bi && math.Abs(gd-bd) > 1e-12 {
+			t.Fatalf("nearest mismatch at %v: grid (%d,%v) brute (%d,%v)", q, gi, gd, bi, bd)
+		}
+	}
+}
+
+func TestGridNearestFarQuery(t *testing.T) {
+	c := New(0)
+	c.Add(geom.V3(0, 0, 0), [3]uint8{})
+	g := NewGrid(c, 0.1)
+	// Query far from the only point: many empty rings must be traversed.
+	i, d := g.Nearest(geom.V3(3, 3, 3))
+	if i != 0 {
+		t.Fatalf("nearest index = %d", i)
+	}
+	want := math.Sqrt(27)
+	if math.Abs(d-want) > 1e-9 {
+		t.Fatalf("nearest dist = %v, want %v", d, want)
+	}
+}
+
+func TestGridEmpty(t *testing.T) {
+	g := NewGrid(New(0), 0.1)
+	if i, d := g.Nearest(geom.V3(0, 0, 0)); i != -1 || !math.IsInf(d, 1) {
+		t.Fatalf("empty nearest = (%d,%v)", i, d)
+	}
+	if nn := g.KNearest(geom.V3(0, 0, 0), 5); nn != nil {
+		t.Fatal("empty KNearest should be nil")
+	}
+}
+
+func TestGridKNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c := randCloud(rng, 300, 1.0)
+	g := NewGrid(c, 0.15)
+	for trial := 0; trial < 50; trial++ {
+		q := geom.V3(rng.Float64(), rng.Float64(), rng.Float64())
+		k := 1 + rng.Intn(10)
+		got := g.KNearest(q, k)
+		if len(got) != k {
+			t.Fatalf("KNearest returned %d, want %d", len(got), k)
+		}
+		// Brute force distances.
+		dists := make([]float64, c.Len())
+		for i, p := range c.Positions {
+			dists[i] = p.Dist(q)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if math.Abs(nb.Dist-dists[i]) > 1e-12 {
+				t.Fatalf("k=%d neighbour %d dist %v, want %v", k, i, nb.Dist, dists[i])
+			}
+		}
+		// Returned sorted.
+		for i := 1; i < len(got); i++ {
+			if got[i].Dist < got[i-1].Dist {
+				t.Fatal("KNearest not sorted")
+			}
+		}
+	}
+}
+
+func TestGridKNearestClampsK(t *testing.T) {
+	c := randCloud(rand.New(rand.NewSource(12)), 5, 1)
+	g := NewGrid(c, 0.3)
+	nn := g.KNearest(geom.V3(0.5, 0.5, 0.5), 50)
+	if len(nn) != 5 {
+		t.Fatalf("KNearest len = %d, want 5", len(nn))
+	}
+	if g.KNearest(geom.V3(0, 0, 0), 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+}
+
+func TestGridAutoCell(t *testing.T) {
+	c := randCloud(rand.New(rand.NewSource(13)), 1000, 1.0)
+	g := NewGrid(c, 0)
+	if g.Cell() <= 0 {
+		t.Fatalf("auto cell = %v", g.Cell())
+	}
+	// Queries still correct with auto cell.
+	q := geom.V3(0.5, 0.5, 0.5)
+	gi, _ := g.Nearest(q)
+	bi, _ := bruteNearest(c, q)
+	if gi != bi {
+		t.Fatalf("auto-cell nearest mismatch: %d vs %d", gi, bi)
+	}
+}
+
+func BenchmarkGridNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	c := randCloud(rng, 20000, 2.0)
+	g := NewGrid(c, 0)
+	queries := make([]geom.Vec3, 256)
+	for i := range queries {
+		queries[i] = geom.V3(rng.Float64()*2, rng.Float64()*2, rng.Float64()*2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Nearest(queries[i%len(queries)])
+	}
+}

@@ -1,0 +1,242 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"livo/internal/geom"
+)
+
+// MLP is a fully-connected feed-forward network with tanh hidden units and
+// linear outputs, trained by mini-batch SGD with MSE loss. It reproduces
+// the learning-based pose predictor LiVo compares against (Fig 16): an MLP
+// trained on a small number of user traces.
+type MLP struct {
+	sizes   []int
+	weights [][]float64 // [layer][out*in]
+	biases  [][]float64
+}
+
+// NewMLP builds a network with the given layer sizes, e.g. {12, 32, 6} is
+// one hidden layer of 32 units. Weights use Xavier initialization from rng.
+func NewMLP(sizes []int, rng *rand.Rand) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("predict: need at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("predict: non-positive layer size %d", s)
+		}
+	}
+	m := &MLP{sizes: sizes}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m, nil
+}
+
+// Forward computes the network output for input x.
+func (m *MLP) Forward(x []float64) []float64 {
+	a := append([]float64(nil), x...)
+	for l := range m.weights {
+		in, out := m.sizes[l], m.sizes[l+1]
+		next := make([]float64, out)
+		for o := 0; o < out; o++ {
+			s := m.biases[l][o]
+			row := m.weights[l][o*in : (o+1)*in]
+			for i := 0; i < in; i++ {
+				s += row[i] * a[i]
+			}
+			next[o] = s
+		}
+		if l < len(m.weights)-1 { // hidden layers use tanh
+			for o := range next {
+				next[o] = math.Tanh(next[o])
+			}
+		}
+		a = next
+	}
+	return a
+}
+
+// Train runs SGD over (inputs, targets) for the given epochs, returning the
+// final mean squared error. Sample order is shuffled per epoch using rng.
+func (m *MLP) Train(inputs, targets [][]float64, epochs int, lr float64, rng *rand.Rand) (float64, error) {
+	if len(inputs) != len(targets) || len(inputs) == 0 {
+		return 0, fmt.Errorf("predict: %d inputs vs %d targets", len(inputs), len(targets))
+	}
+	nl := len(m.weights)
+	var finalMSE float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		perm := rng.Perm(len(inputs))
+		var mse float64
+		for _, idx := range perm {
+			x, y := inputs[idx], targets[idx]
+			// Forward pass keeping activations.
+			acts := make([][]float64, nl+1)
+			acts[0] = x
+			for l := 0; l < nl; l++ {
+				in, out := m.sizes[l], m.sizes[l+1]
+				next := make([]float64, out)
+				for o := 0; o < out; o++ {
+					s := m.biases[l][o]
+					row := m.weights[l][o*in : (o+1)*in]
+					for i := 0; i < in; i++ {
+						s += row[i] * acts[l][i]
+					}
+					next[o] = s
+				}
+				if l < nl-1 {
+					for o := range next {
+						next[o] = math.Tanh(next[o])
+					}
+				}
+				acts[l+1] = next
+			}
+			// Output error (linear layer, MSE).
+			delta := make([]float64, len(y))
+			for o := range y {
+				d := acts[nl][o] - y[o]
+				delta[o] = d
+				mse += d * d
+			}
+			// Backprop.
+			for l := nl - 1; l >= 0; l-- {
+				in, out := m.sizes[l], m.sizes[l+1]
+				var prevDelta []float64
+				if l > 0 {
+					prevDelta = make([]float64, in)
+				}
+				for o := 0; o < out; o++ {
+					row := m.weights[l][o*in : (o+1)*in]
+					g := delta[o]
+					for i := 0; i < in; i++ {
+						if prevDelta != nil {
+							prevDelta[i] += row[i] * g
+						}
+						row[i] -= lr * g * acts[l][i]
+					}
+					m.biases[l][o] -= lr * g
+				}
+				if l > 0 {
+					// Through tanh derivative.
+					for i := range prevDelta {
+						a := acts[l][i]
+						prevDelta[i] *= 1 - a*a
+					}
+					delta = prevDelta
+				}
+			}
+		}
+		finalMSE = mse / float64(len(inputs)*len(targets[0]))
+	}
+	return finalMSE, nil
+}
+
+// --- Pose-prediction wrapper around the MLP ----------------------------
+
+// historyLen is how many past poses the MLP sees (at the trace rate).
+const historyLen = 5
+
+// poseFeatures flattens a pose history relative to the most recent pose:
+// position deltas plus unwrapped Euler angle deltas — 6*(historyLen-1)
+// numbers. Working in deltas makes the mapping translation-invariant.
+func poseFeatures(history []geom.Pose) []float64 {
+	cur := history[len(history)-1]
+	cy, cp, cr := cur.Rotation.Euler()
+	var out []float64
+	for i := 0; i < len(history)-1; i++ {
+		h := history[i]
+		d := h.Position.Sub(cur.Position)
+		y, p, r := h.Rotation.Euler()
+		out = append(out, d.X, d.Y, d.Z,
+			unwrap(0, y-cy), unwrap(0, p-cp), unwrap(0, r-cr))
+	}
+	return out
+}
+
+// poseTarget encodes the future pose relative to the current pose.
+func poseTarget(cur, future geom.Pose) []float64 {
+	cy, cp, cr := cur.Rotation.Euler()
+	fy, fp, fr := future.Rotation.Euler()
+	d := future.Position.Sub(cur.Position)
+	return []float64{d.X, d.Y, d.Z,
+		unwrap(0, fy-cy), unwrap(0, fp-cp), unwrap(0, fr-cr)}
+}
+
+// decodeTarget applies a predicted delta to the current pose.
+func decodeTarget(cur geom.Pose, out []float64) geom.Pose {
+	cy, cp, cr := cur.Rotation.Euler()
+	return geom.Pose{
+		Position: cur.Position.Add(geom.V3(out[0], out[1], out[2])),
+		Rotation: geom.QuatFromEuler(cy+out[3], cp+out[4], cr+out[5]),
+	}
+}
+
+// MLPPredictor adapts a trained MLP to the pose-prediction interface.
+type MLPPredictor struct {
+	net     *MLP
+	history []geom.Pose
+}
+
+// NewMLPPredictor builds an untrained pose MLP with the given hidden layer
+// sizes (Fig 16 uses a 3-hidden-layer network with 3/32/64 units).
+func NewMLPPredictor(hidden []int, rng *rand.Rand) (*MLPPredictor, error) {
+	sizes := []int{6 * (historyLen - 1)}
+	sizes = append(sizes, hidden...)
+	sizes = append(sizes, 6)
+	net, err := NewMLP(sizes, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &MLPPredictor{net: net}, nil
+}
+
+// TrainOnTraces fits the predictor on pose sequences: for every window of
+// historyLen poses, the target is the pose `horizon` samples later.
+func (m *MLPPredictor) TrainOnTraces(traces [][]geom.Pose, horizonSamples, epochs int, lr float64, rng *rand.Rand) (float64, error) {
+	var inputs, targets [][]float64
+	for _, tr := range traces {
+		for i := 0; i+historyLen+horizonSamples <= len(tr); i++ {
+			hist := tr[i : i+historyLen]
+			cur := hist[len(hist)-1]
+			future := tr[i+historyLen-1+horizonSamples]
+			inputs = append(inputs, poseFeatures(hist))
+			targets = append(targets, poseTarget(cur, future))
+		}
+	}
+	if len(inputs) == 0 {
+		return 0, fmt.Errorf("predict: traces too short for training")
+	}
+	return m.net.Train(inputs, targets, epochs, lr, rng)
+}
+
+// Observe appends a pose observation.
+func (m *MLPPredictor) Observe(_ float64, pose geom.Pose) {
+	m.history = append(m.history, pose)
+	if len(m.history) > historyLen {
+		m.history = m.history[len(m.history)-historyLen:]
+	}
+}
+
+// Predict returns the network's pose prediction. The horizon the network
+// was trained for is baked into its weights; the argument is ignored (kept
+// for interface symmetry with Kalman).
+func (m *MLPPredictor) Predict(float64) geom.Pose {
+	if len(m.history) == 0 {
+		return geom.PoseIdentity
+	}
+	if len(m.history) < historyLen {
+		return m.history[len(m.history)-1]
+	}
+	out := m.net.Forward(poseFeatures(m.history))
+	return decodeTarget(m.history[len(m.history)-1], out)
+}

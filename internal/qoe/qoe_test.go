@@ -1,0 +1,88 @@
+package qoe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnchorPoints(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Measurement
+		want float64
+		tol  float64
+	}{
+		{"LiVo", Measurement{87.8, 82.9, 0.017, 30, 30}, 4.1, 0.25},
+		{"NoCull", Measurement{81.0, 80.9, 0.079, 30, 30}, 3.4, 0.25},
+		{"MeshReduce", Measurement{67.0, 77.3, 0, 12.1, 30}, 2.5, 0.25},
+		{"DracoOracle", Measurement{28.3, 29.9, 0.69, 15, 30}, 1.5, 0.3},
+	}
+	var prev = math.Inf(1)
+	for _, c := range cases {
+		got := Score(c.m)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s: score %v, want %v ± %v", c.name, got, c.want, c.tol)
+		}
+		if got >= prev {
+			t.Errorf("%s: ranking violated (%v >= %v)", c.name, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestScoreBounds(t *testing.T) {
+	if got := Score(Measurement{0, 0, 1, 0, 30}); got != 1 {
+		t.Errorf("worst case = %v, want 1", got)
+	}
+	if got := Score(Measurement{100, 100, 0, 30, 30}); got != 5 {
+		t.Errorf("best case = %v, want 5", got)
+	}
+}
+
+func TestScoreMonotoneInQuality(t *testing.T) {
+	prev := 0.0
+	for p := 0.0; p <= 100; p += 5 {
+		got := Score(Measurement{p, p, 0, 30, 30})
+		if got < prev {
+			t.Fatalf("score not monotone at PSSIM %v", p)
+		}
+		prev = got
+	}
+}
+
+func TestScorePenalties(t *testing.T) {
+	base := Score(Measurement{85, 85, 0, 30, 30})
+	stalled := Score(Measurement{85, 85, 0.5, 30, 30})
+	if stalled >= base {
+		t.Error("stalls not penalized")
+	}
+	slow := Score(Measurement{85, 85, 0, 10, 30})
+	if slow >= base {
+		t.Error("low fps not penalized")
+	}
+	// Default target fps when unset.
+	if Score(Measurement{85, 85, 0, 30, 0}) != base {
+		t.Error("default target fps wrong")
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	c := Categorize(Measurement{90, 90, 0.01, 30, 30})
+	if c.FrameRate != High || c.Stalls != Low || c.Quality != High {
+		t.Errorf("good run categories: %+v", c)
+	}
+	c = Categorize(Measurement{70, 70, 0.05, 20, 30})
+	if c.FrameRate != Medium || c.Stalls != Medium || c.Quality != Medium {
+		t.Errorf("medium run categories: %+v", c)
+	}
+	c = Categorize(Measurement{30, 30, 0.7, 12, 30})
+	if c.FrameRate != Low || c.Stalls != High || c.Quality != Low {
+		t.Errorf("bad run categories: %+v", c)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if Low.String() != "L" || Medium.String() != "M" || High.String() != "H" || Level(9).String() != "?" {
+		t.Error("level strings wrong")
+	}
+}

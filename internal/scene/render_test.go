@@ -1,0 +1,206 @@
+package scene
+
+import (
+	"math"
+	"testing"
+
+	"livo/internal/camera"
+	"livo/internal/geom"
+)
+
+func smallConfig() CaptureConfig {
+	return CaptureConfig{
+		Cameras: 4, Width: 48, Height: 36,
+		HFov:       math.Pi * 75 / 180,
+		RingRadius: 2.6, RingHeight: 1.5, MaxRange: 6,
+	}
+}
+
+func TestRenderFrameProducesContent(t *testing.T) {
+	v, err := OpenVideo("office1", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := v.Frame(0)
+	if len(views) != 4 {
+		t.Fatalf("got %d views", len(views))
+	}
+	for ci, view := range views {
+		if err := view.Validate(); err != nil {
+			t.Fatalf("camera %d: %v", ci, err)
+		}
+		valid := view.Depth.ValidCount()
+		total := view.Depth.W * view.Depth.H
+		if valid < total/10 {
+			t.Errorf("camera %d sees too little: %d/%d valid pixels", ci, valid, total)
+		}
+		// Depth values within sensor range.
+		for _, d := range view.Depth.Pix {
+			if d > 6000 {
+				t.Fatalf("camera %d depth %d beyond range", ci, d)
+			}
+		}
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	v1, _ := OpenVideo("toddler4", smallConfig())
+	v2, _ := OpenVideo("toddler4", smallConfig())
+	a := v1.Frame(7)
+	b := v2.Frame(7)
+	for ci := range a {
+		for i := range a[ci].Depth.Pix {
+			if a[ci].Depth.Pix[i] != b[ci].Depth.Pix[i] {
+				t.Fatalf("nondeterministic depth at camera %d pixel %d", ci, i)
+			}
+		}
+		for i := range a[ci].Color.Pix {
+			if a[ci].Color.Pix[i] != b[ci].Color.Pix[i] {
+				t.Fatalf("nondeterministic color at camera %d byte %d", ci, i)
+			}
+		}
+	}
+}
+
+func TestRenderMotionChangesFrames(t *testing.T) {
+	v, _ := OpenVideo("dance5", smallConfig())
+	a := v.Frame(0)
+	b := v.Frame(30) // one second later: dancer has moved
+	diff := 0
+	for ci := range a {
+		for i := range a[ci].Depth.Pix {
+			if a[ci].Depth.Pix[i] != b[ci].Depth.Pix[i] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("scene did not change over time")
+	}
+}
+
+func TestRenderStaticSceneStable(t *testing.T) {
+	// A scene with only static content renders identically at any time.
+	sc := &Scene{Static: []Object{backdrop()}}
+	sc.Static[0].Motion = StaticMotion{Pose: geom.PoseIdentity}
+	in := camera.NewIntrinsics(32, 24, math.Pi/2)
+	arr := camera.NewRing(2, 2.5, 1.5, 0.5, in, 6)
+	r := NewRenderer(sc, arr)
+	a := r.RenderFrame(0)
+	b := r.RenderFrame(99)
+	for ci := range a {
+		for i := range a[ci].Depth.Pix {
+			if a[ci].Depth.Pix[i] != b[ci].Depth.Pix[i] {
+				t.Fatal("static scene changed over time")
+			}
+		}
+	}
+}
+
+func TestRenderDepthGeometryConsistent(t *testing.T) {
+	// A sphere at a known location must produce the right depth at the
+	// pixel it projects to.
+	sphere := Object{
+		Name:       "s",
+		Primitives: []Part{{Prim: Ellipsoid{Center: geom.V3(0, 0, 0), Radii: geom.V3(0.3, 0.3, 0.3), Base: [3]uint8{255, 255, 255}}}},
+		Motion:     StaticMotion{Pose: geom.Pose{Position: geom.V3(0, 1, 0), Rotation: geom.QuatIdentity}},
+	}
+	sc := &Scene{Dynamic: []Object{sphere}}
+	in := camera.NewIntrinsics(64, 48, math.Pi/2)
+	// One camera 2 m from the sphere center, same height, looking at it.
+	cam := camera.Camera{
+		Intrinsics: in,
+		Pose:       geom.LookAt(geom.V3(2, 1, 0), geom.V3(0, 1, 0), geom.V3(0, 1, 0)),
+		MaxRange:   6,
+	}
+	r := NewRenderer(sc, camera.Array{Cameras: []camera.Camera{cam}})
+	views := r.RenderFrame(0)
+	// Center pixel looks straight at the sphere: depth = 2 - 0.3 = 1.7 m.
+	d := views[0].Depth.At(32, 24)
+	if math.Abs(float64(d)-1700) > 10 {
+		t.Errorf("center depth = %d mm, want ~1700", d)
+	}
+	// Corner pixels miss the sphere entirely.
+	if views[0].Depth.At(0, 0) != 0 {
+		t.Error("corner pixel should be empty")
+	}
+	// Reconstructed point should be on the sphere surface.
+	p := cam.UnprojectToWorld(32, 24, d)
+	if dist := p.Dist(geom.V3(0, 1, 0)); math.Abs(dist-0.3) > 0.01 {
+		t.Errorf("reconstructed point %v at distance %v from center", p, dist)
+	}
+}
+
+func TestRenderOcclusion(t *testing.T) {
+	// A near box must occlude a far box.
+	near := Object{
+		Name:       "near",
+		Primitives: []Part{{Prim: Box{Min: geom.V3(-0.5, 0.5, -0.5), Max: geom.V3(0.5, 1.5, 0.5), Base: [3]uint8{200, 0, 0}}}},
+		Motion:     StaticMotion{Pose: geom.PoseIdentity},
+	}
+	far := Object{
+		Name:       "far",
+		Primitives: []Part{{Prim: Box{Min: geom.V3(-0.5, 0.5, 1.5), Max: geom.V3(0.5, 1.5, 2.5), Base: [3]uint8{0, 200, 0}}}},
+		Motion:     StaticMotion{Pose: geom.PoseIdentity},
+	}
+	in := camera.NewIntrinsics(32, 24, math.Pi/2)
+	cam := camera.Camera{
+		Intrinsics: in,
+		Pose:       geom.LookAt(geom.V3(0, 1, -3), geom.V3(0, 1, 0), geom.V3(0, 1, 0)),
+		MaxRange:   10,
+	}
+	arr := camera.Array{Cameras: []camera.Camera{cam}}
+	// Render with far in static, near in dynamic: dynamic must win the
+	// z-test against the cached static buffer.
+	sc := &Scene{Static: []Object{far}, Dynamic: []Object{near}}
+	views := NewRenderer(sc, arr).RenderFrame(0)
+	r, g, _ := views[0].Color.At(16, 12)
+	if r < 100 || g > 100 {
+		t.Errorf("center pixel = (%d,%d,*), want red (near box)", r, g)
+	}
+	d := views[0].Depth.At(16, 12)
+	if math.Abs(float64(d)-2500) > 20 { // camera at z=-3, near box front at z=-0.5
+		t.Errorf("depth = %d, want ~2500", d)
+	}
+	// Swap: near in static, far in dynamic — far must NOT overwrite.
+	sc2 := &Scene{Static: []Object{near}, Dynamic: []Object{far}}
+	views2 := NewRenderer(sc2, arr).RenderFrame(0)
+	r2, g2, _ := views2[0].Color.At(16, 12)
+	if r2 < 100 || g2 > 100 {
+		t.Errorf("center pixel = (%d,%d,*), want red again", r2, g2)
+	}
+}
+
+func TestLimbSwingMoves(t *testing.T) {
+	p := Person(0, 1.0, 0.8, 0.0, 1.0)
+	p.Motion = StaticMotion{Pose: geom.PoseIdentity}
+	sc := &Scene{Dynamic: []Object{p}}
+	in := camera.NewIntrinsics(64, 48, math.Pi/2)
+	cam := camera.Camera{
+		Intrinsics: in,
+		Pose:       geom.LookAt(geom.V3(0, 1, -2.5), geom.V3(0, 1, 0), geom.V3(0, 1, 0)),
+		MaxRange:   6,
+	}
+	r := NewRenderer(sc, camera.Array{Cameras: []camera.Camera{cam}})
+	a := r.RenderFrame(0)    // arms at phase 0
+	b := r.RenderFrame(0.25) // arms at max swing
+	diff := 0
+	for i := range a[0].Depth.Pix {
+		if a[0].Depth.Pix[i] != b[0].Depth.Pix[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("limb swing produced no pixel changes")
+	}
+}
+
+func TestVideoFrameCount(t *testing.T) {
+	v, err := OpenVideo("pizza1", smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.NumFrames(); got != 47*30 {
+		t.Errorf("NumFrames = %d", got)
+	}
+}

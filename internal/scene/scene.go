@@ -1,0 +1,260 @@
+// Package scene is the capture substrate of this reproduction: it replaces
+// the Azure Kinect camera array and the CMU Panoptic dataset with synthetic
+// animated 3D scenes rendered into per-camera RGB-D frames by analytic ray
+// casting (see DESIGN.md). Scenes are built from ellipsoid and box
+// primitives; people are articulated ellipsoid clusters with limb swing;
+// furniture and props are boxes and spheres. The five dataset videos of
+// Table 3 (band2, dance5, office1, pizza1, toddler4) are constructed in
+// dataset.go with matching object counts and durations.
+package scene
+
+import (
+	"math"
+
+	"livo/internal/geom"
+)
+
+// Hit describes a ray-primitive intersection.
+type Hit struct {
+	T     float64   // ray parameter (distance along unit direction)
+	Point geom.Vec3 // intersection point, primitive-local
+}
+
+// Primitive is a shape in its own local coordinate frame.
+type Primitive interface {
+	// Intersect returns the nearest intersection of the local-space ray
+	// (origin o, unit direction d) with the primitive, if any.
+	Intersect(o, d geom.Vec3) (Hit, bool)
+	// Bounds returns the primitive's local-space bounding box.
+	Bounds() geom.AABB
+	// ColorAt returns the surface color at a local-space point.
+	ColorAt(p geom.Vec3) [3]uint8
+}
+
+// Ellipsoid is an axis-aligned ellipsoid centered at Center with semi-axes
+// Radii. Texture is a procedural two-tone banding so the color codec sees
+// realistic detail.
+type Ellipsoid struct {
+	Center geom.Vec3
+	Radii  geom.Vec3
+	Base   [3]uint8
+	Accent [3]uint8
+	Bands  float64 // banding frequency; 0 disables texture
+}
+
+// Intersect implements Primitive by transforming the ray into unit-sphere
+// space.
+func (e Ellipsoid) Intersect(o, d geom.Vec3) (Hit, bool) {
+	// Scale space so the ellipsoid becomes a unit sphere.
+	inv := geom.V3(1/e.Radii.X, 1/e.Radii.Y, 1/e.Radii.Z)
+	os := o.Sub(e.Center).Mul(inv)
+	ds := d.Mul(inv)
+	// Solve |os + t*ds|^2 = 1.
+	a := ds.Dot(ds)
+	b := 2 * os.Dot(ds)
+	c := os.Dot(os) - 1
+	disc := b*b - 4*a*c
+	if disc < 0 || a == 0 {
+		return Hit{}, false
+	}
+	sq := math.Sqrt(disc)
+	t := (-b - sq) / (2 * a)
+	if t < 1e-9 {
+		t = (-b + sq) / (2 * a)
+		if t < 1e-9 {
+			return Hit{}, false
+		}
+	}
+	p := o.Add(d.Scale(t))
+	return Hit{T: t, Point: p}, true
+}
+
+// Bounds implements Primitive.
+func (e Ellipsoid) Bounds() geom.AABB {
+	return geom.AABB{Min: e.Center.Sub(e.Radii), Max: e.Center.Add(e.Radii)}
+}
+
+// ColorAt implements Primitive.
+func (e Ellipsoid) ColorAt(p geom.Vec3) [3]uint8 {
+	if e.Bands <= 0 {
+		return e.Base
+	}
+	rel := p.Sub(e.Center)
+	w := 0.5 + 0.5*math.Sin(e.Bands*(rel.Y+0.4*rel.X))
+	return mix(e.Base, e.Accent, w)
+}
+
+// Box is an axis-aligned box. Texture is a 3D checker pattern.
+type Box struct {
+	Min, Max geom.Vec3
+	Base     [3]uint8
+	Accent   [3]uint8
+	Checker  float64 // checker cell size in meters; 0 disables texture
+}
+
+// Intersect implements Primitive via the slab method.
+func (b Box) Intersect(o, d geom.Vec3) (Hit, bool) {
+	tmin, tmax := math.Inf(-1), math.Inf(1)
+	for axis := 0; axis < 3; axis++ {
+		var oA, dA, minA, maxA float64
+		switch axis {
+		case 0:
+			oA, dA, minA, maxA = o.X, d.X, b.Min.X, b.Max.X
+		case 1:
+			oA, dA, minA, maxA = o.Y, d.Y, b.Min.Y, b.Max.Y
+		default:
+			oA, dA, minA, maxA = o.Z, d.Z, b.Min.Z, b.Max.Z
+		}
+		if dA == 0 {
+			if oA < minA || oA > maxA {
+				return Hit{}, false
+			}
+			continue
+		}
+		t1 := (minA - oA) / dA
+		t2 := (maxA - oA) / dA
+		if t1 > t2 {
+			t1, t2 = t2, t1
+		}
+		if t1 > tmin {
+			tmin = t1
+		}
+		if t2 < tmax {
+			tmax = t2
+		}
+		if tmin > tmax {
+			return Hit{}, false
+		}
+	}
+	t := tmin
+	if t < 1e-9 {
+		t = tmax
+		if t < 1e-9 {
+			return Hit{}, false
+		}
+	}
+	p := o.Add(d.Scale(t))
+	return Hit{T: t, Point: p}, true
+}
+
+// Bounds implements Primitive.
+func (b Box) Bounds() geom.AABB { return geom.AABB{Min: b.Min, Max: b.Max} }
+
+// ColorAt implements Primitive.
+func (b Box) ColorAt(p geom.Vec3) [3]uint8 {
+	if b.Checker <= 0 {
+		return b.Base
+	}
+	ix := int(math.Floor(p.X/b.Checker)) + int(math.Floor(p.Y/b.Checker)) + int(math.Floor(p.Z/b.Checker))
+	if ix&1 == 0 {
+		return b.Base
+	}
+	return b.Accent
+}
+
+func mix(a, b [3]uint8, w float64) [3]uint8 {
+	if w < 0 {
+		w = 0
+	}
+	if w > 1 {
+		w = 1
+	}
+	var out [3]uint8
+	for i := 0; i < 3; i++ {
+		out[i] = uint8(float64(a[i])*(1-w) + float64(b[i])*w + 0.5)
+	}
+	return out
+}
+
+// Motion animates an object's pose over time.
+type Motion interface {
+	PoseAt(t float64) geom.Pose
+}
+
+// StaticMotion keeps the object at a fixed pose.
+type StaticMotion struct{ Pose geom.Pose }
+
+// PoseAt implements Motion.
+func (s StaticMotion) PoseAt(float64) geom.Pose { return s.Pose }
+
+// SwayMotion oscillates around a base pose: sinusoidal translation plus a
+// gentle yaw. It models a person playing an instrument, working at a desk,
+// or a child fidgeting.
+type SwayMotion struct {
+	Base      geom.Pose
+	Amplitude geom.Vec3 // translation amplitude per axis, m
+	Freq      float64   // Hz
+	YawAmp    float64   // radians
+	Phase     float64
+}
+
+// PoseAt implements Motion.
+func (s SwayMotion) PoseAt(t float64) geom.Pose {
+	w := 2*math.Pi*s.Freq*t + s.Phase
+	off := geom.V3(
+		s.Amplitude.X*math.Sin(w),
+		s.Amplitude.Y*math.Sin(2*w+1.1),
+		s.Amplitude.Z*math.Cos(w),
+	)
+	yaw := s.YawAmp * math.Sin(w*0.7)
+	return geom.Pose{
+		Position: s.Base.Position.Add(off),
+		Rotation: s.Base.Rotation.Mul(geom.QuatFromAxisAngle(geom.V3(0, 1, 0), yaw)),
+	}
+}
+
+// OrbitMotion moves the object on a circle — a dancer covering the stage.
+type OrbitMotion struct {
+	Center geom.Vec3
+	Radius float64
+	Period float64 // seconds per revolution
+	Phase  float64
+}
+
+// PoseAt implements Motion.
+func (o OrbitMotion) PoseAt(t float64) geom.Pose {
+	ang := 2*math.Pi*t/o.Period + o.Phase
+	pos := o.Center.Add(geom.V3(o.Radius*math.Cos(ang), 0, o.Radius*math.Sin(ang)))
+	// Face the direction of travel.
+	facing := geom.QuatFromAxisAngle(geom.V3(0, 1, 0), -ang)
+	return geom.Pose{Position: pos, Rotation: facing}
+}
+
+// Object is a group of primitives sharing a pose driven by a Motion. Limbs
+// may additionally swing: a primitive with Swing != 0 is rotated about the
+// object-local X axis through SwingPivot by Swing*sin(2π SwingFreq t).
+type Object struct {
+	Name       string
+	Primitives []Part
+	Motion     Motion
+}
+
+// Part is one primitive of an object with optional limb-swing animation.
+type Part struct {
+	Prim       Primitive
+	Swing      float64   // swing amplitude, radians (0 = rigid)
+	SwingFreq  float64   // Hz
+	SwingPhase float64   // radians
+	SwingPivot geom.Vec3 // object-local pivot point
+}
+
+// Scene is a set of static objects (furniture, floor, walls) and dynamic
+// objects (people, props in motion). The split lets the renderer cache
+// static content per camera.
+type Scene struct {
+	Static  []Object
+	Dynamic []Object
+}
+
+// NumObjects returns the total object count — the "Objects" column of
+// Table 3 (the floor/walls backdrop is not counted, matching how the paper
+// counts people and objects in the scene).
+func (s *Scene) NumObjects() int {
+	n := 0
+	for _, o := range s.Static {
+		if o.Name != "backdrop" {
+			n++
+		}
+	}
+	return n + len(s.Dynamic)
+}

@@ -1,0 +1,231 @@
+package scene
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"livo/internal/geom"
+)
+
+func TestEllipsoidIntersect(t *testing.T) {
+	e := Ellipsoid{Center: geom.V3(0, 0, 5), Radii: geom.V3(1, 1, 1), Base: [3]uint8{255, 0, 0}}
+	h, ok := e.Intersect(geom.V3(0, 0, 0), geom.V3(0, 0, 1))
+	if !ok {
+		t.Fatal("ray through center missed")
+	}
+	if math.Abs(h.T-4) > 1e-9 {
+		t.Errorf("T = %v, want 4", h.T)
+	}
+	// Miss.
+	if _, ok := e.Intersect(geom.V3(0, 5, 0), geom.V3(0, 0, 1)); ok {
+		t.Error("ray above sphere hit")
+	}
+	// Ray pointing away.
+	if _, ok := e.Intersect(geom.V3(0, 0, 0), geom.V3(0, 0, -1)); ok {
+		t.Error("backward ray hit")
+	}
+	// Ray origin inside: hits far surface.
+	h, ok = e.Intersect(geom.V3(0, 0, 5), geom.V3(0, 0, 1))
+	if !ok || math.Abs(h.T-1) > 1e-9 {
+		t.Errorf("inside-origin hit = %v %v", h.T, ok)
+	}
+}
+
+func TestEllipsoidNonUniform(t *testing.T) {
+	e := Ellipsoid{Center: geom.V3(0, 0, 0), Radii: geom.V3(2, 1, 0.5)}
+	h, ok := e.Intersect(geom.V3(-5, 0, 0), geom.V3(1, 0, 0))
+	if !ok || math.Abs(h.T-3) > 1e-9 {
+		t.Fatalf("x-axis hit = %v %v, want T=3", h.T, ok)
+	}
+	h, ok = e.Intersect(geom.V3(0, 0, -5), geom.V3(0, 0, 1))
+	if !ok || math.Abs(h.T-4.5) > 1e-9 {
+		t.Fatalf("z-axis hit = %v %v, want T=4.5", h.T, ok)
+	}
+}
+
+func TestEllipsoidHitOnSurface(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	e := Ellipsoid{Center: geom.V3(1, -2, 3), Radii: geom.V3(0.5, 1.5, 0.8)}
+	for i := 0; i < 100; i++ {
+		o := geom.V3(rng.NormFloat64()*5, rng.NormFloat64()*5, rng.NormFloat64()*5)
+		d := geom.V3(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()).Normalize()
+		if d.LenSq() == 0 {
+			continue
+		}
+		h, ok := e.Intersect(o, d)
+		if !ok {
+			continue
+		}
+		// The hit point must satisfy the ellipsoid equation.
+		rel := h.Point.Sub(e.Center)
+		val := rel.X*rel.X/(0.5*0.5) + rel.Y*rel.Y/(1.5*1.5) + rel.Z*rel.Z/(0.8*0.8)
+		if math.Abs(val-1) > 1e-6 {
+			t.Fatalf("hit point off surface: %v", val)
+		}
+		// And lie along the ray at distance T.
+		if h.Point.Dist(o.Add(d.Scale(h.T))) > 1e-9 {
+			t.Fatal("hit point inconsistent with T")
+		}
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	b := Box{Min: geom.V3(-1, -1, 4), Max: geom.V3(1, 1, 6)}
+	h, ok := b.Intersect(geom.V3(0, 0, 0), geom.V3(0, 0, 1))
+	if !ok || math.Abs(h.T-4) > 1e-9 {
+		t.Fatalf("hit = %v %v, want T=4", h.T, ok)
+	}
+	if _, ok := b.Intersect(geom.V3(0, 5, 0), geom.V3(0, 0, 1)); ok {
+		t.Error("ray above box hit")
+	}
+	if _, ok := b.Intersect(geom.V3(0, 0, 10), geom.V3(0, 0, 1)); ok {
+		t.Error("ray past box hit")
+	}
+	// Parallel ray inside slab bounds.
+	h, ok = b.Intersect(geom.V3(0, 0, 0), geom.V3(0, 0, 1))
+	if !ok {
+		t.Error("axis-parallel ray missed")
+	}
+	// Origin inside box.
+	h, ok = b.Intersect(geom.V3(0, 0, 5), geom.V3(0, 0, 1))
+	if !ok || math.Abs(h.T-1) > 1e-9 {
+		t.Fatalf("inside-origin box hit = %v %v", h.T, ok)
+	}
+	_ = h
+}
+
+func TestBoxColorChecker(t *testing.T) {
+	b := Box{Min: geom.V3(0, 0, 0), Max: geom.V3(1, 1, 1), Base: [3]uint8{1, 1, 1}, Accent: [3]uint8{2, 2, 2}, Checker: 0.5}
+	c1 := b.ColorAt(geom.V3(0.1, 0.1, 0.1)) // cell sum 0 -> base
+	c2 := b.ColorAt(geom.V3(0.6, 0.1, 0.1)) // cell sum 1 -> accent
+	if c1 != [3]uint8{1, 1, 1} || c2 != [3]uint8{2, 2, 2} {
+		t.Errorf("checker colors = %v %v", c1, c2)
+	}
+	plain := Box{Base: [3]uint8{9, 9, 9}}
+	if plain.ColorAt(geom.V3(5, 5, 5)) != [3]uint8{9, 9, 9} {
+		t.Error("untextured box color wrong")
+	}
+}
+
+func TestMotions(t *testing.T) {
+	st := StaticMotion{Pose: geom.Pose{Position: geom.V3(1, 2, 3), Rotation: geom.QuatIdentity}}
+	if st.PoseAt(0) != st.PoseAt(100) {
+		t.Error("static motion moved")
+	}
+	sway := SwayMotion{Base: geom.Pose{Rotation: geom.QuatIdentity}, Amplitude: geom.V3(0.1, 0, 0.1), Freq: 1}
+	p0 := sway.PoseAt(0)
+	p1 := sway.PoseAt(0.25)
+	if p0.Position.AlmostEqual(p1.Position, 1e-12) {
+		t.Error("sway did not move")
+	}
+	// Sway stays within amplitude.
+	for i := 0; i < 100; i++ {
+		p := sway.PoseAt(float64(i) * 0.037)
+		if math.Abs(p.Position.X) > 0.1+1e-9 || math.Abs(p.Position.Z) > 0.1+1e-9 {
+			t.Fatalf("sway exceeded amplitude: %v", p.Position)
+		}
+	}
+	orbit := OrbitMotion{Center: geom.V3(0, 0, 0), Radius: 2, Period: 10}
+	for i := 0; i < 20; i++ {
+		p := orbit.PoseAt(float64(i) * 0.73)
+		d := math.Hypot(p.Position.X, p.Position.Z)
+		if math.Abs(d-2) > 1e-9 {
+			t.Fatalf("orbit radius = %v", d)
+		}
+	}
+	// Orbit returns to start after one period.
+	if !orbit.PoseAt(0).Position.AlmostEqual(orbit.PoseAt(10).Position, 1e-9) {
+		t.Error("orbit not periodic")
+	}
+}
+
+func TestPersonStructure(t *testing.T) {
+	p := Person(0, 1.0, 0.5, 0.3, 1.0)
+	if len(p.Primitives) != 6 { // torso, head, 2 arms, 2 legs
+		t.Fatalf("person has %d parts", len(p.Primitives))
+	}
+	// Height approximately 1.75 m: head top near 1.7-1.9.
+	var maxY float64
+	for _, part := range p.Primitives {
+		if y := part.Prim.Bounds().Max.Y; y > maxY {
+			maxY = y
+		}
+	}
+	if maxY < 1.5 || maxY > 2.0 {
+		t.Errorf("person height = %v", maxY)
+	}
+	// Feet at ground level.
+	var minY = math.Inf(1)
+	for _, part := range p.Primitives {
+		if y := part.Prim.Bounds().Min.Y; y < minY {
+			minY = y
+		}
+	}
+	if minY < -0.05 || minY > 0.2 {
+		t.Errorf("person feet at %v", minY)
+	}
+	// Toddler is shorter.
+	c := Person(1, 0.55, 0.5, 0.3, 1.0)
+	var cMaxY float64
+	for _, part := range c.Primitives {
+		if y := part.Prim.Bounds().Max.Y; y > cMaxY {
+			cMaxY = y
+		}
+	}
+	if cMaxY >= maxY {
+		t.Error("toddler not shorter than adult")
+	}
+}
+
+func TestDatasetSpecsMatchTable3(t *testing.T) {
+	want := map[string]struct {
+		dur float64
+		obj int
+	}{
+		"band2":    {197, 9},
+		"dance5":   {333, 1},
+		"office1":  {187, 7},
+		"pizza1":   {47, 14},
+		"toddler4": {127, 3},
+	}
+	specs := Dataset()
+	if len(specs) != 5 {
+		t.Fatalf("dataset has %d videos", len(specs))
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected video %q", s.Name)
+			continue
+		}
+		if s.Duration != w.dur || s.Objects != w.obj || s.FPS != 30 {
+			t.Errorf("%s: spec %+v does not match Table 3", s.Name, s)
+		}
+	}
+}
+
+func TestBuildSceneObjectCounts(t *testing.T) {
+	for _, spec := range Dataset() {
+		sc, got, err := BuildScene(spec.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if got.Name != spec.Name {
+			t.Errorf("spec name = %q", got.Name)
+		}
+		if n := sc.NumObjects(); n != spec.Objects {
+			t.Errorf("%s: scene has %d objects, Table 3 says %d", spec.Name, n, spec.Objects)
+		}
+	}
+	if _, _, err := BuildScene("nope"); err == nil {
+		t.Error("unknown video accepted")
+	}
+}
+
+func TestVideoNames(t *testing.T) {
+	names := VideoNames()
+	if len(names) != 5 || names[0] != "band2" {
+		t.Errorf("names = %v", names)
+	}
+}

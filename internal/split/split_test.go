@@ -1,0 +1,158 @@
+package split
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaults(t *testing.T) {
+	c := New(0.8)
+	if c.S != 0.8 || c.Delta != 0.005 || c.Min != 0.5 || c.Max != 0.9 || c.EvaluateEvery != 3 {
+		t.Errorf("defaults: %+v", c)
+	}
+	// Initial value clamped into range.
+	if New(0.2).S != 0.5 {
+		t.Error("low initial not clamped")
+	}
+	if New(1.5).S != 0.9 {
+		t.Error("high initial not clamped")
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	c := New(0.9)
+	d, col := c.Budgets(1000)
+	if d != 900 || col != 100 {
+		t.Errorf("budgets = %d, %d", d, col)
+	}
+	// Tiny totals still produce positive budgets.
+	d, col = c.Budgets(1)
+	if d < 1 || col < 1 {
+		t.Errorf("degenerate budgets = %d, %d", d, col)
+	}
+}
+
+func TestTickEveryK(t *testing.T) {
+	c := New(0.8)
+	var evals []bool
+	for i := 0; i < 7; i++ {
+		evals = append(evals, c.Tick())
+	}
+	want := []bool{true, false, false, true, false, false, true}
+	for i := range want {
+		if evals[i] != want[i] {
+			t.Fatalf("tick %d = %v, want %v", i, evals[i], want[i])
+		}
+	}
+}
+
+func TestObserveDirection(t *testing.T) {
+	c := New(0.7)
+	// Depth much worse: split rises.
+	s := c.Observe(0.05, 0.01)
+	if math.Abs(s-0.705) > 1e-12 {
+		t.Errorf("split after depth-worse = %v", s)
+	}
+	// Color much worse: split falls.
+	s = c.Observe(0.01, 0.05)
+	if math.Abs(s-0.7) > 1e-12 {
+		t.Errorf("split after color-worse = %v", s)
+	}
+	// Balanced within epsilon: unchanged.
+	s = c.Observe(0.010, 0.0105)
+	if math.Abs(s-0.7) > 1e-12 {
+		t.Errorf("split after balanced = %v", s)
+	}
+}
+
+func TestObserveClamps(t *testing.T) {
+	c := New(0.9)
+	for i := 0; i < 50; i++ {
+		c.Observe(1.0, 0.0) // depth always worse
+	}
+	if c.S > 0.9 {
+		t.Errorf("split exceeded max: %v", c.S)
+	}
+	c2 := New(0.5)
+	for i := 0; i < 50; i++ {
+		c2.Observe(0.0, 1.0) // color always worse
+	}
+	if c2.S < 0.5 {
+		t.Errorf("split below min: %v", c2.S)
+	}
+}
+
+// qualityModel mimics Fig 4: depth error falls with split, color error
+// rises; they cross at some optimal split.
+func qualityModel(s float64) (d, c float64) {
+	d = 0.02 * math.Exp(-6*(s-0.5)) // decreasing in s
+	c = 0.004 * math.Exp(4*(s-0.5)) // increasing in s
+	return
+}
+
+func TestLineSearchConverges(t *testing.T) {
+	// Find the crossing of the model analytically (well, numerically).
+	cross := 0.5
+	for s := 0.5; s <= 0.9; s += 0.0001 {
+		d, c := qualityModel(s)
+		if d <= c {
+			cross = s
+			break
+		}
+	}
+	ctl := New(0.5)
+	ctl.Epsilon = 0.0001
+	for i := 0; i < 400; i++ {
+		d, c := qualityModel(ctl.S)
+		ctl.Observe(d, c)
+	}
+	if math.Abs(ctl.S-cross) > 0.02 {
+		t.Errorf("converged to %v, crossing at %v", ctl.S, cross)
+	}
+	// Once converged it oscillates within ±delta.
+	sBefore := ctl.S
+	for i := 0; i < 20; i++ {
+		d, c := qualityModel(ctl.S)
+		ctl.Observe(d, c)
+		if math.Abs(ctl.S-sBefore) > 2*ctl.Delta+1e-12 {
+			t.Fatalf("oscillation too large: %v vs %v", ctl.S, sBefore)
+		}
+	}
+}
+
+func TestConvergesFromAbove(t *testing.T) {
+	ctl := New(0.9)
+	ctl.Epsilon = 0.0001
+	for i := 0; i < 400; i++ {
+		d, c := qualityModel(ctl.S)
+		ctl.Observe(d, c)
+	}
+	ctl2 := New(0.5)
+	ctl2.Epsilon = 0.0001
+	for i := 0; i < 400; i++ {
+		d, c := qualityModel(ctl2.S)
+		ctl2.Observe(d, c)
+	}
+	if math.Abs(ctl.S-ctl2.S) > 0.02 {
+		t.Errorf("different fixpoints from above/below: %v vs %v", ctl.S, ctl2.S)
+	}
+}
+
+func TestSceneComplexityShiftMovesSplit(t *testing.T) {
+	// When the scene gets more complex (depth error model worsens), the
+	// split must adapt upward — the dynamic-beats-static argument (§3.3).
+	ctl := New(0.7)
+	ctl.Epsilon = 0.0001
+	for i := 0; i < 300; i++ {
+		d, c := qualityModel(ctl.S)
+		ctl.Observe(d, c)
+	}
+	sBefore := ctl.S
+	for i := 0; i < 300; i++ {
+		d, c := qualityModel(ctl.S)
+		ctl.Observe(d*3, c) // scene complexity jump: depth 3x harder
+	}
+	if ctl.S <= sBefore {
+		t.Errorf("split did not rise after complexity jump: %v -> %v", sBefore, ctl.S)
+	}
+}

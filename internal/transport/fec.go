@@ -1,0 +1,118 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Forward error correction: the paper leans on NACK/PLI for loss recovery
+// (§A.1) and leaves stronger loss robustness to future work (§5). This
+// implements the standard single-parity FEC used by conferencing systems
+// (flexfec-style): every group of up to FECGroupSize consecutive fragments
+// of a frame is protected by one XOR parity packet, so any single loss per
+// group is repaired locally without waiting a NACK round trip.
+
+// FECGroupSize is the number of media fragments protected by one parity
+// packet.
+const FECGroupSize = 8
+
+// parityFlag marks a parity packet in the packet flags byte.
+const parityFlag = 0x2
+
+// BuildParity returns the parity packets protecting pkts (the fragments of
+// ONE frame, in order). Each parity packet's FragIndex is the index of the
+// first fragment it covers; its payload encodes the covered payload
+// lengths followed by the XOR of the padded payloads.
+func BuildParity(pkts []Packet) []Packet {
+	var out []Packet
+	for start := 0; start < len(pkts); start += FECGroupSize {
+		end := start + FECGroupSize
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		group := pkts[start:end]
+		if len(group) < 2 {
+			continue // parity over one packet is just a copy; NACK handles it
+		}
+		maxLen := 0
+		for _, p := range group {
+			if len(p.Payload) > maxLen {
+				maxLen = len(p.Payload)
+			}
+		}
+		payload := []byte{byte(len(group))}
+		for _, p := range group {
+			payload = binary.BigEndian.AppendUint16(payload, uint16(len(p.Payload)))
+		}
+		xor := make([]byte, maxLen)
+		for _, p := range group {
+			for i, b := range p.Payload {
+				xor[i] ^= b
+			}
+		}
+		payload = append(payload, xor...)
+		first := group[0]
+		out = append(out, Packet{
+			Stream:     first.Stream,
+			FrameSeq:   first.FrameSeq,
+			FragIndex:  first.FragIndex,
+			FragCount:  first.FragCount,
+			Key:        first.Key,
+			Parity:     true,
+			SendTimeUs: first.SendTimeUs,
+			Payload:    payload,
+		})
+	}
+	return out
+}
+
+// RecoverWithParity attempts to reconstruct the single missing fragment of
+// a parity group. got maps fragment index to payload for the group's
+// received fragments; parityPayload is the parity packet's payload;
+// firstIdx is the group's first fragment index. It returns the recovered
+// fragment's index and payload, or an error when recovery is impossible
+// (zero or more than one fragment missing, or malformed parity).
+func RecoverWithParity(got map[uint16][]byte, parityPayload []byte, firstIdx uint16) (uint16, []byte, error) {
+	if len(parityPayload) < 1 {
+		return 0, nil, fmt.Errorf("transport: empty parity payload")
+	}
+	n := int(parityPayload[0])
+	if n < 2 || len(parityPayload) < 1+2*n {
+		return 0, nil, fmt.Errorf("transport: malformed parity header")
+	}
+	lengths := make([]int, n)
+	for i := 0; i < n; i++ {
+		lengths[i] = int(binary.BigEndian.Uint16(parityPayload[1+2*i:]))
+	}
+	xor := parityPayload[1+2*n:]
+
+	missing := -1
+	for i := 0; i < n; i++ {
+		idx := firstIdx + uint16(i)
+		if _, ok := got[idx]; !ok {
+			if missing >= 0 {
+				return 0, nil, fmt.Errorf("transport: %d fragments missing, parity recovers one", 2)
+			}
+			missing = i
+		}
+	}
+	if missing < 0 {
+		return 0, nil, fmt.Errorf("transport: nothing missing")
+	}
+	rec := make([]byte, len(xor))
+	copy(rec, xor)
+	for i := 0; i < n; i++ {
+		if i == missing {
+			continue
+		}
+		for j, b := range got[firstIdx+uint16(i)] {
+			if j < len(rec) {
+				rec[j] ^= b
+			}
+		}
+	}
+	if lengths[missing] > len(rec) {
+		return 0, nil, fmt.Errorf("transport: recovered fragment shorter than recorded length")
+	}
+	return firstIdx + uint16(missing), rec[:lengths[missing]], nil
+}

@@ -1,0 +1,165 @@
+package transport
+
+import "math"
+
+// GCC is a Google-congestion-control-style send-rate estimator [24]. The
+// receiver feeds it per-packet (send time, arrival time, size) samples; it
+// maintains a one-way-delay trendline whose slope drives an over-use
+// detector, and an AIMD-ish rate controller:
+//
+//	over-use  (queues building)  → multiplicative decrease toward the
+//	                               measured receive rate
+//	under-use (queues draining)  → hold
+//	normal                       → ~8%/s multiplicative increase
+//
+// A separate loss-based controller caps the rate under heavy loss. The
+// sender reads Rate() and hands it to the rate-adaptive encoders (§3.3).
+type GCC struct {
+	rate    float64 // current estimate, bits/s
+	minRate float64
+	maxRate float64
+
+	// Trendline over the last windowLen (arrival, owd) samples.
+	samples   []delaySample
+	baseOWD   float64
+	hasBase   bool
+	overCount int
+
+	// Receive-rate measurement window.
+	rxWindow []rxSample
+
+	lastUpdate  float64
+	lastBackoff float64
+	state       int // 0 normal, 1 overuse, -1 underuse
+}
+
+type delaySample struct{ t, owd float64 }
+type rxSample struct {
+	t     float64
+	bytes int
+}
+
+const (
+	gccWindow      = 20    // delay samples in the trendline
+	gccGamma       = 0.002 // slope threshold (s of queueing per s)
+	gccOveruseHits = 3     // consecutive detections before reacting
+	rxWindowSec    = 0.5
+)
+
+// NewGCC creates an estimator with the given initial/min/max rates (bits/s).
+func NewGCC(initial, min, max float64) *GCC {
+	return &GCC{rate: initial, minRate: min, maxRate: max}
+}
+
+// Rate returns the current estimate in bits per second.
+func (g *GCC) Rate() float64 { return g.rate }
+
+// OnArrival records one packet observation (times in seconds).
+func (g *GCC) OnArrival(sendT, arrivalT float64, bytes int) {
+	owd := arrivalT - sendT
+	if !g.hasBase || owd < g.baseOWD {
+		g.baseOWD = owd
+		g.hasBase = true
+	}
+	rel := owd - g.baseOWD
+	g.samples = append(g.samples, delaySample{t: arrivalT, owd: rel})
+	if len(g.samples) > gccWindow {
+		g.samples = g.samples[len(g.samples)-gccWindow:]
+	}
+	g.rxWindow = append(g.rxWindow, rxSample{t: arrivalT, bytes: bytes})
+	for len(g.rxWindow) > 0 && g.rxWindow[0].t < arrivalT-rxWindowSec {
+		g.rxWindow = g.rxWindow[1:]
+	}
+	g.update(arrivalT)
+}
+
+// receiveRate returns the measured incoming rate in bits/s.
+func (g *GCC) receiveRate(now float64) float64 {
+	var total int
+	oldest := now
+	for _, s := range g.rxWindow {
+		total += s.bytes
+		if s.t < oldest {
+			oldest = s.t
+		}
+	}
+	span := now - oldest
+	if span < 0.05 {
+		span = 0.05
+	}
+	return float64(total) * 8 / span
+}
+
+// trendSlope fits a least-squares line to the delay samples and returns
+// its slope (seconds of extra delay per second).
+func (g *GCC) trendSlope() float64 {
+	n := len(g.samples)
+	if n < 5 {
+		return 0
+	}
+	var st, so, stt, sto float64
+	t0 := g.samples[0].t
+	for _, s := range g.samples {
+		t := s.t - t0
+		st += t
+		so += s.owd
+		stt += t * t
+		sto += t * s.owd
+	}
+	fn := float64(n)
+	denom := fn*stt - st*st
+	if denom <= 1e-12 {
+		return 0
+	}
+	return (fn*sto - st*so) / denom
+}
+
+func (g *GCC) update(now float64) {
+	slope := g.trendSlope()
+	switch {
+	case slope > gccGamma:
+		g.overCount++
+		// Back off at most twice per second: an application-limited sender
+		// (a culled stream below the estimate) must not spiral down from
+		// trendline noise compounding 0.85x cuts.
+		if g.overCount >= gccOveruseHits && now-g.lastBackoff > 0.5 {
+			// Over-use: drop to 85% of what actually arrives.
+			target := 0.85 * g.receiveRate(now)
+			if target < g.rate {
+				g.rate = math.Max(g.minRate, target)
+			}
+			g.state = 1
+			g.overCount = 0
+			g.lastUpdate = now
+			g.lastBackoff = now
+			// Reset the trendline so we re-measure after backing off.
+			g.samples = g.samples[:0]
+		}
+	case slope < -gccGamma:
+		g.state = -1 // under-use: hold while queues drain
+		g.overCount = 0
+	default:
+		g.overCount = 0
+		// Normal: multiplicative increase, 8% per ~250 ms response
+		// interval (GCC applies eta per update interval, not per second).
+		if g.state != -1 {
+			dt := now - g.lastUpdate
+			if dt > 0 && dt < 10 {
+				g.rate = math.Min(g.maxRate, g.rate*math.Pow(1.08, dt/0.25))
+			}
+		}
+		g.state = 0
+		g.lastUpdate = now
+	}
+}
+
+// OnLossReport applies receiver loss feedback (fraction 0..1), mirroring
+// GCC's loss-based controller.
+func (g *GCC) OnLossReport(loss float64) {
+	switch {
+	case loss > 0.10:
+		g.rate = math.Max(g.minRate, g.rate*(1-0.5*loss))
+	case loss < 0.02:
+		g.rate = math.Min(g.maxRate, g.rate*1.05)
+	}
+}

@@ -1,0 +1,231 @@
+package transport
+
+import "sort"
+
+// AssembledFrame is a fully reassembled encoded frame leaving the jitter
+// buffer.
+type AssembledFrame struct {
+	Stream       uint8
+	FrameSeq     uint32
+	Key          bool
+	Data         []byte
+	FirstArrival float64 // arrival of the first fragment
+	LastArrival  float64
+}
+
+// NackRequest identifies a missing fragment for retransmission (§A.1:
+// LiVo enables negative acknowledgments).
+type NackRequest struct {
+	Stream    uint8
+	FrameSeq  uint32
+	FragIndex uint16
+}
+
+// JitterBuffer reassembles one stream's packets into frames and delays
+// delivery by a fixed jitter delay, releasing frames in sequence order.
+// Incomplete frames past the skip deadline are dropped (LiVo "simply skips
+// the frame", §A.1).
+type JitterBuffer struct {
+	// Delay is the jitter-buffer delay in seconds (paper: 100 ms [81]).
+	Delay float64
+	// SkipAfter is how long past Delay an incomplete frame may block
+	// delivery before being skipped.
+	SkipAfter float64
+	// NackAfter is how long a fragment may be missing (while later
+	// fragments of the frame have arrived) before it is NACK-ed.
+	NackAfter float64
+
+	frames       map[uint32]*partialFrame
+	nextSeq      uint32
+	hasNext      bool
+	skipped      int
+	fecRecovered int
+	nacked       map[nackKey]bool
+}
+
+type nackKey struct {
+	seq  uint32
+	frag uint16
+}
+
+type partialFrame struct {
+	stream       uint8
+	key          bool
+	count        uint16
+	got          map[uint16][]byte
+	parity       map[uint16][]byte // parity payloads by group first-index
+	firstArrival float64
+	lastArrival  float64
+	recovered    int
+}
+
+// NewJitterBuffer creates a buffer with the paper's 100 ms delay.
+func NewJitterBuffer() *JitterBuffer {
+	return &JitterBuffer{
+		Delay:     0.100,
+		SkipAfter: 0.120,
+		NackAfter: 0.015,
+		frames:    make(map[uint32]*partialFrame),
+		nacked:    make(map[nackKey]bool),
+	}
+}
+
+// Push ingests one packet with its arrival time (seconds). Duplicate
+// fragments (e.g. NACK retransmissions racing the original) are ignored.
+func (jb *JitterBuffer) Push(p Packet, arrival float64) {
+	if jb.hasNext && seqBefore(p.FrameSeq, jb.nextSeq) {
+		return // frame already delivered or skipped
+	}
+	f := jb.frames[p.FrameSeq]
+	if f == nil {
+		f = &partialFrame{
+			stream:       p.Stream,
+			key:          p.Key,
+			count:        p.FragCount,
+			got:          make(map[uint16][]byte),
+			parity:       make(map[uint16][]byte),
+			firstArrival: arrival,
+		}
+		jb.frames[p.FrameSeq] = f
+	}
+	if p.Parity {
+		f.parity[p.FragIndex] = p.Payload
+	} else {
+		if _, dup := f.got[p.FragIndex]; dup {
+			return
+		}
+		f.got[p.FragIndex] = p.Payload
+	}
+	if arrival > f.lastArrival {
+		f.lastArrival = arrival
+	}
+	if arrival < f.firstArrival {
+		f.firstArrival = arrival
+	}
+	jb.tryFEC(f)
+}
+
+// tryFEC repairs single losses in parity-protected fragment groups —
+// recovery happens locally, without the NACK round trip (fec.go).
+func (jb *JitterBuffer) tryFEC(f *partialFrame) {
+	if len(f.got) == int(f.count) || len(f.parity) == 0 {
+		return
+	}
+	for firstIdx, pp := range f.parity {
+		idx, payload, err := RecoverWithParity(f.got, pp, firstIdx)
+		if err != nil {
+			continue
+		}
+		f.got[idx] = payload
+		f.recovered++
+		jb.fecRecovered++
+	}
+}
+
+// FECRecovered returns how many fragments were repaired by parity.
+func (jb *JitterBuffer) FECRecovered() int { return jb.fecRecovered }
+
+// seqBefore reports a < b with wraparound.
+func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
+
+// Pop returns all frames ready for delivery at time now, in sequence
+// order. A complete frame is ready when now >= firstArrival + Delay. An
+// incomplete frame blocking the sequence is skipped (dropped) when now >
+// firstArrival + Delay + SkipAfter.
+func (jb *JitterBuffer) Pop(now float64) []AssembledFrame {
+	var out []AssembledFrame
+	for {
+		seq, f, ok := jb.oldest()
+		if !ok {
+			break
+		}
+		complete := len(f.got) == int(f.count)
+		switch {
+		case complete && now >= f.firstArrival+jb.Delay:
+			data := assemble(f)
+			out = append(out, AssembledFrame{
+				Stream:       f.stream,
+				FrameSeq:     seq,
+				Key:          f.key,
+				Data:         data,
+				FirstArrival: f.firstArrival,
+				LastArrival:  f.lastArrival,
+			})
+			delete(jb.frames, seq)
+			jb.nextSeq = seq + 1
+			jb.hasNext = true
+		case !complete && now > f.firstArrival+jb.Delay+jb.SkipAfter:
+			delete(jb.frames, seq)
+			jb.skipped++
+			jb.nextSeq = seq + 1
+			jb.hasNext = true
+		default:
+			return out
+		}
+	}
+	return out
+}
+
+// oldest returns the lowest-sequence pending frame.
+func (jb *JitterBuffer) oldest() (uint32, *partialFrame, bool) {
+	var best uint32
+	var bf *partialFrame
+	for seq, f := range jb.frames {
+		if bf == nil || seqBefore(seq, best) {
+			best, bf = seq, f
+		}
+	}
+	return best, bf, bf != nil
+}
+
+func assemble(f *partialFrame) []byte {
+	idxs := make([]int, 0, len(f.got))
+	for i := range f.got {
+		idxs = append(idxs, int(i))
+	}
+	sort.Ints(idxs)
+	var data []byte
+	for _, i := range idxs {
+		data = append(data, f.got[uint16(i)]...)
+	}
+	return data
+}
+
+// Nacks returns fragments that should be retransmitted: missing pieces of
+// frames where later data has already arrived and NackAfter has elapsed.
+// Each fragment is NACK-ed at most once.
+func (jb *JitterBuffer) Nacks(now float64) []NackRequest {
+	var out []NackRequest
+	for seq, f := range jb.frames {
+		if len(f.got) == int(f.count) {
+			continue
+		}
+		if now < f.lastArrival+jb.NackAfter {
+			continue
+		}
+		for i := uint16(0); i < f.count; i++ {
+			if _, ok := f.got[i]; ok {
+				continue
+			}
+			k := nackKey{seq, i}
+			if jb.nacked[k] {
+				continue
+			}
+			jb.nacked[k] = true
+			out = append(out, NackRequest{Stream: f.stream, FrameSeq: seq, FragIndex: i})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].FrameSeq != out[b].FrameSeq {
+			return seqBefore(out[a].FrameSeq, out[b].FrameSeq)
+		}
+		return out[a].FragIndex < out[b].FragIndex
+	})
+	return out
+}
+
+// Skipped returns how many frames were dropped as incomplete.
+func (jb *JitterBuffer) Skipped() int { return jb.skipped }
+
+// Pending returns how many frames are buffered (complete or partial).
+func (jb *JitterBuffer) Pending() int { return len(jb.frames) }

@@ -1,0 +1,108 @@
+// Package transport is the real-time media transport LiVo rides on — the
+// WebRTC analogue (§3.1, §3.3, §A.1): RTP-style packetization of encoded
+// frames, a Google-congestion-control-style bandwidth estimator [24]
+// (delay-gradient trendline + over-use detector + AIMD), a jitter buffer
+// (100 ms, §4.4), and NACK-based recovery with PLI (key-frame requests).
+// It works both over the emulated link (replay experiments) and real UDP
+// sockets (live pipeline).
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MTU is the maximum payload bytes per packet (conservative Ethernet MTU
+// minus IP/UDP headers).
+const MTU = 1200
+
+// Stream identifiers for LiVo's two video streams.
+const (
+	StreamColor uint8 = 1
+	StreamDepth uint8 = 2
+)
+
+// Packet is one transport packet: a fragment of an encoded video frame, or
+// a parity packet protecting a group of fragments (fec.go).
+type Packet struct {
+	Stream     uint8
+	FrameSeq   uint32
+	FragIndex  uint16
+	FragCount  uint16
+	Key        bool
+	Parity     bool
+	SendTimeUs uint64 // sender timestamp, microseconds
+	Payload    []byte
+}
+
+const headerSize = 1 + 4 + 2 + 2 + 1 + 8 + 2 // ... + payload length
+
+// Marshal serializes the packet.
+func (p *Packet) Marshal() []byte {
+	out := make([]byte, headerSize+len(p.Payload))
+	out[0] = p.Stream
+	binary.BigEndian.PutUint32(out[1:], p.FrameSeq)
+	binary.BigEndian.PutUint16(out[5:], p.FragIndex)
+	binary.BigEndian.PutUint16(out[7:], p.FragCount)
+	if p.Key {
+		out[9] |= 1
+	}
+	if p.Parity {
+		out[9] |= parityFlag
+	}
+	binary.BigEndian.PutUint64(out[10:], p.SendTimeUs)
+	binary.BigEndian.PutUint16(out[18:], uint16(len(p.Payload)))
+	copy(out[headerSize:], p.Payload)
+	return out
+}
+
+// Unmarshal parses a packet.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < headerSize {
+		return Packet{}, fmt.Errorf("transport: packet too short (%d)", len(b))
+	}
+	p := Packet{
+		Stream:     b[0],
+		FrameSeq:   binary.BigEndian.Uint32(b[1:]),
+		FragIndex:  binary.BigEndian.Uint16(b[5:]),
+		FragCount:  binary.BigEndian.Uint16(b[7:]),
+		Key:        b[9]&1 != 0,
+		Parity:     b[9]&parityFlag != 0,
+		SendTimeUs: binary.BigEndian.Uint64(b[10:]),
+	}
+	n := int(binary.BigEndian.Uint16(b[18:]))
+	if len(b) < headerSize+n {
+		return Packet{}, fmt.Errorf("transport: payload truncated (%d < %d)", len(b)-headerSize, n)
+	}
+	p.Payload = append([]byte(nil), b[headerSize:headerSize+n]...)
+	if p.FragCount == 0 || p.FragIndex >= p.FragCount {
+		return Packet{}, fmt.Errorf("transport: bad fragment %d/%d", p.FragIndex, p.FragCount)
+	}
+	return p, nil
+}
+
+// Packetize splits one encoded frame into MTU-sized packets.
+func Packetize(stream uint8, frameSeq uint32, key bool, sendTimeUs uint64, data []byte) []Packet {
+	if len(data) == 0 {
+		return nil
+	}
+	count := (len(data) + MTU - 1) / MTU
+	pkts := make([]Packet, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * MTU
+		hi := lo + MTU
+		if hi > len(data) {
+			hi = len(data)
+		}
+		pkts = append(pkts, Packet{
+			Stream:     stream,
+			FrameSeq:   frameSeq,
+			FragIndex:  uint16(i),
+			FragCount:  uint16(count),
+			Key:        key,
+			SendTimeUs: sendTimeUs,
+			Payload:    data[lo:hi],
+		})
+	}
+	return pkts
+}

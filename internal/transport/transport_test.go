@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"livo/internal/netem"
+)
+
+func TestPacketMarshalRoundTrip(t *testing.T) {
+	f := func(stream uint8, seq uint32, idx, count uint16, key bool, ts uint64, payload []byte) bool {
+		if count == 0 {
+			count = 1
+		}
+		idx %= count
+		if len(payload) > MTU {
+			payload = payload[:MTU]
+		}
+		p := Packet{Stream: stream, FrameSeq: seq, FragIndex: idx, FragCount: count,
+			Key: key, SendTimeUs: ts, Payload: payload}
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Stream == p.Stream && got.FrameSeq == p.FrameSeq &&
+			got.FragIndex == p.FragIndex && got.FragCount == p.FragCount &&
+			got.Key == p.Key && got.SendTimeUs == p.SendTimeUs &&
+			bytes.Equal(got.Payload, p.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Error("short packet accepted")
+	}
+	// Truncated payload.
+	p := Packet{Stream: 1, FragCount: 1, Payload: []byte{1, 2, 3}}
+	b := p.Marshal()
+	if _, err := Unmarshal(b[:len(b)-1]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Bad fragment index.
+	bad := Packet{Stream: 1, FragIndex: 5, FragCount: 2, Payload: []byte{1}}
+	if _, err := Unmarshal(bad.Marshal()); err == nil {
+		t.Error("bad fragment accepted")
+	}
+}
+
+func TestPacketizeReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 3*MTU+100)
+	rng.Read(data)
+	pkts := Packetize(StreamDepth, 42, true, 12345, data)
+	if len(pkts) != 4 {
+		t.Fatalf("got %d packets", len(pkts))
+	}
+	var got []byte
+	for i, p := range pkts {
+		if p.FragIndex != uint16(i) || p.FragCount != 4 || p.FrameSeq != 42 || !p.Key {
+			t.Fatalf("packet %d header wrong: %+v", i, p)
+		}
+		got = append(got, p.Payload...)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reassembled data differs")
+	}
+	if Packetize(StreamColor, 1, false, 0, nil) != nil {
+		t.Error("empty data should packetize to nil")
+	}
+}
+
+func TestJitterBufferInOrderDelivery(t *testing.T) {
+	jb := NewJitterBuffer()
+	data := []byte("hello world, this is a frame")
+	for _, p := range Packetize(StreamColor, 0, true, 0, data) {
+		jb.Push(p, 1.0)
+	}
+	// Not ready before the jitter delay.
+	if out := jb.Pop(1.05); len(out) != 0 {
+		t.Fatal("delivered before jitter delay")
+	}
+	out := jb.Pop(1.1)
+	if len(out) != 1 {
+		t.Fatalf("got %d frames", len(out))
+	}
+	if !bytes.Equal(out[0].Data, data) || out[0].FrameSeq != 0 || !out[0].Key {
+		t.Fatal("frame content wrong")
+	}
+}
+
+func TestJitterBufferReordersFrames(t *testing.T) {
+	jb := NewJitterBuffer()
+	// Frame 1 arrives before frame 0.
+	for _, p := range Packetize(StreamColor, 1, false, 0, []byte("frame1")) {
+		jb.Push(p, 1.0)
+	}
+	for _, p := range Packetize(StreamColor, 0, false, 0, []byte("frame0")) {
+		jb.Push(p, 1.02)
+	}
+	out := jb.Pop(1.5)
+	if len(out) != 2 {
+		t.Fatalf("got %d frames", len(out))
+	}
+	if out[0].FrameSeq != 0 || out[1].FrameSeq != 1 {
+		t.Fatalf("order: %d, %d", out[0].FrameSeq, out[1].FrameSeq)
+	}
+}
+
+func TestJitterBufferReordersFragments(t *testing.T) {
+	jb := NewJitterBuffer()
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 5*MTU)
+	rng.Read(data)
+	pkts := Packetize(StreamDepth, 7, false, 0, data)
+	for _, i := range rng.Perm(len(pkts)) {
+		jb.Push(pkts[i], 2.0)
+	}
+	out := jb.Pop(3.0)
+	if len(out) != 1 || !bytes.Equal(out[0].Data, data) {
+		t.Fatal("fragment reordering broke reassembly")
+	}
+}
+
+func TestJitterBufferSkipsIncomplete(t *testing.T) {
+	jb := NewJitterBuffer()
+	pkts := Packetize(StreamColor, 0, false, 0, make([]byte, 3*MTU))
+	// Lose fragment 1.
+	jb.Push(pkts[0], 1.0)
+	jb.Push(pkts[2], 1.0)
+	// Frame 1 complete behind it.
+	for _, p := range Packetize(StreamColor, 1, false, 0, []byte("ok")) {
+		jb.Push(p, 1.01)
+	}
+	// Before the skip deadline, nothing is delivered (head-of-line).
+	if out := jb.Pop(1.15); len(out) != 0 {
+		t.Fatal("incomplete frame did not block")
+	}
+	// After the deadline, frame 0 is skipped and frame 1 delivered.
+	out := jb.Pop(1.3)
+	if len(out) != 1 || out[0].FrameSeq != 1 {
+		t.Fatalf("skip failed: %+v", out)
+	}
+	if jb.Skipped() != 1 {
+		t.Errorf("Skipped = %d", jb.Skipped())
+	}
+	// Late fragment of the skipped frame is ignored.
+	jb.Push(pkts[1], 1.4)
+	if jb.Pending() != 0 {
+		t.Error("late fragment resurrected a skipped frame")
+	}
+}
+
+func TestJitterBufferDuplicates(t *testing.T) {
+	jb := NewJitterBuffer()
+	pkts := Packetize(StreamColor, 0, false, 0, []byte("abc"))
+	jb.Push(pkts[0], 1.0)
+	jb.Push(pkts[0], 1.01) // duplicate
+	out := jb.Pop(1.2)
+	if len(out) != 1 || !bytes.Equal(out[0].Data, []byte("abc")) {
+		t.Fatal("duplicate broke assembly")
+	}
+}
+
+func TestNacks(t *testing.T) {
+	jb := NewJitterBuffer()
+	pkts := Packetize(StreamDepth, 3, false, 0, make([]byte, 4*MTU))
+	jb.Push(pkts[0], 1.0)
+	jb.Push(pkts[3], 1.001)
+	// Too early to NACK.
+	if n := jb.Nacks(1.005); len(n) != 0 {
+		t.Fatalf("premature NACKs: %+v", n)
+	}
+	n := jb.Nacks(1.05)
+	if len(n) != 2 {
+		t.Fatalf("got %d NACKs, want 2", len(n))
+	}
+	if n[0].FragIndex != 1 || n[1].FragIndex != 2 || n[0].FrameSeq != 3 {
+		t.Fatalf("NACKs: %+v", n)
+	}
+	// Each fragment NACK-ed once.
+	if n := jb.Nacks(1.1); len(n) != 0 {
+		t.Fatalf("repeated NACKs: %+v", n)
+	}
+	// Retransmission completes the frame.
+	jb.Push(pkts[1], 1.12)
+	jb.Push(pkts[2], 1.12)
+	if out := jb.Pop(1.2); len(out) != 1 {
+		t.Fatal("retransmitted frame not delivered")
+	}
+}
+
+func TestGCCIncreasesWhenUnderused(t *testing.T) {
+	g := NewGCC(10e6, 1e6, 500e6)
+	// Plenty of capacity: constant one-way delay.
+	for i := 0; i < 200; i++ {
+		tm := float64(i) * 0.01
+		g.OnArrival(tm, tm+0.02, 1200)
+	}
+	if g.Rate() <= 10e6 {
+		t.Errorf("rate did not grow: %v", g.Rate())
+	}
+}
+
+func TestGCCBacksOffOnQueueGrowth(t *testing.T) {
+	g := NewGCC(100e6, 1e6, 500e6)
+	// Queue building: delay grows steadily while receive rate is ~24 Mbps.
+	for i := 0; i < 100; i++ {
+		tm := float64(i) * 0.01
+		owd := 0.02 + float64(i)*0.002 // +2 ms per packet
+		g.OnArrival(tm, tm+owd, 3000)
+	}
+	if g.Rate() >= 100e6 {
+		t.Errorf("rate did not back off: %v", g.Rate())
+	}
+	// Should land near the receive rate (3000 B / 10 ms = 2.4 Mbps).
+	if g.Rate() > 10e6 {
+		t.Errorf("rate %v still far above receive rate", g.Rate())
+	}
+}
+
+func TestGCCLossController(t *testing.T) {
+	g := NewGCC(50e6, 1e6, 500e6)
+	g.OnLossReport(0.3)
+	if g.Rate() >= 50e6 {
+		t.Error("heavy loss did not reduce rate")
+	}
+	r := g.Rate()
+	g.OnLossReport(0.0)
+	if g.Rate() <= r {
+		t.Error("zero loss did not allow increase")
+	}
+	// Mid-range loss: hold.
+	r = g.Rate()
+	g.OnLossReport(0.05)
+	if g.Rate() != r {
+		t.Error("mid loss should hold rate")
+	}
+}
+
+func TestGCCConvergesNearLinkCapacity(t *testing.T) {
+	// End-to-end with the emulated link: a sender paces packets at the
+	// GCC rate; the estimate should converge near (not above) capacity —
+	// the utilization property of Table 1.
+	linkMbps := 50.0
+	link := netem.NewFixedLink(linkMbps)
+	g := NewGCC(5e6, 1e6, 500e6)
+	now := 0.0
+	for i := 0; i < 20000; i++ {
+		// Pace 1200-byte packets at the current rate.
+		gap := float64(1200*8) / g.Rate()
+		now += gap
+		arrival, dropped := link.Send(now, 1200)
+		if !dropped {
+			g.OnArrival(now, arrival, 1200)
+		}
+	}
+	rate := g.Rate() / 1e6
+	if rate < linkMbps*0.5 || rate > linkMbps*1.3 {
+		t.Errorf("GCC converged to %.1f Mbps on a %.0f Mbps link", rate, linkMbps)
+	}
+}

@@ -1,0 +1,145 @@
+package livo
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Relay is a minimal selective-forwarding unit for multi-way conferencing —
+// the paper leaves multi-way to future work (§3.1) but notes the
+// opportunity of optimizing across receivers of a single sender; Relay is
+// that building block. It forwards one sender's media packets to every
+// subscribed receiver and aggregates the reverse path:
+//
+//   - REMB: the minimum across receivers is forwarded, so the sender
+//     adapts to the slowest subscriber;
+//   - PLI/NACK: forwarded as-is (a key frame or retransmission heals every
+//     subscriber);
+//   - poses: forwarded from the designated primary viewer only — culling
+//     is per-viewer state, so the sender culls for the primary and the
+//     relay's other subscribers receive the same (conservatively larger)
+//     view. Per-receiver culling would require per-receiver encoding,
+//     exactly the optimization the paper defers.
+type Relay struct {
+	conn   net.PacketConn
+	sender net.Addr
+
+	mu      sync.Mutex
+	subs    []net.Addr
+	primary int // index into subs whose poses drive culling
+	rembBy  map[string]float64
+
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewRelay creates a relay on conn, forwarding the given sender's media to
+// subscribers added with Subscribe.
+func NewRelay(conn net.PacketConn, sender net.Addr) *Relay {
+	return &Relay{
+		conn:   conn,
+		sender: sender,
+		rembBy: make(map[string]float64),
+		closed: make(chan struct{}),
+	}
+}
+
+// Subscribe adds a receiver. The first subscriber becomes the primary
+// viewer (its poses drive the sender's culling).
+func (r *Relay) Subscribe(addr net.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs = append(r.subs, addr)
+}
+
+// Subscribers returns the current subscriber count.
+func (r *Relay) Subscribers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.subs)
+}
+
+// Run forwards packets until Close; call on its own goroutine.
+func (r *Relay) Run() {
+	r.wg.Add(1)
+	defer r.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-r.closed:
+			return
+		default:
+		}
+		_ = r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := r.conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		if n == 0 {
+			continue
+		}
+		r.route(buf[:n], from)
+	}
+}
+
+// route forwards one packet in the appropriate direction.
+func (r *Relay) route(b []byte, from net.Addr) {
+	fromSender := from.String() == r.sender.String()
+	if fromSender {
+		// Media (and sender pings) fan out to every subscriber.
+		r.mu.Lock()
+		subs := append([]net.Addr(nil), r.subs...)
+		r.mu.Unlock()
+		for _, s := range subs {
+			_, _ = r.conn.WriteTo(b, s)
+		}
+		return
+	}
+	// Reverse path from a subscriber.
+	switch b[0] {
+	case fbREMB:
+		bps, err := unmarshalREMB(b)
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		r.rembBy[from.String()] = bps
+		min := bps
+		for _, v := range r.rembBy {
+			if v < min {
+				min = v
+			}
+		}
+		r.mu.Unlock()
+		_, _ = r.conn.WriteTo(marshalREMB(min), r.sender)
+	case fbPose:
+		// Only the primary viewer's poses reach the sender.
+		r.mu.Lock()
+		isPrimary := len(r.subs) > r.primary && r.subs[r.primary].String() == from.String()
+		r.mu.Unlock()
+		if isPrimary {
+			_, _ = r.conn.WriteTo(b, r.sender)
+		}
+	default:
+		// NACK, PLI, pongs: forward to the sender.
+		_, _ = r.conn.WriteTo(b, r.sender)
+	}
+}
+
+// Close stops the relay (the caller owns the connection).
+func (r *Relay) Close() error {
+	select {
+	case <-r.closed:
+		return fmt.Errorf("livo: relay already closed")
+	default:
+	}
+	close(r.closed)
+	_ = r.conn.SetReadDeadline(time.Now())
+	r.wg.Wait()
+	return nil
+}

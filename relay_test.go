@@ -1,0 +1,112 @@
+package livo
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"livo/internal/scene"
+)
+
+// TestRelayFanOut runs a sender through a relay to two receivers: both must
+// reconstruct clouds, and the sender must adapt to the minimum REMB.
+func TestRelayFanOut(t *testing.T) {
+	v, err := scene.OpenVideo("toddler4", testCapture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() net.PacketConn {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	sConn, relayConn, r1Conn, r2Conn := mk(), mk(), mk(), mk()
+	defer sConn.Close()
+	defer relayConn.Close()
+	defer r1Conn.Close()
+	defer r2Conn.Close()
+
+	relay := NewRelay(relayConn, sConn.LocalAddr())
+	relay.Subscribe(r1Conn.LocalAddr())
+	relay.Subscribe(r2Conn.LocalAddr())
+	go relay.Run()
+	defer relay.Close()
+	if relay.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", relay.Subscribers())
+	}
+
+	send, err := NewSendSession(sConn, relayConn.LocalAddr(), SendSessionConfig{
+		Sender: SenderConfig{Array: v.Array, ViewParams: DefaultViewParams()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	var mu sync.Mutex
+	counts := map[string]int{}
+	mkRecv := func(name string, conn net.PacketConn) *RecvSession {
+		rs, err := NewRecvSession(conn, relayConn.LocalAddr(), RecvSessionConfig{
+			Receiver:    ReceiverConfig{Array: v.Array},
+			JitterDelay: 0.02,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.OnCloud = func(seq uint32, cloud *PointCloud) {
+			mu.Lock()
+			counts[name]++
+			mu.Unlock()
+		}
+		viewer := SynthUserTrace(name, int64(len(name)), 60, 30)
+		start := time.Now()
+		rs.PoseSource = func() Pose { return viewer.At(time.Since(start).Seconds()) }
+		go rs.Run()
+		return rs
+	}
+	r1 := mkRecv("r1", r1Conn)
+	r2 := mkRecv("r2", r2Conn)
+	defer r1.Close()
+	defer r2.Close()
+
+	for i := 0; i < 15; i++ {
+		if _, err := send.SendViews(v.Frame(i)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(33 * time.Millisecond)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		ok := counts["r1"] >= 8 && counts["r2"] >= 8
+		mu.Unlock()
+		if ok {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if counts["r1"] < 8 || counts["r2"] < 8 {
+		t.Fatalf("fan-out incomplete: %v", counts)
+	}
+}
+
+func TestRelayDoubleClose(t *testing.T) {
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	addr, _ := net.ResolveUDPAddr("udp", "127.0.0.1:1")
+	r := NewRelay(c, addr)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err == nil {
+		t.Error("double close should error")
+	}
+}

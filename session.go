@@ -1,0 +1,451 @@
+package livo
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livo/internal/codec/vcodec"
+	"livo/internal/core"
+	"livo/internal/transport"
+)
+
+// mediaMagic distinguishes media packets from feedback on the same socket.
+const mediaMagic byte = 0xD7
+
+// SendSession streams one direction of a live conference: it encodes camera
+// views with the LiVo pipeline and sends them to a remote receiver over a
+// packet connection, processing feedback (poses, REMB, NACK, PLI) on the
+// reverse path. A two-way conference runs one SendSession and one
+// RecvSession per site (§3.1).
+type SendSession struct {
+	sender *core.Sender
+	conn   net.PacketConn
+	remote net.Addr
+	fps    int
+	fec    bool
+
+	rateBps atomic.Uint64 // current send rate from receiver REMB
+	paceQ   chan []byte
+
+	mu      sync.Mutex
+	history map[retxKey][]byte // recent packets for NACK retransmission
+	order   []retxKey
+	start   time.Time
+	closed  chan struct{}
+	wg      sync.WaitGroup
+	err     atomic.Value
+}
+
+type retxKey struct {
+	stream uint8
+	seq    uint32
+	frag   uint16
+}
+
+// SendSessionConfig configures a SendSession.
+type SendSessionConfig struct {
+	Sender SenderConfig
+	// InitialRateBps seeds the send rate before the first REMB (default
+	// 20 Mbps).
+	InitialRateBps float64
+	// FPS is the capture rate (default 30).
+	FPS int
+	// EnableFEC adds one XOR parity packet per group of 8 fragments, so
+	// single losses are repaired at the receiver without a NACK round
+	// trip (transport/fec.go; loss-robustness beyond the paper's
+	// NACK/PLI, §5 future work).
+	EnableFEC bool
+}
+
+// NewSendSession builds a sending session bound to conn, targeting remote.
+// The session takes over reading from conn (feedback).
+func NewSendSession(conn net.PacketConn, remote net.Addr, cfg SendSessionConfig) (*SendSession, error) {
+	sender, err := core.NewSender(cfg.Sender)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InitialRateBps <= 0 {
+		cfg.InitialRateBps = 20e6
+	}
+	if cfg.FPS <= 0 {
+		cfg.FPS = 30
+	}
+	s := &SendSession{
+		sender:  sender,
+		conn:    conn,
+		remote:  remote,
+		fps:     cfg.FPS,
+		fec:     cfg.EnableFEC,
+		history: make(map[retxKey][]byte),
+		start:   time.Now(),
+		closed:  make(chan struct{}),
+	}
+	s.rateBps.Store(uint64(cfg.InitialRateBps))
+	s.paceQ = make(chan []byte, 4096)
+	s.wg.Add(2)
+	go s.feedbackLoop()
+	go s.paceLoop()
+	return s, nil
+}
+
+// paceLoop transmits queued packets at the current rate instead of
+// bursting whole frames — WebRTC-style pacing keeps queues (and the
+// receiver's delay-gradient estimator) sane.
+func (s *SendSession) paceLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case wire := <-s.paceQ:
+			if _, err := s.conn.WriteTo(wire, s.remote); err != nil {
+				s.err.Store(fmt.Errorf("livo: send: %w", err))
+				return
+			}
+			rate := s.Rate()
+			if rate < 1e5 {
+				rate = 1e5
+			}
+			// Serialize time of this packet at the target rate, halved:
+			// pace at 2x the media rate so feedback/overhead fits.
+			d := time.Duration(float64(len(wire)) * 8 / (2 * rate) * float64(time.Second))
+			if d > 0 {
+				select {
+				case <-s.closed:
+					return
+				case <-time.After(d):
+				}
+			}
+		}
+	}
+}
+
+// now returns seconds since session start.
+func (s *SendSession) now() float64 { return time.Since(s.start).Seconds() }
+
+// Rate returns the current send rate (bits/second).
+func (s *SendSession) Rate() float64 { return float64(s.rateBps.Load()) }
+
+// SendViews runs the sender pipeline on one set of camera views and
+// transmits the encoded frame.
+func (s *SendSession) SendViews(views []RGBDFrame) (*EncodedFrame, error) {
+	if e := s.err.Load(); e != nil {
+		return nil, e.(error)
+	}
+	enc, err := s.sender.ProcessFrame(views, s.Rate())
+	if err != nil {
+		return nil, err
+	}
+	ts := uint64(s.now() * 1e6)
+	colorPkts := transport.Packetize(transport.StreamColor, enc.Seq, enc.Color.Key, ts, enc.Color.Data)
+	depthPkts := transport.Packetize(transport.StreamDepth, enc.Seq, enc.Depth.Key, ts, enc.Depth.Data)
+	pkts := append(colorPkts, depthPkts...)
+	if s.fec {
+		pkts = append(pkts, transport.BuildParity(colorPkts)...)
+		pkts = append(pkts, transport.BuildParity(depthPkts)...)
+	}
+	for i := range pkts {
+		if err := s.sendPacket(&pkts[i]); err != nil {
+			return nil, err
+		}
+	}
+	return enc, nil
+}
+
+func (s *SendSession) sendPacket(p *transport.Packet) error {
+	if e := s.err.Load(); e != nil {
+		return e.(error)
+	}
+	wire := append([]byte{mediaMagic}, p.Marshal()...)
+	select {
+	case s.paceQ <- wire:
+	default:
+		// Pacer backlogged a full second of packets: drop-oldest semantics
+		// are the receiver's job (jitter buffer); here we drop the new
+		// packet and let NACK/FEC recover if it mattered.
+	}
+	s.mu.Lock()
+	k := retxKey{p.Stream, p.FrameSeq, p.FragIndex}
+	if _, exists := s.history[k]; !exists {
+		s.history[k] = wire
+		s.order = append(s.order, k)
+		// Keep roughly one second of history for NACKs.
+		limit := 4096
+		for len(s.order) > limit {
+			delete(s.history, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// feedbackLoop processes reverse-path messages until Close.
+func (s *SendSession) feedbackLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+		_ = s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			select {
+			case <-s.closed:
+			default:
+				s.err.Store(fmt.Errorf("livo: feedback read: %w", err))
+			}
+			return
+		}
+		if n == 0 {
+			continue
+		}
+		s.handleFeedback(buf[:n])
+	}
+}
+
+func (s *SendSession) handleFeedback(b []byte) {
+	switch b[0] {
+	case fbPose:
+		if t, pose, err := unmarshalPose(b); err == nil {
+			s.sender.ObservePose(t, pose)
+		}
+	case fbREMB:
+		if bps, err := unmarshalREMB(b); err == nil && bps > 0 {
+			s.rateBps.Store(uint64(bps))
+		}
+	case fbNACK:
+		if stream, seq, frag, err := unmarshalNACK(b); err == nil {
+			s.mu.Lock()
+			wire := s.history[retxKey{stream, seq, frag}]
+			s.mu.Unlock()
+			if wire != nil {
+				_, _ = s.conn.WriteTo(wire, s.remote)
+			}
+		}
+	case fbPLI:
+		s.sender.ForceKeyFrame()
+	case fbPong:
+		if t0, err := unmarshalPing(b); err == nil {
+			s.sender.ObserveRTT(s.now() - t0)
+		}
+	case fbPing:
+		// Reflect pings so the peer can measure RTT too.
+		b[0] = fbPong
+		_, _ = s.conn.WriteTo(b, s.remote)
+	}
+}
+
+// Close stops the session. The connection is not closed (the caller owns
+// it; a conference shares one socket between send and receive sessions on
+// separate ports in the examples).
+func (s *SendSession) Close() error {
+	close(s.closed)
+	_ = s.conn.SetReadDeadline(time.Now())
+	s.wg.Wait()
+	return nil
+}
+
+// RecvSession receives one direction of a live conference: it reassembles
+// the two video streams through jitter buffers, decodes and pairs them,
+// reconstructs point clouds, and generates the reverse-path feedback
+// (poses, REMB from its congestion estimator, NACKs, PLI).
+type RecvSession struct {
+	receiver *core.Receiver
+	conn     net.PacketConn
+	remote   net.Addr
+
+	jb  map[uint8]*transport.JitterBuffer
+	gcc *transport.GCC
+
+	// OnCloud is called (on the session goroutine) for every reconstructed
+	// frame.
+	OnCloud func(seq uint32, cloud *PointCloud)
+	// PoseSource supplies the viewer's current pose for feedback; nil
+	// disables pose feedback.
+	PoseSource func() Pose
+	// Frustum, when non-nil, is applied to reconstructed clouds.
+	Frustum func() *Frustum
+
+	start    time.Time
+	closed   chan struct{}
+	wg       sync.WaitGroup
+	err      atomic.Value
+	decoded  atomic.Int64
+	skipped  atomic.Int64
+	received atomic.Int64
+	lost     atomic.Int64
+}
+
+// RecvSessionConfig configures a RecvSession.
+type RecvSessionConfig struct {
+	Receiver ReceiverConfig
+	// InitialRateBps seeds the bandwidth estimator (default 20 Mbps).
+	InitialRateBps float64
+	// MinRateBps/MaxRateBps bound the estimator (defaults 1 Mbps / 1 Gbps).
+	MinRateBps, MaxRateBps float64
+	// JitterDelay overrides the 100 ms default.
+	JitterDelay float64
+}
+
+// NewRecvSession builds a receiving session bound to conn; feedback goes to
+// remote. Callbacks must be set before the first packet arrives.
+func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig) (*RecvSession, error) {
+	recv, err := core.NewReceiver(cfg.Receiver)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.InitialRateBps <= 0 {
+		cfg.InitialRateBps = 20e6
+	}
+	if cfg.MinRateBps <= 0 {
+		cfg.MinRateBps = 1e6
+	}
+	if cfg.MaxRateBps <= 0 {
+		cfg.MaxRateBps = 1e9
+	}
+	r := &RecvSession{
+		receiver: recv,
+		conn:     conn,
+		remote:   remote,
+		jb: map[uint8]*transport.JitterBuffer{
+			transport.StreamColor: transport.NewJitterBuffer(),
+			transport.StreamDepth: transport.NewJitterBuffer(),
+		},
+		gcc:    transport.NewGCC(cfg.InitialRateBps, cfg.MinRateBps, cfg.MaxRateBps),
+		start:  time.Now(),
+		closed: make(chan struct{}),
+	}
+	if cfg.JitterDelay > 0 {
+		for _, jb := range r.jb {
+			jb.Delay = cfg.JitterDelay
+		}
+	}
+	return r, nil
+}
+
+// Run processes packets until Close; call it on its own goroutine.
+func (r *RecvSession) Run() {
+	r.wg.Add(1)
+	defer r.wg.Done()
+	buf := make([]byte, 65536)
+	feedbackTicker := time.NewTicker(33 * time.Millisecond)
+	defer feedbackTicker.Stop()
+	for {
+		select {
+		case <-r.closed:
+			return
+		case <-feedbackTicker.C:
+			r.sendFeedback()
+		default:
+		}
+		_ = r.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		n, _, err := r.conn.ReadFrom(buf)
+		now := r.now()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				r.drain(now)
+				continue
+			}
+			select {
+			case <-r.closed:
+			default:
+				r.err.Store(fmt.Errorf("livo: media read: %w", err))
+			}
+			return
+		}
+		if n < 1 || buf[0] != mediaMagic {
+			continue // feedback-typed or junk: not ours
+		}
+		pkt, err := transport.Unmarshal(buf[1:n])
+		if err != nil {
+			continue
+		}
+		r.gcc.OnArrival(float64(pkt.SendTimeUs)/1e6, now, n)
+		r.received.Add(1)
+		if jb := r.jb[pkt.Stream]; jb != nil {
+			jb.Push(pkt, now)
+		}
+		r.drain(now)
+	}
+}
+
+func (r *RecvSession) now() float64 { return time.Since(r.start).Seconds() }
+
+// drain delivers ready frames from both jitter buffers and reconstructs
+// completed pairs.
+func (r *RecvSession) drain(now float64) {
+	for stream, jb := range r.jb {
+		for _, af := range jb.Pop(now) {
+			pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq}
+			var pf *PairedFrame
+			var err error
+			if stream == transport.StreamColor {
+				pf, err = r.receiver.PushColor(pkt)
+			} else {
+				pf, err = r.receiver.PushDepth(pkt)
+			}
+			if err != nil {
+				// Likely a missing reference after a skipped frame:
+				// request a key frame (PLI, §A.1).
+				_, _ = r.conn.WriteTo([]byte{fbPLI}, r.remote)
+				continue
+			}
+			if pf != nil {
+				r.decoded.Add(1)
+				if r.OnCloud != nil {
+					var fr *Frustum
+					if r.Frustum != nil {
+						fr = r.Frustum()
+					}
+					cloud, err := r.receiver.Reconstruct(pf, fr)
+					if err == nil {
+						r.OnCloud(pf.Seq, cloud)
+					}
+				}
+			}
+		}
+		for _, nack := range jb.Nacks(now) {
+			r.lost.Add(1)
+			_, _ = r.conn.WriteTo(marshalNACK(nack.Stream, nack.FrameSeq, nack.FragIndex), r.remote)
+		}
+	}
+}
+
+// sendFeedback pushes pose, REMB, RTT probes, and loss reports to the
+// sender.
+func (r *RecvSession) sendFeedback() {
+	now := r.now()
+	if r.PoseSource != nil {
+		_, _ = r.conn.WriteTo(marshalPose(now, r.PoseSource()), r.remote)
+	}
+	// Fold measured loss into the estimate before advertising it (GCC's
+	// loss-based controller).
+	rx := r.received.Swap(0)
+	lost := r.lost.Swap(0)
+	if rx+lost > 0 {
+		r.gcc.OnLossReport(float64(lost) / float64(rx+lost))
+	}
+	_, _ = r.conn.WriteTo(marshalREMB(r.gcc.Rate()), r.remote)
+	_, _ = r.conn.WriteTo(marshalPing(now, fbPing), r.remote)
+}
+
+// Decoded returns how many paired frames were reconstructed.
+func (r *RecvSession) Decoded() int64 { return r.decoded.Load() }
+
+// Close stops the session (the caller owns the connection).
+func (r *RecvSession) Close() error {
+	close(r.closed)
+	_ = r.conn.SetReadDeadline(time.Now())
+	r.wg.Wait()
+	return nil
+}

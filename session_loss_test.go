@@ -1,0 +1,146 @@
+package livo
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"livo/internal/scene"
+)
+
+// lossyForwarder relays packets between two endpoints, dropping a fraction
+// of the media packets in the sender->receiver direction.
+type lossyForwarder struct {
+	conn     net.PacketConn
+	sender   net.Addr
+	receiver net.Addr
+	rate     float64
+	rng      *rand.Rand
+	mu       sync.Mutex
+	dropped  int
+	done     chan struct{}
+}
+
+func (f *lossyForwarder) run() {
+	buf := make([]byte, 65536)
+	for {
+		select {
+		case <-f.done:
+			return
+		default:
+		}
+		_ = f.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+		n, from, err := f.conn.ReadFrom(buf)
+		if err != nil {
+			continue
+		}
+		if from.String() == f.sender.String() {
+			f.mu.Lock()
+			drop := n > 0 && buf[0] == mediaMagic && f.rng.Float64() < f.rate
+			if drop {
+				f.dropped++
+			}
+			f.mu.Unlock()
+			if drop {
+				continue
+			}
+			_, _ = f.conn.WriteTo(buf[:n], f.receiver)
+		} else {
+			_, _ = f.conn.WriteTo(buf[:n], f.sender)
+		}
+	}
+}
+
+// TestSessionSurvivesPacketLoss streams through a 10%-loss middlebox with
+// FEC enabled: the receiver must still reconstruct most frames (parity
+// repairs single losses; NACKs and PLI cover the rest, §A.1).
+func TestSessionSurvivesPacketLoss(t *testing.T) {
+	v, err := scene.OpenVideo("office1", testCapture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() net.PacketConn {
+		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	sConn, fConn, rConn := mk(), mk(), mk()
+	defer sConn.Close()
+	defer fConn.Close()
+	defer rConn.Close()
+
+	fwd := &lossyForwarder{
+		conn:     fConn,
+		sender:   sConn.LocalAddr(),
+		receiver: rConn.LocalAddr(),
+		rate:     0.10,
+		rng:      rand.New(rand.NewSource(42)),
+		done:     make(chan struct{}),
+	}
+	go fwd.run()
+	defer close(fwd.done)
+
+	send, err := NewSendSession(sConn, fConn.LocalAddr(), SendSessionConfig{
+		Sender:    SenderConfig{Array: v.Array, ViewParams: DefaultViewParams()},
+		EnableFEC: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer send.Close()
+
+	recv, err := NewRecvSession(rConn, fConn.LocalAddr(), RecvSessionConfig{
+		Receiver:    ReceiverConfig{Array: v.Array},
+		JitterDelay: 0.03,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	var mu sync.Mutex
+	clouds := 0
+	recv.OnCloud = func(seq uint32, cloud *PointCloud) {
+		mu.Lock()
+		clouds++
+		mu.Unlock()
+	}
+	viewer := SynthUserTrace("viewer", 5, 60, 30)
+	start := time.Now()
+	recv.PoseSource = func() Pose { return viewer.At(time.Since(start).Seconds()) }
+	go recv.Run()
+
+	const frames = 30
+	for i := 0; i < frames; i++ {
+		if _, err := send.SendViews(v.Frame(i)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(33 * time.Millisecond)
+	}
+	deadline := time.Now().Add(4 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := clouds
+		mu.Unlock()
+		if n >= frames*2/3 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fwd.mu.Lock()
+	dropped := fwd.dropped
+	fwd.mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+	t.Logf("middlebox dropped %d packets; receiver reconstructed %d/%d frames", dropped, clouds, frames)
+	if dropped == 0 {
+		t.Fatal("loss injector never fired; test is vacuous")
+	}
+	if clouds < frames*2/3 {
+		t.Fatalf("only %d/%d frames survived 10%% loss", clouds, frames)
+	}
+}
