@@ -6,29 +6,43 @@
 //	livo-bench -list
 //	livo-bench -exp fig9fig10
 //	livo-bench -exp all -frames 60 -cameras 8
+//	livo-bench -codecbench -codecbench-out BENCH_codec.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"livo/internal/codec/vcodec"
 	"livo/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		frames  = flag.Int("frames", 0, "frames per replay run (default quick preset)")
-		cameras = flag.Int("cameras", 0, "cameras in the capture rig")
-		width   = flag.Int("width", 0, "per-camera width")
-		height  = flag.Int("height", 0, "per-camera height")
-		users   = flag.Int("users", 0, "user traces per video (1-3)")
-		full    = flag.Bool("full", false, "full-quality preset (slow: hours)")
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		frames   = flag.Int("frames", 0, "frames per replay run (default quick preset)")
+		cameras  = flag.Int("cameras", 0, "cameras in the capture rig")
+		width    = flag.Int("width", 0, "per-camera width")
+		height   = flag.Int("height", 0, "per-camera height")
+		users    = flag.Int("users", 0, "user traces per video (1-3)")
+		full     = flag.Bool("full", false, "full-quality preset (slow: hours)")
+		cbench   = flag.Bool("codecbench", false, "run the vcodec benchmark suite and write JSON results")
+		cbenchTo = flag.String("codecbench-out", "BENCH_codec.json", "output path for -codecbench results")
 	)
 	flag.Parse()
+
+	if *cbench {
+		if err := runCodecBench(*cbenchTo); err != nil {
+			fmt.Fprintf(os.Stderr, "codecbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -79,4 +93,28 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// runCodecBench executes the vcodec benchmark suite (the same benchmarks
+// `go test -bench` runs against internal/codec/vcodec) and writes the
+// measurements as JSON so CI can diff ns/op, B/op, and allocs/op across
+// commits.
+func runCodecBench(outPath string) error {
+	procs := runtime.GOMAXPROCS(0)
+	fmt.Printf("=== codecbench (GOMAXPROCS=%d) ===\n", procs)
+	results := vcodec.RunStandardBenchmarks(procs)
+	for _, r := range results {
+		fmt.Printf("%-16s n=%-4d %14.0f ns/op %12d B/op %8d allocs/op\n",
+			r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }

@@ -92,6 +92,10 @@ func (c Config) videoConfig() vcodec.Config {
 type Encoder struct {
 	cfg Config
 	enc *vcodec.Encoder
+	// vf and tmpColor are per-encoder staging scratch, reused every frame
+	// so the per-tick encode path does not allocate video frames.
+	vf       *vcodec.Frame
+	tmpColor *frame.ColorImage
 }
 
 // NewEncoder creates a depth encoder.
@@ -104,14 +108,23 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	return &Encoder{cfg: cfg, enc: enc}, nil
 }
 
-// toVideoFrame maps a depth image into the scheme's video-frame layout.
-func (cfg Config) toVideoFrame(im *frame.DepthImage) (*vcodec.Frame, error) {
+// toVideoFrame maps a depth image into the scheme's video-frame layout,
+// reusing the encoder's staging frame.
+func (e *Encoder) toVideoFrame(im *frame.DepthImage) (*vcodec.Frame, error) {
+	cfg := e.cfg
 	if im.W != cfg.Width || im.H != cfg.Height {
 		return nil, fmt.Errorf("depth: image %dx%d does not match config %dx%d", im.W, im.H, cfg.Width, cfg.Height)
 	}
+	if e.vf == nil {
+		nplanes := 1
+		if cfg.Scheme == RGBPacked {
+			nplanes = 3
+		}
+		e.vf = vcodec.NewFrame(im.W, im.H, nplanes)
+	}
+	f := e.vf
 	switch cfg.Scheme {
 	case Scaled16:
-		f := vcodec.NewFrame(im.W, im.H, 1)
 		maxMM := uint32(cfg.MaxMM)
 		for i, d := range im.Pix {
 			v := uint32(d)
@@ -122,15 +135,20 @@ func (cfg Config) toVideoFrame(im *frame.DepthImage) (*vcodec.Frame, error) {
 		}
 		return f, nil
 	case Unscaled16:
-		return vcodec.FromDepth(im), nil
+		vcodec.FromDepthInto(im, f)
+		return f, nil
 	case RGBPacked:
-		c := frame.NewColorImage(im.W, im.H)
+		if e.tmpColor == nil {
+			e.tmpColor = frame.NewColorImage(im.W, im.H)
+		}
+		c := e.tmpColor
 		for i, d := range im.Pix {
 			c.Pix[3*i] = uint8(d >> 8)   // high byte
 			c.Pix[3*i+1] = uint8(d)      // low byte
 			c.Pix[3*i+2] = uint8(d >> 8) // duplicated high byte adds robustness
 		}
-		return vcodec.FromColor(c), nil
+		vcodec.FromColorInto(c, f)
+		return f, nil
 	default:
 		return nil, fmt.Errorf("depth: unknown scheme %v", cfg.Scheme)
 	}
@@ -176,7 +194,7 @@ func (cfg Config) fromVideoFrame(f *vcodec.Frame) *frame.DepthImage {
 
 // Encode rate-controls the frame to targetBytes.
 func (e *Encoder) Encode(im *frame.DepthImage, targetBytes int) (*vcodec.Packet, error) {
-	f, err := e.cfg.toVideoFrame(im)
+	f, err := e.toVideoFrame(im)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +203,7 @@ func (e *Encoder) Encode(im *frame.DepthImage, targetBytes int) (*vcodec.Packet,
 
 // EncodeQP encodes at a fixed quantization parameter (NoAdapt baseline).
 func (e *Encoder) EncodeQP(im *frame.DepthImage, qp int) (*vcodec.Packet, error) {
-	f, err := e.cfg.toVideoFrame(im)
+	f, err := e.toVideoFrame(im)
 	if err != nil {
 		return nil, err
 	}

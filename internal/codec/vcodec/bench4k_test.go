@@ -1,0 +1,12 @@
+package vcodec
+
+import "testing"
+
+// 4K benchmark entry points (run with -bench '4K|RoundTrip' -benchmem).
+// The bodies live in benchmarks.go so livo-bench -codecbench can run the
+// same suite outside the test harness and emit BENCH_codec.json.
+
+func BenchmarkEncode4KColor(b *testing.B) { benchEncodeColor(3840, 2160)(b) }
+func BenchmarkEncode4KDepth(b *testing.B) { benchEncodeDepth(3840, 2160)(b) }
+func BenchmarkDecode4KColor(b *testing.B) { benchDecodeColor(3840, 2160)(b) }
+func BenchmarkRoundTrip(b *testing.B)     { benchRoundTrip(1920, 1080)(b) }

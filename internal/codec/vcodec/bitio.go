@@ -61,29 +61,57 @@ func (r *byteReader) readByte() (byte, error) {
 	return b, nil
 }
 
-// deflateBytes compresses b at the given flate level.
-func deflateBytes(b []byte, level int) ([]byte, error) {
-	var out bytes.Buffer
-	fw, err := flate.NewWriter(&out, level)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := fw.Write(b); err != nil {
-		return nil, err
-	}
-	if err := fw.Close(); err != nil {
-		return nil, err
-	}
-	return out.Bytes(), nil
+// deflater is per-encoder reusable compression state: the flate writer's
+// internal tables (~hundreds of KB) and the output buffer persist across
+// frames instead of being reallocated per packet.
+type deflater struct {
+	fw  *flate.Writer
+	lvl int
+	out bytes.Buffer
 }
 
-// inflateBytes decompresses deflate data.
-func inflateBytes(b []byte) ([]byte, error) {
-	fr := flate.NewReader(bytes.NewReader(b))
-	defer fr.Close()
-	out, err := io.ReadAll(fr)
-	if err != nil {
+// compress writes hdr followed by the deflate of payload and returns a
+// fresh copy (the packet the caller keeps — the encode path's only
+// per-frame allocation).
+func (d *deflater) compress(hdr, payload []byte, level int) ([]byte, error) {
+	d.out.Reset()
+	d.out.Write(hdr)
+	if d.fw == nil || d.lvl != level {
+		fw, err := flate.NewWriter(&d.out, level)
+		if err != nil {
+			return nil, err
+		}
+		d.fw, d.lvl = fw, level
+	} else {
+		d.fw.Reset(&d.out)
+	}
+	if _, err := d.fw.Write(payload); err != nil {
+		return nil, err
+	}
+	if err := d.fw.Close(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), d.out.Bytes()...), nil
+}
+
+// inflater is per-decoder reusable decompression state. The returned
+// payload aliases an internal buffer valid until the next decompress call.
+type inflater struct {
+	br  bytes.Reader
+	fr  io.ReadCloser
+	out bytes.Buffer
+}
+
+func (n *inflater) decompress(b []byte) ([]byte, error) {
+	n.br.Reset(b)
+	if n.fr == nil {
+		n.fr = flate.NewReader(&n.br)
+	} else if err := n.fr.(flate.Resetter).Reset(&n.br, nil); err != nil {
+		return nil, err
+	}
+	n.out.Reset()
+	if _, err := n.out.ReadFrom(n.fr); err != nil {
 		return nil, fmt.Errorf("vcodec: inflate: %w", err)
 	}
-	return out, nil
+	return n.out.Bytes(), nil
 }

@@ -5,6 +5,12 @@ import (
 	"math"
 )
 
+// ExplicitZero is the sentinel for defaulted Config fields whose zero
+// value selects the documented default: set MaxQP, ChromaQPOffset, or
+// FlateLevel to ExplicitZero to request an actual value of 0 (e.g. chroma
+// quantized like luma, or flate level 0 = stored blocks).
+const ExplicitZero = -1
+
 // Config selects the coding mode. The same Config must be used by encoder
 // and decoder (in LiVo it is exchanged at session setup, like the camera
 // calibration, §A.1).
@@ -21,18 +27,20 @@ type Config struct {
 	SearchRadius int
 	// MinQP/MaxQP bound the rate controller (defaults 0..51). Step sizes
 	// scale with bit depth (see qpToStep), so the same QP range covers
-	// 8-bit and 16-bit planes.
+	// 8-bit and 16-bit planes. MaxQP accepts ExplicitZero to pin the
+	// controller at QP 0.
 	MinQP, MaxQP int
 	// ChromaQPOffset is added to the QP for planes 1 and 2, quantizing
-	// chroma more coarsely than luma (default +6). This is the codec
-	// property LiVo's depth encoding exploits: content in the Y plane is
-	// distorted less (§3.2).
+	// chroma more coarsely than luma (default +6; ExplicitZero codes
+	// chroma at the luma QP). This is the codec property LiVo's depth
+	// encoding exploits: content in the Y plane is distorted less (§3.2).
 	ChromaQPOffset int
 	// Chroma420 codes planes 1 and 2 at half resolution (4:2:0), the
 	// standard conferencing configuration. Ignored for single-plane
 	// streams.
 	Chroma420 bool
-	// FlateLevel is the entropy-coder effort (flate level 1..9, default 4).
+	// FlateLevel is the entropy-coder effort (flate level 1..9, default 4;
+	// ExplicitZero selects flate level 0, i.e. stored blocks).
 	FlateLevel int
 }
 
@@ -40,14 +48,23 @@ func (c Config) withDefaults() Config {
 	if c.GOP <= 0 {
 		c.GOP = 30
 	}
-	if c.MaxQP == 0 {
+	switch c.MaxQP {
+	case 0:
 		c.MaxQP = 51
+	case ExplicitZero:
+		c.MaxQP = 0
 	}
-	if c.ChromaQPOffset == 0 {
+	switch c.ChromaQPOffset {
+	case 0:
 		c.ChromaQPOffset = 6
+	case ExplicitZero:
+		c.ChromaQPOffset = 0
 	}
-	if c.FlateLevel == 0 {
+	switch c.FlateLevel {
+	case 0:
 		c.FlateLevel = 4
+	case ExplicitZero:
+		c.FlateLevel = 0
 	}
 	return c
 }
@@ -86,23 +103,27 @@ type codedPicture struct {
 	planes [][]int32
 }
 
-// toCoded converts a full-resolution frame into coded planes.
-func (c Config) toCoded(f *Frame) *codedPicture {
-	cp := &codedPicture{planes: make([][]int32, len(f.Planes))}
-	for p := range f.Planes {
+// newCodedPicture allocates a zeroed picture at c's coded resolutions.
+func newCodedPicture(c Config) *codedPicture {
+	cp := &codedPicture{planes: make([][]int32, c.NumPlanes)}
+	for p := range cp.planes {
 		pw, ph := c.planeDims(p)
-		if pw == f.W && ph == f.H {
-			cp.planes[p] = f.Planes[p]
-			continue
-		}
-		cp.planes[p] = downsample2x(f.Planes[p], f.W, f.H, pw, ph)
+		cp.planes[p] = make([]int32, pw*ph)
 	}
 	return cp
 }
 
-// fromCoded expands coded planes back to a full-resolution frame.
+// fromCoded expands coded planes into a newly allocated full-resolution
+// frame.
 func (c Config) fromCoded(cp *codedPicture) *Frame {
 	f := NewFrame(c.Width, c.Height, len(cp.planes))
+	c.fromCodedInto(cp, f)
+	return f
+}
+
+// fromCodedInto expands coded planes into an existing full-resolution
+// frame (no allocation).
+func (c Config) fromCodedInto(cp *codedPicture, f *Frame) {
 	for p := range cp.planes {
 		pw, ph := c.planeDims(p)
 		if pw == c.Width && ph == c.Height {
@@ -111,12 +132,11 @@ func (c Config) fromCoded(cp *codedPicture) *Frame {
 		}
 		upsample2x(cp.planes[p], pw, ph, f.Planes[p], c.Width, c.Height)
 	}
-	return f
 }
 
-// downsample2x box-filters a plane to (dw, dh) = ceil(w/2) x ceil(h/2).
-func downsample2x(src []int32, w, h, dw, dh int) []int32 {
-	out := make([]int32, dw*dh)
+// downsample2x box-filters a plane into dst at (dw, dh) = ceil(w/2) x
+// ceil(h/2).
+func downsample2x(src []int32, w, h int, dst []int32, dw, dh int) {
 	for y := 0; y < dh; y++ {
 		for x := 0; x < dw; x++ {
 			var sum, n int32
@@ -129,10 +149,9 @@ func downsample2x(src []int32, w, h, dw, dh int) []int32 {
 					}
 				}
 			}
-			out[y*dw+x] = (sum + n/2) / n
+			dst[y*dw+x] = (sum + n/2) / n
 		}
 	}
-	return out
 }
 
 // upsample2x nearest-neighbour expands a plane back to (w, h).
@@ -177,6 +196,12 @@ const (
 )
 
 // Encoder is a stateful single-stream encoder. Not safe for concurrent use.
+//
+// The hot path is stripe-parallel (see stripe.go) and allocation-free in
+// steady state: reference pictures ping-pong between two arena pictures,
+// stripe writers and subsampling scratch come from a per-encoder freelist,
+// and the deflate state is reused across frames. The only per-frame
+// allocation is the returned Packet payload.
 type Encoder struct {
 	cfg      Config
 	prev     *codedPicture // previous reconstructed picture (coded dims)
@@ -189,6 +214,19 @@ type Encoder struct {
 	// prevBackup holds the reference state from before the current encode
 	// so a corrective re-encode can roll back.
 	prevBackup *codedPicture
+
+	// Steady-state arena. pics are the two reconstruction buffers the
+	// prev pointer ping-pongs between; reconFrame caches the LastRecon
+	// output; def holds reusable deflate state; scr owns the stripe
+	// writers and chroma buffers; the slices below are per-frame job
+	// scratch reused across encodes.
+	pics       [2]*codedPicture
+	reconFrame *Frame
+	def        deflater
+	scr        scratch
+	srcPlanes  [][]int32
+	planes     []planeCode
+	jobs       []encStripe
 }
 
 // NewEncoder creates an encoder; the config is validated and defaulted.
@@ -197,7 +235,10 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Encoder{cfg: cfg, lastQP: 26}, nil
+	e := &Encoder{cfg: cfg, lastQP: 26}
+	e.pics[0] = newCodedPicture(cfg)
+	e.pics[1] = newCodedPicture(cfg)
+	return e, nil
 }
 
 // Config returns the encoder's (defaulted) configuration.
@@ -212,11 +253,20 @@ func (e *Encoder) ForceKeyFrame() { e.forceKey = true }
 // the source frame to estimate encoding quality without a separate decode
 // (§3.3 runs parallel decoders on a GPU; sharing the encoder's recon is the
 // CPU equivalent).
+//
+// The returned frame is owned by the encoder and overwritten by the next
+// LastRecon call — the split controller probes it once per tick, so this
+// avoids allocating a full-resolution frame per frame. Callers that need
+// to retain it must Clone it.
 func (e *Encoder) LastRecon() *Frame {
 	if e.prev == nil {
 		return nil
 	}
-	return e.cfg.fromCoded(e.prev)
+	if e.reconFrame == nil {
+		e.reconFrame = NewFrame(e.cfg.Width, e.cfg.Height, e.cfg.NumPlanes)
+	}
+	e.cfg.fromCodedInto(e.prev, e.reconFrame)
+	return e.reconFrame
 }
 
 // EncodeQP encodes f at a fixed quantization parameter, bypassing rate
@@ -303,12 +353,32 @@ func (e *Encoder) encode(f *Frame, qp int) (*Packet, error) {
 	e.forceKey = false
 	e.prevBackup = e.prev
 
-	src := e.cfg.toCoded(f)
-	recon := &codedPicture{planes: make([][]int32, len(f.Planes))}
-	var modes, mvs, coeffs byteWriter
+	// Coded-resolution source: full-resolution planes alias the caller's
+	// frame, subsampled chroma goes through reused scratch.
+	e.scr.reset()
+	e.srcPlanes = e.srcPlanes[:0]
 	for p := range f.Planes {
 		pw, ph := e.cfg.planeDims(p)
-		recon.planes[p] = make([]int32, pw*ph)
+		if pw == f.W && ph == f.H {
+			e.srcPlanes = append(e.srcPlanes, f.Planes[p])
+			continue
+		}
+		buf := e.scr.getPlaneBuf(pw * ph)
+		downsample2x(f.Planes[p], f.W, f.H, buf, pw, ph)
+		e.srcPlanes = append(e.srcPlanes, buf)
+	}
+
+	// Reconstruct into whichever arena picture is not the live reference.
+	recon := e.pics[0]
+	if recon == e.prev {
+		recon = e.pics[1]
+	}
+
+	maxVal := int32(1<<e.cfg.BitDepth - 1)
+	mid := int32(1 << (e.cfg.BitDepth - 1))
+	e.planes = e.planes[:0]
+	for p := range f.Planes {
+		pw, ph := e.cfg.planeDims(p)
 		pqp := qp
 		if p > 0 {
 			pqp = clampQP(qp+e.cfg.ChromaQPOffset, e.cfg.MinQP, e.cfg.MaxQP)
@@ -317,24 +387,45 @@ func (e *Encoder) encode(f *Frame, qp int) (*Packet, error) {
 		if !key {
 			prevPlane = e.prev.planes[p]
 		}
-		codePlane(src.planes[p], prevPlane, recon.planes[p], pw, ph,
-			e.cfg.BitDepth, pqp, e.cfg.SearchRadius, &modes, &mvs, &coeffs)
+		e.planes = append(e.planes, planeCode{
+			src: e.srcPlanes[p], prev: prevPlane, recon: recon.planes[p],
+			w: pw, h: ph,
+			maxVal: maxVal, mid: mid,
+			step:   qpToStep(pqp, e.cfg.BitDepth),
+			radius: e.cfg.SearchRadius,
+		})
+	}
+	e.jobs = e.jobs[:0]
+	for p := range e.planes {
+		e.jobs = appendEncStripes(e.jobs, &e.planes[p], &e.scr)
+	}
+	runEncStripes(e.jobs)
+
+	// Assemble payload: three length-prefixed streams, deflated. Stripe
+	// buffers are concatenated in (plane, stripe) order — the order the
+	// sequential coder emitted symbols — so the bitstream is byte-identical
+	// for any worker count.
+	payload := e.scr.getWriter()
+	var mLen, vLen, cLen uint64
+	for i := range e.jobs {
+		mLen += uint64(len(e.jobs[i].modes.buf))
+		vLen += uint64(len(e.jobs[i].mvs.buf))
+		cLen += uint64(len(e.jobs[i].coeffs.buf))
+	}
+	payload.writeUvarint(mLen)
+	for i := range e.jobs {
+		payload.buf = append(payload.buf, e.jobs[i].modes.buf...)
+	}
+	payload.writeUvarint(vLen)
+	for i := range e.jobs {
+		payload.buf = append(payload.buf, e.jobs[i].mvs.buf...)
+	}
+	payload.writeUvarint(cLen)
+	for i := range e.jobs {
+		payload.buf = append(payload.buf, e.jobs[i].coeffs.buf...)
 	}
 
-	// Assemble payload: three length-prefixed streams, deflated.
-	var payload byteWriter
-	payload.writeUvarint(uint64(len(modes.buf)))
-	payload.buf = append(payload.buf, modes.buf...)
-	payload.writeUvarint(uint64(len(mvs.buf)))
-	payload.buf = append(payload.buf, mvs.buf...)
-	payload.writeUvarint(uint64(len(coeffs.buf)))
-	payload.buf = append(payload.buf, coeffs.buf...)
-	compressed, err := deflateBytes(payload.buf, e.cfg.FlateLevel)
-	if err != nil {
-		return nil, err
-	}
-
-	var hdr byteWriter
+	hdr := e.scr.getWriter()
 	hdr.writeByte('V')
 	flags := byte(0)
 	if key {
@@ -343,7 +434,11 @@ func (e *Encoder) encode(f *Frame, qp int) (*Packet, error) {
 	hdr.writeByte(flags)
 	hdr.writeUvarint(uint64(e.seq))
 	hdr.writeUvarint(uint64(qp))
-	data := append(hdr.buf, compressed...)
+
+	data, err := e.def.compress(hdr.buf, payload.buf, e.cfg.FlateLevel)
+	if err != nil {
+		return nil, err
+	}
 
 	pkt := &Packet{Data: data, Key: key, Seq: e.seq, QP: qp}
 	e.seq++
@@ -358,102 +453,6 @@ func (e *Encoder) encode(f *Frame, qp int) (*Packet, error) {
 	}
 	e.lastQP = qp
 	return pkt, nil
-}
-
-// codePlane encodes one plane into the three symbol streams and writes the
-// reconstruction.
-func codePlane(src, prev, recon []int32, w, h, bitDepth, qp, radius int, modes, mvs, coeffs *byteWriter) {
-	maxVal := int32(1<<bitDepth - 1)
-	mid := int32(1 << (bitDepth - 1))
-	step := qpToStep(qp, bitDepth)
-	bx := (w + blockSize - 1) / blockSize
-	by := (h + blockSize - 1) / blockSize
-
-	var srcBlk, predBlk [blockSize * blockSize]int32
-	var fblk [blockSize * blockSize]float64
-
-	for byi := 0; byi < by; byi++ {
-		for bxi := 0; bxi < bx; bxi++ {
-			x0, y0 := bxi*blockSize, byi*blockSize
-			gather(src, w, h, x0, y0, &srcBlk)
-
-			mode := modeIntra
-			var mvx, mvy int
-			if prev != nil {
-				gather(prev, w, h, x0, y0, &predBlk)
-				zeroSAD := sad(&srcBlk, &predBlk)
-				intraSAD := sadConst(&srcBlk, mid)
-				// Prefer inter on ties: it usually costs fewer bits.
-				if zeroSAD <= intraSAD {
-					mode = modeInterZero
-				}
-				bestSAD := zeroSAD
-				if radius > 0 && zeroSAD > 0 {
-					var cand [blockSize * blockSize]int32
-					for dy := -radius; dy <= radius; dy++ {
-						for dx := -radius; dx <= radius; dx++ {
-							if dx == 0 && dy == 0 {
-								continue
-							}
-							gather(prev, w, h, x0+dx, y0+dy, &cand)
-							s := sad(&srcBlk, &cand)
-							// Small penalty so MVs are only used when they
-							// actually help (they cost extra bits).
-							if s+int64(blockSize*blockSize)/4 < bestSAD && s < intraSAD {
-								bestSAD = s
-								mode = modeInterMV
-								mvx, mvy = dx, dy
-								predBlk = cand
-							}
-						}
-					}
-					if mode == modeInterZero {
-						gather(prev, w, h, x0, y0, &predBlk)
-					}
-				}
-				if mode == modeIntra {
-					fillConst(&predBlk, mid)
-				}
-			} else {
-				fillConst(&predBlk, mid)
-			}
-
-			modes.writeByte(byte(mode))
-			if mode == modeInterMV {
-				mvs.writeVarint(int64(mvx))
-				mvs.writeVarint(int64(mvy))
-			}
-
-			// Transform + quantize the residual.
-			for i := range srcBlk {
-				fblk[i] = float64(srcBlk[i] - predBlk[i])
-			}
-			fdct2d(&fblk)
-			var q [blockSize * blockSize]int64
-			lastNZ := -1
-			for i, zi := range zigzag {
-				v := int64(math.Round(fblk[zi] / step))
-				q[i] = v
-				if v != 0 {
-					lastNZ = i
-				}
-			}
-			coeffs.writeUvarint(uint64(lastNZ + 1))
-			for i := 0; i <= lastNZ; i++ {
-				coeffs.writeVarint(q[i])
-			}
-
-			// Reconstruct exactly as the decoder will.
-			for i := range fblk {
-				fblk[i] = 0
-			}
-			for i := 0; i <= lastNZ; i++ {
-				fblk[zigzag[i]] = float64(q[i]) * step
-			}
-			idct2d(&fblk)
-			scatter(recon, w, h, x0, y0, &predBlk, &fblk, maxVal)
-		}
-	}
 }
 
 // gather copies the block at (x0, y0) from plane into dst with edge
@@ -531,10 +530,23 @@ func fillConst(b *[blockSize * blockSize]int32, c int32) {
 }
 
 // Decoder is a stateful single-stream decoder. Packets must be fed in
-// encode order; a key packet resets the prediction chain.
+// encode order; a key packet resets the prediction chain. Not safe for
+// concurrent use.
+//
+// Decoding runs in two phases: a serial symbol parse (the varint streams
+// have no random access) into reused per-block tables, then
+// stripe-parallel reconstruction (see stripe.go). Reference pictures
+// ping-pong between two arena pictures and the inflate state is reused,
+// so the only per-frame allocation is the returned Frame.
 type Decoder struct {
 	cfg  Config
 	prev *codedPicture
+
+	pics   [2]*codedPicture
+	inf    inflater
+	scr    scratch
+	planes []planeDecode
+	jobs   []decStripe
 }
 
 // NewDecoder creates a decoder with the same configuration as the encoder.
@@ -543,7 +555,10 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Decoder{cfg: cfg}, nil
+	d := &Decoder{cfg: cfg}
+	d.pics[0] = newCodedPicture(cfg)
+	d.pics[1] = newCodedPicture(cfg)
+	return d, nil
 }
 
 // Decode reconstructs one frame from a packet.
@@ -570,7 +585,7 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 		return nil, fmt.Errorf("vcodec: delta frame without reference")
 	}
 
-	payload, err := inflateBytes(pkt.Data[r.pos:])
+	payload, err := d.inf.decompress(pkt.Data[r.pos:])
 	if err != nil {
 		return nil, err
 	}
@@ -601,10 +616,33 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 	}
 
 	cfg := d.cfg
-	recon := &codedPicture{planes: make([][]int32, cfg.NumPlanes)}
+	recon := d.pics[0]
+	if recon == d.prev {
+		recon = d.pics[1]
+	}
+
+	// Phase 1: serial symbol parse into reused per-block tables.
+	d.scr.reset()
+	var parsed [3]*parsedPlane
 	for p := 0; p < cfg.NumPlanes; p++ {
 		pw, ph := cfg.planeDims(p)
-		recon.planes[p] = make([]int32, pw*ph)
+		bx := (pw + blockSize - 1) / blockSize
+		by := (ph + blockSize - 1) / blockSize
+		pp := d.scr.getParsed(bx * by)
+		parsed[p] = pp
+		if err := parsePlane(pp, bx*by, key, modes, mvs, coeffs); err != nil {
+			return nil, fmt.Errorf("vcodec: plane %d: %w", p, err)
+		}
+	}
+
+	// Phase 2: stripe-parallel reconstruction. The reference (d.prev) is
+	// only read, recon stripes are disjoint, and d.prev is swapped only on
+	// success — a failed parse above leaves the decoder state untouched.
+	maxVal := int32(1<<cfg.BitDepth - 1)
+	mid := int32(1 << (cfg.BitDepth - 1))
+	d.planes = d.planes[:0]
+	for p := 0; p < cfg.NumPlanes; p++ {
+		pw, ph := cfg.planeDims(p)
 		pqp := qp
 		if p > 0 {
 			pqp = clampQP(qp+cfg.ChromaQPOffset, cfg.MinQP, cfg.MaxQP)
@@ -613,77 +651,19 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 		if !key {
 			prevPlane = d.prev.planes[p]
 		}
-		if err := decodePlane(recon.planes[p], prevPlane, pw, ph,
-			cfg.BitDepth, pqp, modes, mvs, coeffs); err != nil {
-			return nil, fmt.Errorf("vcodec: plane %d: %w", p, err)
-		}
+		d.planes = append(d.planes, planeDecode{
+			pp: parsed[p], prev: prevPlane, recon: recon.planes[p],
+			w: pw, h: ph,
+			maxVal: maxVal, mid: mid,
+			step:   qpToStep(pqp, cfg.BitDepth),
+		})
 	}
+	d.jobs = d.jobs[:0]
+	for p := range d.planes {
+		d.jobs = appendDecStripes(d.jobs, &d.planes[p])
+	}
+	runDecStripes(d.jobs)
+
 	d.prev = recon
 	return cfg.fromCoded(recon), nil
-}
-
-func decodePlane(recon, prev []int32, w, h, bitDepth, qp int, modes, mvs, coeffs *byteReader) error {
-	maxVal := int32(1<<bitDepth - 1)
-	mid := int32(1 << (bitDepth - 1))
-	step := qpToStep(qp, bitDepth)
-	bx := (w + blockSize - 1) / blockSize
-	by := (h + blockSize - 1) / blockSize
-
-	var predBlk [blockSize * blockSize]int32
-	var fblk [blockSize * blockSize]float64
-
-	for byi := 0; byi < by; byi++ {
-		for bxi := 0; bxi < bx; bxi++ {
-			x0, y0 := bxi*blockSize, byi*blockSize
-			mode, err := modes.readByte()
-			if err != nil {
-				return err
-			}
-			switch mode {
-			case modeIntra:
-				fillConst(&predBlk, mid)
-			case modeInterZero:
-				if prev == nil {
-					return fmt.Errorf("inter block in key frame")
-				}
-				gather(prev, w, h, x0, y0, &predBlk)
-			case modeInterMV:
-				if prev == nil {
-					return fmt.Errorf("inter block in key frame")
-				}
-				dx64, err := mvs.readVarint()
-				if err != nil {
-					return err
-				}
-				dy64, err := mvs.readVarint()
-				if err != nil {
-					return err
-				}
-				gather(prev, w, h, x0+int(dx64), y0+int(dy64), &predBlk)
-			default:
-				return fmt.Errorf("unknown block mode %d", mode)
-			}
-
-			count, err := coeffs.readUvarint()
-			if err != nil {
-				return err
-			}
-			if count > blockSize*blockSize {
-				return fmt.Errorf("coefficient count %d out of range", count)
-			}
-			for i := range fblk {
-				fblk[i] = 0
-			}
-			for i := 0; i < int(count); i++ {
-				v, err := coeffs.readVarint()
-				if err != nil {
-					return err
-				}
-				fblk[zigzag[i]] = float64(v) * step
-			}
-			idct2d(&fblk)
-			scatter(recon, w, h, x0, y0, &predBlk, &fblk, maxVal)
-		}
-	}
-	return nil
 }

@@ -1,8 +1,10 @@
 package vcodec
 
 import (
+	"bytes"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"livo/internal/frame"
@@ -509,6 +511,189 @@ func BenchmarkDecodeColor(b *testing.B) {
 	}
 }
 
+func TestConfigExplicitZero(t *testing.T) {
+	// The zero value selects defaults...
+	def, err := NewEncoder(ColorConfig(16, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := def.Config(); c.MaxQP != 51 || c.ChromaQPOffset != 6 || c.FlateLevel != 4 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	// ...and ExplicitZero expresses an actual 0 for each defaulted field.
+	cfg := ColorConfig(16, 16)
+	cfg.MaxQP = ExplicitZero
+	cfg.ChromaQPOffset = ExplicitZero
+	cfg.FlateLevel = ExplicitZero
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := enc.Config(); c.MaxQP != 0 || c.ChromaQPOffset != 0 || c.FlateLevel != 0 {
+		t.Fatalf("explicit zeros overridden: %+v", c)
+	}
+	// MaxQP pinned to 0 must actually force QP 0 even under rate control.
+	pkt, err := enc.Encode(FromColor(synthColor(16, 16, 0)), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkt.QP != 0 {
+		t.Errorf("MaxQP=ExplicitZero but rate control chose QP %d", pkt.QP)
+	}
+	// Other negative offsets still pass through verbatim.
+	cfg2 := ColorConfig(16, 16)
+	cfg2.ChromaQPOffset = -3
+	enc2, err := NewEncoder(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := enc2.Config(); c.ChromaQPOffset != -3 {
+		t.Errorf("ChromaQPOffset -3 rewritten to %d", c.ChromaQPOffset)
+	}
+	// An ExplicitZero encoder/decoder pair round-trips.
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(pkt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// encodeSequence encodes n synthetic frames and returns the concatenated
+// packet bytes (and the packets themselves).
+func encodeSequence(t *testing.T, cfg Config, n int) ([]byte, []*Packet) {
+	t.Helper()
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []byte
+	var pkts []*Packet
+	for i := 0; i < n; i++ {
+		pkt, err := enc.Encode(FromColor(synthColor(cfg.Width, cfg.Height, i)), 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, pkt.Data...)
+		pkts = append(pkts, pkt)
+	}
+	return all, pkts
+}
+
+func TestBitstreamDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	// The stripe-parallel encoder must emit byte-identical packets for any
+	// worker count — entropy streams are concatenated in deterministic
+	// stripe order (§3.2's parallel encoder sessions must not change the
+	// bitstream). 129 rows -> 17 block rows -> 3 stripes.
+	cfg := ColorConfig(96, 129)
+	cfg.GOP = 5
+	cfg.SearchRadius = 1
+
+	old := runtime.GOMAXPROCS(1)
+	serial, _ := encodeSequence(t, cfg, 12)
+	runtime.GOMAXPROCS(4)
+	parallel, pkts := encodeSequence(t, cfg, 12)
+	runtime.GOMAXPROCS(old)
+
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("bitstream differs between GOMAXPROCS=1 and GOMAXPROCS=4")
+	}
+
+	// And the parallel decoder reconstructs identically at both settings.
+	decodeAll := func() []*Frame {
+		dec, err := NewDecoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []*Frame
+		for _, p := range pkts {
+			f, err := dec.Decode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, f)
+		}
+		return out
+	}
+	runtime.GOMAXPROCS(1)
+	f1 := decodeAll()
+	runtime.GOMAXPROCS(4)
+	f4 := decodeAll()
+	runtime.GOMAXPROCS(old)
+	for i := range f1 {
+		for p := range f1[i].Planes {
+			for j := range f1[i].Planes[p] {
+				if f1[i].Planes[p][j] != f4[i].Planes[p][j] {
+					t.Fatalf("frame %d plane %d differs at %d across GOMAXPROCS", i, p, j)
+				}
+			}
+		}
+	}
+}
+
+func TestLastReconReusesFrame(t *testing.T) {
+	enc, _ := NewEncoder(ColorConfig(64, 48))
+	src := FromColor(synthColor(64, 48, 0))
+	if _, err := enc.EncodeQP(src, 16); err != nil {
+		t.Fatal(err)
+	}
+	r1 := enc.LastRecon()
+	r2 := enc.LastRecon()
+	if r1 != r2 {
+		t.Error("LastRecon allocated a new frame on the second call")
+	}
+	// The splitter probes this once per tick at full tile resolution; it
+	// must not allocate in steady state.
+	if allocs := testing.AllocsPerRun(20, func() { enc.LastRecon() }); allocs != 0 {
+		t.Errorf("LastRecon allocates %v per call", allocs)
+	}
+	// Content still matches a fresh decode.
+	dec, _ := NewDecoder(ColorConfig(64, 48))
+	enc.ForceKeyFrame()
+	pkt, _ := enc.EncodeQP(src, 16)
+	got, err := dec.Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = got // r1 now refreshed by next LastRecon call
+	recon := enc.LastRecon()
+	for p := range recon.Planes {
+		for j := range recon.Planes[p] {
+			if recon.Planes[p][j] != got.Planes[p][j] {
+				t.Fatalf("cached recon drifts from decode at plane %d sample %d", p, j)
+			}
+		}
+	}
+}
+
+func TestEncodeSteadyStateAllocs(t *testing.T) {
+	// In steady state the encode hot path allocates only the returned
+	// packet: arena pictures, the per-encoder scratch freelist, and reused
+	// deflate state cover the rest. Allow a small budget for the packet
+	// itself.
+	enc, _ := NewEncoder(ColorConfig(128, 96))
+	frames := [2]*Frame{
+		FromColor(synthColor(128, 96, 0)),
+		FromColor(synthColor(128, 96, 1)),
+	}
+	for i := 0; i < 4; i++ { // warm up pools and the rate model
+		if _, err := enc.Encode(frames[i&1], 3000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(30, func() {
+		i++
+		if _, err := enc.Encode(frames[i&1], 3000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 12 {
+		t.Errorf("steady-state encode allocates %v objects per frame", allocs)
+	}
+}
+
 func TestChroma420PlaneDims(t *testing.T) {
 	cfg := ColorConfig(37, 29)
 	w, h := cfg.planeDims(0)
@@ -534,7 +719,8 @@ func TestDownUpsampleRoundTrip(t *testing.T) {
 		src[i] = 77
 	}
 	dw, dh := (w+1)/2, (h+1)/2
-	down := downsample2x(src, w, h, dw, dh)
+	down := make([]int32, dw*dh)
+	downsample2x(src, w, h, down, dw, dh)
 	up := make([]int32, w*h)
 	upsample2x(down, dw, dh, up, w, h)
 	for i := range up {

@@ -59,6 +59,13 @@ func clampI32(x, lo, hi int32) int32 {
 // range, the JPEG convention).
 func FromColor(im *frame.ColorImage) *Frame {
 	f := NewFrame(im.W, im.H, 3)
+	FromColorInto(im, f)
+	return f
+}
+
+// FromColorInto converts an RGB image into an existing 3-plane frame of
+// the same geometry without allocating (the sender's per-tick path).
+func FromColorInto(im *frame.ColorImage, f *Frame) {
 	n := im.W * im.H
 	for i := 0; i < n; i++ {
 		r := int32(im.Pix[3*i])
@@ -72,7 +79,6 @@ func FromColor(im *frame.ColorImage) *Frame {
 		f.Planes[1][i] = clampI32(cb, 0, 255)
 		f.Planes[2][i] = clampI32(cr, 0, 255)
 	}
-	return f
 }
 
 // ToColor converts a 3-plane YCbCr frame back to RGB.
@@ -97,10 +103,16 @@ func (f *Frame) ToColor() *frame.ColorImage {
 // copied verbatim (any scaling is the caller's job; see codec/depth).
 func FromDepth(im *frame.DepthImage) *Frame {
 	f := NewFrame(im.W, im.H, 1)
+	FromDepthInto(im, f)
+	return f
+}
+
+// FromDepthInto copies a depth image into an existing single-plane frame
+// of the same geometry without allocating.
+func FromDepthInto(im *frame.DepthImage, f *Frame) {
 	for i, d := range im.Pix {
 		f.Planes[0][i] = int32(d)
 	}
-	return f
 }
 
 // ToDepth converts a single-plane frame back to a 16-bit depth image,

@@ -1,0 +1,68 @@
+package vcodec
+
+// scratch is a per-codec freelist for per-frame transient state: stripe
+// symbol writers, chroma subsampling buffers, and the decoder's parsed
+// symbol tables. In steady state the encode and decode hot paths draw
+// every intermediate buffer from here (or from the picture arena in
+// Encoder/Decoder), so the only per-frame heap allocations left are the
+// outputs the caller keeps: the Packet payload on encode and the Frame on
+// decode.
+//
+// The freelist deliberately lives on the codec instance rather than in
+// global sync.Pools: pool contents are dropped across GC cycles, and a 4K
+// encode produces enough garbage to trigger collections that would
+// re-allocate its ~200 stripe writers every few frames. Instance-owned
+// scratch is reachable for as long as the codec is, so reuse is
+// deterministic. Codecs are single-user (encoders and decoders are not
+// safe for concurrent use), and each stripe job takes distinct writers
+// before the parallel phase starts, so no locking is needed.
+type scratch struct {
+	writers []*byteWriter
+	nw      int
+	bufs    [][]int32
+	nb      int
+	parsed  []*parsedPlane
+	np      int
+}
+
+// reset makes all scratch available again; the next acquisitions reuse
+// the same objects in the same order, keeping buffer shapes stable from
+// frame to frame.
+func (s *scratch) reset() { s.nw, s.nb, s.np = 0, 0, 0 }
+
+// getWriter returns an empty symbol writer, reusing a previous frame's.
+func (s *scratch) getWriter() *byteWriter {
+	if s.nw == len(s.writers) {
+		s.writers = append(s.writers, new(byteWriter))
+	}
+	w := s.writers[s.nw]
+	s.nw++
+	w.buf = w.buf[:0]
+	return w
+}
+
+// getPlaneBuf returns an int32 buffer of length n (chroma downsampling
+// scratch), reusing capacity across frames.
+func (s *scratch) getPlaneBuf(n int) []int32 {
+	if s.nb == len(s.bufs) {
+		s.bufs = append(s.bufs, nil)
+	}
+	b := s.bufs[s.nb]
+	if cap(b) < n {
+		b = make([]int32, n)
+		s.bufs[s.nb] = b
+	}
+	s.nb++
+	return b[:n]
+}
+
+// getParsed returns a parsed-symbol table sized for nblocks.
+func (s *scratch) getParsed(nblocks int) *parsedPlane {
+	if s.np == len(s.parsed) {
+		s.parsed = append(s.parsed, new(parsedPlane))
+	}
+	pp := s.parsed[s.np]
+	s.np++
+	pp.reset(nblocks)
+	return pp
+}

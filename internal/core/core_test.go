@@ -1,7 +1,9 @@
 package core
 
 import (
+	"bytes"
 	"math"
+	"runtime"
 	"testing"
 
 	"livo/internal/geom"
@@ -432,5 +434,39 @@ func TestSenderGuardBandConfigurable(t *testing.T) {
 	if wide.CullStats.Kept <= tight.CullStats.Kept {
 		t.Errorf("wider guard band kept fewer pixels: %d vs %d",
 			wide.CullStats.Kept, tight.CullStats.Kept)
+	}
+}
+
+// TestSenderDeterministicAcrossGOMAXPROCS runs the full sender pipeline at
+// different worker counts and requires byte-identical color and depth
+// packets: stripe-parallel encoding must not leak scheduling order into the
+// bitstream.
+func TestSenderDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	run := func(procs int) []*EncodedFrame {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		v := testVideo(t, "office1")
+		s, _ := newPair(t, v, LiVo)
+		s.ObservePose(0, viewerPose())
+		s.ObserveRTT(0.1)
+		var out []*EncodedFrame
+		for i := 0; i < 4; i++ {
+			enc, err := s.ProcessFrame(v.Frame(i), 40e6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, enc)
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	for i := range serial {
+		if !bytes.Equal(serial[i].Color.Data, parallel[i].Color.Data) {
+			t.Errorf("frame %d: color packet differs between GOMAXPROCS 1 and 4", i)
+		}
+		if !bytes.Equal(serial[i].Depth.Data, parallel[i].Depth.Data) {
+			t.Errorf("frame %d: depth packet differs between GOMAXPROCS 1 and 4", i)
+		}
 	}
 }

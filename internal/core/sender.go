@@ -16,6 +16,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"livo/internal/camera"
 	"livo/internal/codec/depth"
@@ -143,7 +144,10 @@ func (f *EncodedFrame) TotalBytes() int {
 }
 
 // Sender is LiVo's per-site sending pipeline. Not safe for concurrent use;
-// the live pipeline wraps it in a dedicated goroutine (§A.1).
+// the live pipeline wraps it in a dedicated goroutine (§A.1). Internally
+// the color and depth streams are encoded concurrently per tick — they use
+// independent encoders, mirroring the parallel hardware encoder sessions
+// LiVo drives (§3.2) — and each encoder is itself stripe-parallel.
 type Sender struct {
 	cfg       SenderConfig
 	tiler     *frame.Tiler
@@ -153,6 +157,9 @@ type Sender struct {
 	predictor *cull.FrustumPredictor
 	seq       uint32
 	markersOK bool
+	// srcColor is the reused YCbCr staging frame for the tiled color
+	// stream (one full-resolution conversion per tick, no allocation).
+	srcColor *vcodec.Frame
 }
 
 // NewSender builds a sender for the given configuration.
@@ -204,6 +211,7 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		splitter:  split.New(initial),
 		predictor: cull.NewFrustumPredictor(cfg.ViewParams),
 		markersOK: tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
+		srcColor:  vcodec.NewFrame(tw, th, 3),
 	}
 	s.predictor.Guard = cfg.GuardBand
 	return s, nil
@@ -292,34 +300,42 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 		}
 	}
 
-	// 4. Bandwidth split + encoding (§3.3).
+	// 4. Bandwidth split + encoding (§3.3). The two streams go through
+	// independent encoders, so they encode concurrently (the split is
+	// decided before either starts); packet bytes are unaffected.
 	targetBytes := int(bandwidthBps / 8 / float64(s.cfg.FPS))
 	if targetBytes < 64 {
 		targetBytes = 64
 	}
 	evaluate := s.adapts() && s.cfg.Variant != LiVoStaticSplit && s.splitter.Tick()
 
-	srcColor := vcodec.FromColor(tiledColor)
+	srcColor := s.srcColor
+	vcodec.FromColorInto(tiledColor, srcColor)
 	var colorPkt, depthPkt *vcodec.Packet
+	var depthErr error
+	var wg sync.WaitGroup
 	if s.adapts() {
 		depthBudget, colorBudget := s.splitter.Budgets(targetBytes)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			depthPkt, depthErr = s.depthEnc.Encode(tiledDepth, depthBudget)
+		}()
 		colorPkt, err = s.colorEnc.Encode(srcColor, colorBudget)
-		if err != nil {
-			return nil, err
-		}
-		depthPkt, err = s.depthEnc.Encode(tiledDepth, depthBudget)
-		if err != nil {
-			return nil, err
-		}
 	} else {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			depthPkt, depthErr = s.depthEnc.EncodeQP(tiledDepth, s.cfg.FixedDepthQP)
+		}()
 		colorPkt, err = s.colorEnc.EncodeQP(srcColor, s.cfg.FixedColorQP)
-		if err != nil {
-			return nil, err
-		}
-		depthPkt, err = s.depthEnc.EncodeQP(tiledDepth, s.cfg.FixedDepthQP)
-		if err != nil {
-			return nil, err
-		}
+	}
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if depthErr != nil {
+		return nil, depthErr
 	}
 
 	// 5. Quality probe every k frames: compare the encoder-side

@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]int32, n)
+		ParFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParForMultiProc(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	var sum atomic.Int64
+	ParFor(500, func(i int) { sum.Add(int64(i)) })
+	if want := int64(500 * 499 / 2); sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Errorf("Workers(0) = %d", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Errorf("Workers(1) = %d", w)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if w := Workers(1 << 20); w != procs {
+		t.Errorf("Workers(big) = %d, want %d", w, procs)
+	}
+}
+
+func TestParForInlineWhenSingleWorker(t *testing.T) {
+	// With n=1 the body must run on the calling goroutine (no allocs, no
+	// spawn) — the property the codec's hot path relies on at GOMAXPROCS=1.
+	allocs := testing.AllocsPerRun(100, func() {
+		ParFor(1, func(int) {})
+	})
+	if allocs != 0 {
+		t.Errorf("ParFor(1, ...) allocates %v per run", allocs)
+	}
+}
