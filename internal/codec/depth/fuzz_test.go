@@ -1,0 +1,49 @@
+package depth
+
+import (
+	"testing"
+
+	"livo/internal/codec/vcodec"
+)
+
+// FuzzDecode hardens depth bitstream parsing across the scaled-16 wrapper
+// and the underlying video codec: arbitrary bytes must return an error,
+// never panic. As in the vcodec fuzz target, inputs are tried both after a
+// valid key frame and on a fresh decoder.
+func FuzzDecode(f *testing.F) {
+	cfg := Config{Scheme: Scaled16, Width: 32, Height: 32, GOP: 4}
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seeds [][]byte
+	for i := 0; i < 4; i++ {
+		pkt, err := enc.EncodeQP(sceneDepth(32, 32, i), 18)
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, pkt.Data)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Add([]byte{})
+	f.Add(seeds[1][:len(seeds[1])/2])
+	key := seeds[0]
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := NewDecoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Decode(&vcodec.Packet{Data: key}); err != nil {
+			t.Fatalf("valid key frame rejected: %v", err)
+		}
+		_, _ = dec.Decode(&vcodec.Packet{Data: data})
+		fresh, err := NewDecoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = fresh.Decode(&vcodec.Packet{Data: data})
+	})
+}

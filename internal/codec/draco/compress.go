@@ -23,13 +23,21 @@ func deflate(b []byte, level int) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
-// inflate decompresses deflate data.
+// maxInflateBytes bounds inflated payloads so crafted inputs cannot act as
+// decompression bombs. Real payloads are ~16 bytes per point; 256 MB covers
+// clouds far beyond the full-scale 700k-point frames.
+const maxInflateBytes = 256 << 20
+
+// inflate decompresses deflate data, erroring past maxInflateBytes.
 func inflate(b []byte) ([]byte, error) {
 	fr := flate.NewReader(bytes.NewReader(b))
 	defer fr.Close()
-	out, err := io.ReadAll(fr)
+	out, err := io.ReadAll(io.LimitReader(fr, maxInflateBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("draco: inflate: %w", err)
+	}
+	if len(out) > maxInflateBytes {
+		return nil, fmt.Errorf("draco: payload exceeds %d-byte bound", maxInflateBytes)
 	}
 	return out, nil
 }

@@ -233,17 +233,28 @@ func Decode(data []byte) (*pointcloud.Cloud, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Corrupt bounds would propagate NaN/Inf into every decoded position.
+	if math.IsNaN(minX) || math.IsInf(minX, 0) || math.IsNaN(minY) || math.IsInf(minY, 0) ||
+		math.IsNaN(minZ) || math.IsInf(minZ, 0) || !(ext > 0) || math.IsInf(ext, 0) {
+		return nil, fmt.Errorf("draco: invalid bounds")
+	}
 	nPoints, n := binary.Uvarint(payload[pos:])
 	if n <= 0 {
 		return nil, fmt.Errorf("draco: truncated point count")
 	}
 	pos += n
+	// Bound nPoints by the payload before it sizes any allocation: each
+	// point carries 3 color bytes, so a larger count cannot be genuine
+	// (this also forecloses the 3*nPoints overflow a crafted count causes).
+	if nPoints > uint64(len(payload))/3 {
+		return nil, fmt.Errorf("draco: point count %d exceeds payload", nPoints)
+	}
 	occLen, n := binary.Uvarint(payload[pos:])
 	if n <= 0 {
 		return nil, fmt.Errorf("draco: truncated occ length")
 	}
 	pos += n
-	if pos+int(occLen) > len(payload) {
+	if occLen > uint64(len(payload)-pos) {
 		return nil, fmt.Errorf("draco: occupancy overruns payload")
 	}
 	occ := payload[pos : pos+int(occLen)]
@@ -259,6 +270,9 @@ func Decode(data []byte) (*pointcloud.Cloud, error) {
 	var walk func(prefix uint64, level int) error
 	walk = func(prefix uint64, level int) error {
 		if level == quantBits {
+			if uint64(len(codes)) >= nPoints {
+				return fmt.Errorf("draco: octree yields more than %d points", nPoints)
+			}
 			codes = append(codes, prefix)
 			return nil
 		}

@@ -1,0 +1,38 @@
+package draco
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode hardens the compressed-cloud parser: arbitrary bytes must
+// return an error or a decodable cloud — never panic, and never allocate
+// unboundedly (point counts and octree expansion are capped against the
+// payload size before any allocation).
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	data, err := Encode(randCloud(rng, 200, 2.0), DefaultParams())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add([]byte{})
+	fast, err := Encode(randCloud(rng, 50, 1.0), Params{QuantBits: 8, Speed: 9, ColorBits: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fast)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil cloud without error")
+		}
+		if c.Len() > len(b)*8 {
+			t.Fatalf("%d points decoded from %d bytes", c.Len(), len(b))
+		}
+	})
+}

@@ -102,7 +102,10 @@ type inflater struct {
 	out bytes.Buffer
 }
 
-func (n *inflater) decompress(b []byte) ([]byte, error) {
+// decompress inflates b, failing once the output exceeds max bytes — the
+// decompression-bomb guard: a frame payload has a configuration-derived
+// size ceiling, so anything larger is corrupt by construction.
+func (n *inflater) decompress(b []byte, max int) ([]byte, error) {
 	n.br.Reset(b)
 	if n.fr == nil {
 		n.fr = flate.NewReader(&n.br)
@@ -110,8 +113,11 @@ func (n *inflater) decompress(b []byte) ([]byte, error) {
 		return nil, err
 	}
 	n.out.Reset()
-	if _, err := n.out.ReadFrom(n.fr); err != nil {
+	if _, err := n.out.ReadFrom(io.LimitReader(n.fr, int64(max)+1)); err != nil {
 		return nil, fmt.Errorf("vcodec: inflate: %w", err)
+	}
+	if n.out.Len() > max {
+		return nil, fmt.Errorf("vcodec: payload exceeds %d-byte bound", max)
 	}
 	return n.out.Bytes(), nil
 }

@@ -1,8 +1,23 @@
 package vcodec
 
 import (
+	"errors"
 	"fmt"
 	"math"
+)
+
+// Decode failure classes. Receivers branch on these to drive loss recovery
+// (§A.1): a stale reference means a frame was skipped upstream and only a
+// key frame (requested via PLI) can restart the prediction chain, while a
+// corrupt packet is discarded and concealed.
+var (
+	// ErrCorrupt marks a packet that failed bitstream validation: truncated
+	// or bit-flipped data must yield this error, never a panic.
+	ErrCorrupt = errors.New("vcodec: corrupt packet")
+	// ErrStaleReference marks a delta frame whose reference generation does
+	// not match the decoder's state (the preceding frame was lost or
+	// skipped); decoding it would silently drift.
+	ErrStaleReference = errors.New("vcodec: stale reference")
 )
 
 // ExplicitZero is the sentinel for defaulted Config fields whose zero
@@ -539,8 +554,9 @@ func fillConst(b *[blockSize * blockSize]int32, c int32) {
 // ping-pong between two arena pictures and the inflate state is reused,
 // so the only per-frame allocation is the returned Frame.
 type Decoder struct {
-	cfg  Config
-	prev *codedPicture
+	cfg    Config
+	prev   *codedPicture
+	refSeq uint32 // sequence number of prev (valid when prev != nil)
 
 	pics   [2]*codedPicture
 	inf    inflater
@@ -561,33 +577,79 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	return d, nil
 }
 
-// Decode reconstructs one frame from a packet.
+// HasReference reports whether the decoder holds a decoded reference
+// picture (i.e. a delta frame could be decoded next).
+func (d *Decoder) HasReference() bool { return d.prev != nil }
+
+// RefSeq returns the sequence number of the current reference picture
+// (meaningful only when HasReference is true).
+func (d *Decoder) RefSeq() uint32 { return d.refSeq }
+
+// maxPayloadBytes bounds the inflated payload so a crafted packet cannot
+// act as a decompression bomb: per block the streams hold at most one mode
+// byte, two motion-vector varints, a count varint, and blockSize^2
+// coefficient varints (≤ 10 bytes each), plus three stream-length
+// prefixes.
+func (c Config) maxPayloadBytes() int {
+	samples := 0
+	for p := 0; p < c.NumPlanes; p++ {
+		pw, ph := c.planeDims(p)
+		samples += pw * ph
+	}
+	return 64 + samples*12
+}
+
+// Decode reconstructs one frame from a packet. Malformed input returns an
+// error wrapping ErrCorrupt; a delta frame that does not extend the
+// decoder's current reference returns an error wrapping ErrStaleReference.
+// Decoder state is only advanced on success, so a failed packet can be
+// skipped and decoding resumed at the next key frame.
 func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 	r := &byteReader{buf: pkt.Data}
 	magic, err := r.readByte()
 	if err != nil || magic != 'V' {
-		return nil, fmt.Errorf("vcodec: bad packet magic")
+		return nil, fmt.Errorf("vcodec: bad packet magic: %w", ErrCorrupt)
 	}
 	flags, err := r.readByte()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vcodec: truncated flags: %w", ErrCorrupt)
 	}
 	key := flags&1 != 0
-	if _, err := r.readUvarint(); err != nil { // seq
-		return nil, err
+	seq64, err := r.readUvarint()
+	if err != nil {
+		return nil, fmt.Errorf("vcodec: truncated seq: %w", ErrCorrupt)
 	}
+	if seq64 > math.MaxUint32 {
+		return nil, fmt.Errorf("vcodec: sequence %d out of range: %w", seq64, ErrCorrupt)
+	}
+	seq := uint32(seq64)
 	qp64, err := r.readUvarint()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("vcodec: truncated qp: %w", ErrCorrupt)
 	}
-	qp := int(qp64)
-	if !key && d.prev == nil {
-		return nil, fmt.Errorf("vcodec: delta frame without reference")
+	if qp64 > 255 {
+		return nil, fmt.Errorf("vcodec: qp %d out of range: %w", qp64, ErrCorrupt)
+	}
+	// The encoder clamps QP into [MinQP, MaxQP] before writing it, so
+	// clamping here is a no-op for valid streams and bounds the quantizer
+	// step for corrupted ones.
+	qp := clampQP(int(qp64), d.cfg.MinQP, d.cfg.MaxQP)
+	if !key {
+		// Reference-generation check (§A.1): a delta frame is only valid
+		// against the reconstruction of the immediately preceding frame.
+		// Decoding it against anything older (a frame was skipped) or
+		// nothing at all would drift silently.
+		if d.prev == nil {
+			return nil, fmt.Errorf("vcodec: delta frame %d without reference: %w", seq, ErrStaleReference)
+		}
+		if seq != d.refSeq+1 {
+			return nil, fmt.Errorf("vcodec: delta frame %d against reference %d: %w", seq, d.refSeq, ErrStaleReference)
+		}
 	}
 
-	payload, err := d.inf.decompress(pkt.Data[r.pos:])
+	payload, err := d.inf.decompress(pkt.Data[r.pos:], d.cfg.maxPayloadBytes())
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
 	}
 	pr := &byteReader{buf: payload}
 	readStream := func() (*byteReader, error) {
@@ -595,7 +657,7 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 		if err != nil {
 			return nil, err
 		}
-		if pr.pos+int(n) > len(pr.buf) {
+		if n > uint64(len(pr.buf)) || pr.pos+int(n) > len(pr.buf) {
 			return nil, fmt.Errorf("vcodec: stream overruns payload")
 		}
 		s := &byteReader{buf: pr.buf[pr.pos : pr.pos+int(n)]}
@@ -604,15 +666,15 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 	}
 	modes, err := readStream()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
 	}
 	mvs, err := readStream()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
 	}
 	coeffs, err := readStream()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
 	}
 
 	cfg := d.cfg
@@ -631,8 +693,13 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 		pp := d.scr.getParsed(bx * by)
 		parsed[p] = pp
 		if err := parsePlane(pp, bx*by, key, modes, mvs, coeffs); err != nil {
-			return nil, fmt.Errorf("vcodec: plane %d: %w", p, err)
+			return nil, fmt.Errorf("vcodec: plane %d: %v: %w", p, err, ErrCorrupt)
 		}
+	}
+	// All three streams must be consumed exactly: leftover symbols mean the
+	// payload does not describe this configuration's block grid.
+	if modes.pos != len(modes.buf) || mvs.pos != len(mvs.buf) || coeffs.pos != len(coeffs.buf) {
+		return nil, fmt.Errorf("vcodec: trailing symbols after parse: %w", ErrCorrupt)
 	}
 
 	// Phase 2: stripe-parallel reconstruction. The reference (d.prev) is
@@ -665,5 +732,6 @@ func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 	runDecStripes(d.jobs)
 
 	d.prev = recon
+	d.refSeq = seq
 	return cfg.fromCoded(recon), nil
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"runtime"
 	"testing"
 
+	"livo/internal/codec/vcodec"
 	"livo/internal/geom"
 	"livo/internal/metrics"
 	"livo/internal/pointcloud"
@@ -388,7 +390,8 @@ func TestReceiverDropsStaleUnpairedFrames(t *testing.T) {
 		depths = append(depths, enc)
 	}
 	// The oldest unpaired color frames must have been garbage-collected:
-	// delivering their depth now should NOT produce a pair.
+	// delivering their depth now (a key frame, so it decodes) should NOT
+	// produce a pair.
 	pf, err := r.PushDepth(depths[0].Depth)
 	if err != nil {
 		t.Fatal(err)
@@ -396,13 +399,18 @@ func TestReceiverDropsStaleUnpairedFrames(t *testing.T) {
 	if pf != nil {
 		t.Error("stale frame 0 still paired after 95 frames")
 	}
-	// A recent frame still pairs.
-	pf, err = r.PushDepth(depths[94].Depth)
+	// A delta frame against a stale reference is refused outright rather
+	// than decoded into silent drift (reference-generation check, §A.1).
+	if _, err := r.PushDepth(depths[94].Depth); !errors.Is(err, vcodec.ErrStaleReference) {
+		t.Errorf("stale delta frame: got %v, want ErrStaleReference", err)
+	}
+	// A recent key frame restarts the prediction chain and still pairs.
+	pf, err = r.PushDepth(depths[90].Depth)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if pf == nil {
-		t.Error("recent frame failed to pair")
+		t.Error("recent key frame failed to pair")
 	}
 }
 

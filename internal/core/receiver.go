@@ -54,6 +54,7 @@ type Receiver struct {
 	pendingDepth map[uint32]*frame.DepthImage
 	markersOK    bool
 	mismatches   int
+	lastGood     *PairedFrame
 }
 
 // NewReceiver builds a receiver matching the sender's configuration.
@@ -158,20 +159,31 @@ func (r *Receiver) pair(seq uint32, c *frame.ColorImage, d *frame.DepthImage) *P
 			}
 		}
 	}
-	return &PairedFrame{Seq: seq, TiledColor: c, TiledDepth: d}
+	pf := &PairedFrame{Seq: seq, TiledColor: c, TiledDepth: d}
+	r.lastGood = pf
+	return pf
 }
 
-// gc drops stale unpaired frames: if one stream skips a frame the other
-// must not leak (LiVo "simply skips the frame", §A.1).
+// LastGood returns the most recent successfully paired frame — the
+// concealment source while a PLI-requested key frame is in flight (§A.1) —
+// or nil before the first pair completes.
+func (r *Receiver) LastGood() *PairedFrame { return r.lastGood }
+
+// gc drops unpaired frames outside a sequence window around the latest
+// push: if one stream skips a frame the other must not leak (LiVo "simply
+// skips the frame", §A.1). The window is two-sided — a corrupted in-band
+// marker can yield an arbitrary far-future sequence number that a one-sided
+// check would never evict — so each pending map is bounded at ~2*maxLag
+// entries for the lifetime of a session.
 func (r *Receiver) gc(latest uint32) {
 	const maxLag = 90 // 3 seconds at 30 fps
 	for seq := range r.pendingColor {
-		if int32(latest-seq) > maxLag {
+		if d := int32(latest - seq); d > maxLag || d < -maxLag {
 			delete(r.pendingColor, seq)
 		}
 	}
 	for seq := range r.pendingDepth {
-		if int32(latest-seq) > maxLag {
+		if d := int32(latest - seq); d > maxLag || d < -maxLag {
 			delete(r.pendingDepth, seq)
 		}
 	}

@@ -157,6 +157,9 @@ type Sender struct {
 	predictor *cull.FrustumPredictor
 	seq       uint32
 	markersOK bool
+	// refreshInFlight suppresses repeated PLI-triggered key frames until the
+	// forced IDR has actually been emitted (PLI-storm guard, §A.1).
+	refreshInFlight bool
 	// srcColor is the reused YCbCr staging frame for the tiled color
 	// stream (one full-resolution conversion per tick, no allocation).
 	srcColor *vcodec.Frame
@@ -237,11 +240,30 @@ func (s *Sender) SetHorizon(h float64) { s.predictor.SetHorizon(h) }
 // Split returns the current bandwidth split.
 func (s *Sender) Split() float64 { return s.splitter.Split() }
 
-// ForceKeyFrame reacts to a PLI from the receiver (§A.1).
+// ForceKeyFrame unconditionally makes the next frame an IDR on both
+// streams. Prefer RequestKeyFrame for PLI handling — this primitive has no
+// storm guard.
 func (s *Sender) ForceKeyFrame() {
 	s.colorEnc.ForceKeyFrame()
 	s.depthEnc.ForceKeyFrame()
 }
+
+// RequestKeyFrame reacts to a PLI from the receiver (§A.1): it forces an
+// IDR on both streams unless a forced refresh is already in flight, so a
+// burst of PLIs (one per undecodable frame at the receiver) produces one
+// recovery IDR instead of a key frame per PLI. It reports whether a new
+// refresh was armed.
+func (s *Sender) RequestKeyFrame() bool {
+	if s.refreshInFlight {
+		return false
+	}
+	s.refreshInFlight = true
+	s.ForceKeyFrame()
+	return true
+}
+
+// KeyFrameInFlight reports whether a PLI-triggered refresh is pending.
+func (s *Sender) KeyFrameInFlight() bool { return s.refreshInFlight }
 
 // cullsViews reports whether this variant culls.
 func (s *Sender) cullsViews() bool {
@@ -352,6 +374,11 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 				s.splitter.Observe(normDepth, colorRMSE/255)
 			}
 		}
+	}
+
+	if colorPkt.Key && depthPkt.Key {
+		// The refresh (forced or GOP-periodic) went out: accept new PLIs.
+		s.refreshInFlight = false
 	}
 
 	out := &EncodedFrame{

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"testing"
+
+	"livo/internal/metrics"
+	"livo/internal/netem"
+)
+
+// chaosQuality keeps the chaos integration runs fast: a small rig, enough
+// frames for several GOPs at GOP 15.
+func chaosQuality() Quality {
+	return Quality{Cameras: 4, Width: 64, Height: 48, Frames: 90, MetricEvery: 3, MetricPoints: 400, Users: 1}
+}
+
+func chaosWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := LoadWorkload("office1", chaosQuality())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestChaosRecovery is the acceptance scenario of the robustness work:
+// ~5% burst loss plus bit flips, duplication, and reordering through the
+// real packet path. The run must not panic, every outage must recover
+// within 2xGOP frames of its detection (PLI -> IDR -> decode), and decoded
+// frames must match the clean run's quality.
+func TestChaosRecovery(t *testing.T) {
+	w := chaosWorkload(t)
+	clean, err := RunChaos(ChaosRunConfig{Workload: w, FEC: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Paired != clean.Frames {
+		t.Fatalf("clean run paired %d/%d frames", clean.Paired, clean.Frames)
+	}
+	if clean.Concealed != 0 || clean.PLISent != 0 {
+		t.Fatalf("clean run saw faults: concealed=%d pli=%d", clean.Concealed, clean.PLISent)
+	}
+
+	faulty, err := RunChaos(ChaosRunConfig{
+		Workload: w, Chaos: netem.DefaultChaosConfig(42), FEC: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos: paired=%d concealed=%d corrupt=%d pli=%d idr=%d outages=%d maxRecovery=%d fec=%d",
+		faulty.Paired, faulty.Concealed, faulty.CorruptPackets, faulty.PLISent,
+		faulty.Refreshes, faulty.Outages, faulty.MaxRecoveryFrames, faulty.FECRecovered)
+
+	if faulty.Paired == 0 {
+		t.Fatal("chaos run delivered nothing")
+	}
+	// The schedule at this seed must actually exercise the recovery path.
+	if faulty.Outages == 0 || faulty.PLISent == 0 || faulty.Refreshes == 0 {
+		t.Errorf("chaos schedule did not trigger PLI recovery: outages=%d pli=%d idr=%d",
+			faulty.Outages, faulty.PLISent, faulty.Refreshes)
+	}
+	// Bounded recovery: 2xGOP frames from detection to the next good pair.
+	if limit := 2 * 15; faulty.MaxRecoveryFrames > limit {
+		t.Errorf("recovery took %d frames, limit %d", faulty.MaxRecoveryFrames, limit)
+	}
+	// Post-recovery quality: frames that decoded under chaos must score
+	// within 5%% of the same frames in the clean run.
+	cleanBySeq := clean.GeomBySeq()
+	var got, want []float64
+	for _, s := range faulty.Samples {
+		if cg, ok := cleanBySeq[s.Seq]; ok {
+			got = append(got, s.Geometry)
+			want = append(want, cg)
+		}
+	}
+	if len(got) < 5 {
+		t.Fatalf("only %d comparable quality samples", len(got))
+	}
+	gm, wm := metrics.Mean(got), metrics.Mean(want)
+	if gm < 0.95*wm {
+		t.Errorf("decoded quality degraded: chaos %.2f vs clean %.2f", gm, wm)
+	}
+}
+
+// TestChaosRecoveryNoFEC runs the same schedule without parity packets:
+// recovery then leans entirely on frame skipping and PLI, and must still be
+// bounded and panic-free.
+func TestChaosRecoveryNoFEC(t *testing.T) {
+	w := chaosWorkload(t)
+	faulty, err := RunChaos(ChaosRunConfig{
+		Workload: w, Chaos: netem.DefaultChaosConfig(42), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.FECRecovered != 0 {
+		t.Errorf("FEC disabled but recovered %d fragments", faulty.FECRecovered)
+	}
+	if faulty.Paired == 0 {
+		t.Fatal("chaos run without FEC delivered nothing")
+	}
+	if limit := 2 * 15; faulty.MaxRecoveryFrames > limit {
+		t.Errorf("recovery took %d frames, limit %d", faulty.MaxRecoveryFrames, limit)
+	}
+}
+
+// TestChaosHeavyCorruption cranks the bit-flip rate two orders of magnitude
+// above the default: most packets are corrupt, and the assertion is purely
+// "no panic, errors surface as errors" (decoded output may be almost
+// nothing).
+func TestChaosHeavyCorruption(t *testing.T) {
+	w := chaosWorkload(t)
+	cfg := netem.DefaultChaosConfig(7)
+	cfg.BitFlipProb = 0.25
+	res, err := RunChaos(ChaosRunConfig{Workload: w, Chaos: cfg, FEC: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CorruptPackets == 0 && res.Concealed == 0 {
+		t.Error("heavy corruption schedule produced no observable faults")
+	}
+}

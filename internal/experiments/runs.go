@@ -53,6 +53,7 @@ func All() []Experiment {
 		{"figa3", "Bandwidth trace variability", FigA3},
 		{"ablation-tiling", "Tiled vs per-camera stream composition", AblationTiling},
 		{"ablation-guard", "Guard band replay sweep", AblationGuardBand},
+		{"chaos", "Loss/corruption chaos run vs clean (PLI recovery)", ChaosReport},
 	}
 }
 

@@ -1,0 +1,116 @@
+package netem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func applyAll(c *Chaos, n int) (delivered, flipped int) {
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	for i := 0; i < n; i++ {
+		for _, d := range c.Apply(payload) {
+			delivered++
+			if d.Flipped {
+				flipped++
+			}
+		}
+	}
+	return
+}
+
+func TestChaosZeroConfigIsTransparent(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 1})
+	payload := []byte{1, 2, 3}
+	for i := 0; i < 1000; i++ {
+		ds := c.Apply(payload)
+		if len(ds) != 1 || ds[0].ExtraDelay != 0 || ds[0].Flipped {
+			t.Fatalf("zero config mutated delivery: %+v", ds)
+		}
+		if &ds[0].Payload[0] != &payload[0] {
+			t.Fatal("zero config copied the payload")
+		}
+	}
+	if c.Dropped() != 0 || c.Duplicated() != 0 || c.Reordered() != 0 || c.Flipped() != 0 {
+		t.Fatalf("zero config recorded faults: %+v", c)
+	}
+}
+
+func TestChaosDeterministic(t *testing.T) {
+	a := NewChaos(DefaultChaosConfig(42))
+	b := NewChaos(DefaultChaosConfig(42))
+	applyAll(a, 5000)
+	applyAll(b, 5000)
+	if a.Dropped() != b.Dropped() || a.Flipped() != b.Flipped() ||
+		a.Duplicated() != b.Duplicated() || a.Reordered() != b.Reordered() {
+		t.Errorf("same seed diverged: %d/%d drops, %d/%d flips",
+			a.Dropped(), b.Dropped(), a.Flipped(), b.Flipped())
+	}
+}
+
+func TestChaosBurstLossStatistics(t *testing.T) {
+	c := NewChaos(DefaultChaosConfig(7))
+	const n = 50000
+	applyAll(c, n)
+	rate := float64(c.Dropped()) / n
+	// Stationary loss: 9% Bad at 50% + 91% Good at 0.5% ≈ 5%.
+	if rate < 0.02 || rate > 0.10 {
+		t.Errorf("loss rate %.3f outside burst-model expectation", rate)
+	}
+	if c.Bursts() == 0 {
+		t.Error("no bursts after 50000 packets")
+	}
+	// Burst losses must cluster: drops per burst well above the i.i.d.
+	// expectation of ~1.
+	if perBurst := float64(c.Dropped()) / float64(c.Bursts()); perBurst < 2 {
+		t.Errorf("losses not bursty: %.1f drops per burst", perBurst)
+	}
+	if c.Duplicated() == 0 || c.Reordered() == 0 || c.Flipped() == 0 {
+		t.Errorf("fault modes idle: dup=%d reorder=%d flip=%d",
+			c.Duplicated(), c.Reordered(), c.Flipped())
+	}
+}
+
+func TestChaosBitFlipCopies(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 3, BitFlipProb: 1})
+	payload := []byte{0xAA, 0xBB, 0xCC}
+	orig := append([]byte(nil), payload...)
+	ds := c.Apply(payload)
+	if len(ds) != 1 || !ds[0].Flipped {
+		t.Fatalf("expected one flipped delivery, got %+v", ds)
+	}
+	if !bytes.Equal(payload, orig) {
+		t.Error("bit flip mutated the caller's buffer")
+	}
+	if bytes.Equal(ds[0].Payload, orig) {
+		t.Error("flipped delivery equals the original")
+	}
+	diff := 0
+	for i := range orig {
+		diff += popcount(ds[0].Payload[i] ^ orig[i])
+	}
+	if diff != 1 {
+		t.Errorf("flip changed %d bits, want exactly 1", diff)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestChaosDuplicationSharesFlippedPayload(t *testing.T) {
+	c := NewChaos(ChaosConfig{Seed: 9, DupProb: 1, BitFlipProb: 1})
+	ds := c.Apply([]byte{1, 2, 3, 4})
+	if len(ds) != 2 {
+		t.Fatalf("expected duplicate delivery, got %d", len(ds))
+	}
+	if !bytes.Equal(ds[0].Payload, ds[1].Payload) {
+		t.Error("duplicate differs from the original delivery")
+	}
+}

@@ -1,0 +1,167 @@
+// Command gencorpus regenerates the checked-in fuzz seed corpora under each
+// fuzzed package's testdata/fuzz/<FuzzTarget>/ directory. Run it from the
+// repository root:
+//
+//	go run ./internal/tools/gencorpus
+//
+// The corpora complement the f.Add seeds with inputs that are expensive to
+// build inline — full valid bitstreams from each encoder plus systematic
+// truncations and bit flips of them — and run on every plain `go test`
+// (the fuzz smoke in the verify skill additionally mutates from them).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"livo/internal/codec/depth"
+	"livo/internal/codec/draco"
+	"livo/internal/codec/vcodec"
+	"livo/internal/frame"
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+	"livo/internal/transport"
+)
+
+func writeSeed(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// variants writes a valid input plus deterministic truncations and bit
+// flips of it.
+func variants(dir, prefix string, data []byte, rng *rand.Rand) {
+	writeSeed(dir, prefix+"-valid", data)
+	if len(data) > 2 {
+		writeSeed(dir, prefix+"-trunc-half", data[:len(data)/2])
+		writeSeed(dir, prefix+"-trunc-tail", data[:len(data)-1])
+	}
+	for i := 0; i < 3; i++ {
+		cp := append([]byte(nil), data...)
+		bit := rng.Intn(len(cp) * 8)
+		cp[bit/8] ^= 1 << (bit % 8)
+		writeSeed(dir, fmt.Sprintf("%s-flip-%d", prefix, i), cp)
+	}
+}
+
+func synthColor(w, h, t int) *frame.ColorImage {
+	im := frame.NewColorImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, uint8(x*7+t*13), uint8(y*5+t*3), uint8((x+y)*3))
+		}
+	}
+	return im
+}
+
+func synthDepth(w, h, t int) *frame.DepthImage {
+	im := frame.NewDepthImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, uint16(1000+40*x+25*y+60*t))
+		}
+	}
+	return im
+}
+
+func main() {
+	if _, err := os.Stat("go.mod"); err != nil {
+		log.Fatal("run from the repository root: go run ./internal/tools/gencorpus")
+	}
+	rng := rand.New(rand.NewSource(2024))
+
+	// transport: FuzzUnmarshal and FuzzRecoverWithParity.
+	{
+		dir := "internal/transport/testdata/fuzz/FuzzUnmarshal"
+		payload := make([]byte, 3*transport.MTU)
+		rng.Read(payload)
+		media := transport.Packetize(transport.StreamColor, 42, true, 9_000_000, payload)
+		variants(dir, "media", media[1].Marshal(), rng)
+		parity := transport.BuildParity(media)
+		variants(dir, "parity", parity[0].Marshal(), rng)
+
+		dir = "internal/transport/testdata/fuzz/FuzzRecoverWithParity"
+		variants(dir, "parity", parity[0].Payload, rng)
+	}
+
+	// vcodec: a key frame and a delta frame at fuzz-target geometry (32x32).
+	{
+		cfg := vcodec.ColorConfig(32, 32)
+		cfg.GOP = 4
+		enc, err := vcodec.NewEncoder(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir := "internal/codec/vcodec/testdata/fuzz/FuzzDecode"
+		for i := 0; i < 2; i++ {
+			pkt, err := enc.EncodeQP(vcodec.FromColor(synthColor(32, 32, i)), 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			kind := "delta"
+			if pkt.Key {
+				kind = "key"
+			}
+			variants(dir, kind, pkt.Data, rng)
+		}
+	}
+
+	// depth: scaled-16 key and delta frames.
+	{
+		cfg := depth.Config{Scheme: depth.Scaled16, Width: 32, Height: 32, GOP: 4}
+		enc, err := depth.NewEncoder(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dir := "internal/codec/depth/testdata/fuzz/FuzzDecode"
+		for i := 0; i < 2; i++ {
+			pkt, err := enc.EncodeQP(synthDepth(32, 32, i), 18)
+			if err != nil {
+				log.Fatal(err)
+			}
+			kind := "delta"
+			if pkt.Key {
+				kind = "key"
+			}
+			variants(dir, kind, pkt.Data, rng)
+		}
+	}
+
+	// draco: a compressed cloud at default params.
+	{
+		c := pointcloud.New(300)
+		for i := 0; i < 300; i++ {
+			c.Add(
+				geom.V3(rng.Float64()*2, rng.Float64()*2, rng.Float64()*2),
+				[3]uint8{uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(256))},
+			)
+		}
+		data, err := draco.Encode(c, draco.DefaultParams())
+		if err != nil {
+			log.Fatal(err)
+		}
+		variants("internal/codec/draco/testdata/fuzz/FuzzDecode", "cloud", data, rng)
+	}
+
+	// frame markers: a stamped strip and noise.
+	{
+		dir := "internal/frame/testdata/fuzz/FuzzDecodeMarkers"
+		im := frame.NewColorImage(frame.MarkerWidth, frame.MarkerHeight)
+		if err := frame.StampColorMarker(im, 0xDEADBEEF); err != nil {
+			log.Fatal(err)
+		}
+		variants(dir, "stamped", im.Pix, rng)
+		noise := make([]byte, len(im.Pix))
+		rng.Read(noise)
+		writeSeed(dir, "noise", noise)
+	}
+	fmt.Println("corpora regenerated")
+}

@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshal hardens packet parsing: arbitrary bytes must produce either
+// an error or a packet that survives a marshal round trip — never a panic.
+func FuzzUnmarshal(f *testing.F) {
+	pkt := Packet{
+		Stream: StreamColor, FrameSeq: 7, FragIndex: 1, FragCount: 3,
+		Key: true, SendTimeUs: 123456, Payload: []byte("payload bytes"),
+	}
+	full := pkt.Marshal()
+	f.Add(full)
+	f.Add(full[:headerSize])
+	f.Add(full[:headerSize-1])
+	f.Add([]byte{})
+	parity := BuildParity(Packetize(StreamDepth, 9, false, 1, bytes.Repeat([]byte{0x5A}, 3*MTU)))
+	f.Add(parity[0].Marshal())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		rt, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("accepted packet failed round trip: %v", err)
+		}
+		if rt.Stream != p.Stream || rt.FrameSeq != p.FrameSeq ||
+			rt.FragIndex != p.FragIndex || rt.FragCount != p.FragCount ||
+			rt.Key != p.Key || rt.Parity != p.Parity ||
+			rt.SendTimeUs != p.SendTimeUs || !bytes.Equal(rt.Payload, p.Payload) {
+			t.Fatalf("round trip changed packet: %+v vs %+v", p, rt)
+		}
+	})
+}
+
+// FuzzRecoverWithParity feeds arbitrary parity payloads to FEC recovery
+// against a fixed group with one missing fragment.
+func FuzzRecoverWithParity(f *testing.F) {
+	media := Packetize(StreamColor, 1, false, 0, bytes.Repeat([]byte{0xAB, 0x17}, 2*MTU))
+	parity := BuildParity(media)
+	f.Add(parity[0].Payload)
+	f.Add(parity[0].Payload[:2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, pp []byte) {
+		got := map[uint16][]byte{
+			0: media[0].Payload,
+			2: media[2].Payload,
+		}
+		idx, payload, err := RecoverWithParity(got, pp, 0)
+		if err != nil {
+			return
+		}
+		if idx != 1 {
+			t.Fatalf("recovered wrong fragment %d", idx)
+		}
+		if len(payload) > len(pp) {
+			t.Fatalf("recovered %d bytes from %d-byte parity", len(payload), len(pp))
+		}
+	})
+}

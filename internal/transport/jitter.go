@@ -88,6 +88,12 @@ func (jb *JitterBuffer) Push(p Packet, arrival float64) {
 		}
 		jb.frames[p.FrameSeq] = f
 	}
+	if p.FragCount != f.count || p.FragIndex >= f.count {
+		// A corrupted header disagreeing with the frame's established
+		// fragment count would poison reassembly; drop the fragment and let
+		// NACK/FEC recover the real one.
+		return
+	}
 	if p.Parity {
 		f.parity[p.FragIndex] = p.Payload
 	} else {
@@ -151,19 +157,27 @@ func (jb *JitterBuffer) Pop(now float64) []AssembledFrame {
 				FirstArrival: f.firstArrival,
 				LastArrival:  f.lastArrival,
 			})
-			delete(jb.frames, seq)
-			jb.nextSeq = seq + 1
-			jb.hasNext = true
+			jb.release(seq, f)
 		case !complete && now > f.firstArrival+jb.Delay+jb.SkipAfter:
-			delete(jb.frames, seq)
+			jb.release(seq, f)
 			jb.skipped++
-			jb.nextSeq = seq + 1
-			jb.hasNext = true
 		default:
 			return out
 		}
 	}
 	return out
+}
+
+// release retires a delivered or skipped frame: the frame entry and its
+// once-only NACK bookkeeping are dropped together, so neither map outlives
+// the frames it describes (a session-lifetime leak otherwise).
+func (jb *JitterBuffer) release(seq uint32, f *partialFrame) {
+	delete(jb.frames, seq)
+	for i := uint16(0); i < f.count; i++ {
+		delete(jb.nacked, nackKey{seq, i})
+	}
+	jb.nextSeq = seq + 1
+	jb.hasNext = true
 }
 
 // oldest returns the lowest-sequence pending frame.

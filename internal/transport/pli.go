@@ -1,0 +1,50 @@
+package transport
+
+// PLITracker is the receiver half of the Picture Loss Indication state
+// machine (§A.1). When a stream becomes undecodable — a skipped frame broke
+// the prediction chain, or a packet was corrupted in flight — the receiver
+// requests a key frame from the sender. The tracker turns that condition
+// into a bounded PLI schedule: one indication immediately, then periodic
+// re-sends while the recovery IDR has not arrived (the PLI or the IDR can
+// themselves be lost), and silence once it has. Without the in-flight state
+// a burst of undecodable frames would emit a PLI per frame — a PLI storm —
+// and every storming PLI would force another IDR at the sender, wasting the
+// bandwidth the recovery needs.
+type PLITracker struct {
+	// ResendInterval is how long to await the recovery key frame before
+	// re-emitting a PLI, in seconds (default 0.25 ≈ a couple of RTTs).
+	ResendInterval float64
+
+	awaiting bool
+	lastSent float64
+	sent     int
+}
+
+// NewPLITracker returns a tracker with the default resend interval.
+func NewPLITracker() *PLITracker {
+	return &PLITracker{ResendInterval: 0.25}
+}
+
+// Request records that the stream is undecodable at time now (seconds) and
+// reports whether a PLI should be emitted: true for the first request of an
+// outage and for each ResendInterval that elapses while recovery is still
+// pending, false while a refresh is already in flight.
+func (t *PLITracker) Request(now float64) bool {
+	if t.awaiting && now-t.lastSent < t.ResendInterval {
+		return false
+	}
+	t.awaiting = true
+	t.lastSent = now
+	t.sent++
+	return true
+}
+
+// OnKeyFrame records that a key frame arrived: the refresh completed and
+// the next decode failure starts a new PLI cycle.
+func (t *PLITracker) OnKeyFrame() { t.awaiting = false }
+
+// Awaiting reports whether a requested refresh is still outstanding.
+func (t *PLITracker) Awaiting() bool { return t.awaiting }
+
+// Sent returns how many PLIs the tracker has asked to emit.
+func (t *PLITracker) Sent() int { return t.sent }

@@ -29,6 +29,9 @@ type SendSession struct {
 
 	rateBps atomic.Uint64 // current send rate from receiver REMB
 	paceQ   chan []byte
+	// pliArmed guards against PLI storms: once a PLI forces a key frame,
+	// further PLIs are ignored until that IDR is actually encoded (§A.1).
+	pliArmed atomic.Bool
 
 	mu      sync.Mutex
 	history map[retxKey][]byte // recent packets for NACK retransmission
@@ -139,6 +142,10 @@ func (s *SendSession) SendViews(views []RGBDFrame) (*EncodedFrame, error) {
 	if err != nil {
 		return nil, err
 	}
+	if enc.Color.Key && enc.Depth.Key {
+		// The refresh went out; accept the next PLI again.
+		s.pliArmed.Store(false)
+	}
 	ts := uint64(s.now() * 1e6)
 	colorPkts := transport.Packetize(transport.StreamColor, enc.Seq, enc.Color.Key, ts, enc.Color.Data)
 	depthPkts := transport.Packetize(transport.StreamDepth, enc.Seq, enc.Depth.Key, ts, enc.Depth.Data)
@@ -233,7 +240,11 @@ func (s *SendSession) handleFeedback(b []byte) {
 			}
 		}
 	case fbPLI:
-		s.sender.ForceKeyFrame()
+		// Refresh-in-flight guard: during an outage the receiver re-sends
+		// PLIs until the IDR lands; only the first arms a key frame.
+		if s.pliArmed.CompareAndSwap(false, true) {
+			s.sender.ForceKeyFrame()
+		}
 	case fbPong:
 		if t0, err := unmarshalPing(b); err == nil {
 			s.sender.ObserveRTT(s.now() - t0)
@@ -266,6 +277,13 @@ type RecvSession struct {
 
 	jb  map[uint8]*transport.JitterBuffer
 	gcc *transport.GCC
+	// pli schedules key-frame requests during outages (only touched on the
+	// Run goroutine).
+	pli *transport.PLITracker
+	// lastConcealSeq dedupes concealment when both streams of one frame
+	// fail to decode.
+	lastConcealSeq uint32
+	hasConcealed   bool
 
 	// OnCloud is called (on the session goroutine) for every reconstructed
 	// frame.
@@ -276,14 +294,15 @@ type RecvSession struct {
 	// Frustum, when non-nil, is applied to reconstructed clouds.
 	Frustum func() *Frustum
 
-	start    time.Time
-	closed   chan struct{}
-	wg       sync.WaitGroup
-	err      atomic.Value
-	decoded  atomic.Int64
-	skipped  atomic.Int64
-	received atomic.Int64
-	lost     atomic.Int64
+	start     time.Time
+	closed    chan struct{}
+	wg        sync.WaitGroup
+	err       atomic.Value
+	decoded   atomic.Int64
+	skipped   atomic.Int64
+	received  atomic.Int64
+	lost      atomic.Int64
+	concealed atomic.Int64
 }
 
 // RecvSessionConfig configures a RecvSession.
@@ -322,6 +341,7 @@ func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig)
 			transport.StreamDepth: transport.NewJitterBuffer(),
 		},
 		gcc:    transport.NewGCC(cfg.InitialRateBps, cfg.MinRateBps, cfg.MaxRateBps),
+		pli:    transport.NewPLITracker(),
 		start:  time.Now(),
 		closed: make(chan struct{}),
 	}
@@ -395,10 +415,20 @@ func (r *RecvSession) drain(now float64) {
 				pf, err = r.receiver.PushDepth(pkt)
 			}
 			if err != nil {
-				// Likely a missing reference after a skipped frame:
-				// request a key frame (PLI, §A.1).
-				_, _ = r.conn.WriteTo([]byte{fbPLI}, r.remote)
+				// Undecodable: a skipped frame left the decoder's reference
+				// stale, or the payload was corrupted in flight. Conceal
+				// with the last good paired frame and request a key frame;
+				// the tracker re-sends the PLI periodically until the IDR
+				// lands but suppresses per-frame storms (§A.1).
+				r.conceal(af.FrameSeq)
+				if r.pli.Request(now) {
+					_, _ = r.conn.WriteTo([]byte{fbPLI}, r.remote)
+				}
 				continue
+			}
+			if af.Key {
+				// The recovery IDR decoded: the PLI cycle is complete.
+				r.pli.OnKeyFrame()
 			}
 			if pf != nil {
 				r.decoded.Add(1)
@@ -418,6 +448,28 @@ func (r *RecvSession) drain(now float64) {
 			r.lost.Add(1)
 			_, _ = r.conn.WriteTo(marshalNACK(nack.Stream, nack.FrameSeq, nack.FragIndex), r.remote)
 		}
+	}
+}
+
+// conceal delivers the last good paired frame in place of undecodable frame
+// seq, so the viewer sees a frozen-but-coherent cloud instead of nothing
+// (or drift) while the PLI-requested key frame is in flight.
+func (r *RecvSession) conceal(seq uint32) {
+	if r.hasConcealed && r.lastConcealSeq == seq {
+		return // the other stream of the same frame already concealed
+	}
+	r.lastConcealSeq, r.hasConcealed = seq, true
+	pf := r.receiver.LastGood()
+	if pf == nil || r.OnCloud == nil {
+		return
+	}
+	var fr *Frustum
+	if r.Frustum != nil {
+		fr = r.Frustum()
+	}
+	if cloud, err := r.receiver.Reconstruct(pf, fr); err == nil {
+		r.concealed.Add(1)
+		r.OnCloud(seq, cloud)
 	}
 }
 
@@ -441,6 +493,10 @@ func (r *RecvSession) sendFeedback() {
 
 // Decoded returns how many paired frames were reconstructed.
 func (r *RecvSession) Decoded() int64 { return r.decoded.Load() }
+
+// Concealed returns how many undecodable frames were replaced by the last
+// good frame while awaiting a PLI-requested key frame.
+func (r *RecvSession) Concealed() int64 { return r.concealed.Load() }
 
 // Close stops the session (the caller owns the connection).
 func (r *RecvSession) Close() error {
