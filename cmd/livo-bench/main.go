@@ -13,12 +13,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"livo/internal/codec/vcodec"
 	"livo/internal/experiments"
+	"livo/internal/telemetry"
 )
 
 func main() {
@@ -33,12 +36,27 @@ func main() {
 		full     = flag.Bool("full", false, "full-quality preset (slow: hours)")
 		cbench   = flag.Bool("codecbench", false, "run the vcodec benchmark suite and write JSON results")
 		cbenchTo = flag.String("codecbench-out", "BENCH_codec.json", "output path for -codecbench results")
+		telemTo  = flag.String("telemetry-out", "BENCH_telemetry.json", "output path for the -codecbench telemetry-overhead measurement")
+		debug    = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		if _, url, err := telemetry.ServeDebug(*debug, telemetry.Default); err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		} else {
+			fmt.Printf("debug server on %s/debugz\n", url)
+		}
+	}
 
 	if *cbench {
 		if err := runCodecBench(*cbenchTo); err != nil {
 			fmt.Fprintf(os.Stderr, "codecbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runTelemetryBench(*telemTo); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetrybench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -108,6 +126,69 @@ func runCodecBench(outPath string) error {
 			r.Name, r.N, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
 	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// telemetryBenchResult is the overhead measurement written by -codecbench:
+// ns/op of the instrumented 4K color encode with the default registry
+// enabled vs disabled. The acceptance budget is ≤2% overhead.
+type telemetryBenchResult struct {
+	Benchmark   string  `json:"benchmark"`
+	Procs       int     `json:"procs"`
+	Rounds      int     `json:"rounds"`
+	NsOpOn      float64 `json:"ns_op_on"`
+	NsOpOff     float64 `json:"ns_op_off"`
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// runTelemetryBench measures telemetry overhead on the 4K color encode
+// path. Enabled and disabled rounds alternate, and each mode keeps its
+// minimum ns/op, so slow drift (thermal, scheduler) cannot masquerade as
+// telemetry cost.
+func runTelemetryBench(outPath string) error {
+	const name = "Encode4KColor"
+	var fn func(*testing.B)
+	for _, nb := range vcodec.StandardBenchmarks() {
+		if nb.Name == name {
+			fn = nb.F
+		}
+	}
+	if fn == nil {
+		return fmt.Errorf("benchmark %s not in the standard suite", name)
+	}
+	fmt.Println("=== telemetry overhead (registry on vs off) ===")
+	const rounds = 3
+	nsOn, nsOff := math.Inf(1), math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		telemetry.Default.SetEnabled(true)
+		if v := float64(testing.Benchmark(fn).NsPerOp()); v < nsOn {
+			nsOn = v
+		}
+		telemetry.Default.SetEnabled(false)
+		if v := float64(testing.Benchmark(fn).NsPerOp()); v < nsOff {
+			nsOff = v
+		}
+	}
+	telemetry.Default.SetEnabled(true)
+	res := telemetryBenchResult{
+		Benchmark:   name,
+		Procs:       runtime.GOMAXPROCS(0),
+		Rounds:      rounds,
+		NsOpOn:      nsOn,
+		NsOpOff:     nsOff,
+		OverheadPct: (nsOn - nsOff) / nsOff * 100,
+	}
+	fmt.Printf("%s: on %.0f ns/op, off %.0f ns/op, overhead %+.2f%%\n",
+		name, res.NsOpOn, res.NsOpOff, res.OverheadPct)
+	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -19,6 +19,7 @@ import (
 
 	"livo"
 	"livo/internal/scene"
+	"livo/internal/telemetry"
 )
 
 // site is one conference endpoint: a captured scene plus a viewer.
@@ -35,8 +36,17 @@ func main() {
 		videoA  = flag.String("video-a", "band2", "site A's scene")
 		videoB  = flag.String("video-b", "office1", "site B's scene")
 		seconds = flag.Float64("seconds", 5, "conference duration")
+		debug   = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	if *debug != "" {
+		if _, url, err := telemetry.ServeDebug(*debug, telemetry.Default); err != nil {
+			log.Fatalf("debug server: %v", err)
+		} else {
+			fmt.Printf("debug server on %s/debugz\n", url)
+		}
+	}
 
 	cfg := scene.DefaultCaptureConfig()
 	cfg.Cameras, cfg.Width, cfg.Height = 4, 64, 48 // small rig for the demo
@@ -111,4 +121,15 @@ func main() {
 	time.Sleep(300 * time.Millisecond) // drain jitter buffers
 	fmt.Printf("conference over: A reconstructed %d clouds, B reconstructed %d\n",
 		siteA.clouds.Load(), siteB.clouds.Load())
+	for _, st := range []*site{siteA, siteB} {
+		ss, rs := st.send.Stats(), st.recv.Stats()
+		fmt.Printf("site %s send: %d frames, %d pkts, %.1f MB, rate %.1f Mbps, retx %d, pli-rx %d\n",
+			st.name, ss.Frames, ss.Packets, float64(ss.Bytes)/1e6, ss.RateBps/1e6, ss.Retransmits, ss.PLIsReceived)
+		fmt.Printf("site %s recv: %d pkts, %d decoded, %d concealed, nack %d, pli %d, est %.1f Mbps, jitter skip %d/%d\n",
+			st.name, rs.Received, rs.Decoded, rs.Concealed, rs.NACKsSent, rs.PLIsSent, rs.EstRateBps/1e6,
+			rs.Color.Skipped, rs.Depth.Skipped)
+		if ss.Err != nil || rs.Err != nil {
+			fmt.Printf("site %s errors: send=%v recv=%v\n", st.name, ss.Err, rs.Err)
+		}
+	}
 }

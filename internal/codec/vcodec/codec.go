@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Decode failure classes. Receivers branch on these to drive loss recovery
@@ -287,7 +288,13 @@ func (e *Encoder) LastRecon() *Frame {
 // EncodeQP encodes f at a fixed quantization parameter, bypassing rate
 // control (used by the LiVo-NoAdapt/Starline baseline, §4.5).
 func (e *Encoder) EncodeQP(f *Frame, qp int) (*Packet, error) {
-	return e.encode(f, qp)
+	start := time.Now()
+	pkt, err := e.encode(f, qp)
+	if err == nil {
+		telEncodeSeconds.ObserveDuration(time.Since(start))
+		telEncodedBytes.Add(int64(pkt.SizeBytes()))
+	}
+	return pkt, err
 }
 
 // Encode encodes f so the packet is close to targetBytes. This is the
@@ -299,6 +306,7 @@ func (e *Encoder) Encode(f *Frame, targetBytes int) (*Packet, error) {
 	if targetBytes <= 0 {
 		return nil, fmt.Errorf("vcodec: non-positive target %d", targetBytes)
 	}
+	start := time.Now()
 	qp := e.lastQP
 	if e.hasModel {
 		qp = int(math.Round(6 * (e.modelA - math.Log2(float64(targetBytes)))))
@@ -344,6 +352,8 @@ func (e *Encoder) Encode(f *Frame, targetBytes int) (*Packet, error) {
 		}
 		qp = qp2
 	}
+	telEncodeSeconds.ObserveDuration(time.Since(start))
+	telEncodedBytes.Add(int64(pkt.SizeBytes()))
 	return pkt, nil
 }
 
@@ -599,12 +609,9 @@ func (c Config) maxPayloadBytes() int {
 	return 64 + samples*12
 }
 
-// Decode reconstructs one frame from a packet. Malformed input returns an
-// error wrapping ErrCorrupt; a delta frame that does not extend the
-// decoder's current reference returns an error wrapping ErrStaleReference.
-// Decoder state is only advanced on success, so a failed packet can be
-// skipped and decoding resumed at the next key frame.
-func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
+// decode is the uninstrumented decode path; Decode (telemetry.go) wraps it
+// with latency/error telemetry.
+func (d *Decoder) decode(pkt *Packet) (*Frame, error) {
 	r := &byteReader{buf: pkt.Data}
 	magic, err := r.readByte()
 	if err != nil || magic != 'V' {

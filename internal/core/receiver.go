@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"livo/internal/camera"
 	"livo/internal/codec/depth"
@@ -9,6 +10,7 @@ import (
 	"livo/internal/frame"
 	"livo/internal/geom"
 	"livo/internal/pointcloud"
+	"livo/internal/telemetry"
 )
 
 // ReceiverConfig configures a LiVo receiver. Camera calibration and tiling
@@ -22,6 +24,9 @@ type ReceiverConfig struct {
 	VoxelSize float64
 	// FlateLevel must match the sender's entropy setting.
 	FlateLevel int
+	// Telemetry receives frame-path metrics and stage spans (DESIGN.md §6);
+	// nil uses telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -55,6 +60,13 @@ type Receiver struct {
 	markersOK    bool
 	mismatches   int
 	lastGood     *PairedFrame
+
+	// Telemetry handles, resolved once in NewReceiver (DESIGN.md §6).
+	stages        *telemetry.StageSet
+	mPaired       *telemetry.Counter
+	mDecodeErrors *telemetry.Counter
+	mMismatches   *telemetry.Counter
+	gPendingPairs *telemetry.Gauge
 }
 
 // NewReceiver builds a receiver matching the sender's configuration.
@@ -86,6 +98,10 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.Default
+	}
 	return &Receiver{
 		cfg:          cfg,
 		tiler:        tiler,
@@ -94,14 +110,22 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		pendingColor: make(map[uint32]*frame.ColorImage),
 		pendingDepth: make(map[uint32]*frame.DepthImage),
 		markersOK:    tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
+
+		stages:        telemetry.NewStageSet(tel),
+		mPaired:       tel.Counter("livo_frames_paired_total"),
+		mDecodeErrors: tel.Counter("livo_decode_errors_total"),
+		mMismatches:   tel.Counter("livo_seq_mismatch_total"),
+		gPendingPairs: tel.Gauge("livo_pending_unpaired_frames"),
 	}, nil
 }
 
 // PushColor decodes one color packet; if its depth counterpart has already
 // arrived, the paired frame is returned.
 func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
+	t0 := time.Now()
 	f, err := r.colorDec.Decode(pkt)
 	if err != nil {
+		r.mDecodeErrors.Inc()
 		return nil, err
 	}
 	im := f.ToColor()
@@ -110,13 +134,15 @@ func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
 		if mseq, err := frame.DecodeColorMarker(im); err == nil {
 			if mseq != pkt.Seq {
 				r.mismatches++
+				r.mMismatches.Inc()
 			}
 			seq = mseq
 		}
 	}
+	r.stages.Done(seq, telemetry.StageDecodeColor, t0)
 	if d, ok := r.pendingDepth[seq]; ok {
 		delete(r.pendingDepth, seq)
-		return r.pair(seq, im, d), nil
+		return r.pairCounted(seq, im, d), nil
 	}
 	r.pendingColor[seq] = im
 	r.gc(seq)
@@ -126,8 +152,10 @@ func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
 // PushDepth decodes one depth packet; if its color counterpart has already
 // arrived, the paired frame is returned.
 func (r *Receiver) PushDepth(pkt *vcodec.Packet) (*PairedFrame, error) {
+	t0 := time.Now()
 	im, err := r.depthDec.Decode(pkt)
 	if err != nil {
+		r.mDecodeErrors.Inc()
 		return nil, err
 	}
 	seq := pkt.Seq
@@ -135,17 +163,29 @@ func (r *Receiver) PushDepth(pkt *vcodec.Packet) (*PairedFrame, error) {
 		if mseq, err := frame.DecodeDepthMarker(im); err == nil {
 			if mseq != pkt.Seq {
 				r.mismatches++
+				r.mMismatches.Inc()
 			}
 			seq = mseq
 		}
 	}
+	r.stages.Done(seq, telemetry.StageDecodeDepth, t0)
 	if c, ok := r.pendingColor[seq]; ok {
 		delete(r.pendingColor, seq)
-		return r.pair(seq, c, im), nil
+		return r.pairCounted(seq, c, im), nil
 	}
 	r.pendingDepth[seq] = im
 	r.gc(seq)
 	return nil, nil
+}
+
+// pairCounted wraps pair with pairing telemetry.
+func (r *Receiver) pairCounted(seq uint32, c *frame.ColorImage, d *frame.DepthImage) *PairedFrame {
+	t0 := time.Now()
+	pf := r.pair(seq, c, d)
+	r.mPaired.Inc()
+	r.gPendingPairs.SetInt(int64(len(r.pendingColor) + len(r.pendingDepth)))
+	r.stages.Done(seq, telemetry.StagePair, t0)
+	return pf
 }
 
 // pair zeroes the marker strip (it is codec payload, not scene content)
@@ -198,6 +238,8 @@ func (r *Receiver) SeqMismatches() int { return r.mismatches }
 // voxelize, and cull to the viewer's current frustum. Pass nil frustum to
 // keep the full cloud.
 func (r *Receiver) Reconstruct(pf *PairedFrame, frustum *geom.Frustum) (*pointcloud.Cloud, error) {
+	t0 := time.Now()
+	defer r.stages.Done(pf.Seq, telemetry.StageReconstruct, t0)
 	views := make([]frame.RGBDFrame, r.cfg.Array.N())
 	for i := 0; i < r.cfg.Array.N(); i++ {
 		c, err := r.tiler.ExtractColor(pf.TiledColor, i)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"livo/internal/camera"
 	"livo/internal/codec/depth"
@@ -25,6 +26,7 @@ import (
 	"livo/internal/frame"
 	"livo/internal/geom"
 	"livo/internal/split"
+	"livo/internal/telemetry"
 )
 
 // Variant selects which system of the evaluation a sender behaves as.
@@ -92,6 +94,9 @@ type SenderConfig struct {
 	// and reports it in EncodedFrame (the Fig 4 instrumentation; normally
 	// the probe only runs every k-th frame inside the splitter).
 	ProbeRMSE bool
+	// Telemetry receives frame-path metrics and stage spans (DESIGN.md §6);
+	// nil uses telemetry.Default.
+	Telemetry *telemetry.Registry
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -163,6 +168,18 @@ type Sender struct {
 	// srcColor is the reused YCbCr staging frame for the tiled color
 	// stream (one full-resolution conversion per tick, no allocation).
 	srcColor *vcodec.Frame
+
+	// Telemetry handles, resolved once in NewSender (DESIGN.md §6).
+	tel        *telemetry.Registry
+	stages     *telemetry.StageSet
+	mFrames    *telemetry.Counter
+	mKeyFrames *telemetry.Counter
+	mBytes     *telemetry.Counter
+	gSplit     *telemetry.Gauge
+	gDepthRMSE *telemetry.Gauge
+	gColorRMSE *telemetry.Gauge
+	gTarget    *telemetry.Gauge
+	gCullKept  *telemetry.Gauge
 }
 
 // NewSender builds a sender for the given configuration.
@@ -217,6 +234,21 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		srcColor:  vcodec.NewFrame(tw, th, 3),
 	}
 	s.predictor.Guard = cfg.GuardBand
+
+	tel := cfg.Telemetry
+	if tel == nil {
+		tel = telemetry.Default
+	}
+	s.tel = tel
+	s.stages = telemetry.NewStageSet(tel)
+	s.mFrames = tel.Counter("livo_frames_encoded_total")
+	s.mKeyFrames = tel.Counter("livo_keyframes_total")
+	s.mBytes = tel.Counter("livo_sender_encoded_bytes_total")
+	s.gSplit = tel.Gauge("livo_split_s")
+	s.gDepthRMSE = tel.Gauge("livo_probe_depth_rmse_mm")
+	s.gColorRMSE = tel.Gauge("livo_probe_color_rmse")
+	s.gTarget = tel.Gauge("livo_frame_target_bytes")
+	s.gCullKept = tel.Gauge("livo_cull_kept_ratio")
 	return s, nil
 }
 
@@ -284,14 +316,20 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	var st cull.Stats
 	var err error
 	if s.cullsViews() {
+		t0 := time.Now()
 		views, st, err = cull.Views(s.cfg.Array, views, s.predictor.PredictFrustum())
 		if err != nil {
 			return nil, err
+		}
+		s.stages.Done(s.seq, telemetry.StageCull, t0)
+		if st.Total > 0 {
+			s.gCullKept.Set(float64(st.Kept) / float64(st.Total))
 		}
 	}
 
 	// 2. Stream composition: tile N views into one color + one depth frame
 	// (§3.2).
+	tileStart := time.Now()
 	colorViews := make([]*frame.ColorImage, len(views))
 	depthViews := make([]*frame.DepthImage, len(views))
 	for i, v := range views {
@@ -311,6 +349,7 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	if err != nil {
 		return nil, err
 	}
+	s.stages.Done(s.seq, telemetry.StageTile, tileStart)
 
 	// 3. In-band sequence markers (§A.1).
 	if s.markersOK {
@@ -336,12 +375,14 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	var colorPkt, depthPkt *vcodec.Packet
 	var depthErr error
 	var wg sync.WaitGroup
+	encStart := time.Now()
 	if s.adapts() {
 		depthBudget, colorBudget := s.splitter.Budgets(targetBytes)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			depthPkt, depthErr = s.depthEnc.Encode(tiledDepth, depthBudget)
+			s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
 		}()
 		colorPkt, err = s.colorEnc.Encode(srcColor, colorBudget)
 	} else {
@@ -349,9 +390,11 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 		go func() {
 			defer wg.Done()
 			depthPkt, depthErr = s.depthEnc.EncodeQP(tiledDepth, s.cfg.FixedDepthQP)
+			s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
 		}()
 		colorPkt, err = s.colorEnc.EncodeQP(srcColor, s.cfg.FixedColorQP)
 	}
+	s.stages.Done(s.seq, telemetry.StageEncodeColor, encStart)
 	wg.Wait()
 	if err != nil {
 		return nil, err
@@ -379,6 +422,18 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	if colorPkt.Key && depthPkt.Key {
 		// The refresh (forced or GOP-periodic) went out: accept new PLIs.
 		s.refreshInFlight = false
+		s.mKeyFrames.Inc()
+	}
+
+	s.mFrames.Inc()
+	s.mBytes.Add(int64(colorPkt.SizeBytes() + depthPkt.SizeBytes()))
+	s.gSplit.Set(s.splitter.Split())
+	s.gTarget.SetInt(int64(targetBytes))
+	if depthRMSE >= 0 {
+		s.gDepthRMSE.Set(depthRMSE)
+	}
+	if colorRMSE >= 0 {
+		s.gColorRMSE.Set(colorRMSE)
 	}
 
 	out := &EncodedFrame{

@@ -9,6 +9,7 @@ import (
 	"livo/internal/geom"
 	"livo/internal/metrics"
 	"livo/internal/netem"
+	"livo/internal/telemetry"
 	"livo/internal/transport"
 )
 
@@ -72,6 +73,10 @@ type ChaosResult struct {
 	FECRecovered               int // fragments repaired by parity
 	// Samples holds per-frame decoded quality on the metric cadence.
 	Samples []ChaosSample
+	// Telemetry is the run's private registry: the same events counted by
+	// the result fields, observed through the instrumented components
+	// (chaos injector, sender, receiver). Tests cross-check the two views.
+	Telemetry *telemetry.Registry
 }
 
 // arrival is one packet copy in flight between the link and a jitter buffer.
@@ -90,29 +95,38 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 	const fps = 30.0
 	dt := 1 / fps
 
+	// A private registry isolates this run's counters from telemetry.Default
+	// (several chaos runs execute per test binary).
+	reg := telemetry.NewRegistry(256)
 	sender, err := core.NewSender(core.SenderConfig{
 		Variant:    core.LiVoNoCull,
 		Array:      w.Array(),
 		ViewParams: geom.DefaultViewParams(),
 		GOP:        cc.GOP,
+		Telemetry:  reg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	receiver, err := core.NewReceiver(core.ReceiverConfig{Array: w.Array(), GOP: cc.GOP})
+	receiver, err := core.NewReceiver(core.ReceiverConfig{Array: w.Array(), GOP: cc.GOP, Telemetry: reg})
 	if err != nil {
 		return nil, err
 	}
 
 	link := netem.NewFixedLink(cc.LinkMbps)
 	chaos := netem.NewChaos(cc.Chaos)
+	chaos.Instrument(reg)
+	mCorrupt := reg.Counter("livo_transport_corrupt_packets_total")
+	mPLI := reg.Counter("livo_pli_sent_total")
+	mConcealed := reg.Counter("livo_concealed_frames_total")
+	mFEC := reg.Counter("livo_fec_recovered_total")
 	jb := map[uint8]*transport.JitterBuffer{
 		transport.StreamColor: transport.NewJitterBuffer(),
 		transport.StreamDepth: transport.NewJitterBuffer(),
 	}
 	pli := transport.NewPLITracker()
 
-	res := &ChaosResult{Frames: q.Frames}
+	res := &ChaosResult{Frames: q.Frames, Telemetry: reg}
 	var inflight []arrival
 	pliPending := false
 	outageStart := -1 // frame seq of the first failure of the current outage
@@ -129,6 +143,7 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 			p, err := transport.Unmarshal(a.buf)
 			if err != nil {
 				res.CorruptPackets++
+				mCorrupt.Inc()
 				continue
 			}
 			if b := jb[p.Stream]; b != nil {
@@ -156,12 +171,14 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 					// the PLI schedule. Malformed data must surface as an
 					// error here, never as a panic.
 					res.Concealed++
+					mConcealed.Inc()
 					if outageStart < 0 {
 						outageStart = int(af.FrameSeq)
 						res.Outages++
 					}
 					if pli.Request(now) {
 						res.PLISent++
+						mPLI.Inc()
 						pliPending = true
 					}
 					continue
@@ -259,6 +276,7 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 	res.SkippedColor = jb[transport.StreamColor].Skipped()
 	res.SkippedDepth = jb[transport.StreamDepth].Skipped()
 	res.FECRecovered = jb[transport.StreamColor].FECRecovered() + jb[transport.StreamDepth].FECRecovered()
+	mFEC.Add(int64(res.FECRecovered))
 	return res, nil
 }
 

@@ -79,6 +79,55 @@ func TestChaosRecovery(t *testing.T) {
 	if gm < 0.95*wm {
 		t.Errorf("decoded quality degraded: chaos %.2f vs clean %.2f", gm, wm)
 	}
+
+	// Telemetry cross-check: the run's registry must have seen the same
+	// events the harness counted — injected faults were really injected,
+	// and the recovery machinery really fired.
+	reg := faulty.Telemetry
+	if reg == nil {
+		t.Fatal("chaos result carries no telemetry registry")
+	}
+	counter := func(name string) int64 { return reg.Counter(name).Value() }
+	if counter("livo_chaos_dropped_total") == 0 {
+		t.Error("telemetry saw no injected packet drops")
+	}
+	if counter("livo_chaos_flipped_total") == 0 {
+		t.Error("telemetry saw no injected bit flips")
+	}
+	if got := counter("livo_transport_corrupt_packets_total"); got != int64(faulty.CorruptPackets) {
+		t.Errorf("corrupt-packet counter = %d, result says %d", got, faulty.CorruptPackets)
+	}
+	if got := counter("livo_concealed_frames_total"); got != int64(faulty.Concealed) {
+		t.Errorf("concealed counter = %d, result says %d", got, faulty.Concealed)
+	}
+	if got := counter("livo_pli_sent_total"); got != int64(faulty.PLISent) {
+		t.Errorf("PLI counter = %d, result says %d", got, faulty.PLISent)
+	}
+	if got := counter("livo_fec_recovered_total"); got != int64(faulty.FECRecovered) {
+		t.Errorf("FEC counter = %d, result says %d", got, faulty.FECRecovered)
+	}
+	if got := counter("livo_frames_paired_total"); got != int64(faulty.Paired) {
+		t.Errorf("paired counter = %d, result says %d", got, faulty.Paired)
+	}
+	if counter("livo_frames_encoded_total") != int64(faulty.Frames) {
+		t.Errorf("encoded counter = %d, want %d", counter("livo_frames_encoded_total"), faulty.Frames)
+	}
+	// Undecodable frames surface as decode errors before concealment; with
+	// faults injected there must be at least one per outage.
+	if counter("livo_decode_errors_total") < int64(faulty.Outages) {
+		t.Errorf("decode-error counter %d < outages %d",
+			counter("livo_decode_errors_total"), faulty.Outages)
+	}
+	// The clean twin must be telemetry-quiet on the fault counters.
+	cleanReg := clean.Telemetry
+	for _, name := range []string{
+		"livo_transport_corrupt_packets_total", "livo_concealed_frames_total",
+		"livo_pli_sent_total", "livo_decode_errors_total",
+	} {
+		if v := cleanReg.Counter(name).Value(); v != 0 {
+			t.Errorf("clean run counter %s = %d, want 0", name, v)
+		}
+	}
 }
 
 // TestChaosRecoveryNoFEC runs the same schedule without parity packets:

@@ -1,6 +1,10 @@
 package netem
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"livo/internal/telemetry"
+)
 
 // Chaos injects the fault modes a best-effort network exhibits beyond the
 // capacity limits Link models: bursty loss, duplication, reordering, and
@@ -21,6 +25,9 @@ type Chaos struct {
 	reordered  int
 	flipped    int
 	bursts     int
+
+	// Optional telemetry counters (Instrument); nil means uninstrumented.
+	mDropped, mDuplicated, mReordered, mFlipped, mBursts *telemetry.Counter
 }
 
 // ChaosConfig parameterizes a Chaos injector. Zero-valued knobs disable
@@ -79,6 +86,17 @@ func NewChaos(cfg ChaosConfig) *Chaos {
 	return &Chaos{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
+// Instrument publishes the injector's fault counters to reg as
+// livo_chaos_* series, so experiments can assert that injected faults were
+// actually exercised (not just that decode output survived).
+func (c *Chaos) Instrument(reg *telemetry.Registry) {
+	c.mDropped = reg.Counter("livo_chaos_dropped_total")
+	c.mDuplicated = reg.Counter("livo_chaos_duplicated_total")
+	c.mReordered = reg.Counter("livo_chaos_reordered_total")
+	c.mFlipped = reg.Counter("livo_chaos_flipped_total")
+	c.mBursts = reg.Counter("livo_chaos_bursts_total")
+}
+
 // Apply passes one packet through the injector and returns the copies that
 // survive: nil when dropped, one Delivery normally, two when duplicated.
 func (c *Chaos) Apply(payload []byte) []Delivery {
@@ -90,6 +108,7 @@ func (c *Chaos) Apply(payload []byte) []Delivery {
 	} else if c.rng.Float64() < c.cfg.PEnterBurst {
 		c.bad = true
 		c.bursts++
+		c.mBursts.Inc()
 	}
 	loss := c.cfg.LossGood
 	if c.bad {
@@ -97,6 +116,7 @@ func (c *Chaos) Apply(payload []byte) []Delivery {
 	}
 	if loss > 0 && c.rng.Float64() < loss {
 		c.dropped++
+		c.mDropped.Inc()
 		return nil
 	}
 	d := Delivery{Payload: payload}
@@ -107,15 +127,18 @@ func (c *Chaos) Apply(payload []byte) []Delivery {
 		d.Payload = cp
 		d.Flipped = true
 		c.flipped++
+		c.mFlipped.Inc()
 	}
 	if c.cfg.ReorderProb > 0 && c.rng.Float64() < c.cfg.ReorderProb {
 		d.ExtraDelay = c.cfg.ReorderDelay
 		c.reordered++
+		c.mReordered.Inc()
 	}
 	out := []Delivery{d}
 	if c.cfg.DupProb > 0 && c.rng.Float64() < c.cfg.DupProb {
 		out = append(out, Delivery{Payload: d.Payload, ExtraDelay: d.ExtraDelay})
 		c.duplicated++
+		c.mDuplicated.Inc()
 	}
 	return out
 }

@@ -1,0 +1,335 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds named metrics and the span ring. Metric handles are
+// registered once (GetOrCreate semantics, guarded by a mutex) and then
+// updated lock-free; the name→metric map is copy-on-write so handle
+// lookups and the exposition path never block updates.
+type Registry struct {
+	enabled atomic.Bool
+	mu      sync.Mutex   // guards registration (map copy) only
+	metrics atomic.Value // map[string]any — *Counter, *Gauge, or *Histogram
+	// Spans is the frame-path span ring (span.go).
+	Spans *SpanRing
+}
+
+// NewRegistry creates an enabled registry whose span ring holds spanCap
+// entries (rounded up to a power of two; 0 picks a small default).
+func NewRegistry(spanCap int) *Registry {
+	r := &Registry{Spans: NewSpanRing(spanCap)}
+	r.metrics.Store(map[string]any{})
+	r.enabled.Store(true)
+	r.Spans.on = &r.enabled
+	return r
+}
+
+// SetEnabled turns all updates on or off. Disabled, every metric update
+// and span record is one atomic load plus a branch.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether updates are recorded.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+func (r *Registry) load() map[string]any { return r.metrics.Load().(map[string]any) }
+
+// register returns the existing metric under name or inserts the one built
+// by mk, copying the map so concurrent readers never see a partial write.
+func (r *Registry) register(name string, mk func() any) any {
+	if m, ok := r.load()[name]; ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.load()
+	if m, ok := old[name]; ok {
+		return m
+	}
+	m := mk()
+	next := make(map[string]any, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[name] = m
+	r.metrics.Store(next)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed. Registering the same name as a different metric kind panics
+// (programmer error, caught at startup).
+func (r *Registry) Counter(name string) *Counter {
+	m := r.register(name, func() any { return &Counter{on: &r.enabled} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.register(name, func() any { return &Gauge{on: &r.enabled} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given ascending bucket upper bounds (an implicit +Inf bucket is
+// appended). Buckets are fixed at registration; later calls ignore the
+// argument and return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	m := r.register(name, func() any { return newHistogram(&r.enabled, bounds) })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("telemetry: %q already registered as %T", name, m))
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Add increments the counter by n.
+// A nil *Counter is a valid no-op handle, so optionally instrumented
+// components can leave their handles nil instead of branching at each site.
+func (c *Counter) Add(n int64) {
+	if c != nil && c.on.Load() {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct {
+	on   *atomic.Bool
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g.on.Load() {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// SetInt stores an integer value.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counts.
+// Observations must be non-negative (latencies, sizes); quantile
+// estimation interpolates linearly within the bucket containing the
+// target rank.
+type Histogram struct {
+	on     *atomic.Bool
+	bounds []float64 // ascending upper bounds; counts has one extra +Inf slot
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(on *atomic.Bool, bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{on: on, bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// bucketIndex is the index of the first bound >= v (binary search; the
+// bucket lists are short enough that this is a few cache lines).
+func (h *Histogram) bucketIndex(v float64) int {
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !h.on.Load() {
+		return
+	}
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the q-th quantile (0..1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank. It returns NaN for an empty histogram; ranks landing in
+// the +Inf bucket return the largest finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			if i == len(h.bounds) {
+				// +Inf bucket: no finite upper bound to interpolate toward.
+				if len(h.bounds) == 0 {
+					return math.NaN()
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - cum) / n
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return math.NaN()
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram for reporting
+// (individual loads are atomic; the snapshot as a whole is not).
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// WriteMetrics writes every registered metric in Prometheus text
+// exposition format, sorted by name. Counters whose names end in _total
+// are typed counter; histograms expose cumulative _bucket/_sum/_count
+// series.
+func (r *Registry) WriteMetrics(w io.Writer) {
+	m := r.load()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		switch v := m[name].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v.Value())
+		case *Histogram:
+			s := v.Snapshot()
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum int64
+			for i, b := range s.Bounds {
+				cum += s.Counts[i]
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+			}
+			cum += s.Counts[len(s.Counts)-1]
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.Sum, name, s.Count)
+		}
+	}
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }
+
+// StageSet bundles per-stage latency histograms with span recording: one
+// Done call per stage observes the stage's histogram
+// (livo_stage_<name>_seconds) and appends a span to the registry's ring.
+type StageSet struct {
+	reg  *Registry
+	hist [numStages]*Histogram
+}
+
+// NewStageSet registers (or re-resolves) the per-stage histograms on reg.
+func NewStageSet(reg *Registry) *StageSet {
+	ss := &StageSet{reg: reg}
+	for st := Stage(0); st < numStages; st++ {
+		ss.hist[st] = reg.Histogram("livo_stage_"+st.String()+"_seconds", LatencyBuckets)
+	}
+	return ss
+}
+
+// Done records that stage st of frame seq started at start and just
+// finished: its latency lands in the stage histogram and the span ring.
+func (ss *StageSet) Done(seq uint32, st Stage, start time.Time) {
+	if !ss.reg.enabled.Load() {
+		return
+	}
+	d := time.Since(start)
+	ss.hist[st].Observe(d.Seconds())
+	ss.reg.Spans.Record(seq, st, start.UnixNano(), int64(d))
+}
+
+// Hist returns the latency histogram for one stage (reporting).
+func (ss *StageSet) Hist(st Stage) *Histogram { return ss.hist[st] }

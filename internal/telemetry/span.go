@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Span is one timed hop of one frame through the pipeline.
+type Span struct {
+	Seq     uint32 // frame sequence number
+	Stage   Stage
+	StartNs int64 // wall-clock start, unix nanoseconds
+	DurNs   int64 // duration in nanoseconds
+}
+
+// spanSlot is one ring entry. All fields are atomics so concurrent
+// record/read is race-free; ticket is the publication word: 0 while a
+// writer owns the slot, ticket index+1 once the fields are consistent.
+// A reader validates ticket before and after copying the fields; a slot
+// republished with the same ticket between the two reads would require a
+// full ring of concurrent writes mid-copy, which debug telemetry
+// tolerates.
+type spanSlot struct {
+	ticket atomic.Uint64
+	meta   atomic.Uint64 // seq<<32 | stage
+	start  atomic.Int64
+	dur    atomic.Int64
+}
+
+// SpanRing is a fixed-capacity lock-free ring of the most recent spans.
+// Writers claim a slot with one atomic increment and publish with atomic
+// stores; wraparound overwrites the oldest entries. Readers (the /debugz
+// dump) never block writers.
+type SpanRing struct {
+	slots []spanSlot
+	mask  uint64
+	next  atomic.Uint64
+	on    *atomic.Bool // shared with the owning registry; nil means always on
+}
+
+// NewSpanRing creates a ring with at least capacity entries (rounded up
+// to a power of two; minimum 64).
+func NewSpanRing(capacity int) *SpanRing {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &SpanRing{slots: make([]spanSlot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity.
+func (r *SpanRing) Cap() int { return len(r.slots) }
+
+// Recorded returns how many spans have ever been recorded (≥ Cap means
+// the ring has wrapped).
+func (r *SpanRing) Recorded() uint64 { return r.next.Load() }
+
+// Record appends one span, overwriting the oldest entry once full.
+func (r *SpanRing) Record(seq uint32, stage Stage, startNs, durNs int64) {
+	if r.on != nil && !r.on.Load() {
+		return
+	}
+	i := r.next.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.ticket.Store(0) // invalidate while rewriting
+	s.meta.Store(uint64(seq)<<32 | uint64(stage))
+	s.start.Store(startNs)
+	s.dur.Store(durNs)
+	s.ticket.Store(i + 1)
+}
+
+// Recent returns up to n of the most recent spans, oldest first. Slots
+// concurrently being rewritten are skipped.
+func (r *SpanRing) Recent(n int) []Span {
+	cur := r.next.Load()
+	if n <= 0 || cur == 0 {
+		return nil
+	}
+	if uint64(n) > cur {
+		n = int(cur)
+	}
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	out := make([]Span, 0, n)
+	for i := cur - uint64(n); i < cur; i++ {
+		s := &r.slots[i&r.mask]
+		if s.ticket.Load() != i+1 {
+			continue
+		}
+		meta, start, dur := s.meta.Load(), s.start.Load(), s.dur.Load()
+		if s.ticket.Load() != i+1 {
+			continue // rewritten mid-copy
+		}
+		out = append(out, Span{
+			Seq:     uint32(meta >> 32),
+			Stage:   Stage(meta & 0xff),
+			StartNs: start,
+			DurNs:   dur,
+		})
+	}
+	return out
+}
+
+// WriteJSONL dumps up to n recent spans as one JSON object per line,
+// oldest first.
+func (r *SpanRing) WriteJSONL(w io.Writer, n int) error {
+	for _, sp := range r.Recent(n) {
+		_, err := fmt.Fprintf(w, "{\"seq\":%d,\"stage\":%q,\"start_ns\":%d,\"dur_ns\":%d}\n",
+			sp.Seq, sp.Stage.String(), sp.StartNs, sp.DurNs)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package transport
 
-import "sort"
+import (
+	"sort"
+	"sync/atomic"
+)
 
 // AssembledFrame is a fully reassembled encoded frame leaving the jitter
 // buffer.
@@ -35,12 +38,45 @@ type JitterBuffer struct {
 	// fragments of the frame have arrived) before it is NACK-ed.
 	NackAfter float64
 
-	frames       map[uint32]*partialFrame
-	nextSeq      uint32
-	hasNext      bool
-	skipped      int
-	fecRecovered int
-	nacked       map[nackKey]bool
+	frames  map[uint32]*partialFrame
+	nextSeq uint32
+	hasNext bool
+	nacked  map[nackKey]bool
+
+	// Occupancy and recovery counters are atomics: the buffer itself is
+	// single-goroutine (the session Run loop), but session Stats() snapshots
+	// and the telemetry exporter read them from other goroutines.
+	skipped      atomic.Int64
+	fecRecovered atomic.Int64
+	nackedTotal  atomic.Int64
+	pending      atomic.Int64
+	delivered    atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of one jitter buffer's occupancy and
+// recovery counters (readable from any goroutine).
+type Stats struct {
+	// Pending is the current buffer occupancy in frames (complete+partial).
+	Pending int
+	// Delivered counts frames released to the decoder.
+	Delivered int64
+	// Skipped counts incomplete frames dropped past the skip deadline.
+	Skipped int64
+	// Nacked counts fragments NACK-ed for retransmission.
+	Nacked int64
+	// FECRecovered counts fragments repaired locally by XOR parity.
+	FECRecovered int64
+}
+
+// Stats returns the buffer's current counters.
+func (jb *JitterBuffer) Stats() Stats {
+	return Stats{
+		Pending:      int(jb.pending.Load()),
+		Delivered:    jb.delivered.Load(),
+		Skipped:      jb.skipped.Load(),
+		Nacked:       jb.nackedTotal.Load(),
+		FECRecovered: jb.fecRecovered.Load(),
+	}
 }
 
 type nackKey struct {
@@ -87,6 +123,7 @@ func (jb *JitterBuffer) Push(p Packet, arrival float64) {
 			firstArrival: arrival,
 		}
 		jb.frames[p.FrameSeq] = f
+		jb.pending.Store(int64(len(jb.frames)))
 	}
 	if p.FragCount != f.count || p.FragIndex >= f.count {
 		// A corrupted header disagreeing with the frame's established
@@ -124,12 +161,12 @@ func (jb *JitterBuffer) tryFEC(f *partialFrame) {
 		}
 		f.got[idx] = payload
 		f.recovered++
-		jb.fecRecovered++
+		jb.fecRecovered.Add(1)
 	}
 }
 
 // FECRecovered returns how many fragments were repaired by parity.
-func (jb *JitterBuffer) FECRecovered() int { return jb.fecRecovered }
+func (jb *JitterBuffer) FECRecovered() int { return int(jb.fecRecovered.Load()) }
 
 // seqBefore reports a < b with wraparound.
 func seqBefore(a, b uint32) bool { return int32(a-b) < 0 }
@@ -158,9 +195,10 @@ func (jb *JitterBuffer) Pop(now float64) []AssembledFrame {
 				LastArrival:  f.lastArrival,
 			})
 			jb.release(seq, f)
+			jb.delivered.Add(1)
 		case !complete && now > f.firstArrival+jb.Delay+jb.SkipAfter:
 			jb.release(seq, f)
-			jb.skipped++
+			jb.skipped.Add(1)
 		default:
 			return out
 		}
@@ -173,6 +211,7 @@ func (jb *JitterBuffer) Pop(now float64) []AssembledFrame {
 // the frames it describes (a session-lifetime leak otherwise).
 func (jb *JitterBuffer) release(seq uint32, f *partialFrame) {
 	delete(jb.frames, seq)
+	jb.pending.Store(int64(len(jb.frames)))
 	for i := uint16(0); i < f.count; i++ {
 		delete(jb.nacked, nackKey{seq, i})
 	}
@@ -226,6 +265,7 @@ func (jb *JitterBuffer) Nacks(now float64) []NackRequest {
 				continue
 			}
 			jb.nacked[k] = true
+			jb.nackedTotal.Add(1)
 			out = append(out, NackRequest{Stream: f.stream, FrameSeq: seq, FragIndex: i})
 		}
 	}
@@ -239,7 +279,7 @@ func (jb *JitterBuffer) Nacks(now float64) []NackRequest {
 }
 
 // Skipped returns how many frames were dropped as incomplete.
-func (jb *JitterBuffer) Skipped() int { return jb.skipped }
+func (jb *JitterBuffer) Skipped() int { return int(jb.skipped.Load()) }
 
 // Pending returns how many frames are buffered (complete or partial).
 func (jb *JitterBuffer) Pending() int { return len(jb.frames) }

@@ -9,6 +9,7 @@ import (
 
 	"livo/internal/codec/vcodec"
 	"livo/internal/core"
+	"livo/internal/telemetry"
 	"livo/internal/transport"
 )
 
@@ -40,6 +41,21 @@ type SendSession struct {
 	closed  chan struct{}
 	wg      sync.WaitGroup
 	err     atomic.Value
+
+	// Session-local counters back Stats() exactly (registry counters are
+	// process-wide and may aggregate several sessions).
+	frames    atomic.Int64
+	pkts      atomic.Int64
+	bytesSent atomic.Int64
+	paceDrops atomic.Int64
+	retx      atomic.Int64
+	nacksRecv atomic.Int64
+	plisRecv  atomic.Int64
+
+	// Telemetry handles, resolved once in NewSendSession (DESIGN.md §6).
+	stages                                   *telemetry.StageSet
+	mPkts, mBytes, mPaceDrops, mRetx, mPLIRx *telemetry.Counter
+	gRate                                    *telemetry.Gauge
 }
 
 type retxKey struct {
@@ -86,7 +102,19 @@ func NewSendSession(conn net.PacketConn, remote net.Addr, cfg SendSessionConfig)
 		start:   time.Now(),
 		closed:  make(chan struct{}),
 	}
+	tel := cfg.Sender.Telemetry
+	if tel == nil {
+		tel = telemetry.Default
+	}
+	s.stages = telemetry.NewStageSet(tel)
+	s.mPkts = tel.Counter("livo_send_packets_total")
+	s.mBytes = tel.Counter("livo_send_bytes_total")
+	s.mPaceDrops = tel.Counter("livo_pace_drops_total")
+	s.mRetx = tel.Counter("livo_retx_total")
+	s.mPLIRx = tel.Counter("livo_pli_received_total")
+	s.gRate = tel.Gauge("livo_send_rate_bps")
 	s.rateBps.Store(uint64(cfg.InitialRateBps))
+	s.gRate.Set(cfg.InitialRateBps)
 	s.paceQ = make(chan []byte, 4096)
 	s.wg.Add(2)
 	go s.feedbackLoop()
@@ -147,6 +175,7 @@ func (s *SendSession) SendViews(views []RGBDFrame) (*EncodedFrame, error) {
 		s.pliArmed.Store(false)
 	}
 	ts := uint64(s.now() * 1e6)
+	tPkt := time.Now()
 	colorPkts := transport.Packetize(transport.StreamColor, enc.Seq, enc.Color.Key, ts, enc.Color.Data)
 	depthPkts := transport.Packetize(transport.StreamDepth, enc.Seq, enc.Depth.Key, ts, enc.Depth.Data)
 	pkts := append(colorPkts, depthPkts...)
@@ -154,11 +183,17 @@ func (s *SendSession) SendViews(views []RGBDFrame) (*EncodedFrame, error) {
 		pkts = append(pkts, transport.BuildParity(colorPkts)...)
 		pkts = append(pkts, transport.BuildParity(depthPkts)...)
 	}
+	s.stages.Done(enc.Seq, telemetry.StagePacketize, tPkt)
+	tSend := time.Now()
 	for i := range pkts {
 		if err := s.sendPacket(&pkts[i]); err != nil {
 			return nil, err
 		}
 	}
+	// StageSend covers handing the frame to the pacer, not the paced wire
+	// time (that is rate-limited by design and would dwarf real stage costs).
+	s.stages.Done(enc.Seq, telemetry.StageSend, tSend)
+	s.frames.Add(1)
 	return enc, nil
 }
 
@@ -169,10 +204,16 @@ func (s *SendSession) sendPacket(p *transport.Packet) error {
 	wire := append([]byte{mediaMagic}, p.Marshal()...)
 	select {
 	case s.paceQ <- wire:
+		s.pkts.Add(1)
+		s.bytesSent.Add(int64(len(wire)))
+		s.mPkts.Inc()
+		s.mBytes.Add(int64(len(wire)))
 	default:
 		// Pacer backlogged a full second of packets: drop-oldest semantics
 		// are the receiver's job (jitter buffer); here we drop the new
 		// packet and let NACK/FEC recover if it mattered.
+		s.paceDrops.Add(1)
+		s.mPaceDrops.Inc()
 	}
 	s.mu.Lock()
 	k := retxKey{p.Stream, p.FrameSeq, p.FragIndex}
@@ -229,17 +270,23 @@ func (s *SendSession) handleFeedback(b []byte) {
 	case fbREMB:
 		if bps, err := unmarshalREMB(b); err == nil && bps > 0 {
 			s.rateBps.Store(uint64(bps))
+			s.gRate.Set(bps)
 		}
 	case fbNACK:
 		if stream, seq, frag, err := unmarshalNACK(b); err == nil {
+			s.nacksRecv.Add(1)
 			s.mu.Lock()
 			wire := s.history[retxKey{stream, seq, frag}]
 			s.mu.Unlock()
 			if wire != nil {
+				s.retx.Add(1)
+				s.mRetx.Inc()
 				_, _ = s.conn.WriteTo(wire, s.remote)
 			}
 		}
 	case fbPLI:
+		s.plisRecv.Add(1)
+		s.mPLIRx.Inc()
 		// Refresh-in-flight guard: during an outage the receiver re-sends
 		// PLIs until the IDR lands; only the first arms a key frame.
 		if s.pliArmed.CompareAndSwap(false, true) {
@@ -253,6 +300,52 @@ func (s *SendSession) handleFeedback(b []byte) {
 		// Reflect pings so the peer can measure RTT too.
 		b[0] = fbPong
 		_, _ = s.conn.WriteTo(b, s.remote)
+	}
+}
+
+// Err returns the first asynchronous error hit by the session's background
+// goroutines (pacer write failure, feedback read failure), or nil while
+// healthy. Once non-nil the session is dead: SendViews returns the same
+// error and no further packets leave the socket.
+func (s *SendSession) Err() error {
+	if e := s.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// SendStats is a point-in-time snapshot of one sending session.
+type SendStats struct {
+	// Frames counts frames fully processed and handed to the pacer.
+	Frames int64
+	// Packets and Bytes count wire packets/bytes enqueued for transmission.
+	Packets int64
+	Bytes   int64
+	// PaceDrops counts packets discarded because the pacer queue was full.
+	PaceDrops int64
+	// Retransmits counts NACK-triggered retransmissions served from history.
+	Retransmits int64
+	// NACKsReceived and PLIsReceived count feedback messages processed.
+	NACKsReceived int64
+	PLIsReceived  int64
+	// RateBps is the current REMB-driven send rate.
+	RateBps float64
+	// Err is the session's terminal async error, nil while healthy.
+	Err error
+}
+
+// Stats snapshots the session's counters (safe from any goroutine).
+func (s *SendSession) Stats() SendStats {
+	return SendStats{
+		Frames:        s.frames.Load(),
+		Packets:       s.pkts.Load(),
+		Bytes:         s.bytesSent.Load(),
+		PaceDrops:     s.paceDrops.Load(),
+		Retransmits:   s.retx.Load(),
+		NACKsReceived: s.nacksRecv.Load(),
+		PLIsReceived:  s.plisRecv.Load(),
+		RateBps:       s.Rate(),
+		Err:           s.Err(),
 	}
 }
 
@@ -303,6 +396,20 @@ type RecvSession struct {
 	received  atomic.Int64
 	lost      atomic.Int64
 	concealed atomic.Int64
+
+	// Cumulative counters for Stats(): received/lost above are windowed
+	// (Swap(0) each feedback interval) so they cannot serve totals. estRate
+	// caches gcc.Rate(), which is only safe on the Run goroutine.
+	rxTotal   atomic.Int64
+	lostTotal atomic.Int64
+	nacksSent atomic.Int64
+	plisSent  atomic.Int64
+	estRate   atomic.Uint64
+
+	// Telemetry handles, resolved once in NewRecvSession (DESIGN.md §6).
+	stages                               *telemetry.StageSet
+	mRx, mNACKSent, mPLISent, mConceal   *telemetry.Counter
+	gEstRate, gJitterColor, gJitterDepth *telemetry.Gauge
 }
 
 // RecvSessionConfig configures a RecvSession.
@@ -350,6 +457,20 @@ func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig)
 			jb.Delay = cfg.JitterDelay
 		}
 	}
+	tel := cfg.Receiver.Telemetry
+	if tel == nil {
+		tel = telemetry.Default
+	}
+	r.stages = telemetry.NewStageSet(tel)
+	r.mRx = tel.Counter("livo_recv_packets_total")
+	r.mNACKSent = tel.Counter("livo_nack_sent_total")
+	r.mPLISent = tel.Counter("livo_pli_sent_total")
+	r.mConceal = tel.Counter("livo_concealed_frames_total")
+	r.gEstRate = tel.Gauge("livo_recv_est_rate_bps")
+	r.gJitterColor = tel.Gauge("livo_jitter_pending_color")
+	r.gJitterDepth = tel.Gauge("livo_jitter_pending_depth")
+	r.estRate.Store(uint64(cfg.InitialRateBps))
+	r.gEstRate.Set(cfg.InitialRateBps)
 	return r, nil
 }
 
@@ -386,12 +507,16 @@ func (r *RecvSession) Run() {
 		if n < 1 || buf[0] != mediaMagic {
 			continue // feedback-typed or junk: not ours
 		}
+		t0 := time.Now()
 		pkt, err := transport.Unmarshal(buf[1:n])
 		if err != nil {
 			continue
 		}
+		r.stages.Done(pkt.FrameSeq, telemetry.StageDepacketize, t0)
 		r.gcc.OnArrival(float64(pkt.SendTimeUs)/1e6, now, n)
 		r.received.Add(1)
+		r.rxTotal.Add(1)
+		r.mRx.Inc()
 		if jb := r.jb[pkt.Stream]; jb != nil {
 			jb.Push(pkt, now)
 		}
@@ -406,6 +531,12 @@ func (r *RecvSession) now() float64 { return time.Since(r.start).Seconds() }
 func (r *RecvSession) drain(now float64) {
 	for stream, jb := range r.jb {
 		for _, af := range jb.Pop(now) {
+			// Record jitter-buffer residency (first fragment arrival →
+			// delivery) as the jitter stage; ~Delay in a healthy session.
+			if res := now - af.FirstArrival; res > 0 {
+				r.stages.Done(af.FrameSeq, telemetry.StageJitter,
+					time.Now().Add(-time.Duration(res*float64(time.Second))))
+			}
 			pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq}
 			var pf *PairedFrame
 			var err error
@@ -422,6 +553,8 @@ func (r *RecvSession) drain(now float64) {
 				// lands but suppresses per-frame storms (§A.1).
 				r.conceal(af.FrameSeq)
 				if r.pli.Request(now) {
+					r.plisSent.Add(1)
+					r.mPLISent.Inc()
 					_, _ = r.conn.WriteTo([]byte{fbPLI}, r.remote)
 				}
 				continue
@@ -446,7 +579,16 @@ func (r *RecvSession) drain(now float64) {
 		}
 		for _, nack := range jb.Nacks(now) {
 			r.lost.Add(1)
+			r.lostTotal.Add(1)
+			r.nacksSent.Add(1)
+			r.mNACKSent.Inc()
 			_, _ = r.conn.WriteTo(marshalNACK(nack.Stream, nack.FrameSeq, nack.FragIndex), r.remote)
+		}
+		switch stream {
+		case transport.StreamColor:
+			r.gJitterColor.SetInt(int64(jb.Stats().Pending))
+		case transport.StreamDepth:
+			r.gJitterDepth.SetInt(int64(jb.Stats().Pending))
 		}
 	}
 }
@@ -469,6 +611,7 @@ func (r *RecvSession) conceal(seq uint32) {
 	}
 	if cloud, err := r.receiver.Reconstruct(pf, fr); err == nil {
 		r.concealed.Add(1)
+		r.mConceal.Inc()
 		r.OnCloud(seq, cloud)
 	}
 }
@@ -487,8 +630,59 @@ func (r *RecvSession) sendFeedback() {
 	if rx+lost > 0 {
 		r.gcc.OnLossReport(float64(lost) / float64(rx+lost))
 	}
-	_, _ = r.conn.WriteTo(marshalREMB(r.gcc.Rate()), r.remote)
+	rate := r.gcc.Rate()
+	r.estRate.Store(uint64(rate))
+	r.gEstRate.Set(rate)
+	_, _ = r.conn.WriteTo(marshalREMB(rate), r.remote)
 	_, _ = r.conn.WriteTo(marshalPing(now, fbPing), r.remote)
+}
+
+// Err returns the first asynchronous error hit by Run (media read failure),
+// or nil while healthy. Once non-nil the session is dead: Run has returned
+// and no further frames will be delivered.
+func (r *RecvSession) Err() error {
+	if e := r.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// RecvStats is a point-in-time snapshot of one receiving session.
+type RecvStats struct {
+	// Received counts media packets accepted since session start.
+	Received int64
+	// Lost counts fragments declared missing (each was NACK-ed once).
+	Lost int64
+	// Decoded counts paired frames delivered; Concealed counts undecodable
+	// frames replaced by the last good frame during PLI recovery.
+	Decoded   int64
+	Concealed int64
+	// NACKsSent and PLIsSent count feedback messages emitted.
+	NACKsSent int64
+	PLIsSent  int64
+	// EstRateBps is the congestion estimator's current bandwidth estimate
+	// (as last advertised via REMB).
+	EstRateBps float64
+	// Color and Depth are the per-stream jitter-buffer snapshots.
+	Color, Depth transport.Stats
+	// Err is the session's terminal async error, nil while healthy.
+	Err error
+}
+
+// Stats snapshots the session's counters (safe from any goroutine).
+func (r *RecvSession) Stats() RecvStats {
+	return RecvStats{
+		Received:   r.rxTotal.Load(),
+		Lost:       r.lostTotal.Load(),
+		Decoded:    r.decoded.Load(),
+		Concealed:  r.concealed.Load(),
+		NACKsSent:  r.nacksSent.Load(),
+		PLIsSent:   r.plisSent.Load(),
+		EstRateBps: float64(r.estRate.Load()),
+		Color:      r.jb[transport.StreamColor].Stats(),
+		Depth:      r.jb[transport.StreamDepth].Stats(),
+		Err:        r.Err(),
+	}
 }
 
 // Decoded returns how many paired frames were reconstructed.
