@@ -37,6 +37,10 @@ func main() {
 		cbench   = flag.Bool("codecbench", false, "run the vcodec benchmark suite and write JSON results")
 		cbenchTo = flag.String("codecbench-out", "BENCH_codec.json", "output path for -codecbench results")
 		telemTo  = flag.String("telemetry-out", "BENCH_telemetry.json", "output path for the -codecbench telemetry-overhead measurement")
+		pbench   = flag.Bool("pipebench", false, "run the end-to-end frame-path benchmark and write JSON results")
+		pbenchTo = flag.String("pipebench-out", "BENCH_pipeline.json", "output path for -pipebench results")
+		pbase    = flag.String("pipebench-baseline", "", "compare -pipebench allocs/frame against this baseline JSON; exit nonzero on regression")
+		short    = flag.Bool("short", false, "reduced -pipebench workload for CI smoke runs")
 		debug    = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -48,6 +52,14 @@ func main() {
 		} else {
 			fmt.Printf("debug server on %s/debugz\n", url)
 		}
+	}
+
+	if *pbench {
+		if err := runPipeBench(*pbenchTo, *pbase, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *cbench {
@@ -111,6 +123,94 @@ func main() {
 		os.Exit(2)
 	}
 	run(e)
+}
+
+// runPipeBench replays the capture→render frame path (sender encode,
+// receiver decode/pair, reconstruction, splat render) and writes per-stage
+// latency and allocation measurements as JSON. With a baseline path it
+// gates procs=1 allocs/frame — the count that is deterministic regardless
+// of parallelism — so CI catches allocation regressions on the hot path.
+func runPipeBench(outPath, baselinePath string, short bool) error {
+	q := experiments.QuickQuality()
+	q.Frames = 48
+	warmup := 8
+	if short {
+		q.Frames = 16
+		warmup = 4
+	}
+	procsList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		procsList = append(procsList, n)
+	}
+	fmt.Printf("=== pipebench (video=dance5 frames=%d procs=%v) ===\n", q.Frames, procsList)
+	start := time.Now()
+	results, err := experiments.RunPipeBench("dance5", q, procsList, warmup)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Printf("%-16s procs=%-2d %9.3f ms mean %9.3f ms p95 %10.0f allocs/frame %12.0f B/frame\n",
+			r.Stage, r.Procs, r.MsMean, r.MsP95, r.AllocsFrame, r.BytesFrame)
+	}
+	fmt.Printf("(pipebench in %s)\n", time.Since(start).Round(time.Millisecond))
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if baselinePath != "" {
+		return checkPipeBaseline(baselinePath, results)
+	}
+	return nil
+}
+
+// checkPipeBaseline fails when any stage's procs=1 allocs/frame exceeds
+// the committed baseline by more than 1.5x + 16. The slack absorbs noise
+// from the runtime's own background allocations that land inside a
+// measurement window; real regressions (a per-frame buffer that stopped
+// being pooled) blow well past it.
+func checkPipeBaseline(path string, results []experiments.PipeStageResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []experiments.PipeStageResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseAllocs := map[string]float64{}
+	for _, b := range base {
+		if b.Procs == 1 {
+			baseAllocs[b.Stage] = b.AllocsFrame
+		}
+	}
+	var failed bool
+	for _, r := range results {
+		if r.Procs != 1 {
+			continue
+		}
+		b, ok := baseAllocs[r.Stage]
+		if !ok {
+			continue
+		}
+		limit := b*1.5 + 16
+		if r.AllocsFrame > limit {
+			failed = true
+			fmt.Fprintf(os.Stderr, "ALLOC REGRESSION %-16s %.0f allocs/frame > limit %.0f (baseline %.0f)\n",
+				r.Stage, r.AllocsFrame, limit, b)
+		} else {
+			fmt.Printf("alloc check %-16s %.0f allocs/frame <= limit %.0f (baseline %.0f)\n",
+				r.Stage, r.AllocsFrame, limit, b)
+		}
+	}
+	if failed {
+		return fmt.Errorf("allocs/frame regressed against %s", path)
+	}
+	return nil
 }
 
 // runCodecBench executes the vcodec benchmark suite (the same benchmarks

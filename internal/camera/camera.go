@@ -10,6 +10,7 @@ import (
 
 	"livo/internal/frame"
 	"livo/internal/geom"
+	"livo/internal/pipeline"
 )
 
 // Intrinsics is a pinhole camera model. Pixel (u, v) at depth z (meters,
@@ -139,9 +140,55 @@ func (a Array) N() int { return len(a.Cameras) }
 // returned slices are parallel: positions[i] has color colors[i] (packed
 // RGB). The caller may pass nil views for cameras with no frame.
 func (a Array) PointsFromViews(views []frame.RGBDFrame) (positions []geom.Vec3, colors [][3]uint8, err error) {
+	var up Unprojector
+	return up.PointsInto(a, views)
+}
+
+// unprojRows is the fixed row-shard height for parallel unprojection.
+// Fixed (not derived from GOMAXPROCS) so the shard decomposition — and
+// with it the exact output slot of every pixel — is identical at any
+// worker count.
+const unprojRows = 64
+
+// unprojSpan is one shard of unprojection work: rows [y0, y1) of one view.
+type unprojSpan struct {
+	view   int
+	y0, y1 int
+	count  int // valid-depth pixels in the span (phase 1)
+	off    int // output offset of the span's first point (prefix sum)
+}
+
+// Unprojector reconstructs world-space points from per-camera RGB-D views
+// into reusable arenas, sharded by tile rows across the worker pool. The
+// two-phase scheme — parallel count, serial prefix-sum, parallel fill —
+// gives every span a disjoint output range whose position depends only on
+// raster order, so the point order is byte-identical to the sequential
+// loop at any GOMAXPROCS.
+//
+// The zero value is ready to use. Returned slices alias arenas owned by
+// the Unprojector and are valid until the next PointsInto call.
+type Unprojector struct {
+	cams    []Camera
+	views   []frame.RGBDFrame
+	spans   []unprojSpan
+	pos     []geom.Vec3
+	cols    [][3]uint8
+	countFn func(int)
+	fillFn  func(int)
+}
+
+// PointsInto reconstructs world-space points (with packed-RGB colors) from
+// one RGB-D frame per camera — the receiver-side reconstruction step
+// (§A.1). Pixels with zero depth (no measurement, or culled) are skipped;
+// nil views are allowed. The returned parallel slices are valid until the
+// next call.
+func (up *Unprojector) PointsInto(a Array, views []frame.RGBDFrame) ([]geom.Vec3, [][3]uint8, error) {
 	if len(views) != a.N() {
 		return nil, nil, fmt.Errorf("camera: got %d views for %d cameras", len(views), a.N())
 	}
+	up.cams = a.Cameras
+	up.views = views
+	up.spans = up.spans[:0]
 	for i, view := range views {
 		if view.Depth == nil {
 			continue
@@ -149,25 +196,71 @@ func (a Array) PointsFromViews(views []frame.RGBDFrame) (positions []geom.Vec3, 
 		if err := view.Validate(); err != nil {
 			return nil, nil, fmt.Errorf("camera %d: %w", i, err)
 		}
-		cam := a.Cameras[i]
-		in := cam.Intrinsics
+		in := a.Cameras[i].Intrinsics
 		if view.Depth.W != in.W || view.Depth.H != in.H {
 			return nil, nil, fmt.Errorf("camera %d: view %dx%d does not match intrinsics %dx%d",
 				i, view.Depth.W, view.Depth.H, in.W, in.H)
 		}
-		m := cam.LocalToWorld()
-		for v := 0; v < in.H; v++ {
-			for u := 0; u < in.W; u++ {
-				mm := view.Depth.At(u, v)
-				if mm == 0 {
-					continue
-				}
-				local := in.Unproject(u, v, float64(mm)/1000)
-				positions = append(positions, m.TransformPoint(local))
-				r, g, b := view.Color.At(u, v)
-				colors = append(colors, [3]uint8{r, g, b})
+		for y := 0; y < in.H; y += unprojRows {
+			y1 := y + unprojRows
+			if y1 > in.H {
+				y1 = in.H
 			}
+			up.spans = append(up.spans, unprojSpan{view: i, y0: y, y1: y1})
 		}
 	}
-	return positions, colors, nil
+	if up.countFn == nil {
+		up.countFn = up.countSpan
+		up.fillFn = up.fillSpan
+	}
+	pipeline.ParFor(len(up.spans), up.countFn)
+	total := 0
+	for i := range up.spans {
+		up.spans[i].off = total
+		total += up.spans[i].count
+	}
+	if cap(up.pos) < total {
+		up.pos = make([]geom.Vec3, total)
+		up.cols = make([][3]uint8, total)
+	}
+	up.pos = up.pos[:total]
+	up.cols = up.cols[:total]
+	pipeline.ParFor(len(up.spans), up.fillFn)
+	return up.pos, up.cols, nil
+}
+
+// countSpan counts valid-depth pixels in span i.
+func (up *Unprojector) countSpan(i int) {
+	s := &up.spans[i]
+	d := up.views[s.view].Depth
+	n := 0
+	for _, mm := range d.Pix[s.y0*d.W : s.y1*d.W] {
+		if mm != 0 {
+			n++
+		}
+	}
+	s.count = n
+}
+
+// fillSpan unprojects span i's pixels into its reserved output range.
+func (up *Unprojector) fillSpan(i int) {
+	s := &up.spans[i]
+	view := up.views[s.view]
+	cam := up.cams[s.view]
+	in := cam.Intrinsics
+	m := cam.LocalToWorld()
+	k := s.off
+	for v := s.y0; v < s.y1; v++ {
+		for u := 0; u < in.W; u++ {
+			mm := view.Depth.At(u, v)
+			if mm == 0 {
+				continue
+			}
+			local := in.Unproject(u, v, float64(mm)/1000)
+			up.pos[k] = m.TransformPoint(local)
+			r, g, b := view.Color.At(u, v)
+			up.cols[k] = [3]uint8{r, g, b}
+			k++
+		}
+	}
 }

@@ -93,9 +93,11 @@ type Encoder struct {
 	cfg Config
 	enc *vcodec.Encoder
 	// vf and tmpColor are per-encoder staging scratch, reused every frame
-	// so the per-tick encode path does not allocate video frames.
-	vf       *vcodec.Frame
-	tmpColor *frame.ColorImage
+	// so the per-tick encode path does not allocate video frames;
+	// reconDepth caches the LastReconDepth output image.
+	vf         *vcodec.Frame
+	tmpColor   *frame.ColorImage
+	reconDepth *frame.DepthImage
 }
 
 // NewEncoder creates a depth encoder.
@@ -154,12 +156,13 @@ func (e *Encoder) toVideoFrame(im *frame.DepthImage) (*vcodec.Frame, error) {
 	}
 }
 
-// fromVideoFrame maps a decoded video frame back to a depth image.
-func (cfg Config) fromVideoFrame(f *vcodec.Frame) *frame.DepthImage {
-	var im *frame.DepthImage
+// fromVideoFrameInto maps a decoded video frame back into an existing
+// depth image of the same geometry. tmp points at reusable RGBPacked
+// staging scratch owned by the caller; it is allocated on first use and
+// untouched by the other schemes.
+func (cfg Config) fromVideoFrameInto(f *vcodec.Frame, im *frame.DepthImage, tmp **frame.ColorImage) {
 	switch cfg.Scheme {
 	case Scaled16:
-		im = frame.NewDepthImage(f.W, f.H)
 		maxMM := uint32(cfg.MaxMM)
 		for i, v := range f.Planes[0] {
 			if v < 0 {
@@ -171,17 +174,22 @@ func (cfg Config) fromVideoFrame(f *vcodec.Frame) *frame.DepthImage {
 			im.Pix[i] = uint16((uint32(v)*maxMM + 32767) / 65535)
 		}
 	case Unscaled16:
-		im = f.ToDepth()
+		f.ToDepthInto(im)
 	case RGBPacked:
-		c := f.ToColor()
-		im = frame.NewDepthImage(f.W, f.H)
+		if *tmp == nil {
+			*tmp = frame.NewColorImage(f.W, f.H)
+		}
+		c := *tmp
+		f.ToColorInto(c)
 		for i := 0; i < f.W*f.H; i++ {
 			hi := (uint16(c.Pix[3*i]) + uint16(c.Pix[3*i+2])) / 2
 			lo := uint16(c.Pix[3*i+1])
 			im.Pix[i] = hi<<8 | lo
 		}
 	default:
-		im = frame.NewDepthImage(f.W, f.H)
+		for i := range im.Pix {
+			im.Pix[i] = 0
+		}
 	}
 	// Apply the validity threshold.
 	for i, d := range im.Pix {
@@ -189,7 +197,6 @@ func (cfg Config) fromVideoFrame(f *vcodec.Frame) *frame.DepthImage {
 			im.Pix[i] = 0
 		}
 	}
-	return im
 }
 
 // Encode rate-controls the frame to targetBytes.
@@ -215,18 +222,28 @@ func (e *Encoder) ForceKeyFrame() { e.enc.ForceKeyFrame() }
 
 // LastReconDepth returns the encoder-side reconstruction of the last frame
 // as a depth image — the splitter's sender-side quality probe (§3.3).
+//
+// The returned image is owned by the encoder and overwritten by the next
+// LastReconDepth call (the probe reads it once per tick); Clone it to
+// retain it.
 func (e *Encoder) LastReconDepth() *frame.DepthImage {
 	r := e.enc.LastRecon()
 	if r == nil {
 		return nil
 	}
-	return e.cfg.fromVideoFrame(r)
+	if e.reconDepth == nil {
+		e.reconDepth = frame.NewDepthImage(r.W, r.H)
+	}
+	e.cfg.fromVideoFrameInto(r, e.reconDepth, &e.tmpColor)
+	return e.reconDepth
 }
 
 // Decoder decodes a depth stream.
 type Decoder struct {
 	cfg Config
 	dec *vcodec.Decoder
+	// tmpColor is reusable RGBPacked unpack staging.
+	tmpColor *frame.ColorImage
 }
 
 // NewDecoder creates a decoder matching the encoder's configuration.
@@ -239,11 +256,15 @@ func NewDecoder(cfg Config) (*Decoder, error) {
 	return &Decoder{cfg: cfg, dec: dec}, nil
 }
 
-// Decode reconstructs a depth image from a packet.
+// Decode reconstructs a depth image from a packet. The returned image is
+// freshly allocated — unlike the underlying video frame it escapes into
+// the receiver's pairing maps, so its lifetime is the caller's.
 func (d *Decoder) Decode(pkt *vcodec.Packet) (*frame.DepthImage, error) {
 	f, err := d.dec.Decode(pkt)
 	if err != nil {
 		return nil, err
 	}
-	return d.cfg.fromVideoFrame(f), nil
+	im := frame.NewDepthImage(f.W, f.H)
+	d.cfg.fromVideoFrameInto(f, im, &d.tmpColor)
+	return im, nil
 }

@@ -5,7 +5,6 @@ import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
-	"io"
 )
 
 // byteWriter accumulates varint-coded symbols for one logical stream
@@ -92,32 +91,4 @@ func (d *deflater) compress(hdr, payload []byte, level int) ([]byte, error) {
 		return nil, err
 	}
 	return append([]byte(nil), d.out.Bytes()...), nil
-}
-
-// inflater is per-decoder reusable decompression state. The returned
-// payload aliases an internal buffer valid until the next decompress call.
-type inflater struct {
-	br  bytes.Reader
-	fr  io.ReadCloser
-	out bytes.Buffer
-}
-
-// decompress inflates b, failing once the output exceeds max bytes — the
-// decompression-bomb guard: a frame payload has a configuration-derived
-// size ceiling, so anything larger is corrupt by construction.
-func (n *inflater) decompress(b []byte, max int) ([]byte, error) {
-	n.br.Reset(b)
-	if n.fr == nil {
-		n.fr = flate.NewReader(&n.br)
-	} else if err := n.fr.(flate.Resetter).Reset(&n.br, nil); err != nil {
-		return nil, err
-	}
-	n.out.Reset()
-	if _, err := n.out.ReadFrom(io.LimitReader(n.fr, int64(max)+1)); err != nil {
-		return nil, fmt.Errorf("vcodec: inflate: %w", err)
-	}
-	if n.out.Len() > max {
-		return nil, fmt.Errorf("vcodec: payload exceeds %d-byte bound", max)
-	}
-	return n.out.Bytes(), nil
 }

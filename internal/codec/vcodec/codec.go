@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"livo/internal/pipeline"
 )
 
 // Decode failure classes. Receivers branch on these to drive loss recovery
@@ -129,25 +131,72 @@ func newCodedPicture(c Config) *codedPicture {
 	return cp
 }
 
-// fromCoded expands coded planes into a newly allocated full-resolution
-// frame.
-func (c Config) fromCoded(cp *codedPicture) *Frame {
-	f := NewFrame(c.Width, c.Height, len(cp.planes))
-	c.fromCodedInto(cp, f)
-	return f
+// expandSpan is one row range of coded→full-resolution expansion work:
+// output rows [y0, y1) of one plane. Spans are fixed-height (expandRows)
+// regardless of worker count, so the work decomposition — and therefore
+// every output byte — is identical at any GOMAXPROCS.
+type expandSpan struct {
+	plane  int
+	y0, y1 int
 }
 
-// fromCodedInto expands coded planes into an existing full-resolution
-// frame (no allocation).
-func (c Config) fromCodedInto(cp *codedPicture, f *Frame) {
-	for p := range cp.planes {
-		pw, ph := c.planeDims(p)
-		if pw == c.Width && ph == c.Height {
-			copy(f.Planes[p], cp.planes[p])
-			continue
+// expandRows is the span height in output rows. A 4K plane splits into
+// ~17 spans — enough to spread the ~40 MB of copies across cores without
+// measurable per-span overhead.
+const expandRows = 128
+
+// appendExpandSpans slices the full-resolution output rows of every plane
+// into spans.
+func (c Config) appendExpandSpans(jobs []expandSpan) []expandSpan {
+	for p := 0; p < c.NumPlanes; p++ {
+		for y := 0; y < c.Height; y += expandRows {
+			y1 := y + expandRows
+			if y1 > c.Height {
+				y1 = c.Height
+			}
+			jobs = append(jobs, expandSpan{plane: p, y0: y, y1: y1})
 		}
-		upsample2x(cp.planes[p], pw, ph, f.Planes[p], c.Width, c.Height)
 	}
+	return jobs
+}
+
+// expander runs the coded→full-resolution expansion with parallel row
+// spans. It lives on the codec instance so the span table and the ParFor
+// closure are built once and reused — the per-frame expand is
+// allocation-free. Spans write disjoint output rows and only read cp, so
+// the result is byte-identical to a sequential expansion at any worker
+// count.
+type expander struct {
+	cfg  Config
+	jobs []expandSpan
+	cp   *codedPicture
+	f    *Frame
+	fn   func(int)
+}
+
+// expand expands cp into f.
+func (e *expander) expand(cfg Config, cp *codedPicture, f *Frame) {
+	if e.fn == nil {
+		e.cfg = cfg
+		e.jobs = cfg.appendExpandSpans(e.jobs[:0])
+		e.fn = e.run
+	}
+	e.cp, e.f = cp, f
+	pipeline.ParFor(len(e.jobs), e.fn)
+	e.cp, e.f = nil, nil
+}
+
+// run processes span i of the current expand call.
+func (e *expander) run(i int) {
+	s := e.jobs[i]
+	c := e.cfg
+	pw, ph := c.planeDims(s.plane)
+	if pw == c.Width && ph == c.Height {
+		copy(e.f.Planes[s.plane][s.y0*c.Width:s.y1*c.Width],
+			e.cp.planes[s.plane][s.y0*pw:s.y1*pw])
+		return
+	}
+	upsample2xRows(e.cp.planes[s.plane], pw, ph, e.f.Planes[s.plane], c.Width, s.y0, s.y1)
 }
 
 // downsample2x box-filters a plane into dst at (dw, dh) = ceil(w/2) x
@@ -172,7 +221,12 @@ func downsample2x(src []int32, w, h int, dst []int32, dw, dh int) {
 
 // upsample2x nearest-neighbour expands a plane back to (w, h).
 func upsample2x(src []int32, sw, sh int, dst []int32, w, h int) {
-	for y := 0; y < h; y++ {
+	upsample2xRows(src, sw, sh, dst, w, 0, h)
+}
+
+// upsample2xRows nearest-neighbour expands output rows [y0, y1) only.
+func upsample2xRows(src []int32, sw, sh int, dst []int32, w, y0, y1 int) {
+	for y := y0; y < y1; y++ {
 		sy := y / 2
 		if sy >= sh {
 			sy = sh - 1
@@ -243,6 +297,7 @@ type Encoder struct {
 	srcPlanes  [][]int32
 	planes     []planeCode
 	jobs       []encStripe
+	exp        expander
 }
 
 // NewEncoder creates an encoder; the config is validated and defaulted.
@@ -281,7 +336,7 @@ func (e *Encoder) LastRecon() *Frame {
 	if e.reconFrame == nil {
 		e.reconFrame = NewFrame(e.cfg.Width, e.cfg.Height, e.cfg.NumPlanes)
 	}
-	e.cfg.fromCodedInto(e.prev, e.reconFrame)
+	e.exp.expand(e.cfg, e.prev, e.reconFrame)
 	return e.reconFrame
 }
 
@@ -561,18 +616,29 @@ func fillConst(b *[blockSize * blockSize]int32, c int32) {
 // Decoding runs in two phases: a serial symbol parse (the varint streams
 // have no random access) into reused per-block tables, then
 // stripe-parallel reconstruction (see stripe.go). Reference pictures
-// ping-pong between two arena pictures and the inflate state is reused,
-// so the only per-frame allocation is the returned Frame.
+// ping-pong between two arena pictures, the inflate state is reused, and
+// the output frame is a per-decoder arena — the steady-state decode path
+// does not allocate.
+//
+// The returned Frame is owned by the decoder and overwritten by the next
+// Decode call (mirroring Encoder.LastRecon); callers that retain a frame
+// across decodes must Clone it. The receive pipeline converts it to an
+// RGB/depth image immediately, so it never holds the frame.
 type Decoder struct {
 	cfg    Config
 	prev   *codedPicture
 	refSeq uint32 // sequence number of prev (valid when prev != nil)
 
-	pics   [2]*codedPicture
-	inf    inflater
-	scr    scratch
-	planes []planeDecode
-	jobs   []decStripe
+	pics    [2]*codedPicture
+	out     *Frame
+	inf     inflater
+	scr     scratch
+	planes  []planeDecode
+	jobs    []decStripe
+	jobFn   func(int) // cached ParFor body over d.jobs
+	payload byteReader
+	streams [3]byteReader
+	exp     expander
 }
 
 // NewDecoder creates a decoder with the same configuration as the encoder.
@@ -658,31 +724,22 @@ func (d *Decoder) decode(pkt *Packet) (*Frame, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
 	}
-	pr := &byteReader{buf: payload}
-	readStream := func() (*byteReader, error) {
+	// The three symbol streams live in decoder-owned readers so the
+	// steady-state path does not allocate them per frame.
+	pr := &d.payload
+	*pr = byteReader{buf: payload}
+	for i := range d.streams {
 		n, err := pr.readUvarint()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
 		}
 		if n > uint64(len(pr.buf)) || pr.pos+int(n) > len(pr.buf) {
-			return nil, fmt.Errorf("vcodec: stream overruns payload")
+			return nil, fmt.Errorf("vcodec: stream overruns payload: %w", ErrCorrupt)
 		}
-		s := &byteReader{buf: pr.buf[pr.pos : pr.pos+int(n)]}
+		d.streams[i] = byteReader{buf: pr.buf[pr.pos : pr.pos+int(n)]}
 		pr.pos += int(n)
-		return s, nil
 	}
-	modes, err := readStream()
-	if err != nil {
-		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
-	}
-	mvs, err := readStream()
-	if err != nil {
-		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
-	}
-	coeffs, err := readStream()
-	if err != nil {
-		return nil, fmt.Errorf("%v: %w", err, ErrCorrupt)
-	}
+	modes, mvs, coeffs := &d.streams[0], &d.streams[1], &d.streams[2]
 
 	cfg := d.cfg
 	recon := d.pics[0]
@@ -736,9 +793,16 @@ func (d *Decoder) decode(pkt *Packet) (*Frame, error) {
 	for p := range d.planes {
 		d.jobs = appendDecStripes(d.jobs, &d.planes[p])
 	}
-	runDecStripes(d.jobs)
+	if d.jobFn == nil {
+		d.jobFn = func(i int) { d.jobs[i].decode() }
+	}
+	pipeline.ParFor(len(d.jobs), d.jobFn)
 
 	d.prev = recon
 	d.refSeq = seq
-	return cfg.fromCoded(recon), nil
+	if d.out == nil {
+		d.out = NewFrame(cfg.Width, cfg.Height, cfg.NumPlanes)
+	}
+	d.exp.expand(cfg, recon, d.out)
+	return d.out, nil
 }

@@ -612,7 +612,9 @@ func TestBitstreamDeterministicAcrossGOMAXPROCS(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			out = append(out, f)
+			// Decode returns a decoder-owned frame overwritten by the next
+			// call; Clone to retain the whole sequence.
+			out = append(out, f.Clone())
 		}
 		return out
 	}
@@ -757,5 +759,134 @@ func TestChroma420SavesBits(t *testing.T) {
 	}
 	if rmse := PlaneRMSE(src, got); rmse > 12 {
 		t.Errorf("4:2:0 RMSE = %v", rmse)
+	}
+}
+
+// hashFrame folds every sample of every plane into an FNV-1a hash, so two
+// decodes can be compared without retaining either.
+func hashFrame(f *Frame) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(f.W))
+	mix(uint64(f.H))
+	for _, pl := range f.Planes {
+		for _, v := range pl {
+			mix(uint64(uint32(v)))
+		}
+	}
+	return h
+}
+
+func TestDecodeBitExactAcrossGOMAXPROCS(t *testing.T) {
+	// The parallel decode path (stripe reconstruction + row-span expansion)
+	// must produce byte-identical frames at any worker count. 4:2:0 and odd
+	// dimensions exercise the upsampling spans; GOP 4 mixes key and delta
+	// frames.
+	cfg := ColorConfig(120, 93)
+	cfg.GOP = 4
+	cfg.SearchRadius = 1
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts []*Packet
+	for i := 0; i < 10; i++ {
+		p, err := enc.EncodeQP(FromColor(synthColor(120, 93, i)), 18)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	hashes := func() []uint64 {
+		dec, err := NewDecoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []uint64
+		for _, p := range pkts {
+			f, err := dec.Decode(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, hashFrame(f))
+		}
+		return out
+	}
+	old := runtime.GOMAXPROCS(1)
+	h1 := hashes()
+	runtime.GOMAXPROCS(4)
+	h4 := hashes()
+	runtime.GOMAXPROCS(old)
+	for i := range h1 {
+		if h1[i] != h4[i] {
+			t.Fatalf("frame %d decodes differently at GOMAXPROCS 1 vs 4", i)
+		}
+	}
+}
+
+func TestDecodeReusesOutputFrame(t *testing.T) {
+	cfg := ColorConfig(64, 48)
+	enc, _ := NewEncoder(cfg)
+	dec, _ := NewDecoder(cfg)
+	p0, err := enc.EncodeQP(FromColor(synthColor(64, 48, 0)), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := enc.EncodeQP(FromColor(synthColor(64, 48, 1)), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0, err := dec.Decode(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := dec.Decode(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0 != f1 {
+		t.Error("Decode allocated a new output frame instead of reusing the arena")
+	}
+}
+
+func TestDecodeSteadyStateAllocs(t *testing.T) {
+	// In steady state decode draws everything — reference pictures, parsed
+	// symbol tables, inflate state, and the output frame — from per-decoder
+	// arenas. The small budget covers the transient stream readers.
+	// GOMAXPROCS is pinned to 1 because ParFor's worker spawns allocate;
+	// they are not part of the per-frame arena story.
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	cfg := ColorConfig(128, 96)
+	cfg.GOP = 2
+	enc, _ := NewEncoder(cfg)
+	dec, _ := NewDecoder(cfg)
+	var pkts []*Packet
+	for i := 0; i < 4; i++ {
+		p, err := enc.EncodeQP(FromColor(synthColor(128, 96, i)), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts = append(pkts, p)
+	}
+	for _, p := range pkts { // warm the arenas through a full GOP cycle
+		if _, err := dec.Decode(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(30, func() {
+		// Each run replays from the key frame so every delta extends the
+		// reference the decoder actually holds.
+		if _, err := dec.Decode(pkts[i%4]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 12 {
+		t.Errorf("steady-state decode allocates %v objects per frame, want <= 12", allocs)
 	}
 }

@@ -1,0 +1,408 @@
+package vcodec
+
+import "fmt"
+
+// Allocation-free DEFLATE (RFC 1951) decoder. The encoder compresses
+// packet payloads with compress/flate, whose *reader* rebuilds its Huffman
+// tables with fresh slices on every dynamic block — ~80 heap objects per
+// 4K frame, the last allocation source on the steady-state decode path.
+// This decoder keeps every table, the bit reader, and the output buffer
+// inside the inflater value, so repeated decompress calls allocate only
+// when the output buffer must grow. The input is standard deflate; only
+// the decoding machinery is ours.
+//
+// Decoding is table-driven: a 10-bit primary lookup resolves all codes of
+// length ≤ 10 in one step, and longer codes (rare: deflate's max is 15)
+// fall back to a canonical bit-by-bit walk over the per-length counts.
+
+const (
+	inflMaxBits  = 15 // longest Huffman code deflate permits
+	inflPrimBits = 10 // primary lookup width
+	maxLitSyms   = 288
+	maxDistSyms  = 30
+)
+
+// huffTab is a reusable Huffman decoding table. prim maps the next
+// inflPrimBits of input (LSB-first, as deflate packs code bits) to
+// sym<<4|len for codes of length ≤ inflPrimBits; zero entries mean the
+// code is longer or invalid, and decodeSlow resolves it canonically.
+type huffTab struct {
+	counts  [inflMaxBits + 1]uint16 // codes per length
+	symbols [maxLitSyms]uint16      // symbols in canonical code order
+	prim    [1 << inflPrimBits]uint16
+}
+
+// build constructs the decoding table from canonical code lengths.
+// Over-subscribed length sets are rejected; incomplete sets are permitted
+// (deflate allows a single-code distance table) and unused codes surface
+// as decode errors.
+func (t *huffTab) build(lens []uint8) error {
+	for i := range t.counts {
+		t.counts[i] = 0
+	}
+	for _, l := range lens {
+		t.counts[l]++
+	}
+	if int(t.counts[0]) == len(lens) {
+		// No codes at all: legal only if the table is never consulted.
+		for i := range t.prim {
+			t.prim[i] = 0
+		}
+		return nil
+	}
+	left := 1
+	for l := 1; l <= inflMaxBits; l++ {
+		left <<= 1
+		left -= int(t.counts[l])
+		if left < 0 {
+			return fmt.Errorf("vcodec: over-subscribed huffman code")
+		}
+	}
+	var offs [inflMaxBits + 1]uint16
+	for l := 1; l < inflMaxBits; l++ {
+		offs[l+1] = offs[l] + t.counts[l]
+	}
+	for sym, l := range lens {
+		if l != 0 {
+			t.symbols[offs[l]] = uint16(sym)
+			offs[l]++
+		}
+	}
+	for i := range t.prim {
+		t.prim[i] = 0
+	}
+	// Walk symbols in canonical order, tracking each code's value, and
+	// replicate short codes across every primary index whose low bits
+	// spell the code (bit-reversed, since deflate emits codes MSB-first
+	// into an LSB-first bit stream).
+	code := 0
+	idx := 0
+	for l := 1; l <= inflPrimBits; l++ {
+		for k := uint16(0); k < t.counts[l]; k++ {
+			sym := t.symbols[idx]
+			rc := 0
+			for b := 0; b < l; b++ {
+				rc |= (code >> b & 1) << (l - 1 - b)
+			}
+			entry := sym<<4 | uint16(l)
+			for j := rc; j < len(t.prim); j += 1 << l {
+				t.prim[j] = entry
+			}
+			idx++
+			code++
+		}
+		code <<= 1
+	}
+	return nil
+}
+
+// inflBitReader reads LSB-first bits from a byte slice through a 64-bit
+// accumulator. It lives inside the inflater so it never escapes.
+type inflBitReader struct {
+	in   []byte
+	pos  int
+	bits uint64
+	n    uint
+}
+
+func (r *inflBitReader) fill() {
+	for r.n <= 56 && r.pos < len(r.in) {
+		r.bits |= uint64(r.in[r.pos]) << r.n
+		r.pos++
+		r.n += 8
+	}
+}
+
+// take consumes k ≤ 32 bits, returning an error on truncated input.
+func (r *inflBitReader) take(k uint) (uint32, error) {
+	if r.n < k {
+		r.fill()
+		if r.n < k {
+			return 0, fmt.Errorf("vcodec: truncated deflate stream")
+		}
+	}
+	v := uint32(r.bits) & (1<<k - 1)
+	r.bits >>= k
+	r.n -= k
+	return v, nil
+}
+
+// decode resolves one Huffman symbol: primary table first, canonical walk
+// for codes longer than inflPrimBits.
+func (r *inflBitReader) decode(t *huffTab) (int, error) {
+	if r.n < inflPrimBits {
+		r.fill()
+	}
+	if e := t.prim[uint32(r.bits)&(1<<inflPrimBits-1)]; e != 0 && uint(e&15) <= r.n {
+		r.bits >>= uint(e & 15)
+		r.n -= uint(e & 15)
+		return int(e >> 4), nil
+	}
+	// Slow path: consume one bit at a time, comparing against the
+	// canonical first-code of each length.
+	code, first, index := 0, 0, 0
+	for l := 1; l <= inflMaxBits; l++ {
+		b, err := r.take(1)
+		if err != nil {
+			return 0, err
+		}
+		code |= int(b)
+		count := int(t.counts[l])
+		if code-first < count {
+			return int(t.symbols[index+code-first]), nil
+		}
+		index += count
+		first += count
+		first <<= 1
+		code <<= 1
+	}
+	return 0, fmt.Errorf("vcodec: invalid huffman code")
+}
+
+// Length and distance symbol expansions (RFC 1951 §3.2.5).
+var (
+	lenBase   = [29]uint16{3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258}
+	lenExtra  = [29]uint8{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0}
+	distBase  = [30]uint16{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+	distExtra = [30]uint8{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+	// Order in which code-length code lengths are stored in a dynamic header.
+	clOrder = [19]uint8{16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15}
+)
+
+// inflater is per-decoder reusable decompression state. The returned
+// payload aliases an internal buffer valid until the next decompress call.
+type inflater struct {
+	br        inflBitReader
+	lit, dist huffTab
+	cl        huffTab // code-length code table for dynamic headers
+	lens      [maxLitSyms + maxDistSyms]uint8
+	out       []byte
+	fixedOK   bool
+	fixedLit  huffTab
+	fixedDist huffTab
+}
+
+// decompress inflates b, failing once the output exceeds max bytes — the
+// decompression-bomb guard: a frame payload has a configuration-derived
+// size ceiling, so anything larger is corrupt by construction.
+func (n *inflater) decompress(b []byte, max int) ([]byte, error) {
+	n.br = inflBitReader{in: b}
+	n.out = n.out[:0]
+	for {
+		hdr, err := n.br.take(3)
+		if err != nil {
+			return nil, err
+		}
+		final := hdr&1 != 0
+		switch hdr >> 1 {
+		case 0:
+			err = n.stored(max)
+		case 1:
+			if !n.fixedOK {
+				n.buildFixed()
+			}
+			err = n.block(&n.fixedLit, &n.fixedDist, max)
+		case 2:
+			err = n.dynamic(max)
+		default:
+			err = fmt.Errorf("vcodec: reserved deflate block type")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if final {
+			return n.out, nil
+		}
+	}
+}
+
+// stored copies a raw block (byte-aligned LEN/~LEN header).
+func (n *inflater) stored(max int) error {
+	r := &n.br
+	r.bits >>= r.n % 8 // discard to byte boundary
+	r.n -= r.n % 8
+	v, err := r.take(32)
+	if err != nil {
+		return err
+	}
+	length := int(v & 0xFFFF)
+	if int(v>>16) != length^0xFFFF {
+		return fmt.Errorf("vcodec: stored block length check failed")
+	}
+	if len(n.out)+length > max {
+		return fmt.Errorf("vcodec: payload exceeds %d-byte bound", max)
+	}
+	// Drain whole bytes still in the accumulator, then bulk-copy.
+	for length > 0 && r.n >= 8 {
+		n.out = append(n.out, byte(r.bits))
+		r.bits >>= 8
+		r.n -= 8
+		length--
+	}
+	if length > len(r.in)-r.pos {
+		return fmt.Errorf("vcodec: truncated stored block")
+	}
+	n.out = append(n.out, r.in[r.pos:r.pos+length]...)
+	r.pos += length
+	return nil
+}
+
+// buildFixed constructs the static-Huffman tables once per inflater.
+func (n *inflater) buildFixed() {
+	var lens [maxLitSyms]uint8
+	for i := 0; i < 144; i++ {
+		lens[i] = 8
+	}
+	for i := 144; i < 256; i++ {
+		lens[i] = 9
+	}
+	for i := 256; i < 280; i++ {
+		lens[i] = 7
+	}
+	for i := 280; i < 288; i++ {
+		lens[i] = 8
+	}
+	n.fixedLit.build(lens[:])
+	var dlens [maxDistSyms]uint8
+	for i := range dlens {
+		dlens[i] = 5
+	}
+	n.fixedDist.build(dlens[:])
+	n.fixedOK = true
+}
+
+// dynamic reads a dynamic-Huffman header and inflates its block.
+func (n *inflater) dynamic(max int) error {
+	r := &n.br
+	v, err := r.take(14)
+	if err != nil {
+		return err
+	}
+	hlit := int(v&0x1F) + 257
+	hdist := int(v>>5&0x1F) + 1
+	hclen := int(v>>10&0xF) + 4
+	if hlit > maxLitSyms || hdist > maxDistSyms {
+		return fmt.Errorf("vcodec: dynamic header symbol counts out of range")
+	}
+	var clens [19]uint8
+	for i := 0; i < hclen; i++ {
+		b, err := r.take(3)
+		if err != nil {
+			return err
+		}
+		clens[clOrder[i]] = uint8(b)
+	}
+	if err := n.cl.build(clens[:]); err != nil {
+		return err
+	}
+	// Decode the literal+distance code lengths, with run-length symbols.
+	total := hlit + hdist
+	for i := 0; i < total; {
+		sym, err := r.decode(&n.cl)
+		if err != nil {
+			return err
+		}
+		switch {
+		case sym < 16:
+			n.lens[i] = uint8(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return fmt.Errorf("vcodec: length repeat with no previous length")
+			}
+			b, err := r.take(2)
+			if err != nil {
+				return err
+			}
+			prev := n.lens[i-1]
+			for k := 0; k < int(b)+3; k++ {
+				if i >= total {
+					return fmt.Errorf("vcodec: length repeat overruns header")
+				}
+				n.lens[i] = prev
+				i++
+			}
+		case sym == 17 || sym == 18:
+			bits, base := uint(3), 3
+			if sym == 18 {
+				bits, base = 7, 11
+			}
+			b, err := r.take(bits)
+			if err != nil {
+				return err
+			}
+			for k := 0; k < int(b)+base; k++ {
+				if i >= total {
+					return fmt.Errorf("vcodec: length repeat overruns header")
+				}
+				n.lens[i] = 0
+				i++
+			}
+		default:
+			return fmt.Errorf("vcodec: invalid code-length symbol %d", sym)
+		}
+	}
+	if n.lens[256] == 0 {
+		return fmt.Errorf("vcodec: dynamic block has no end-of-block code")
+	}
+	if err := n.lit.build(n.lens[:hlit]); err != nil {
+		return err
+	}
+	if err := n.dist.build(n.lens[hlit : hlit+hdist]); err != nil {
+		return err
+	}
+	return n.block(&n.lit, &n.dist, max)
+}
+
+// block inflates one Huffman-coded block into n.out.
+func (n *inflater) block(lit, dist *huffTab, max int) error {
+	r := &n.br
+	for {
+		sym, err := r.decode(lit)
+		if err != nil {
+			return err
+		}
+		switch {
+		case sym < 256:
+			if len(n.out) >= max {
+				return fmt.Errorf("vcodec: payload exceeds %d-byte bound", max)
+			}
+			n.out = append(n.out, byte(sym))
+		case sym == 256:
+			return nil
+		default:
+			if sym > 285 {
+				return fmt.Errorf("vcodec: invalid length symbol %d", sym)
+			}
+			eb, err := r.take(uint(lenExtra[sym-257]))
+			if err != nil {
+				return err
+			}
+			length := int(lenBase[sym-257]) + int(eb)
+			dsym, err := r.decode(dist)
+			if err != nil {
+				return err
+			}
+			if dsym >= maxDistSyms {
+				return fmt.Errorf("vcodec: invalid distance symbol %d", dsym)
+			}
+			db, err := r.take(uint(distExtra[dsym]))
+			if err != nil {
+				return err
+			}
+			d := int(distBase[dsym]) + int(db)
+			if d > len(n.out) {
+				return fmt.Errorf("vcodec: distance %d beyond output", d)
+			}
+			if len(n.out)+length > max {
+				return fmt.Errorf("vcodec: payload exceeds %d-byte bound", max)
+			}
+			// Byte-at-a-time copy: sources may overlap the bytes being
+			// written (d < length replicates a pattern).
+			start := len(n.out) - d
+			for k := 0; k < length; k++ {
+				n.out = append(n.out, n.out[start+k])
+			}
+		}
+	}
+}

@@ -19,7 +19,10 @@
 // encoding exploits by storing depth in Y).
 package vcodec
 
-import "livo/internal/frame"
+import (
+	"livo/internal/frame"
+	"livo/internal/pipeline"
+)
 
 // Frame is a codec-internal picture: one or three planes of int32 samples.
 type Frame struct {
@@ -84,6 +87,14 @@ func FromColorInto(im *frame.ColorImage, f *Frame) {
 // ToColor converts a 3-plane YCbCr frame back to RGB.
 func (f *Frame) ToColor() *frame.ColorImage {
 	im := frame.NewColorImage(f.W, f.H)
+	f.ToColorInto(im)
+	return im
+}
+
+// ToColorInto converts a 3-plane YCbCr frame into an existing RGB image of
+// the same geometry without allocating (the receive path's per-frame
+// conversion).
+func (f *Frame) ToColorInto(im *frame.ColorImage) {
 	n := f.W * f.H
 	for i := 0; i < n; i++ {
 		y := f.Planes[0][i]
@@ -96,7 +107,6 @@ func (f *Frame) ToColor() *frame.ColorImage {
 		im.Pix[3*i+1] = uint8(clampI32(g, 0, 255))
 		im.Pix[3*i+2] = uint8(clampI32(b, 0, 255))
 	}
-	return im
 }
 
 // FromDepth wraps a 16-bit depth image as a single-plane frame. Values are
@@ -119,26 +129,66 @@ func FromDepthInto(im *frame.DepthImage, f *Frame) {
 // clamping to the valid range.
 func (f *Frame) ToDepth() *frame.DepthImage {
 	im := frame.NewDepthImage(f.W, f.H)
+	f.ToDepthInto(im)
+	return im
+}
+
+// ToDepthInto converts a single-plane frame into an existing depth image
+// of the same geometry without allocating.
+func (f *Frame) ToDepthInto(im *frame.DepthImage) {
 	for i, v := range f.Planes[0] {
 		im.Pix[i] = uint16(clampI32(v, 0, 65535))
 	}
-	return im
+}
+
+// rmseChunk is the fixed shard size for parallel error sums. Fixed (not
+// derived from GOMAXPROCS) so the floating-point summation order — each
+// chunk accumulated left to right, chunk partials combined in chunk order
+// — is identical at any worker count.
+const rmseChunk = 1 << 17
+
+// ChunkedSquaredError accumulates per-chunk sums of squared int32
+// differences over fixed-size shards in parallel. partials is reused
+// scratch (pass nil to allocate); the return value is the slice of chunk
+// sums in chunk order. Slices must have equal length.
+func ChunkedSquaredError(a, b []int32, partials []float64) []float64 {
+	nChunks := (len(a) + rmseChunk - 1) / rmseChunk
+	if cap(partials) < nChunks {
+		partials = make([]float64, nChunks)
+	}
+	partials = partials[:nChunks]
+	pipeline.ParFor(nChunks, func(c int) {
+		lo := c * rmseChunk
+		hi := lo + rmseChunk
+		if hi > len(a) {
+			hi = len(a)
+		}
+		var s float64
+		for i := lo; i < hi; i++ {
+			d := float64(a[i] - b[i])
+			s += d * d
+		}
+		partials[c] = s
+	})
+	return partials
 }
 
 // PlaneRMSE returns the root-mean-square error between the corresponding
 // planes of a and b — the sender-side quality estimate LiVo's bandwidth
 // splitter uses instead of PointSSIM (§3.3). Frames must have identical
-// geometry.
+// geometry. The scan shards across cores (it walks full 4K planes on the
+// sender hot path every probe tick) with a worker-count-independent
+// summation order.
 func PlaneRMSE(a, b *Frame) float64 {
 	var sum float64
 	var n int
+	var partials []float64
 	for p := range a.Planes {
-		ap, bp := a.Planes[p], b.Planes[p]
-		for i := range ap {
-			d := float64(ap[i] - bp[i])
-			sum += d * d
+		partials = ChunkedSquaredError(a.Planes[p], b.Planes[p], partials)
+		for _, s := range partials {
+			sum += s
 		}
-		n += len(ap)
+		n += len(a.Planes[p])
 	}
 	if n == 0 {
 		return 0

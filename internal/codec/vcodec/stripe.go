@@ -366,11 +366,6 @@ func (s *decStripe) decode() {
 	}
 }
 
-// runDecStripes reconstructs all stripes on the worker pool.
-func runDecStripes(jobs []decStripe) {
-	pipeline.ParFor(len(jobs), func(i int) { jobs[i].decode() })
-}
-
 // scatterPred writes the clamped prediction into the in-bounds part of the
 // block at (x0, y0) — the zero-residual fast path shared by encoder and
 // decoder.

@@ -23,6 +23,9 @@ var (
 // decoder's current reference returns an error wrapping ErrStaleReference.
 // Decoder state is only advanced on success, so a failed packet can be
 // skipped and decoding resumed at the next key frame.
+//
+// The returned frame is owned by the decoder and overwritten by the next
+// successful Decode call; Clone it to retain it across decodes.
 func (d *Decoder) Decode(pkt *Packet) (*Frame, error) {
 	start := time.Now()
 	f, err := d.decode(pkt)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"livo/internal/codec/vcodec"
+	"livo/internal/frame"
 	"livo/internal/geom"
 	"livo/internal/metrics"
 	"livo/internal/pointcloud"
@@ -310,6 +311,9 @@ func TestReconstructWithFrustumAndVoxel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The returned cloud is a receiver-owned arena overwritten by the next
+	// Reconstruct call; Clone to compare across calls.
+	full = full.Clone()
 	f := geom.NewFrustum(viewerPose(), geom.ViewParams{FovY: math.Pi / 5, Aspect: 1, Near: 0.1, Far: 8})
 	culled, err := r2.Reconstruct(pf, &f)
 	if err != nil {
@@ -475,6 +479,94 @@ func TestSenderDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		}
 		if !bytes.Equal(serial[i].Depth.Data, parallel[i].Depth.Data) {
 			t.Errorf("frame %d: depth packet differs between GOMAXPROCS 1 and 4", i)
+		}
+	}
+}
+
+// TestReconstructSteadyStateAllocs pins the per-frame allocation count of
+// the full reconstruction path (extract → unproject → voxelize → cull):
+// after warmup every stage runs out of per-receiver arenas. GOMAXPROCS is
+// pinned to 1 because ParFor's worker spawns allocate; they are not part
+// of the arena story.
+func TestReconstructSteadyStateAllocs(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	v := testVideo(t, "office1")
+	s, _ := newPair(t, v, LiVoNoCull)
+	r, err := NewReceiver(ReceiverConfig{Array: v.Array, VoxelSize: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.ProcessFrame(v.Frame(0), 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PushColor(enc.Color); err != nil {
+		t.Fatal(err)
+	}
+	pf, err := r.PushDepth(enc.Depth)
+	if err != nil || pf == nil {
+		t.Fatal(err)
+	}
+	f := geom.NewFrustum(viewerPose(), geom.ViewParams{FovY: math.Pi / 3, Aspect: 1, Near: 0.1, Far: 8})
+	for i := 0; i < 3; i++ { // warm the arenas
+		if _, err := r.Reconstruct(pf, &f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := r.Reconstruct(pf, &f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Errorf("steady-state Reconstruct allocates %v objects per frame, want <= 4", allocs)
+	}
+}
+
+// TestDepthRMSENormMismatch checks the probe returns its -1 sentinel on
+// mismatched reconstruction geometry instead of panicking.
+func TestDepthRMSENormMismatch(t *testing.T) {
+	ref := frame.NewDepthImage(8, 8)
+	for i := range ref.Pix {
+		ref.Pix[i] = 1000
+	}
+	short := frame.NewDepthImage(8, 4)
+	if got := depthRMSENorm(ref, short, 6000); got != -1 {
+		t.Errorf("mismatched geometry: got %v, want -1", got)
+	}
+	same := frame.NewDepthImage(8, 8)
+	if got := depthRMSENorm(ref, same, 6000); got < 0 {
+		t.Errorf("matched geometry: got %v, want >= 0", got)
+	}
+}
+
+// TestSenderBlankTileReuse checks fully-culled views tile the sender's
+// shared blank pair instead of allocating fresh images per frame, and that
+// the blanks stay zero across frames (Compose* copies, never writes).
+func TestSenderBlankTileReuse(t *testing.T) {
+	v := testVideo(t, "office1")
+	s, r := newPair(t, v, LiVoNoCull)
+	for fi := 0; fi < 2; fi++ {
+		views := append([]frame.RGBDFrame(nil), v.Frame(fi)...)
+		views[1] = frame.RGBDFrame{} // a fully-culled view
+		enc, err := s.ProcessFrame(views, 40e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.colorViews[1] != s.blankColor || s.depthViews[1] != s.blankDepth {
+			t.Fatal("culled view did not reuse the shared blank tile pair")
+		}
+		for _, p := range s.blankDepth.Pix {
+			if p != 0 {
+				t.Fatal("blank depth tile was written to")
+			}
+		}
+		if _, err := r.PushColor(enc.Color); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.PushDepth(enc.Depth); err != nil {
+			t.Fatal(err)
 		}
 	}
 }

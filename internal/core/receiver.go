@@ -9,6 +9,7 @@ import (
 	"livo/internal/codec/vcodec"
 	"livo/internal/frame"
 	"livo/internal/geom"
+	"livo/internal/pipeline"
 	"livo/internal/pointcloud"
 	"livo/internal/telemetry"
 )
@@ -60,6 +61,19 @@ type Receiver struct {
 	markersOK    bool
 	mismatches   int
 	lastGood     *PairedFrame
+
+	// Reconstruction arenas (see Reconstruct): per-camera view images,
+	// the unprojector's point buffers, the voxel grid, and the two cloud
+	// headers the returned pointer alternates between. All are overwritten
+	// by the next Reconstruct call.
+	views     []frame.RGBDFrame
+	viewErrs  []error
+	extractPF *PairedFrame
+	extractFn func(int)
+	unproj    camera.Unprojector
+	grid      pointcloud.VoxelGrid
+	raw       pointcloud.Cloud
+	voxed     pointcloud.Cloud
 
 	// Telemetry handles, resolved once in NewReceiver (DESIGN.md §6).
 	stages        *telemetry.StageSet
@@ -237,34 +251,56 @@ func (r *Receiver) SeqMismatches() int { return r.mismatches }
 // frame (§A.1): extract per-camera views, unproject valid pixels,
 // voxelize, and cull to the viewer's current frustum. Pass nil frustum to
 // keep the full cloud.
+//
+// Every stage runs out of per-receiver arenas: the extracted view images,
+// the unprojected point slices, the voxel grid, and the returned cloud
+// are all owned by the receiver and overwritten by the next Reconstruct
+// call — the steady-state path does not allocate. Callers that retain a
+// cloud across frames must Clone it.
 func (r *Receiver) Reconstruct(pf *PairedFrame, frustum *geom.Frustum) (*pointcloud.Cloud, error) {
 	t0 := time.Now()
 	defer r.stages.Done(pf.Seq, telemetry.StageReconstruct, t0)
-	views := make([]frame.RGBDFrame, r.cfg.Array.N())
-	for i := 0; i < r.cfg.Array.N(); i++ {
-		c, err := r.tiler.ExtractColor(pf.TiledColor, i)
+	n := r.cfg.Array.N()
+	if r.views == nil {
+		r.views = make([]frame.RGBDFrame, n)
+		r.viewErrs = make([]error, n)
+		for i := range r.views {
+			r.views[i] = frame.RGBDFrame{
+				Color: frame.NewColorImage(r.tiler.TileW, r.tiler.TileH),
+				Depth: frame.NewDepthImage(r.tiler.TileW, r.tiler.TileH),
+			}
+		}
+		r.extractFn = func(i int) {
+			pf := r.extractPF
+			if err := r.tiler.ExtractColorInto(pf.TiledColor, i, r.views[i].Color); err != nil {
+				r.viewErrs[i] = err
+				return
+			}
+			r.viewErrs[i] = r.tiler.ExtractDepthInto(pf.TiledDepth, i, r.views[i].Depth)
+		}
+	}
+	// Tile extraction, sharded by camera: each view writes a disjoint
+	// image pair and its own error slot.
+	r.extractPF = pf
+	pipeline.ParFor(n, r.extractFn)
+	r.extractPF = nil
+	for _, err := range r.viewErrs {
 		if err != nil {
 			return nil, err
 		}
-		d, err := r.tiler.ExtractDepth(pf.TiledDepth, i)
-		if err != nil {
-			return nil, err
-		}
-		views[i] = frame.RGBDFrame{Color: c, Depth: d}
 	}
-	pos, cols, err := r.cfg.Array.PointsFromViews(views)
+	pos, cols, err := r.unproj.PointsInto(r.cfg.Array, r.views)
 	if err != nil {
 		return nil, err
 	}
-	cloud, err := pointcloud.FromSlices(pos, cols)
-	if err != nil {
-		return nil, err
-	}
+	r.raw.Positions, r.raw.Colors = pos, cols
+	cloud := &r.raw
 	if r.cfg.VoxelSize > 0 {
-		cloud = cloud.VoxelDownsample(r.cfg.VoxelSize)
+		r.grid.DownsampleInto(&r.voxed, cloud, r.cfg.VoxelSize)
+		cloud = &r.voxed
 	}
 	if frustum != nil {
-		cloud = cloud.CullFrustum(*frustum)
+		cloud.CullFrustumInPlace(*frustum)
 	}
 	return cloud, nil
 }

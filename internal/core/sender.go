@@ -25,6 +25,7 @@ import (
 	"livo/internal/cull"
 	"livo/internal/frame"
 	"livo/internal/geom"
+	"livo/internal/pipeline"
 	"livo/internal/split"
 	"livo/internal/telemetry"
 )
@@ -168,6 +169,15 @@ type Sender struct {
 	// srcColor is the reused YCbCr staging frame for the tiled color
 	// stream (one full-resolution conversion per tick, no allocation).
 	srcColor *vcodec.Frame
+	// blankColor/blankDepth are the shared stand-ins for fully-culled
+	// views. Compose* copies tiles out of its inputs, so one zeroed pair
+	// serves every culled slot of every frame instead of allocating fresh
+	// blank images per slot. They must never be written to.
+	blankColor *frame.ColorImage
+	blankDepth *frame.DepthImage
+	// colorViews/depthViews are the per-tick composition scratch slices.
+	colorViews []*frame.ColorImage
+	depthViews []*frame.DepthImage
 
 	// Telemetry handles, resolved once in NewSender (DESIGN.md §6).
 	tel        *telemetry.Registry
@@ -230,8 +240,12 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		depthEnc:  depthEnc,
 		splitter:  split.New(initial),
 		predictor: cull.NewFrustumPredictor(cfg.ViewParams),
-		markersOK: tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
-		srcColor:  vcodec.NewFrame(tw, th, 3),
+		markersOK:  tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
+		srcColor:   vcodec.NewFrame(tw, th, 3),
+		blankColor: frame.NewColorImage(in.W, in.H),
+		blankDepth: frame.NewDepthImage(in.W, in.H),
+		colorViews: make([]*frame.ColorImage, cfg.Array.N()),
+		depthViews: make([]*frame.DepthImage, cfg.Array.N()),
 	}
 	s.predictor.Guard = cfg.GuardBand
 
@@ -330,12 +344,14 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	// 2. Stream composition: tile N views into one color + one depth frame
 	// (§3.2).
 	tileStart := time.Now()
-	colorViews := make([]*frame.ColorImage, len(views))
-	depthViews := make([]*frame.DepthImage, len(views))
+	colorViews := s.colorViews
+	depthViews := s.depthViews
 	for i, v := range views {
 		if v.Color == nil {
-			colorViews[i] = frame.NewColorImage(s.tiler.TileW, s.tiler.TileH)
-			depthViews[i] = frame.NewDepthImage(s.tiler.TileW, s.tiler.TileH)
+			// Fully-culled view: tile the shared blank pair (Compose*
+			// copies, so reuse across slots and frames is safe).
+			colorViews[i] = s.blankColor
+			depthViews[i] = s.blankDepth
 			continue
 		}
 		colorViews[i] = v.Color
@@ -412,9 +428,11 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 		if colorRecon != nil && depthRecon != nil {
 			colorRMSE = vcodec.PlaneRMSE(srcColor, colorRecon)
 			normDepth := depthRMSENorm(tiledDepth, depthRecon, float64(s.cfg.MaxDepthMM))
-			depthRMSE = normDepth * float64(s.cfg.MaxDepthMM)
-			if evaluate {
-				s.splitter.Observe(normDepth, colorRMSE/255)
+			if normDepth >= 0 { // negative: recon geometry mismatch, skip the probe
+				depthRMSE = normDepth * float64(s.cfg.MaxDepthMM)
+				if evaluate {
+					s.splitter.Observe(normDepth, colorRMSE/255)
+				}
 			}
 		}
 	}
@@ -450,18 +468,48 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	return out, nil
 }
 
+// depthRMSEChunk is the fixed shard size for the parallel depth probe.
+// Fixed (not derived from GOMAXPROCS) so the floating-point summation
+// order is identical at any worker count.
+const depthRMSEChunk = 1 << 17
+
 // depthRMSENorm is the depth RMSE over reference-valid pixels, normalized
-// by the depth range so it is comparable to color RMSE/255.
+// by the depth range so it is comparable to color RMSE/255. It returns -1
+// when the reconstruction's geometry does not match the reference (the
+// probe is advisory; a mismatch must not panic the frame path). The scan
+// shards across cores — it walks a full tiled depth plane on the sender
+// hot path every probe tick.
 func depthRMSENorm(ref, got *frame.DepthImage, maxMM float64) float64 {
+	if got.W != ref.W || got.H != ref.H || len(got.Pix) < len(ref.Pix) {
+		return -1
+	}
+	nChunks := (len(ref.Pix) + depthRMSEChunk - 1) / depthRMSEChunk
+	sums := make([]float64, nChunks)
+	counts := make([]int, nChunks)
+	pipeline.ParFor(nChunks, func(c int) {
+		lo := c * depthRMSEChunk
+		hi := lo + depthRMSEChunk
+		if hi > len(ref.Pix) {
+			hi = len(ref.Pix)
+		}
+		var sum float64
+		var n int
+		for i := lo; i < hi; i++ {
+			if ref.Pix[i] == 0 {
+				continue
+			}
+			d := float64(int(ref.Pix[i]) - int(got.Pix[i]))
+			sum += d * d
+			n++
+		}
+		sums[c] = sum
+		counts[c] = n
+	})
 	var sum float64
 	var n int
-	for i := range ref.Pix {
-		if ref.Pix[i] == 0 {
-			continue
-		}
-		d := float64(int(ref.Pix[i]) - int(got.Pix[i]))
-		sum += d * d
-		n++
+	for c := 0; c < nChunks; c++ {
+		sum += sums[c]
+		n += counts[c]
 	}
 	if n == 0 {
 		return 0

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"livo/internal/core"
+	"livo/internal/geom"
+	"livo/internal/pointcloud"
+	"livo/internal/render"
+)
+
+// Pipeline frame-path benchmark (`livo-bench -pipebench`): replays the
+// full capture→render path — sender encode, receiver decode/pair,
+// reconstruction, splat render — and measures per-stage wall time and
+// heap allocations at each requested GOMAXPROCS. The results land in
+// BENCH_pipeline.json so the receive-path trajectory is tracked across
+// commits like BENCH_codec.json tracks the codec.
+
+// PipeStageResult is one (stage, procs) measurement.
+type PipeStageResult struct {
+	Stage       string  `json:"stage"`
+	Procs       int     `json:"procs"`
+	Frames      int     `json:"frames"`
+	MsMean      float64 `json:"ms_mean"`
+	MsP95       float64 `json:"ms_p95"`
+	AllocsFrame float64 `json:"allocs_frame"` // heap objects per frame
+	BytesFrame  float64 `json:"bytes_frame"`  // heap bytes per frame
+}
+
+// pipeStages in pipeline order.
+var pipeStages = []string{"sender_process", "push_color", "push_depth", "reconstruct", "render"}
+
+// pipeSampler accumulates per-stage samples for one procs setting.
+type pipeSampler struct {
+	ms     map[string][]float64
+	allocs map[string][]float64
+	bytes  map[string][]float64
+}
+
+func newPipeSampler() *pipeSampler {
+	return &pipeSampler{
+		ms:     map[string][]float64{},
+		allocs: map[string][]float64{},
+		bytes:  map[string][]float64{},
+	}
+}
+
+// measure runs fn as one stage sample: wall time plus Mallocs/TotalAlloc
+// deltas from runtime.MemStats. Reading MemStats briefly stops the world,
+// which is why latency is captured inside fn's own window only.
+func (ps *pipeSampler) measure(stage string, fn func() error) error {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	err := fn()
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return err
+	}
+	ps.ms[stage] = append(ps.ms[stage], dt.Seconds()*1000)
+	ps.allocs[stage] = append(ps.allocs[stage], float64(m1.Mallocs-m0.Mallocs))
+	ps.bytes[stage] = append(ps.bytes[stage], float64(m1.TotalAlloc-m0.TotalAlloc))
+	return nil
+}
+
+func (ps *pipeSampler) results(procs int) []PipeStageResult {
+	var out []PipeStageResult
+	for _, st := range pipeStages {
+		samples := ps.ms[st]
+		if len(samples) == 0 {
+			continue
+		}
+		out = append(out, PipeStageResult{
+			Stage:       st,
+			Procs:       procs,
+			Frames:      len(samples),
+			MsMean:      mean(samples),
+			MsP95:       p95(samples),
+			AllocsFrame: mean(ps.allocs[st]),
+			BytesFrame:  mean(ps.bytes[st]),
+		})
+	}
+	return out
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func p95(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(float64(len(sorted)-1)*0.95 + 0.5)
+	return sorted[i]
+}
+
+// RunPipeBench replays frames of the named video through the full frame
+// path at each GOMAXPROCS in procsList and returns per-stage
+// measurements. The first warmup frames per setting are excluded (arena
+// growth, rate-control convergence, key-frame cost).
+func RunPipeBench(name string, q Quality, procsList []int, warmup int) ([]PipeStageResult, error) {
+	w, err := LoadWorkload(name, q)
+	if err != nil {
+		return nil, err
+	}
+	viewer := geom.LookAt(geom.V3(0, 1.5, 2.4), geom.V3(0, 0.9, 0), geom.V3(0, 1, 0))
+	vp := geom.DefaultViewParams()
+	frustum := geom.NewFrustum(viewer, vp)
+	bwBps := 100e6 * q.BandwidthScale()
+
+	var out []PipeStageResult
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range procsList {
+		runtime.GOMAXPROCS(procs)
+		sender, err := core.NewSender(core.SenderConfig{
+			Variant:    core.LiVoNoCull,
+			Array:      w.Array(),
+			ViewParams: vp,
+		})
+		if err != nil {
+			return nil, err
+		}
+		receiver, err := core.NewReceiver(core.ReceiverConfig{
+			Array:     w.Array(),
+			VoxelSize: 0.02,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ps := newPipeSampler()
+		for i := 0; i < q.Frames; i++ {
+			views := w.Views[i%len(w.Views)]
+			warm := i < warmup
+			step := func(stage string, fn func() error) error {
+				if warm {
+					return fn()
+				}
+				return ps.measure(stage, fn)
+			}
+			var enc *core.EncodedFrame
+			if err := step("sender_process", func() error {
+				var err error
+				enc, err = sender.ProcessFrame(views, bwBps)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			if err := step("push_color", func() error {
+				_, err := receiver.PushColor(enc.Color)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			var pf *core.PairedFrame
+			if err := step("push_depth", func() error {
+				var err error
+				pf, err = receiver.PushDepth(enc.Depth)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			if pf == nil {
+				return nil, fmt.Errorf("pipebench: frame %d did not pair", i)
+			}
+			var cloud *pointcloud.Cloud
+			if err := step("reconstruct", func() error {
+				var err error
+				cloud, err = receiver.Reconstruct(pf, &frustum)
+				return err
+			}); err != nil {
+				return nil, err
+			}
+			if err := step("render", func() error {
+				render.Splat(cloud, viewer, render.Options{Width: 320, Height: 240})
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, ps.results(procs)...)
+	}
+	return out, nil
+}

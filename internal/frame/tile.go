@@ -88,12 +88,34 @@ func (t *Tiler) ExtractColor(tiled *ColorImage, i int) (*ColorImage, error) {
 		return nil, fmt.Errorf("tiler: camera index %d out of range [0,%d)", i, t.N)
 	}
 	out := NewColorImage(t.TileW, t.TileH)
+	t.extractColorInto(tiled, i, out)
+	return out, nil
+}
+
+// ExtractColorInto cuts camera i's rectangle into an existing tile-sized
+// image without allocating (the receiver's per-frame path).
+func (t *Tiler) ExtractColorInto(tiled *ColorImage, i int, out *ColorImage) error {
+	w, h := t.FrameSize()
+	if tiled.W != w || tiled.H != h {
+		return fmt.Errorf("tiler: tiled frame is %dx%d, want %dx%d", tiled.W, tiled.H, w, h)
+	}
+	if i < 0 || i >= t.N {
+		return fmt.Errorf("tiler: camera index %d out of range [0,%d)", i, t.N)
+	}
+	if out.W != t.TileW || out.H != t.TileH {
+		return fmt.Errorf("tiler: output is %dx%d, want %dx%d", out.W, out.H, t.TileW, t.TileH)
+	}
+	t.extractColorInto(tiled, i, out)
+	return nil
+}
+
+func (t *Tiler) extractColorInto(tiled *ColorImage, i int, out *ColorImage) {
+	w, _ := t.FrameSize()
 	ox, oy := t.TileOrigin(i)
 	for y := 0; y < t.TileH; y++ {
 		srcOff := 3 * ((oy+y)*w + ox)
 		copy(out.Pix[3*y*t.TileW:3*(y+1)*t.TileW], tiled.Pix[srcOff:srcOff+3*t.TileW])
 	}
-	return out, nil
 }
 
 // ExtractDepth cuts camera i's rectangle back out of a tiled depth frame.
@@ -106,10 +128,32 @@ func (t *Tiler) ExtractDepth(tiled *DepthImage, i int) (*DepthImage, error) {
 		return nil, fmt.Errorf("tiler: camera index %d out of range [0,%d)", i, t.N)
 	}
 	out := NewDepthImage(t.TileW, t.TileH)
+	t.extractDepthInto(tiled, i, out)
+	return out, nil
+}
+
+// ExtractDepthInto cuts camera i's rectangle into an existing tile-sized
+// image without allocating.
+func (t *Tiler) ExtractDepthInto(tiled *DepthImage, i int, out *DepthImage) error {
+	w, h := t.FrameSize()
+	if tiled.W != w || tiled.H != h {
+		return fmt.Errorf("tiler: tiled frame is %dx%d, want %dx%d", tiled.W, tiled.H, w, h)
+	}
+	if i < 0 || i >= t.N {
+		return fmt.Errorf("tiler: camera index %d out of range [0,%d)", i, t.N)
+	}
+	if out.W != t.TileW || out.H != t.TileH {
+		return fmt.Errorf("tiler: output is %dx%d, want %dx%d", out.W, out.H, t.TileW, t.TileH)
+	}
+	t.extractDepthInto(tiled, i, out)
+	return nil
+}
+
+func (t *Tiler) extractDepthInto(tiled *DepthImage, i int, out *DepthImage) {
+	w, _ := t.FrameSize()
 	ox, oy := t.TileOrigin(i)
 	for y := 0; y < t.TileH; y++ {
 		srcOff := (oy+y)*w + ox
 		copy(out.Pix[y*t.TileW:(y+1)*t.TileW], tiled.Pix[srcOff:srcOff+t.TileW])
 	}
-	return out, nil
 }

@@ -7,7 +7,6 @@ package pointcloud
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"livo/internal/geom"
@@ -80,6 +79,23 @@ func (c *Cloud) CullFrustum(f geom.Frustum) *Cloud {
 	return out
 }
 
+// CullFrustumInPlace compacts the cloud to the points inside f, preserving
+// order, without allocating — the receiver's per-frame culling (§3.1 sends
+// only what the viewer's frustum can see; the same test trims the render
+// set). The dropped tail of the backing arrays keeps its stale values.
+func (c *Cloud) CullFrustumInPlace(f geom.Frustum) {
+	w := 0
+	for i, p := range c.Positions {
+		if f.Contains(p) {
+			c.Positions[w] = p
+			c.Colors[w] = c.Colors[i]
+			w++
+		}
+	}
+	c.Positions = c.Positions[:w]
+	c.Colors = c.Colors[:w]
+}
+
 // Sample returns a cloud of at most n points drawn without replacement
 // using rng. If n >= Len the original cloud is cloned.
 func (c *Cloud) Sample(n int, rng *rand.Rand) *Cloud {
@@ -96,44 +112,13 @@ func (c *Cloud) Sample(n int, rng *rand.Rand) *Cloud {
 
 // VoxelDownsample returns a cloud with at most one point per cubic voxel of
 // the given size (meters): the centroid of the voxel's points with their
-// average color. This is the receiver-side voxelization of §A.1.
+// average color. This is the receiver-side voxelization of §A.1. Output
+// points are in first-appearance order of their voxels (deterministic);
+// steady-state callers should hold a VoxelGrid and use DownsampleInto.
 func (c *Cloud) VoxelDownsample(voxel float64) *Cloud {
-	if voxel <= 0 || c.Len() == 0 {
-		return c.Clone()
-	}
-	type acc struct {
-		sum     geom.Vec3
-		r, g, b int
-		n       int
-	}
-	cells := make(map[[3]int32]*acc, c.Len()/4)
-	inv := 1 / voxel
-	for i, p := range c.Positions {
-		k := [3]int32{
-			int32(math.Floor(p.X * inv)),
-			int32(math.Floor(p.Y * inv)),
-			int32(math.Floor(p.Z * inv)),
-		}
-		a := cells[k]
-		if a == nil {
-			a = &acc{}
-			cells[k] = a
-		}
-		a.sum = a.sum.Add(p)
-		a.r += int(c.Colors[i][0])
-		a.g += int(c.Colors[i][1])
-		a.b += int(c.Colors[i][2])
-		a.n++
-	}
-	out := New(len(cells))
-	for _, a := range cells {
-		inv := 1 / float64(a.n)
-		out.Add(a.sum.Scale(inv), [3]uint8{
-			uint8(float64(a.r)*inv + 0.5),
-			uint8(float64(a.g)*inv + 0.5),
-			uint8(float64(a.b)*inv + 0.5),
-		})
-	}
+	var g VoxelGrid
+	out := New(0)
+	g.DownsampleInto(out, c, voxel)
 	return out
 }
 

@@ -379,7 +379,9 @@ type RecvSession struct {
 	hasConcealed   bool
 
 	// OnCloud is called (on the session goroutine) for every reconstructed
-	// frame.
+	// frame. The cloud is backed by receiver-owned arenas and is only
+	// valid for the duration of the callback — the next reconstruction
+	// overwrites it. Clone it to retain it.
 	OnCloud func(seq uint32, cloud *PointCloud)
 	// PoseSource supplies the viewer's current pose for feedback; nil
 	// disables pose feedback.
