@@ -40,6 +40,9 @@ func main() {
 		pbench   = flag.Bool("pipebench", false, "run the end-to-end frame-path benchmark and write JSON results")
 		pbenchTo = flag.String("pipebench-out", "BENCH_pipeline.json", "output path for -pipebench results")
 		pbase    = flag.String("pipebench-baseline", "", "compare -pipebench allocs/frame against this baseline JSON; exit nonzero on regression")
+		rbench   = flag.Bool("relaybench", false, "run the relay fan-out scale benchmark and write JSON results")
+		rbenchTo = flag.String("relaybench-out", "BENCH_relay.json", "output path for -relaybench results")
+		rbase    = flag.String("relaybench-baseline", "", "compare -relaybench queued allocs/packet against this baseline JSON; exit nonzero on regression")
 		short    = flag.Bool("short", false, "reduced -pipebench workload for CI smoke runs")
 		debug    = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
@@ -57,6 +60,14 @@ func main() {
 	if *pbench {
 		if err := runPipeBench(*pbenchTo, *pbase, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *rbench {
+		if err := runRelayBench(*rbenchTo, *rbase, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "relaybench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -209,6 +220,92 @@ func checkPipeBaseline(path string, results []experiments.PipeStageResult) error
 	}
 	if failed {
 		return fmt.Errorf("allocs/frame regressed against %s", path)
+	}
+	return nil
+}
+
+// runRelayBench sweeps the relay data plane across subscriber counts for
+// both the legacy sequential plane and the queued per-subscriber plane,
+// writes BENCH_relay.json, and prints the queued-vs-sequential speedup at
+// each count. With a baseline path it gates the queued plane's
+// allocs/packet so CI catches fan-out allocation regressions.
+func runRelayBench(outPath, baselinePath string, short bool) error {
+	fmt.Println("=== relaybench (queued vs sequential fan-out) ===")
+	start := time.Now()
+	results, err := experiments.RunRelayBench(experiments.RelayBenchConfig{}, short, func(line string) {
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	// Speedup table: queued / sequential routed packets per second.
+	seqPPS := map[int]float64{}
+	for _, r := range results {
+		if r.Mode == "sequential" {
+			seqPPS[r.Subs] = r.PacketsPerSec
+		}
+	}
+	for _, r := range results {
+		if r.Mode == "queued" && seqPPS[r.Subs] > 0 {
+			fmt.Printf("speedup subs=%-5d %6.1fx packets/sec\n", r.Subs, r.PacketsPerSec/seqPPS[r.Subs])
+		}
+	}
+	fmt.Printf("(relaybench in %s)\n", time.Since(start).Round(time.Millisecond))
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if baselinePath != "" {
+		return checkRelayBaseline(baselinePath, results)
+	}
+	return nil
+}
+
+// checkRelayBaseline fails when the queued plane's allocs/packet at any
+// subscriber count exceeds the committed baseline by more than 1.5x + 0.5.
+// The additive slack absorbs background-runtime noise around the expected
+// ~0; a pooling regression costs ≥1 alloc/packet and blows well past it.
+func checkRelayBaseline(path string, results []experiments.RelayBenchResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []experiments.RelayBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseAllocs := map[int]float64{}
+	for _, b := range base {
+		if b.Mode == "queued" {
+			baseAllocs[b.Subs] = b.AllocsPerPacket
+		}
+	}
+	var failed bool
+	for _, r := range results {
+		if r.Mode != "queued" {
+			continue
+		}
+		b, ok := baseAllocs[r.Subs]
+		if !ok {
+			continue
+		}
+		limit := b*1.5 + 0.5
+		if r.AllocsPerPacket > limit {
+			failed = true
+			fmt.Fprintf(os.Stderr, "ALLOC REGRESSION relay subs=%-5d %.2f allocs/packet > limit %.2f (baseline %.2f)\n",
+				r.Subs, r.AllocsPerPacket, limit, b)
+		} else {
+			fmt.Printf("alloc check relay subs=%-5d %.2f allocs/packet <= limit %.2f (baseline %.2f)\n",
+				r.Subs, r.AllocsPerPacket, limit, b)
+		}
+	}
+	if failed {
+		return fmt.Errorf("allocs/packet regressed against %s", path)
 	}
 	return nil
 }

@@ -36,6 +36,7 @@ func main() {
 		videoA  = flag.String("video-a", "band2", "site A's scene")
 		videoB  = flag.String("video-b", "office1", "site B's scene")
 		seconds = flag.Float64("seconds", 5, "conference duration")
+		fanout  = flag.Int("fanout", 0, "route site A through a relay to this many subscribers (site B plus counting sinks)")
 		debug   = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -93,10 +94,50 @@ func main() {
 		return st
 	}
 
+	// With -fanout N, site A's direction runs through a relay: A sends to
+	// the relay, which fans out to site B (the primary viewer) plus N-1
+	// counting sinks, and aggregates the reverse path (REMB minimum, PLI
+	// dedup, NACK coalescing). B→A stays direct.
+	var (
+		relay     *livo.Relay
+		sinkPkts  atomic.Int64
+		aOutPeer  net.Addr = bIn.LocalAddr()
+		bInPeer   net.Addr = aOut.LocalAddr()
+		sinkConns []net.PacketConn
+	)
+	if *fanout > 0 {
+		relayConn := mkConn()
+		defer relayConn.Close()
+		relay = livo.NewRelay(relayConn, aOut.LocalAddr())
+		relay.Subscribe(bIn.LocalAddr()) // first subscriber: primary viewer
+		for i := 1; i < *fanout; i++ {
+			sink := mkConn()
+			sinkConns = append(sinkConns, sink)
+			relay.Subscribe(sink.LocalAddr())
+			go func(c net.PacketConn) {
+				buf := make([]byte, 2048)
+				for {
+					if _, _, err := c.ReadFrom(buf); err != nil {
+						return
+					}
+					sinkPkts.Add(1)
+				}
+			}(sink)
+		}
+		go relay.Run()
+		defer relay.Close()
+		for _, c := range sinkConns {
+			defer c.Close()
+		}
+		aOutPeer = relayConn.LocalAddr()
+		bInPeer = relayConn.LocalAddr()
+		fmt.Printf("relaying A's media to %d subscribers\n", relay.Subscribers())
+	}
+
 	// Note: both sites share camera geometry in this demo; a real
 	// deployment exchanges calibration at setup (§A.1).
-	siteA := mkSite("A", *videoA, aOut, bIn.LocalAddr(), aIn, bOut.LocalAddr())
-	siteB := mkSite("B", *videoB, bOut, aIn.LocalAddr(), bIn, aOut.LocalAddr())
+	siteA := mkSite("A", *videoA, aOut, aOutPeer, aIn, bOut.LocalAddr())
+	siteB := mkSite("B", *videoB, bOut, aIn.LocalAddr(), bIn, bInPeer)
 	defer siteA.send.Close()
 	defer siteB.send.Close()
 	defer siteA.recv.Close()
@@ -131,5 +172,12 @@ func main() {
 		if ss.Err != nil || rs.Err != nil {
 			fmt.Printf("site %s errors: send=%v recv=%v\n", st.name, ss.Err, rs.Err)
 		}
+	}
+	if relay != nil {
+		st := relay.Stats()
+		fmt.Printf("relay: %d subs, %d media pkts fanned to %d, drops %d, sinks got %d pkts\n",
+			st.Subscribers, st.MediaPackets, st.FanoutPackets, st.Drops, sinkPkts.Load())
+		fmt.Printf("relay feedback: pli %d fwd/%d deduped, nack %d fwd/%d coalesced, remb %d fwd, pose %d fwd\n",
+			st.PLIForwarded, st.PLISuppressed, st.NACKForwarded, st.NACKCoalesced, st.REMBForwarded, st.PoseForwarded)
 	}
 }

@@ -6,18 +6,21 @@ import (
 	"math"
 
 	"livo/internal/geom"
+	"livo/internal/transport"
 )
 
 // Feedback messages ride the reverse path of a live session: viewer poses
 // (for frustum prediction, §3.4), receiver bandwidth estimates (REMB-style,
-// §3.3), NACKs and PLIs (§A.1), and RTT probes.
+// §3.3), NACKs and PLIs (§A.1), and RTT probes. The wire-type values and
+// the REMB/NACK codecs live in internal/transport so the relay core can
+// aggregate feedback without importing this package.
 const (
-	fbPose byte = 1 + iota
-	fbREMB
-	fbNACK
-	fbPLI
-	fbPing
-	fbPong
+	fbPose = transport.FBPose
+	fbREMB = transport.FBREMB
+	fbNACK = transport.FBNACK
+	fbPLI  = transport.FBPLI
+	fbPing = transport.FBPing
+	fbPong = transport.FBPong
 )
 
 // marshalPose encodes a timestamped viewer pose.
@@ -47,33 +50,18 @@ func unmarshalPose(b []byte) (t float64, p geom.Pose, err error) {
 
 // marshalREMB encodes a receiver bandwidth estimate (bits per second).
 func marshalREMB(bps float64) []byte {
-	out := make([]byte, 1, 9)
-	out[0] = fbREMB
-	return binary.BigEndian.AppendUint64(out, math.Float64bits(bps))
+	return transport.AppendREMB(make([]byte, 0, 9), bps)
 }
 
-func unmarshalREMB(b []byte) (float64, error) {
-	if len(b) < 9 {
-		return 0, fmt.Errorf("livo: short REMB")
-	}
-	return math.Float64frombits(binary.BigEndian.Uint64(b[1:])), nil
-}
+func unmarshalREMB(b []byte) (float64, error) { return transport.UnmarshalREMB(b) }
 
 // marshalNACK encodes a missing-fragment report.
 func marshalNACK(stream uint8, frameSeq uint32, frag uint16) []byte {
-	out := make([]byte, 8)
-	out[0] = fbNACK
-	out[1] = stream
-	binary.BigEndian.PutUint32(out[2:], frameSeq)
-	binary.BigEndian.PutUint16(out[6:], frag)
-	return out
+	return transport.MarshalNACK(stream, frameSeq, frag)
 }
 
 func unmarshalNACK(b []byte) (stream uint8, frameSeq uint32, frag uint16, err error) {
-	if len(b) < 8 {
-		return 0, 0, 0, fmt.Errorf("livo: short NACK")
-	}
-	return b[1], binary.BigEndian.Uint32(b[2:]), binary.BigEndian.Uint16(b[6:]), nil
+	return transport.UnmarshalNACK(b)
 }
 
 // marshalPing/Pong carry a sender timestamp for application-level RTT.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"livo/internal/pipeline"
@@ -273,10 +274,13 @@ const (
 // and the deflate state is reused across frames. The only per-frame
 // allocation is the returned Packet payload.
 type Encoder struct {
-	cfg      Config
-	prev     *codedPicture // previous reconstructed picture (coded dims)
-	seq      uint32
-	forceKey bool
+	cfg  Config
+	prev *codedPicture // previous reconstructed picture (coded dims)
+	seq  uint32
+	// forceKey is atomic because ForceKeyFrame arrives from the feedback
+	// goroutine (PLI path) while Encode runs on the frame loop; everything
+	// else on the encoder is single-goroutine.
+	forceKey atomic.Bool
 	// Rate model: log2(bytes) ≈ modelA - QP/6. Updated after every frame.
 	modelA   float64
 	hasModel bool
@@ -316,8 +320,10 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 func (e *Encoder) Config() Config { return e.cfg }
 
 // ForceKeyFrame makes the next encoded frame a key frame — the reaction to
-// a Picture Loss Indication from the receiver (§A.1).
-func (e *Encoder) ForceKeyFrame() { e.forceKey = true }
+// a Picture Loss Indication from the receiver (§A.1). Unlike the rest of
+// the encoder it is safe to call concurrently with Encode, because PLIs
+// arrive on the session's feedback goroutine.
+func (e *Encoder) ForceKeyFrame() { e.forceKey.Store(true) }
 
 // LastRecon returns the encoder's reconstruction of the last encoded frame
 // (what the decoder will see). LiVo's bandwidth splitter compares this to
@@ -398,7 +404,7 @@ func (e *Encoder) Encode(f *Frame, targetBytes int) (*Packet, error) {
 		// Roll back state from the previous attempt before re-encoding.
 		e.seq--
 		if pkt.Key {
-			e.forceKey = true
+			e.forceKey.Store(true)
 		}
 		e.prev = e.prevBackup
 		pkt, err = e.encode(f, qp2)
@@ -429,8 +435,10 @@ func (e *Encoder) encode(f *Frame, qp int) (*Packet, error) {
 			f.W, f.H, len(f.Planes), e.cfg.Width, e.cfg.Height, e.cfg.NumPlanes)
 	}
 	qp = clampQP(qp, e.cfg.MinQP, e.cfg.MaxQP)
-	key := e.prev == nil || e.forceKey || (e.cfg.GOP > 0 && int(e.seq)%e.cfg.GOP == 0)
-	e.forceKey = false
+	// Swap (not Load) so a pending force request is always consumed here,
+	// even when this frame is a key frame for another reason.
+	forced := e.forceKey.Swap(false)
+	key := e.prev == nil || forced || (e.cfg.GOP > 0 && int(e.seq)%e.cfg.GOP == 0)
 	e.prevBackup = e.prev
 
 	// Coded-resolution source: full-resolution planes alias the caller's

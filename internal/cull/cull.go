@@ -8,6 +8,7 @@ package cull
 
 import (
 	"fmt"
+	"sync"
 
 	"livo/internal/camera"
 	"livo/internal/frame"
@@ -80,10 +81,13 @@ func Views(arr camera.Array, views []frame.RGBDFrame, f geom.Frustum) ([]frame.R
 // one-way delay estimate and the guard band, producing the expanded frustum
 // the sender culls against.
 type FrustumPredictor struct {
+	// mu serializes the Kalman/RTT state: pose and RTT feedback arrive on
+	// the session's feedback goroutine while the frame loop predicts.
+	mu     sync.Mutex
 	kalman *predict.Kalman
 	vp     geom.ViewParams
 	// Guard is the guard band ε in meters (default 0.20 — the sweet spot
-	// of Fig 15).
+	// of Fig 15). Set it before concurrent use begins.
 	Guard float64
 	// srtt is the smoothed application-level RTT (seconds).
 	srtt    float64
@@ -105,6 +109,8 @@ func NewFrustumPredictor(vp geom.ViewParams) *FrustumPredictor {
 // ObservePose feeds a receiver pose report (timestamped with the receiver's
 // capture time, seconds).
 func (fp *FrustumPredictor) ObservePose(t float64, pose geom.Pose) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
 	fp.kalman.Observe(t, pose)
 }
 
@@ -114,6 +120,8 @@ func (fp *FrustumPredictor) ObserveRTT(rtt float64) {
 	if rtt < 0 {
 		return
 	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
 	if !fp.hasRTT {
 		fp.srtt = rtt
 		fp.hasRTT = true
@@ -125,10 +133,20 @@ func (fp *FrustumPredictor) ObserveRTT(rtt float64) {
 // SetHorizon overrides the prediction horizon (seconds). A negative value
 // restores the default srtt/2 behaviour. Used by the Fig 15 sweep, which
 // varies the prediction window directly.
-func (fp *FrustumPredictor) SetHorizon(h float64) { fp.horizon = h }
+func (fp *FrustumPredictor) SetHorizon(h float64) {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.horizon = h
+}
 
 // Horizon returns the active prediction horizon in seconds.
 func (fp *FrustumPredictor) Horizon() float64 {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.horizonLocked()
+}
+
+func (fp *FrustumPredictor) horizonLocked() float64 {
 	if fp.horizon >= 0 {
 		return fp.horizon
 	}
@@ -137,7 +155,9 @@ func (fp *FrustumPredictor) Horizon() float64 {
 
 // PredictPose returns the predicted receiver pose at now + horizon.
 func (fp *FrustumPredictor) PredictPose() geom.Pose {
-	return fp.kalman.Predict(fp.Horizon())
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.kalman.Predict(fp.horizonLocked())
 }
 
 // PredictFrustum returns the guard-band-expanded predicted frustum the

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livo/internal/relaycore"
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+)
+
+// Relay fan-out scale benchmark (`livo-bench -relaybench`): drives the
+// relay data plane (internal/relaycore) at growing subscriber counts over
+// an in-memory packet conn — no UDP, no sockets — and measures routing
+// throughput, per-packet cost, allocations, and drop accounting for both
+// the queued (per-subscriber queues + writers) and the legacy sequential
+// data plane. The results land in BENCH_relay.json.
+//
+// The conn models what makes real fan-out hard: each subscriber has a
+// bounded socket buffer drained by an independent consumer that
+// occasionally stalls (GC pause, Wi-Fi retransmit, a backgrounded viewer).
+// The sequential plane writes subscribers one after another, so any one
+// stalled buffer blocks the whole relay; the queued plane absorbs the
+// stall in that subscriber's ring and keeps routing.
+
+// RelayBenchResult is one (mode, subscriber-count) measurement.
+type RelayBenchResult struct {
+	Mode            string  `json:"mode"` // "sequential" or "queued"
+	Subs            int     `json:"subs"`
+	Seconds         float64 `json:"seconds"`
+	PacketsRouted   int64   `json:"packets_routed"`
+	PacketsPerSec   float64 `json:"packets_per_sec"`
+	NsPerPacket     float64 `json:"ns_per_packet"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	DeliveredPerSec float64 `json:"delivered_per_sec"`
+	Drops           int64   `json:"drops"`
+	DropRate        float64 `json:"drop_rate"` // drops / (routed × subs)
+}
+
+// RelayBenchConfig parameterizes a run; zero values pick defaults.
+type RelayBenchConfig struct {
+	SubCounts []int         // subscriber counts to sweep
+	Duration  time.Duration // timed window per (mode, subs)
+	Warmup    time.Duration // untimed warmup per (mode, subs)
+	PauseProb float64       // per-delivered-packet consumer stall probability
+	PauseDur  time.Duration // consumer stall length
+	SockBuf   int           // per-subscriber socket buffer (packets)
+	Seed      int64
+}
+
+func (c *RelayBenchConfig) fill(short bool) {
+	if len(c.SubCounts) == 0 {
+		c.SubCounts = []int{1, 8, 64, 256, 1024}
+		if short {
+			c.SubCounts = []int{1, 8, 64}
+		}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1200 * time.Millisecond
+		if short {
+			c.Duration = 400 * time.Millisecond
+		}
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 250 * time.Millisecond
+		if short {
+			c.Warmup = 100 * time.Millisecond
+		}
+	}
+	if c.PauseProb <= 0 {
+		c.PauseProb = 0.001
+	}
+	if c.PauseDur <= 0 {
+		c.PauseDur = 50 * time.Millisecond
+	}
+	if c.SockBuf <= 0 {
+		c.SockBuf = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// relayBenchAddr is an index-keyed subscriber address: WriteTo resolves the
+// subscriber by integer, never by String(), so delivery is allocation-free.
+type relayBenchAddr struct {
+	i int
+	s string
+}
+
+func (a *relayBenchAddr) Network() string { return "relaybench" }
+func (a *relayBenchAddr) String() string  { return a.s }
+
+// relayBenchConn is the in-memory net-less conn: per-subscriber bounded
+// channels standing in for kernel socket buffers, drained by independent
+// consumers with seeded random stalls.
+type relayBenchConn struct {
+	stop      chan struct{}
+	subs      []relayBenchSub
+	delivered atomic.Int64
+	pauseProb float64
+	pauseDur  time.Duration
+	wg        sync.WaitGroup
+}
+
+type relayBenchSub struct {
+	ch      chan int
+	scratch []byte
+	_pad    [4]uint64 // keep neighbouring subscribers off one cache line
+}
+
+func newRelayBenchConn(n int, cfg RelayBenchConfig) *relayBenchConn {
+	c := &relayBenchConn{
+		stop:      make(chan struct{}),
+		subs:      make([]relayBenchSub, n),
+		pauseProb: cfg.PauseProb,
+		pauseDur:  cfg.PauseDur,
+	}
+	for i := range c.subs {
+		c.subs[i].ch = make(chan int, cfg.SockBuf)
+		c.subs[i].scratch = make([]byte, 2048)
+	}
+	c.wg.Add(n)
+	for i := range c.subs {
+		go c.drain(i, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+	}
+	return c
+}
+
+// WriteTo models a blocking datagram send: the payload is copied into the
+// subscriber's buffer; a full buffer blocks the caller until the consumer
+// catches up (this is the stall the sequential plane serializes behind).
+func (c *relayBenchConn) WriteTo(p []byte, a net.Addr) (int, error) {
+	s := &c.subs[a.(*relayBenchAddr).i]
+	copy(s.scratch, p)
+	select {
+	case s.ch <- len(p):
+	case <-c.stop:
+	}
+	return len(p), nil
+}
+
+func (c *relayBenchConn) drain(i int, rng *rand.Rand) {
+	defer c.wg.Done()
+	s := &c.subs[i]
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-s.ch:
+			c.delivered.Add(1)
+			if rng.Float64() < c.pauseProb {
+				time.Sleep(c.pauseDur) // consumer stall
+			}
+		}
+	}
+}
+
+// empty reports whether every socket buffer has drained.
+func (c *relayBenchConn) empty() bool {
+	for i := range c.subs {
+		if len(c.subs[i].ch) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *relayBenchConn) close() {
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// benchFragsPerFrame matches a ~16 KB encoded frame at the transport MTU.
+const benchFragsPerFrame = 16
+
+// mediaTemplate builds one on-the-wire media packet whose frame sequence
+// (bytes 2:6) and fragment index (bytes 6:8) the send loop restamps.
+func mediaTemplate() []byte {
+	p := transport.Packet{
+		Stream:    transport.StreamColor,
+		FragCount: benchFragsPerFrame,
+		Payload:   make([]byte, 1000),
+	}
+	return append([]byte{transport.MediaMagic}, p.Marshal()...)
+}
+
+// RunRelayBench sweeps subscriber counts for both data planes and returns
+// the measurements, sequential before queued at each count.
+func RunRelayBench(cfg RelayBenchConfig, short bool, progress func(string)) ([]RelayBenchResult, error) {
+	cfg.fill(short)
+	if progress == nil {
+		progress = func(string) {}
+	}
+	var out []RelayBenchResult
+	for _, subs := range cfg.SubCounts {
+		for _, mode := range []string{"sequential", "queued"} {
+			r, err := runRelayBenchOne(mode, subs, cfg)
+			if err != nil {
+				return nil, err
+			}
+			progress(fmt.Sprintf("%-10s subs=%-5d %12.0f pkts/s %10.0f ns/pkt %6.2f allocs/pkt %12.0f delivered/s drops=%d (%.2f%%)",
+				r.Mode, r.Subs, r.PacketsPerSec, r.NsPerPacket, r.AllocsPerPacket, r.DeliveredPerSec, r.Drops, r.DropRate*100))
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func runRelayBenchOne(mode string, subs int, cfg RelayBenchConfig) (RelayBenchResult, error) {
+	conn := newRelayBenchConn(subs, cfg)
+	router := relaycore.NewRouter(conn, &relayBenchAddr{i: 0, s: "sender"}, relaycore.Config{
+		Sequential: mode == "sequential",
+		Telemetry:  telemetry.NewRegistry(0),
+	})
+	for i := 0; i < subs; i++ {
+		router.Subscribe(&relayBenchAddr{i: i, s: fmt.Sprintf("sub-%d", i)})
+	}
+
+	tmpl := mediaTemplate()
+	pool := router.Pool()
+	seq := uint32(0)
+	sendFor := func(d time.Duration) int64 {
+		var routed int64
+		t0 := time.Now()
+		for time.Since(t0) < d {
+			seq++
+			tmpl[2] = byte(seq >> 24)
+			tmpl[3] = byte(seq >> 16)
+			tmpl[4] = byte(seq >> 8)
+			tmpl[5] = byte(seq)
+			for frag := 0; frag < benchFragsPerFrame; frag++ {
+				tmpl[6] = byte(frag >> 8)
+				tmpl[7] = byte(frag)
+				router.RouteMedia(pool.Load(tmpl))
+				routed++
+			}
+			// One yield per frame: on small machines the routing loop would
+			// otherwise starve the writer goroutines it is measuring.
+			runtime.Gosched()
+		}
+		return routed
+	}
+
+	// Warmup grows the buffer pool and rings to steady state, then drains.
+	sendFor(cfg.Warmup)
+	router.WaitIdle(10 * time.Second)
+
+	s0 := router.Stats()
+	d0 := conn.delivered.Load()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	routed := sendFor(cfg.Duration)
+	drained := router.WaitIdle(60 * time.Second)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	s1 := router.Stats()
+	d1 := conn.delivered.Load()
+
+	router.Close()
+	conn.close()
+	if !drained {
+		return RelayBenchResult{}, fmt.Errorf("relaybench: %s/%d did not drain", mode, subs)
+	}
+	if got := s1.MediaPackets - s0.MediaPackets; got != routed {
+		return RelayBenchResult{}, fmt.Errorf("relaybench: routed %d but stats count %d", routed, got)
+	}
+
+	res := RelayBenchResult{
+		Mode:            mode,
+		Subs:            subs,
+		Seconds:         elapsed.Seconds(),
+		PacketsRouted:   routed,
+		PacketsPerSec:   float64(routed) / elapsed.Seconds(),
+		NsPerPacket:     elapsed.Seconds() * 1e9 / float64(routed),
+		AllocsPerPacket: float64(m1.Mallocs-m0.Mallocs) / float64(routed),
+		DeliveredPerSec: float64(d1-d0) / elapsed.Seconds(),
+		Drops:           s1.Drops - s0.Drops,
+	}
+	if routed > 0 && subs > 0 {
+		res.DropRate = float64(res.Drops) / (float64(routed) * float64(subs))
+	}
+	return res, nil
+}

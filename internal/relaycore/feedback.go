@@ -1,0 +1,130 @@
+package relaycore
+
+// Feedback aggregation state. All three structures are driven from the
+// router's single routing goroutine (plus Unsubscribe under the router's
+// feedback mutex); none is safe for unguarded concurrent use on its own.
+
+// rembMin maintains the minimum REMB across subscribers without a full
+// map scan per message: the scan happens only when the current minimum's
+// owner raises its estimate or departs.
+type rembMin struct {
+	by     map[Key]float64
+	minKey Key
+	minVal float64
+	valid  bool
+}
+
+func newREMBMin() *rembMin { return &rembMin{by: make(map[Key]float64)} }
+
+// Update records subscriber k's estimate and returns the new minimum.
+func (m *rembMin) Update(k Key, v float64) float64 {
+	_, had := m.by[k]
+	m.by[k] = v
+	switch {
+	case !m.valid:
+		m.minKey, m.minVal, m.valid = k, v, true
+	case v <= m.minVal:
+		m.minKey, m.minVal = k, v
+	case had && k == m.minKey:
+		// The slowest subscriber sped up: only now is a rescan needed.
+		m.recompute()
+	}
+	return m.minVal
+}
+
+// Remove evicts a departed subscriber's entry. It returns the new minimum
+// and whether any entries remain.
+func (m *rembMin) Remove(k Key) (float64, bool) {
+	if _, had := m.by[k]; !had {
+		return m.minVal, m.valid
+	}
+	delete(m.by, k)
+	if m.valid && k == m.minKey {
+		m.recompute()
+	}
+	return m.minVal, m.valid
+}
+
+func (m *rembMin) recompute() {
+	m.valid = false
+	for k, v := range m.by {
+		if !m.valid || v < m.minVal {
+			m.minKey, m.minVal, m.valid = k, v, true
+		}
+	}
+}
+
+// Len returns how many subscribers have reported an estimate.
+func (m *rembMin) Len() int { return len(m.by) }
+
+// nackKey identifies one requested fragment.
+type nackKey struct {
+	seq    uint32
+	frag   uint16
+	stream uint8
+}
+
+// nackCoalescer deduplicates NACKs for the same fragment across
+// subscribers within a window: the first request is forwarded (and the
+// retransmission fans out to everyone), repeats inside the window are
+// dropped. The stamped map is swept opportunistically so a moving sequence
+// window cannot grow it without bound.
+type nackCoalescer struct {
+	window  int64 // nanoseconds
+	last    map[nackKey]int64
+	inserts int
+}
+
+// nackSweepEvery bounds staleness-sweep frequency; nackMapMax forces a
+// sweep when the map outgrows the plausible in-window working set.
+const (
+	nackSweepEvery = 512
+	nackMapMax     = 8192
+)
+
+func newNACKCoalescer(windowNs int64) *nackCoalescer {
+	return &nackCoalescer{window: windowNs, last: make(map[nackKey]int64)}
+}
+
+// ShouldForward reports whether this fragment request leaves for the
+// sender, stamping it when so.
+func (c *nackCoalescer) ShouldForward(k nackKey, now int64) bool {
+	if t, ok := c.last[k]; ok && now-t < c.window {
+		return false
+	}
+	c.last[k] = now
+	c.inserts++
+	if c.inserts >= nackSweepEvery || len(c.last) > nackMapMax {
+		c.inserts = 0
+		for k2, t := range c.last {
+			if now-t >= c.window {
+				delete(c.last, k2)
+			}
+		}
+	}
+	return true
+}
+
+// pliGate forwards at most one PLI per refresh window — the relay-side
+// mirror of Sender.RequestKeyFrame's refresh-in-flight guard. A
+// simultaneous PLI burst from every subscriber reaches the sender as one
+// message (two across a window boundary).
+type pliGate struct {
+	window int64 // nanoseconds
+	lastNs int64
+	armed  bool
+}
+
+// ShouldForward reports whether a PLI at time now passes the gate.
+func (g *pliGate) ShouldForward(now int64) bool {
+	if g.armed && now-g.lastNs < g.window {
+		return false
+	}
+	g.armed = true
+	g.lastNs = now
+	return true
+}
+
+// OnKeyFrame re-opens the gate: the refresh completed, so the next PLI
+// starts a new cycle immediately.
+func (g *pliGate) OnKeyFrame() { g.armed = false }

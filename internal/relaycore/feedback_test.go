@@ -1,0 +1,110 @@
+package relaycore
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestREMBMinTracker cross-checks the O(1)-amortized minimum against a
+// brute-force rescan over a randomized update/remove schedule.
+func TestREMBMinTracker(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := newREMBMin()
+	ref := make(map[Key]float64)
+	keys := make([]Key, 16)
+	for i := range keys {
+		keys[i] = Key{port: i + 1}
+	}
+	bruteMin := func() (float64, bool) {
+		min, ok := 0.0, false
+		for _, v := range ref {
+			if !ok || v < min {
+				min, ok = v, true
+			}
+		}
+		return min, ok
+	}
+	for op := 0; op < 5000; op++ {
+		k := keys[rng.Intn(len(keys))]
+		if rng.Float64() < 0.2 {
+			gotMin, gotOK := m.Remove(k)
+			delete(ref, k)
+			wantMin, wantOK := bruteMin()
+			if gotOK != wantOK || (wantOK && gotMin != wantMin) {
+				t.Fatalf("op %d: Remove → (%g,%v), brute force (%g,%v)", op, gotMin, gotOK, wantMin, wantOK)
+			}
+			continue
+		}
+		v := float64(rng.Intn(1000)) * 1e4
+		got := m.Update(k, v)
+		ref[k] = v
+		want, _ := bruteMin()
+		if got != want {
+			t.Fatalf("op %d: Update(%v,%g) → min %g, brute force %g", op, k.port, v, got, want)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+}
+
+func TestNACKCoalesceWindow(t *testing.T) {
+	const window = int64(50e6) // 50 ms
+	c := newNACKCoalescer(window)
+	k := nackKey{seq: 7, frag: 3, stream: 1}
+	if !c.ShouldForward(k, 0) {
+		t.Fatal("first NACK suppressed")
+	}
+	if c.ShouldForward(k, window-1) {
+		t.Fatal("duplicate NACK inside window forwarded")
+	}
+	if !c.ShouldForward(nackKey{seq: 7, frag: 4, stream: 1}, 1) {
+		t.Fatal("NACK for a different fragment suppressed")
+	}
+	if !c.ShouldForward(nackKey{seq: 7, frag: 3, stream: 2}, 1) {
+		t.Fatal("NACK for a different stream suppressed")
+	}
+	if !c.ShouldForward(k, window+1) {
+		t.Fatal("NACK after window expiry suppressed")
+	}
+}
+
+// TestNACKCoalesceSweep: a moving sequence window must not grow the stamp
+// map without bound — stale entries are swept opportunistically.
+func TestNACKCoalesceSweep(t *testing.T) {
+	const window = int64(50e6)
+	c := newNACKCoalescer(window)
+	// Old generation: enough inserts to arm the sweep counter.
+	for i := 0; i < nackSweepEvery; i++ {
+		c.ShouldForward(nackKey{seq: uint32(i), frag: 0, stream: 1}, 0)
+	}
+	// New generation, two windows later: sweeping should evict the old one.
+	now := 2 * window
+	for i := 0; i < nackSweepEvery; i++ {
+		c.ShouldForward(nackKey{seq: uint32(i), frag: 1, stream: 1}, now)
+	}
+	if len(c.last) > nackSweepEvery+1 {
+		t.Fatalf("stamp map holds %d entries after sweep, want <= %d", len(c.last), nackSweepEvery+1)
+	}
+}
+
+func TestPLIGateWindow(t *testing.T) {
+	const window = int64(250e6) // matches transport.ResendInterval
+	g := pliGate{window: window}
+	if !g.ShouldForward(0) {
+		t.Fatal("first PLI suppressed")
+	}
+	for _, now := range []int64{1, window / 2, window - 1} {
+		if g.ShouldForward(now) {
+			t.Fatalf("PLI at %dns forwarded inside the window", now)
+		}
+	}
+	if !g.ShouldForward(window) {
+		t.Fatal("PLI at window boundary suppressed")
+	}
+	// A key frame re-arms the gate immediately.
+	g.OnKeyFrame()
+	if !g.ShouldForward(window + 1) {
+		t.Fatal("PLI after key frame suppressed")
+	}
+}

@@ -1,0 +1,40 @@
+package relaycore
+
+import "net"
+
+// Key identifies a peer address as a comparable value. The relay
+// classifies every inbound packet by source address; net.Addr.String
+// allocates per call, so the hot path builds a Key instead — for UDP
+// addresses (the live deployment) this is allocation-free.
+type Key struct {
+	ip   [16]byte
+	port int
+	zone string
+	str  string // fallback for non-UDP address types
+}
+
+// v4InV6Prefix maps 4-byte IPs into the 16-byte slot the way net.IP.To16
+// does, without its allocation.
+var v4InV6Prefix = [12]byte{10: 0xff, 11: 0xff}
+
+// KeyOf builds the canonical key for an address. Two addresses that
+// compare equal by String() produce equal Keys.
+func KeyOf(a net.Addr) Key {
+	switch u := a.(type) {
+	case *net.UDPAddr:
+		var k Key
+		if len(u.IP) == 4 {
+			copy(k.ip[:12], v4InV6Prefix[:])
+			copy(k.ip[12:], u.IP)
+		} else {
+			copy(k.ip[:], u.IP)
+		}
+		k.port = u.Port
+		k.zone = u.Zone
+		return k
+	case nil:
+		return Key{}
+	default:
+		return Key{str: a.Network() + "|" + a.String()}
+	}
+}

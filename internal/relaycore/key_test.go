@@ -1,0 +1,54 @@
+package relaycore
+
+import (
+	"net"
+	"testing"
+)
+
+func TestKeyOfUDPCanonical(t *testing.T) {
+	v4 := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 7).To4(), Port: 5000}
+	v4in16 := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 7), Port: 5000} // 16-byte form
+	if KeyOf(v4) != KeyOf(v4in16) {
+		t.Fatalf("4-byte and 16-byte forms of the same IPv4 address produced different keys")
+	}
+	other := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 8), Port: 5000}
+	if KeyOf(v4) == KeyOf(other) {
+		t.Fatalf("distinct IPs produced equal keys")
+	}
+	port := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 7), Port: 5001}
+	if KeyOf(v4) == KeyOf(port) {
+		t.Fatalf("distinct ports produced equal keys")
+	}
+	v6 := &net.UDPAddr{IP: net.ParseIP("2001:db8::1"), Port: 5000}
+	if KeyOf(v6) == KeyOf(v4) {
+		t.Fatalf("v6 address collided with v4 key")
+	}
+	if KeyOf(v6) != KeyOf(&net.UDPAddr{IP: net.ParseIP("2001:db8::1"), Port: 5000}) {
+		t.Fatalf("equal v6 addresses produced different keys")
+	}
+}
+
+type strAddr struct{ net, s string }
+
+func (a strAddr) Network() string { return a.net }
+func (a strAddr) String() string  { return a.s }
+
+func TestKeyOfFallback(t *testing.T) {
+	a := strAddr{"mem", "node-1"}
+	b := strAddr{"mem", "node-1"}
+	c := strAddr{"mem", "node-2"}
+	if KeyOf(a) != KeyOf(b) {
+		t.Fatalf("equal non-UDP addresses produced different keys")
+	}
+	if KeyOf(a) == KeyOf(c) {
+		t.Fatalf("distinct non-UDP addresses produced equal keys")
+	}
+}
+
+func TestKeyOfUDPZeroAlloc(t *testing.T) {
+	u := &net.UDPAddr{IP: net.IPv4(192, 168, 1, 1), Port: 9000}
+	allocs := testing.AllocsPerRun(200, func() { _ = KeyOf(u) })
+	if allocs != 0 {
+		t.Fatalf("KeyOf(*net.UDPAddr) allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,232 @@
+package relaycore
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"livo/internal/telemetry"
+)
+
+// frameID groups the fragments of one media frame so the drop policy can
+// discard whole frames. Non-media packets (pongs, sender pings) each get a
+// unique control id: they are individually droppable.
+type frameID struct {
+	ctl    uint64
+	seq    uint32
+	stream uint8
+	media  bool
+}
+
+type entry struct {
+	buf *PacketBuf
+	fid frameID
+}
+
+// writerBatch bounds how many entries a writer pops per lock acquisition.
+const writerBatch = 16
+
+// SubQueue is one subscriber's bounded send queue: a ring of refcounted
+// packet buffers drained by a dedicated writer goroutine. A stalled
+// subscriber fills its own ring and triggers the drop policy; it never
+// blocks the router or other subscribers.
+//
+// Drop policy (slow subscriber): drop-oldest at media-frame granularity.
+// When the ring is full the oldest *whole* queued frame is discarded —
+// never a strict subset of a fragment run whose earlier fragments already
+// left the queue (a split run forces the receiver to NACK every remaining
+// fragment; a cleanly dropped frame costs one jitter-buffer skip). If the
+// entire ring is the tail of the frame currently being written, the
+// incoming packet is rejected instead.
+type SubQueue struct {
+	addr net.Addr
+	out  Writer
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	ring        []entry
+	mask        int
+	head        int // ring index of the oldest entry
+	size        int
+	inFlight    frameID // frame of the most recently popped entry
+	hasInFlight bool
+	closed      bool
+
+	enqueued atomic.Int64
+	sent     atomic.Int64
+	dropped  atomic.Int64
+	depth    atomic.Int64
+	writing  atomic.Bool
+
+	telDrops *telemetry.Counter
+}
+
+func newSubQueue(out Writer, addr net.Addr, depth int, telDrops *telemetry.Counter) *SubQueue {
+	cap := 1
+	for cap < depth {
+		cap <<= 1
+	}
+	q := &SubQueue{
+		addr:     addr,
+		out:      out,
+		ring:     make([]entry, cap),
+		mask:     cap - 1,
+		telDrops: telDrops,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Enqueue appends one packet, taking ownership of one reference on success.
+// On a full ring it runs the drop policy first. It returns false — and the
+// caller keeps its reference — when the queue is closed or the incoming
+// packet itself was rejected.
+func (q *SubQueue) Enqueue(buf *PacketBuf, fid frameID) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.size == len(q.ring) {
+		q.dropOldestFrameLocked()
+	}
+	if q.size == len(q.ring) {
+		// Nothing droppable: the ring is one partially-sent fragment run.
+		// Reject the incoming packet rather than splitting the queued run.
+		// It still counts as enqueued-then-dropped so the accounting
+		// invariant (enqueued == sent + dropped + depth) holds.
+		q.mu.Unlock()
+		q.enqueued.Add(1)
+		q.dropped.Add(1)
+		q.telDrops.Add(1)
+		return false
+	}
+	q.ring[(q.head+q.size)&q.mask] = entry{buf: buf, fid: fid}
+	q.size++
+	q.depth.Store(int64(q.size))
+	wake := q.size == 1
+	q.mu.Unlock()
+	if wake {
+		q.cond.Signal()
+	}
+	q.enqueued.Add(1)
+	return true
+}
+
+// dropOldestFrameLocked discards the full fragment run of the oldest frame
+// that has not started transmission. The head prefix belonging to the
+// in-flight frame is skipped (its earlier fragments already left the
+// queue) and shifted forward over the freed slots.
+func (q *SubQueue) dropOldestFrameLocked() {
+	skip := 0
+	if q.hasInFlight {
+		for skip < q.size && q.ring[(q.head+skip)&q.mask].fid == q.inFlight {
+			skip++
+		}
+	}
+	if skip == q.size {
+		return
+	}
+	victim := q.ring[(q.head+skip)&q.mask].fid
+	run := 0
+	for skip+run < q.size && q.ring[(q.head+skip+run)&q.mask].fid == victim {
+		run++
+	}
+	for i := 0; i < run; i++ {
+		e := &q.ring[(q.head+skip+i)&q.mask]
+		e.buf.Release()
+		*e = entry{}
+	}
+	// Shift the skipped prefix forward by run slots, newest first, so no
+	// slot is read after being overwritten.
+	for i := skip - 1; i >= 0; i-- {
+		q.ring[(q.head+i+run)&q.mask] = q.ring[(q.head+i)&q.mask]
+		q.ring[(q.head+i)&q.mask] = entry{}
+	}
+	q.head = (q.head + run) & q.mask
+	q.size -= run
+	q.depth.Store(int64(q.size))
+	q.dropped.Add(int64(run))
+	q.telDrops.Add(int64(run))
+}
+
+// run is the writer worker: it pops batches and writes them to the
+// subscriber. A blocking WriteTo (stalled receiver) parks only this
+// goroutine — the ring keeps absorbing and dropping behind it.
+func (q *SubQueue) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	var batch [writerBatch]entry
+	for {
+		q.mu.Lock()
+		for q.size == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			// Prompt shutdown: release the backlog unwritten.
+			for q.size > 0 {
+				e := &q.ring[q.head]
+				e.buf.Release()
+				*e = entry{}
+				q.head = (q.head + 1) & q.mask
+				q.size--
+			}
+			q.depth.Store(0)
+			q.mu.Unlock()
+			return
+		}
+		n := q.size
+		if n > writerBatch {
+			n = writerBatch
+		}
+		for i := 0; i < n; i++ {
+			batch[i] = q.ring[(q.head+i)&q.mask]
+			q.ring[(q.head+i)&q.mask] = entry{}
+		}
+		q.head = (q.head + n) & q.mask
+		q.size -= n
+		q.depth.Store(int64(q.size))
+		// Everything popped will be written; the drop policy must not split
+		// the run still queued behind the last popped fragment.
+		q.inFlight = batch[n-1].fid
+		q.hasInFlight = true
+		q.writing.Store(true)
+		q.mu.Unlock()
+		for i := 0; i < n; i++ {
+			_, _ = q.out.WriteTo(batch[i].buf.Bytes(), q.addr)
+			batch[i].buf.Release()
+			batch[i] = entry{}
+		}
+		q.sent.Add(int64(n))
+		q.writing.Store(false)
+	}
+}
+
+// Close marks the queue closed and wakes the writer to release its backlog.
+func (q *SubQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Idle reports whether the queue is empty with no write in progress.
+func (q *SubQueue) Idle() bool { return q.depth.Load() == 0 && !q.writing.Load() }
+
+// SubStats is a point-in-time snapshot of one subscriber queue.
+type SubStats struct {
+	Addr     string
+	Enqueued int64
+	Sent     int64
+	Dropped  int64
+	Depth    int64
+}
+
+func (q *SubQueue) stats() SubStats {
+	return SubStats{
+		Addr:     q.addr.String(),
+		Enqueued: q.enqueued.Load(),
+		Sent:     q.sent.Load(),
+		Dropped:  q.dropped.Load(),
+		Depth:    q.depth.Load(),
+	}
+}

@@ -1,0 +1,291 @@
+package relaycore
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"livo/internal/telemetry"
+)
+
+// recWriter records writes per destination (thread-safe).
+type recWriter struct {
+	mu     sync.Mutex
+	writes map[string][][]byte
+}
+
+func newRecWriter() *recWriter { return &recWriter{writes: make(map[string][][]byte)} }
+
+func (w *recWriter) WriteTo(p []byte, a net.Addr) (int, error) {
+	cp := append([]byte(nil), p...)
+	w.mu.Lock()
+	w.writes[a.String()] = append(w.writes[a.String()], cp)
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *recWriter) count(a net.Addr) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.writes[a.String()])
+}
+
+func (w *recWriter) payloads(a net.Addr) [][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([][]byte(nil), w.writes[a.String()]...)
+}
+
+// gateWriter hands control of each WriteTo to the test: the call parks on
+// entered until the test sends on proceed.
+type gateWriter struct {
+	rec     *recWriter
+	entered chan []byte
+	proceed chan struct{}
+}
+
+func newGateWriter() *gateWriter {
+	return &gateWriter{rec: newRecWriter(), entered: make(chan []byte), proceed: make(chan struct{})}
+}
+
+func (w *gateWriter) WriteTo(p []byte, a net.Addr) (int, error) {
+	cp := append([]byte(nil), p...)
+	w.entered <- cp
+	<-w.proceed
+	return w.rec.WriteTo(cp, a)
+}
+
+func testCounter() *telemetry.Counter {
+	return telemetry.NewRegistry(0).Counter("test_drops_total")
+}
+
+func udp(i int) *net.UDPAddr {
+	return &net.UDPAddr{IP: net.IPv4(10, 0, byte(i>>8), byte(i)), Port: 40000 + i%1000}
+}
+
+func mediaFID(seq uint32) frameID { return frameID{media: true, stream: 1, seq: seq} }
+
+func tag(frame, frag int) []byte { return []byte(fmt.Sprintf("f%d.%d", frame, frag)) }
+
+func waitIdleQueue(t *testing.T, q *SubQueue) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !q.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue did not drain: %+v", q.stats())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestQueueDropWholeFrames: a full ring drops the oldest frame's entire
+// fragment run, leaving later frames intact.
+func TestQueueDropWholeFrames(t *testing.T) {
+	rec := newRecWriter()
+	addr := udp(1)
+	q := newSubQueue(rec, addr, 8, testCounter())
+	bp := NewBufPool(64)
+
+	// Frames 1 and 2 (4 fragments each) fill the ring of 8; no writer runs.
+	for frame := 1; frame <= 2; frame++ {
+		for frag := 0; frag < 4; frag++ {
+			if !q.Enqueue(bp.Load(tag(frame, frag)), mediaFID(uint32(frame))) {
+				t.Fatalf("enqueue f%d.%d rejected", frame, frag)
+			}
+		}
+	}
+	// Frame 3 fragment 0 forces the drop policy: all of frame 1 goes.
+	if !q.Enqueue(bp.Load(tag(3, 0)), mediaFID(3)) {
+		t.Fatalf("enqueue f3.0 rejected, want accepted after dropping frame 1")
+	}
+	st := q.stats()
+	if st.Dropped != 4 {
+		t.Fatalf("dropped = %d, want 4 (whole frame 1)", st.Dropped)
+	}
+	if st.Depth != 5 {
+		t.Fatalf("depth = %d, want 5 (frame 2 + f3.0)", st.Depth)
+	}
+
+	// Drain and verify order: frame 2's run intact, then frame 3.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go q.run(&wg)
+	waitIdleQueue(t, q)
+	q.Close()
+	wg.Wait()
+
+	want := [][]byte{tag(2, 0), tag(2, 1), tag(2, 2), tag(2, 3), tag(3, 0)}
+	got := rec.payloads(addr)
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d packets, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("delivery[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if e, s, d := q.enqueued.Load(), q.sent.Load(), q.dropped.Load(); e != s+d {
+		t.Fatalf("accounting: enqueued %d != sent %d + dropped %d", e, s, d)
+	}
+}
+
+// TestQueueDropSkipsInFlightRun: when the oldest queued entries belong to
+// the frame currently being written, the drop policy skips them and drops
+// the next whole frame instead — a partially-sent run is never split.
+func TestQueueDropSkipsInFlightRun(t *testing.T) {
+	gw := newGateWriter()
+	addr := udp(2)
+	q := newSubQueue(gw, addr, 4, testCounter())
+	bp := NewBufPool(64)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go q.run(&wg)
+
+	// Writer pops f1.0 and parks inside WriteTo; frame 1 is now in flight.
+	if !q.Enqueue(bp.Load(tag(1, 0)), mediaFID(1)) {
+		t.Fatal("enqueue f1.0 rejected")
+	}
+	<-gw.entered
+
+	// Ring: the in-flight frame's tail, then frame 2.
+	for _, e := range []struct{ frame, frag int }{{1, 1}, {1, 2}, {2, 0}, {2, 1}} {
+		if !q.Enqueue(bp.Load(tag(e.frame, e.frag)), mediaFID(uint32(e.frame))) {
+			t.Fatalf("enqueue f%d.%d rejected", e.frame, e.frag)
+		}
+	}
+	// Full. Frame 3 must evict frame 2 — not frame 1's tail.
+	if !q.Enqueue(bp.Load(tag(3, 0)), mediaFID(3)) {
+		t.Fatal("enqueue f3.0 rejected, want accepted after dropping frame 2")
+	}
+	if d := q.dropped.Load(); d != 2 {
+		t.Fatalf("dropped = %d, want 2 (frame 2's run)", d)
+	}
+
+	// Release the writer and pump the remaining gated writes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-gw.entered:
+			case <-time.After(500 * time.Millisecond):
+				return
+			}
+			gw.proceed <- struct{}{}
+		}
+	}()
+	gw.proceed <- struct{}{} // f1.0
+	<-done
+	waitIdleQueue(t, q)
+	q.Close()
+	wg.Wait()
+
+	want := []string{"f1.0", "f1.1", "f1.2", "f3.0"}
+	got := gw.rec.payloads(addr)
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d packets %q, want %v", len(got), got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("delivery[%d] = %q, want %q (in-flight run split?)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueueRejectsIncomingWhenRingIsInFlight: a ring consisting entirely of
+// the in-flight frame's tail has nothing droppable — the incoming packet is
+// rejected instead.
+func TestQueueRejectsIncomingWhenRingIsInFlight(t *testing.T) {
+	gw := newGateWriter()
+	addr := udp(3)
+	q := newSubQueue(gw, addr, 4, testCounter())
+	bp := NewBufPool(64)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go q.run(&wg)
+
+	if !q.Enqueue(bp.Load(tag(1, 0)), mediaFID(1)) {
+		t.Fatal("enqueue f1.0 rejected")
+	}
+	<-gw.entered // writer parked, frame 1 in flight
+
+	for frag := 1; frag <= 4; frag++ {
+		if !q.Enqueue(bp.Load(tag(1, frag)), mediaFID(1)) {
+			t.Fatalf("enqueue f1.%d rejected", frag)
+		}
+	}
+	buf := bp.Load(tag(2, 0))
+	if q.Enqueue(buf, mediaFID(2)) {
+		t.Fatal("enqueue f2.0 accepted, want rejected (ring is one in-flight run)")
+	}
+	buf.Release() // caller keeps its reference on rejection
+	if d := q.dropped.Load(); d != 1 {
+		t.Fatalf("dropped = %d, want 1 (the rejected incoming packet)", d)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-gw.entered:
+			case <-time.After(500 * time.Millisecond):
+				return
+			}
+			gw.proceed <- struct{}{}
+		}
+	}()
+	gw.proceed <- struct{}{}
+	<-done
+	waitIdleQueue(t, q)
+	q.Close()
+	wg.Wait()
+
+	if n := gw.rec.count(addr); n != 5 {
+		t.Fatalf("delivered %d packets, want 5 (f1.0..f1.4)", n)
+	}
+}
+
+// TestQueueCloseReleasesBacklog: closing with queued entries releases every
+// buffer back to the pool (no leak) without writing them.
+func TestQueueCloseReleasesBacklog(t *testing.T) {
+	rec := newRecWriter()
+	addr := udp(4)
+	q := newSubQueue(rec, addr, 16, testCounter())
+	bp := NewBufPool(64)
+
+	bufs := make([]*PacketBuf, 8)
+	for i := range bufs {
+		bufs[i] = bp.Load(tag(1, i))
+		if !q.Enqueue(bufs[i], mediaFID(1)) {
+			t.Fatalf("enqueue %d rejected", i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	q.Close()
+	go q.run(&wg)
+	wg.Wait()
+
+	for i, b := range bufs {
+		if b.refs.Load() != 0 {
+			t.Fatalf("buffer %d has %d refs after close, want 0", i, b.refs.Load())
+		}
+	}
+	if n := rec.count(addr); n != 0 {
+		t.Fatalf("closed queue wrote %d packets, want 0", n)
+	}
+	// Rejected after close: caller keeps its reference.
+	b := bp.Load(tag(2, 0))
+	if q.Enqueue(b, mediaFID(2)) {
+		t.Fatal("enqueue on closed queue accepted")
+	}
+	if b.refs.Load() != 1 {
+		t.Fatalf("refs = %d after rejected enqueue, want 1", b.refs.Load())
+	}
+	b.Release()
+}

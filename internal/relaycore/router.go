@@ -1,0 +1,487 @@
+// Package relaycore is the relay's data plane, factored out of the public
+// Relay so it is unit-testable and benchmarkable without UDP sockets
+// (livo-bench -relaybench drives it with an in-memory conn).
+//
+// Design (SFU-style fan-out; cf. DESIGN.md §7):
+//
+//   - Media packets from the sender are loaded once into a pooled,
+//     refcounted PacketBuf and a reference is enqueued onto every
+//     subscriber's bounded SubQueue; a dedicated writer per subscriber
+//     drains it. One stalled receiver fills only its own ring (drop-oldest
+//     per whole media frame) and never head-of-line-blocks the rest.
+//   - The subscriber set is an immutable snapshot behind an atomic pointer
+//     (copy-on-write on Subscribe/Unsubscribe), so the per-packet fan-out
+//     takes no lock and allocates nothing.
+//   - Reverse-path feedback is aggregated, not mirrored: PLIs are deduped
+//     to one per refresh window, NACKs for the same fragment are coalesced
+//     across subscribers, and REMB forwards the running minimum (O(1)
+//     amortized) — at 1000 subscribers one lost key frame becomes one
+//     forwarded PLI instead of a 1000-message storm.
+package relaycore
+
+import (
+	"encoding/binary"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+)
+
+// Writer is the outbound half of a net.PacketConn — all the router needs,
+// so benchmarks and tests can substitute in-memory conns.
+type Writer interface {
+	WriteTo(p []byte, addr net.Addr) (n int, err error)
+}
+
+// Config parameterizes a Router. The zero value picks production defaults.
+type Config struct {
+	// QueueDepth is the per-subscriber ring capacity in packets (rounded
+	// up to a power of two; default 1024 ≈ a second of 4K media).
+	QueueDepth int
+	// BufClass is the pooled packet-buffer size (default 2048 bytes).
+	BufClass int
+	// PLIWindow is the PLI dedup window (default 250 ms, matching
+	// transport.PLITracker's resend interval — the sender-side storm guard
+	// admits one refresh per window anyway).
+	PLIWindow time.Duration
+	// NACKWindow coalesces duplicate fragment requests (default 50 ms,
+	// about one retransmission RTT).
+	NACKWindow time.Duration
+	// REMBInterval rate-limits forwarding of an unchanged REMB minimum
+	// (default 33 ms, the receivers' own feedback cadence).
+	REMBInterval time.Duration
+	// Sequential selects the pre-queue data plane — a mutex-guarded
+	// snapshot copy and serial WriteTo per packet — kept for A/B
+	// measurement (livo-bench -relaybench benchmarks both).
+	Sequential bool
+	// Telemetry receives the livo_relay_* series (default
+	// telemetry.Default).
+	Telemetry *telemetry.Registry
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BufClass <= 0 {
+		c.BufClass = DefaultBufClass
+	}
+	if c.PLIWindow <= 0 {
+		c.PLIWindow = 250 * time.Millisecond
+	}
+	if c.NACKWindow <= 0 {
+		c.NACKWindow = 50 * time.Millisecond
+	}
+	if c.REMBInterval <= 0 {
+		c.REMBInterval = 33 * time.Millisecond
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.Default
+	}
+}
+
+// Subscriber is one receiver: its address, canonical key (cached at
+// subscribe time — no String() comparisons on the packet path), and queue.
+type Subscriber struct {
+	addr net.Addr
+	key  Key
+	q    *SubQueue
+}
+
+// Addr returns the subscriber's address.
+func (s *Subscriber) Addr() net.Addr { return s.addr }
+
+// subSnapshot is the immutable subscriber set; the hot path reads it with
+// one atomic load.
+type subSnapshot struct {
+	subs    []*Subscriber
+	primary *Subscriber
+}
+
+// Router fans one sender's media out to subscribers and aggregates their
+// feedback. RouteMedia and RouteFeedback must be called from a single
+// routing goroutine (the relay's read loop); membership and Stats are safe
+// from any goroutine.
+type Router struct {
+	cfg    Config
+	out    Writer
+	sender net.Addr
+	pool   *BufPool
+
+	snap atomic.Pointer[subSnapshot]
+	mu   sync.Mutex // membership changes (copy-on-write)
+	wg   sync.WaitGroup
+
+	// Feedback aggregation state; fbMu serializes the routing goroutine
+	// with Unsubscribe's REMB eviction.
+	fbMu        sync.Mutex
+	remb        *rembMin
+	nacks       *nackCoalescer
+	pli         pliGate
+	lastREMBFwd int64
+	lastREMBMin float64
+	rembSent    bool
+	rembScratch [9]byte
+	ctlSeq      uint64 // routing-goroutine only
+
+	mediaPkts     atomic.Int64
+	fanoutPkts    atomic.Int64
+	pliFwd        atomic.Int64
+	pliSuppressed atomic.Int64
+	nackFwd       atomic.Int64
+	nackCoalesced atomic.Int64
+	rembFwd       atomic.Int64
+	poseFwd       atomic.Int64
+
+	telMedia, telFanout, telDrops     *telemetry.Counter
+	telPLIFwd, telPLISup              *telemetry.Counter
+	telNACKFwd, telNACKSup, telREMB   *telemetry.Counter
+	telSubs, telDepthMax              *telemetry.Gauge
+}
+
+// NewRouter builds a router writing through out toward the given sender.
+func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
+	cfg.fill()
+	r := &Router{
+		cfg:    cfg,
+		out:    out,
+		sender: sender,
+		pool:   NewBufPool(cfg.BufClass),
+		remb:   newREMBMin(),
+		nacks:  newNACKCoalescer(cfg.NACKWindow.Nanoseconds()),
+	}
+	r.pli.window = cfg.PLIWindow.Nanoseconds()
+	r.snap.Store(&subSnapshot{})
+	reg := cfg.Telemetry
+	r.telMedia = reg.Counter("livo_relay_media_packets_total")
+	r.telFanout = reg.Counter("livo_relay_fanout_packets_total")
+	r.telDrops = reg.Counter("livo_relay_drops_total")
+	r.telPLIFwd = reg.Counter("livo_relay_pli_forwarded_total")
+	r.telPLISup = reg.Counter("livo_relay_pli_suppressed_total")
+	r.telNACKFwd = reg.Counter("livo_relay_nack_forwarded_total")
+	r.telNACKSup = reg.Counter("livo_relay_nack_coalesced_total")
+	r.telREMB = reg.Counter("livo_relay_remb_forwarded_total")
+	r.telSubs = reg.Gauge("livo_relay_subscribers")
+	r.telDepthMax = reg.Gauge("livo_relay_queue_depth_max")
+	return r
+}
+
+// Pool returns the router's packet-buffer pool (the relay read loop loads
+// inbound datagrams through it).
+func (r *Router) Pool() *BufPool { return r.pool }
+
+// Sender returns the sender address the router forwards feedback to.
+func (r *Router) Sender() net.Addr { return r.sender }
+
+func (r *Router) now() int64 {
+	if r.cfg.Now != nil {
+		return r.cfg.Now().UnixNano()
+	}
+	return time.Now().UnixNano()
+}
+
+// Subscribe adds a receiver (idempotent by canonical address key). The
+// first subscriber becomes the primary viewer whose poses drive culling.
+func (r *Router) Subscribe(addr net.Addr) {
+	k := KeyOf(addr)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.snap.Load()
+	for _, s := range cur.subs {
+		if s.key == k {
+			return
+		}
+	}
+	sub := &Subscriber{addr: addr, key: k, q: newSubQueue(r.out, addr, r.cfg.QueueDepth, r.telDrops)}
+	next := &subSnapshot{subs: make([]*Subscriber, 0, len(cur.subs)+1), primary: cur.primary}
+	next.subs = append(append(next.subs, cur.subs...), sub)
+	if next.primary == nil {
+		next.primary = sub
+	}
+	r.snap.Store(next)
+	r.telSubs.SetInt(int64(len(next.subs)))
+	if !r.cfg.Sequential {
+		r.wg.Add(1)
+		go sub.q.run(&r.wg)
+	}
+}
+
+// Unsubscribe removes a receiver: its writer stops, its queued buffers are
+// released, its REMB entry is evicted (the forwarded minimum may rise),
+// and — if it was the primary viewer — the oldest remaining subscriber
+// becomes primary. Reports whether the address was subscribed.
+func (r *Router) Unsubscribe(addr net.Addr) bool {
+	k := KeyOf(addr)
+	r.mu.Lock()
+	cur := r.snap.Load()
+	idx := -1
+	for i, s := range cur.subs {
+		if s.key == k {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		r.mu.Unlock()
+		return false
+	}
+	removed := cur.subs[idx]
+	next := &subSnapshot{subs: make([]*Subscriber, 0, len(cur.subs)-1), primary: cur.primary}
+	next.subs = append(append(next.subs, cur.subs[:idx]...), cur.subs[idx+1:]...)
+	if cur.primary == removed {
+		next.primary = nil
+		if len(next.subs) > 0 {
+			next.primary = next.subs[0]
+		}
+	}
+	r.snap.Store(next)
+	r.telSubs.SetInt(int64(len(next.subs)))
+	r.mu.Unlock()
+
+	removed.q.Close()
+	r.fbMu.Lock()
+	r.remb.Remove(k)
+	r.fbMu.Unlock()
+	return true
+}
+
+// Subscribers returns the current subscriber count.
+func (r *Router) Subscribers() int { return len(r.snap.Load().subs) }
+
+// Primary returns the current primary viewer's address, or nil.
+func (r *Router) Primary() net.Addr {
+	if p := r.snap.Load().primary; p != nil {
+		return p.addr
+	}
+	return nil
+}
+
+// FromSender reports whether addr is the media sender (allocation-free for
+// UDP addresses).
+func (r *Router) FromSender(addr net.Addr) bool { return KeyOf(addr) == KeyOf(r.sender) }
+
+// frameIDOf classifies a wire packet for the drop policy. Media packets
+// (magic-prefixed transport header) group by stream+sequence; anything
+// else is its own droppable unit.
+func (r *Router) frameIDOf(b []byte) frameID {
+	if len(b) >= 11 && b[0] == transport.MediaMagic {
+		return frameID{media: true, stream: b[1], seq: binary.BigEndian.Uint32(b[2:6])}
+	}
+	r.ctlSeq++
+	return frameID{ctl: r.ctlSeq}
+}
+
+// mediaKeyFlag reports whether a wire packet is a key-frame media packet
+// (flags byte at magic+9, low bit — see transport.Packet.Marshal).
+func mediaKeyFlag(b []byte) bool {
+	return len(b) >= 11 && b[0] == transport.MediaMagic && b[10]&1 != 0
+}
+
+// RouteMedia fans one sender packet out to every subscriber. It takes
+// ownership of the caller's buffer reference.
+func (r *Router) RouteMedia(buf *PacketBuf) {
+	r.mediaPkts.Add(1)
+	r.telMedia.Inc()
+	b := buf.Bytes()
+	if mediaKeyFlag(b) {
+		// A key frame is on its way to everyone: the PLI refresh cycle is
+		// complete, mirror the receivers' PLITracker.OnKeyFrame.
+		r.fbMu.Lock()
+		r.pli.OnKeyFrame()
+		r.fbMu.Unlock()
+	}
+	if r.cfg.Sequential {
+		r.routeSequential(b)
+		buf.Release()
+		return
+	}
+	snap := r.snap.Load()
+	fid := r.frameIDOf(b)
+	for _, s := range snap.subs {
+		buf.Retain()
+		if !s.q.Enqueue(buf, fid) {
+			buf.Release()
+		}
+	}
+	r.fanoutPkts.Add(int64(len(snap.subs)))
+	r.telFanout.Add(int64(len(snap.subs)))
+	buf.Release()
+}
+
+// routeSequential is the pre-change data plane, preserved verbatim for the
+// A/B benchmark: snapshot the subscriber list with a fresh allocation,
+// then write to each subscriber in turn, blocking the whole relay on the
+// slowest one.
+func (r *Router) routeSequential(b []byte) {
+	r.mu.Lock()
+	snap := r.snap.Load()
+	subs := make([]net.Addr, 0, len(snap.subs))
+	for _, s := range snap.subs {
+		subs = append(subs, s.addr)
+	}
+	r.mu.Unlock()
+	for _, a := range subs {
+		_, _ = r.out.WriteTo(b, a)
+	}
+	r.fanoutPkts.Add(int64(len(subs)))
+	r.telFanout.Add(int64(len(subs)))
+}
+
+// RouteFeedback aggregates one reverse-path message from a subscriber.
+func (r *Router) RouteFeedback(b []byte, from net.Addr) {
+	if len(b) == 0 {
+		return
+	}
+	switch b[0] {
+	case transport.FBREMB:
+		bps, err := transport.UnmarshalREMB(b)
+		if err != nil {
+			return
+		}
+		now := r.now()
+		r.fbMu.Lock()
+		min := r.remb.Update(KeyOf(from), bps)
+		fwd := !r.rembSent || min != r.lastREMBMin || now-r.lastREMBFwd >= r.cfg.REMBInterval.Nanoseconds()
+		var wire []byte
+		if fwd {
+			r.rembSent = true
+			r.lastREMBMin = min
+			r.lastREMBFwd = now
+			wire = transport.AppendREMB(r.rembScratch[:0], min)
+		}
+		r.fbMu.Unlock()
+		if fwd {
+			r.rembFwd.Add(1)
+			r.telREMB.Inc()
+			_, _ = r.out.WriteTo(wire, r.sender)
+		}
+	case transport.FBPose:
+		// Only the primary viewer's poses reach the sender: culling is
+		// per-viewer state, so the sender culls for the primary and the
+		// other subscribers get the same (conservatively larger) view.
+		p := r.snap.Load().primary
+		if p != nil && KeyOf(from) == p.key {
+			r.poseFwd.Add(1)
+			_, _ = r.out.WriteTo(b, r.sender)
+		}
+	case transport.FBNACK:
+		stream, seq, frag, err := transport.UnmarshalNACK(b)
+		if err != nil {
+			return
+		}
+		now := r.now()
+		r.fbMu.Lock()
+		fwd := r.nacks.ShouldForward(nackKey{seq: seq, frag: frag, stream: stream}, now)
+		r.fbMu.Unlock()
+		if !fwd {
+			r.nackCoalesced.Add(1)
+			r.telNACKSup.Inc()
+			return
+		}
+		r.nackFwd.Add(1)
+		r.telNACKFwd.Inc()
+		_, _ = r.out.WriteTo(b, r.sender)
+	case transport.FBPLI:
+		now := r.now()
+		r.fbMu.Lock()
+		fwd := r.pli.ShouldForward(now)
+		r.fbMu.Unlock()
+		if !fwd {
+			r.pliSuppressed.Add(1)
+			r.telPLISup.Inc()
+			return
+		}
+		r.pliFwd.Add(1)
+		r.telPLIFwd.Inc()
+		_, _ = r.out.WriteTo(b, r.sender)
+	default:
+		// Pings, pongs, unknown types: forward to the sender.
+		_, _ = r.out.WriteTo(b, r.sender)
+	}
+}
+
+// Close stops every subscriber writer and releases queued buffers. Media
+// routed after Close is dropped at the (closed) queues.
+func (r *Router) Close() {
+	r.mu.Lock()
+	snap := r.snap.Load()
+	r.snap.Store(&subSnapshot{})
+	r.telSubs.SetInt(0)
+	r.mu.Unlock()
+	for _, s := range snap.subs {
+		s.q.Close()
+	}
+	r.wg.Wait()
+}
+
+// WaitIdle blocks until every subscriber queue is drained (or the timeout
+// elapses), returning whether it drained. Benchmarks use it to charge
+// queued-mode wall time with delivery, not just enqueue.
+func (r *Router) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		idle := true
+		for _, s := range r.snap.Load().subs {
+			if !s.q.Idle() {
+				idle = false
+				break
+			}
+		}
+		if idle {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Stats is a point-in-time snapshot of the router.
+type Stats struct {
+	Subscribers   int
+	MediaPackets  int64
+	FanoutPackets int64
+	Drops         int64
+	MaxDepth      int64
+	PLIForwarded  int64
+	PLISuppressed int64
+	NACKForwarded int64
+	NACKCoalesced int64
+	REMBForwarded int64
+	PoseForwarded int64
+	Subs          []SubStats
+}
+
+// Stats snapshots the router and its per-subscriber queues, and refreshes
+// the livo_relay_queue_depth_max gauge (the hot path never touches it).
+func (r *Router) Stats() Stats {
+	snap := r.snap.Load()
+	st := Stats{
+		Subscribers:   len(snap.subs),
+		MediaPackets:  r.mediaPkts.Load(),
+		FanoutPackets: r.fanoutPkts.Load(),
+		PLIForwarded:  r.pliFwd.Load(),
+		PLISuppressed: r.pliSuppressed.Load(),
+		NACKForwarded: r.nackFwd.Load(),
+		NACKCoalesced: r.nackCoalesced.Load(),
+		REMBForwarded: r.rembFwd.Load(),
+		PoseForwarded: r.poseFwd.Load(),
+		Subs:          make([]SubStats, 0, len(snap.subs)),
+	}
+	for _, s := range snap.subs {
+		ss := s.q.stats()
+		st.Drops += ss.Dropped
+		if ss.Depth > st.MaxDepth {
+			st.MaxDepth = ss.Depth
+		}
+		st.Subs = append(st.Subs, ss)
+	}
+	r.telDepthMax.SetInt(st.MaxDepth)
+	return st
+}

@@ -1,0 +1,498 @@
+package relaycore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"livo/internal/netem"
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+)
+
+// mediaWire builds one on-the-wire media packet (magic + transport header).
+func mediaWire(stream uint8, seq uint32, frag, count uint16, key bool, payload []byte) []byte {
+	p := transport.Packet{
+		Stream: stream, FrameSeq: seq, FragIndex: frag, FragCount: count,
+		Key: key, Payload: payload,
+	}
+	return append([]byte{transport.MediaMagic}, p.Marshal()...)
+}
+
+func senderAddr() *net.UDPAddr { return &net.UDPAddr{IP: net.IPv4(10, 9, 9, 9), Port: 31000} }
+
+func testConfig() Config {
+	return Config{Telemetry: telemetry.NewRegistry(0)}
+}
+
+// fakeClock is an injectable Config.Now.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) Now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) Advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func TestRouterFanoutDelivery(t *testing.T) {
+	rec := newRecWriter()
+	r := NewRouter(rec, senderAddr(), testConfig())
+	defer r.Close()
+
+	subs := make([]*net.UDPAddr, 8)
+	for i := range subs {
+		subs[i] = udp(i + 1)
+		r.Subscribe(subs[i])
+	}
+	if r.Subscribers() != 8 {
+		t.Fatalf("Subscribers = %d, want 8", r.Subscribers())
+	}
+	// Duplicate subscribe is idempotent.
+	r.Subscribe(&net.UDPAddr{IP: subs[0].IP, Port: subs[0].Port})
+	if r.Subscribers() != 8 {
+		t.Fatalf("Subscribers = %d after duplicate subscribe, want 8", r.Subscribers())
+	}
+
+	const frames, frags = 25, 4
+	pool := r.Pool()
+	for f := uint32(0); f < frames; f++ {
+		for g := uint16(0); g < frags; g++ {
+			r.RouteMedia(pool.Load(mediaWire(1, f, g, frags, false, []byte{byte(f), byte(g)})))
+		}
+	}
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("router did not drain")
+	}
+	for i, a := range subs {
+		got := rec.payloads(a)
+		if len(got) != frames*frags {
+			t.Fatalf("sub %d received %d packets, want %d", i, len(got), frames*frags)
+		}
+		for j, b := range got {
+			f, g := uint32(j/frags), uint16(j%frags)
+			if binary.BigEndian.Uint32(b[2:6]) != f || binary.BigEndian.Uint16(b[6:8]) != g {
+				t.Fatalf("sub %d delivery %d out of order", i, j)
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Drops != 0 {
+		t.Fatalf("drops = %d, want 0", st.Drops)
+	}
+	if st.MediaPackets != frames*frags {
+		t.Fatalf("media packets = %d, want %d", st.MediaPackets, frames*frags)
+	}
+}
+
+// stallWriter blocks writes to one address until released; other addresses
+// pass through to the recorder.
+type stallWriter struct {
+	rec     *recWriter
+	stalled string
+	release chan struct{}
+	blocked atomic.Int64
+}
+
+func (w *stallWriter) WriteTo(p []byte, a net.Addr) (int, error) {
+	if a.String() == w.stalled {
+		w.blocked.Add(1)
+		<-w.release
+	}
+	return w.rec.WriteTo(p, a)
+}
+
+// TestStalledSubscriberIsolation: one receiver whose socket never drains
+// must not reduce delivery to healthy receivers (the acceptance bound is
+// ≤10%; with per-subscriber queues it is 0%).
+func TestStalledSubscriberIsolation(t *testing.T) {
+	stalled := udp(99)
+	w := &stallWriter{rec: newRecWriter(), stalled: stalled.String(), release: make(chan struct{})}
+	cfg := testConfig()
+	cfg.QueueDepth = 64
+	r := NewRouter(w, senderAddr(), cfg)
+
+	healthy := make([]*net.UDPAddr, 4)
+	for i := range healthy {
+		healthy[i] = udp(i + 1)
+		r.Subscribe(healthy[i])
+	}
+	r.Subscribe(stalled)
+
+	const frames, frags = 100, 8 // 800 packets >> stalled queue depth
+	pool := r.Pool()
+	for f := uint32(0); f < frames; f++ {
+		for g := uint16(0); g < frags; g++ {
+			r.RouteMedia(pool.Load(mediaWire(1, f, g, frags, false, nil)))
+		}
+		// Pace like a real sender so writer goroutines interleave on one
+		// core; the stalled queue still overflows at depth 64.
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Healthy queues drain fully even while the stalled writer is parked.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		done := true
+		for _, a := range healthy {
+			if w.rec.count(a) < frames*frags {
+				done = false
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i, a := range healthy {
+		if n := w.rec.count(a); n != frames*frags {
+			t.Fatalf("healthy sub %d delivered %d/%d packets while peer stalled", i, n, frames*frags)
+		}
+	}
+	var stalledDrops int64
+	for _, ss := range r.Stats().Subs {
+		if ss.Addr == stalled.String() {
+			stalledDrops = ss.Dropped
+		}
+	}
+	if stalledDrops == 0 {
+		t.Fatal("stalled subscriber accrued no drops; queue bound not enforced")
+	}
+	close(w.release) // unpark before Close so the writer goroutine can exit
+	r.Close()
+}
+
+func TestRouterUnsubscribe(t *testing.T) {
+	rec := newRecWriter()
+	r := NewRouter(rec, senderAddr(), testConfig())
+	defer r.Close()
+
+	s1, s2, s3 := udp(1), udp(2), udp(3)
+	r.Subscribe(s1)
+	r.Subscribe(s2)
+	r.Subscribe(s3)
+	if p := r.Primary(); p == nil || KeyOf(p) != KeyOf(s1) {
+		t.Fatalf("primary = %v, want %v", p, s1)
+	}
+	if !r.Unsubscribe(s1) {
+		t.Fatal("Unsubscribe(s1) = false, want true")
+	}
+	if p := r.Primary(); p == nil || KeyOf(p) != KeyOf(s2) {
+		t.Fatalf("primary after unsubscribe = %v, want repointed to %v", p, s2)
+	}
+	if r.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d, want 2", r.Subscribers())
+	}
+	if r.Unsubscribe(s1) {
+		t.Fatal("Unsubscribe of a departed address = true, want false")
+	}
+	// s1's queue is closed: media no longer reaches it.
+	pool := r.Pool()
+	r.RouteMedia(pool.Load(mediaWire(1, 0, 0, 1, false, nil)))
+	if !r.WaitIdle(time.Second) {
+		t.Fatal("router did not drain")
+	}
+	if n := rec.count(s1); n != 0 {
+		t.Fatalf("departed subscriber received %d packets", n)
+	}
+	if n := rec.count(s2); n != 1 {
+		t.Fatalf("remaining subscriber received %d packets, want 1", n)
+	}
+}
+
+// TestUnsubscribeEvictsREMB: a departed slow subscriber must stop pinning
+// the forwarded bandwidth minimum.
+func TestUnsubscribeEvictsREMB(t *testing.T) {
+	rec := newRecWriter()
+	sender := senderAddr()
+	r := NewRouter(rec, sender, testConfig())
+	defer r.Close()
+
+	fast, slow := udp(1), udp(2)
+	r.Subscribe(fast)
+	r.Subscribe(slow)
+
+	remb := func(bps float64) []byte { return transport.AppendREMB(nil, bps) }
+	lastREMB := func() float64 {
+		msgs := rec.payloads(sender)
+		for i := len(msgs) - 1; i >= 0; i-- {
+			if msgs[i][0] == transport.FBREMB {
+				v, err := transport.UnmarshalREMB(msgs[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				return v
+			}
+		}
+		t.Fatal("no REMB reached the sender")
+		return 0
+	}
+
+	r.RouteFeedback(remb(8e6), fast)
+	r.RouteFeedback(remb(1e6), slow)
+	if got := lastREMB(); got != 1e6 {
+		t.Fatalf("forwarded min = %g, want 1e6 (slow subscriber)", got)
+	}
+	if !r.Unsubscribe(slow) {
+		t.Fatal("Unsubscribe(slow) failed")
+	}
+	r.RouteFeedback(remb(8e6), fast)
+	if got := lastREMB(); got != 8e6 {
+		t.Fatalf("forwarded min = %g after eviction, want 8e6", got)
+	}
+}
+
+// TestPoseForwardingPrimaryOnly: poses pass only from the primary viewer,
+// matched by canonical key (no String() comparisons on the packet path).
+func TestPoseForwardingPrimaryOnly(t *testing.T) {
+	rec := newRecWriter()
+	sender := senderAddr()
+	r := NewRouter(rec, sender, testConfig())
+	defer r.Close()
+
+	primary, other := udp(1), udp(2)
+	r.Subscribe(primary)
+	r.Subscribe(other)
+
+	pose := []byte{transport.FBPose, 1, 2, 3}
+	r.RouteFeedback(pose, other)
+	if n := rec.count(sender); n != 0 {
+		t.Fatalf("non-primary pose forwarded (%d messages)", n)
+	}
+	// Equivalent address value (fresh allocation) still matches the primary.
+	r.RouteFeedback(pose, &net.UDPAddr{IP: primary.IP, Port: primary.Port})
+	if n := rec.count(sender); n != 1 {
+		t.Fatalf("primary pose not forwarded (%d messages)", n)
+	}
+	// Primary departs; the repointed primary's poses pass.
+	r.Unsubscribe(primary)
+	r.RouteFeedback(pose, other)
+	if n := rec.count(sender); n != 2 {
+		t.Fatalf("repointed primary's pose not forwarded (%d messages)", n)
+	}
+}
+
+// TestPLIBurst64: a simultaneous PLI burst from 64 subscribers reaches the
+// sender as at most 2 messages per refresh window (acceptance criterion).
+func TestPLIBurst64(t *testing.T) {
+	rec := newRecWriter()
+	sender := senderAddr()
+	clk := &fakeClock{}
+	cfg := testConfig()
+	cfg.Now = clk.Now
+	r := NewRouter(rec, sender, cfg)
+	defer r.Close()
+
+	subs := make([]*net.UDPAddr, 64)
+	for i := range subs {
+		subs[i] = udp(i + 1)
+		r.Subscribe(subs[i])
+	}
+	pli := []byte{transport.FBPLI}
+	burst := func() {
+		for _, a := range subs {
+			r.RouteFeedback(pli, a)
+			clk.Advance(10 * time.Microsecond) // bursts are near- not exactly simultaneous
+		}
+	}
+	burst()
+	if n := rec.count(sender); n != 1 {
+		t.Fatalf("first burst forwarded %d PLIs, want 1", n)
+	}
+	// Still inside the window: another full burst adds nothing.
+	clk.Advance(100 * time.Millisecond)
+	burst()
+	if n := rec.count(sender); n != 1 {
+		t.Fatalf("in-window burst forwarded %d total PLIs, want 1", n)
+	}
+	// Window expires (sender still hasn't refreshed): one more escapes.
+	clk.Advance(250 * time.Millisecond)
+	burst()
+	if n := rec.count(sender); n != 2 {
+		t.Fatalf("post-window burst forwarded %d total PLIs, want 2", n)
+	}
+	st := r.Stats()
+	if st.PLIForwarded != 2 || st.PLISuppressed != 64*3-2 {
+		t.Fatalf("PLI stats fwd=%d sup=%d, want 2/%d", st.PLIForwarded, st.PLISuppressed, 64*3-2)
+	}
+	// A key frame re-arms the gate: the next loss reports immediately.
+	clk.Advance(time.Millisecond)
+	r.RouteMedia(r.Pool().Load(mediaWire(1, 9, 0, 1, true, nil)))
+	r.RouteFeedback(pli, subs[0])
+	if n := rec.count(sender); n != 3 {
+		t.Fatalf("post-keyframe PLI suppressed (%d total)", n)
+	}
+}
+
+// TestNACKCoalesceAcrossSubscribers: the same lost fragment NACKed by many
+// subscribers leaves once; distinct fragments all pass.
+func TestNACKCoalesceAcrossSubscribers(t *testing.T) {
+	rec := newRecWriter()
+	sender := senderAddr()
+	clk := &fakeClock{}
+	cfg := testConfig()
+	cfg.Now = clk.Now
+	r := NewRouter(rec, sender, cfg)
+	defer r.Close()
+
+	subs := make([]*net.UDPAddr, 16)
+	for i := range subs {
+		subs[i] = udp(i + 1)
+		r.Subscribe(subs[i])
+	}
+	for _, a := range subs {
+		r.RouteFeedback(transport.MarshalNACK(1, 42, 3), a)
+	}
+	if n := rec.count(sender); n != 1 {
+		t.Fatalf("same-fragment NACKs forwarded %d times, want 1", n)
+	}
+	r.RouteFeedback(transport.MarshalNACK(1, 42, 4), subs[0])
+	r.RouteFeedback(transport.MarshalNACK(2, 42, 3), subs[1])
+	if n := rec.count(sender); n != 3 {
+		t.Fatalf("distinct-fragment NACKs: %d forwarded, want 3", n)
+	}
+	st := r.Stats()
+	if st.NACKForwarded != 3 || st.NACKCoalesced != 15 {
+		t.Fatalf("NACK stats fwd=%d coal=%d, want 3/15", st.NACKForwarded, st.NACKCoalesced)
+	}
+}
+
+// TestSubscribeUnsubscribeConcurrentWithRoute exercises membership churn
+// against a hot routing loop; run under -race.
+func TestSubscribeUnsubscribeConcurrentWithRoute(t *testing.T) {
+	rec := newRecWriter()
+	r := NewRouter(rec, senderAddr(), testConfig())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // membership churn
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := udp(1 + i%32)
+			r.Subscribe(a)
+			if i%3 == 0 {
+				r.Unsubscribe(a)
+			}
+			i++
+		}
+	}()
+	pool := r.Pool()
+	for f := uint32(0); f < 500; f++ {
+		for g := uint16(0); g < 4; g++ {
+			r.RouteMedia(pool.Load(mediaWire(1, f, g, 4, false, nil)))
+		}
+		if f%10 == 0 {
+			r.RouteFeedback(transport.AppendREMB(nil, float64(1e6+f)), udp(1+int(f)%32))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	r.WaitIdle(2 * time.Second)
+	r.Close()
+}
+
+// TestRouterChaos64: 64 subscribers under bursty loss and reordering on the
+// inbound path. Asserts the drop-accounting invariant on every queue, full
+// drain, and no goroutine leak after Close.
+func TestRouterChaos64(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	rec := newRecWriter()
+	cfg := testConfig()
+	cfg.QueueDepth = 256
+	r := NewRouter(rec, senderAddr(), cfg)
+
+	const nSubs = 64
+	for i := 0; i < nSubs; i++ {
+		r.Subscribe(udp(i + 1))
+	}
+
+	chaos := netem.NewChaos(netem.ChaosConfig{
+		Seed:        7,
+		PEnterBurst: 0.02, PExitBurst: 0.10,
+		LossGood: 0.01, LossBad: 0.5,
+		ReorderProb: 0.05, ReorderDelay: 0.03,
+		DupProb: 0.01,
+	})
+
+	packets := 3000
+	if testing.Short() {
+		packets = 600
+	}
+	pool := r.Pool()
+	routed := 0
+	for i := 0; i < packets; i++ {
+		wire := mediaWire(1, uint32(i/8), uint16(i%8), 8, i%480 == 0, []byte(fmt.Sprintf("p%d", i)))
+		for _, d := range chaos.Apply(wire) {
+			r.RouteMedia(pool.Load(d.Payload))
+			routed++
+		}
+		if i%100 == 0 { // interleave feedback churn from random subscribers
+			r.RouteFeedback([]byte{transport.FBPLI}, udp(1+i%nSubs))
+			r.RouteFeedback(transport.MarshalNACK(1, uint32(i/8), uint16(i%8)), udp(1+(i+3)%nSubs))
+			r.RouteFeedback(transport.AppendREMB(nil, float64(1e6*(1+i%5))), udp(1+(i+7)%nSubs))
+		}
+	}
+	if chaos.Dropped() == 0 || chaos.Reordered() == 0 {
+		t.Fatalf("chaos injected no faults (dropped=%d reordered=%d)", chaos.Dropped(), chaos.Reordered())
+	}
+	if !r.WaitIdle(5 * time.Second) {
+		t.Fatal("router did not drain under chaos")
+	}
+	st := r.Stats()
+	if st.MediaPackets != int64(routed) {
+		t.Fatalf("media packets = %d, want %d", st.MediaPackets, routed)
+	}
+	for _, ss := range st.Subs {
+		if ss.Depth != 0 {
+			t.Fatalf("sub %s depth = %d after WaitIdle", ss.Addr, ss.Depth)
+		}
+		if ss.Enqueued != ss.Sent+ss.Dropped {
+			t.Fatalf("sub %s accounting: enqueued %d != sent %d + dropped %d",
+				ss.Addr, ss.Enqueued, ss.Sent, ss.Dropped)
+		}
+		if ss.Sent != int64(routed)-ss.Dropped {
+			t.Fatalf("sub %s delivered %d of %d routed (dropped %d)", ss.Addr, ss.Sent, routed, ss.Dropped)
+		}
+	}
+	r.Close()
+
+	// All writer goroutines must exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after Close: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRouterSequentialMode: the legacy A/B path still delivers to everyone.
+func TestRouterSequentialMode(t *testing.T) {
+	rec := newRecWriter()
+	cfg := testConfig()
+	cfg.Sequential = true
+	r := NewRouter(rec, senderAddr(), cfg)
+	defer r.Close()
+
+	subs := make([]*net.UDPAddr, 4)
+	for i := range subs {
+		subs[i] = udp(i + 1)
+		r.Subscribe(subs[i])
+	}
+	pool := r.Pool()
+	for f := uint32(0); f < 10; f++ {
+		r.RouteMedia(pool.Load(mediaWire(1, f, 0, 1, false, nil)))
+	}
+	for i, a := range subs {
+		if n := rec.count(a); n != 10 {
+			t.Fatalf("sequential sub %d received %d packets, want 10", i, n)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Reverse-path feedback message types. They live here (rather than only in
+// the public package) so the relay core can parse and aggregate feedback —
+// dedup PLIs, coalesce NACKs, track the REMB minimum — without importing
+// the public API; package livo aliases these values.
+const (
+	FBPose byte = 1 + iota
+	FBREMB
+	FBNACK
+	FBPLI
+	FBPing
+	FBPong
+)
+
+// MediaMagic is the first byte of every media packet on the wire,
+// distinguishing media from feedback sharing one socket. It is disjoint
+// from every FB* type above (enforced by a test in package livo).
+const MediaMagic byte = 0xD7
+
+// AppendREMB appends an encoded receiver bandwidth estimate (bits per
+// second) to dst and returns the extended slice. With a preallocated dst
+// the encode is allocation-free — the relay forwards REMB minima on the
+// hot reverse path.
+func AppendREMB(dst []byte, bps float64) []byte {
+	dst = append(dst, FBREMB)
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(bps))
+}
+
+// UnmarshalREMB parses a REMB message.
+func UnmarshalREMB(b []byte) (float64, error) {
+	if len(b) < 9 {
+		return 0, fmt.Errorf("transport: short REMB")
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b[1:])), nil
+}
+
+// MarshalNACK encodes a missing-fragment report.
+func MarshalNACK(stream uint8, frameSeq uint32, frag uint16) []byte {
+	out := make([]byte, 8)
+	out[0] = FBNACK
+	out[1] = stream
+	binary.BigEndian.PutUint32(out[2:], frameSeq)
+	binary.BigEndian.PutUint16(out[6:], frag)
+	return out
+}
+
+// UnmarshalNACK parses a missing-fragment report.
+func UnmarshalNACK(b []byte) (stream uint8, frameSeq uint32, frag uint16, err error) {
+	if len(b) < 8 {
+		return 0, 0, 0, fmt.Errorf("transport: short NACK")
+	}
+	return b[1], binary.BigEndian.Uint32(b[2:]), binary.BigEndian.Uint16(b[6:]), nil
+}

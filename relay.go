@@ -5,66 +5,76 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"livo/internal/relaycore"
 )
 
-// Relay is a minimal selective-forwarding unit for multi-way conferencing —
-// the paper leaves multi-way to future work (§3.1) but notes the
-// opportunity of optimizing across receivers of a single sender; Relay is
-// that building block. It forwards one sender's media packets to every
-// subscribed receiver and aggregates the reverse path:
+// Relay is a selective-forwarding unit for multi-way conferencing — the
+// paper leaves multi-way to future work (§3.1) but notes the opportunity of
+// optimizing across receivers of a single sender; Relay is that building
+// block. It forwards one sender's media packets to every subscribed
+// receiver and aggregates the reverse path.
 //
-//   - REMB: the minimum across receivers is forwarded, so the sender
-//     adapts to the slowest subscriber;
-//   - PLI/NACK: forwarded as-is (a key frame or retransmission heals every
-//     subscriber);
-//   - poses: forwarded from the designated primary viewer only — culling
-//     is per-viewer state, so the sender culls for the primary and the
-//     relay's other subscribers receive the same (conservatively larger)
-//     view. Per-receiver culling would require per-receiver encoding,
-//     exactly the optimization the paper defers.
+// The data plane lives in internal/relaycore (see DESIGN.md §7): media is
+// loaded once into a refcounted pooled buffer and fanned out through
+// per-subscriber bounded queues with dedicated writers, so one stalled
+// receiver never head-of-line-blocks the rest; feedback is deduplicated
+// (one PLI per refresh window, NACKs coalesced per fragment, REMB minimum
+// forwarded) rather than mirrored. Relay itself is the UDP shell: one read
+// loop classifying packets by source and handing them to the router.
 type Relay struct {
 	conn   net.PacketConn
-	sender net.Addr
+	router *relaycore.Router
 
-	mu      sync.Mutex
-	subs    []net.Addr
-	primary int // index into subs whose poses drive culling
-	rembBy  map[string]float64
-
-	closed chan struct{}
-	wg     sync.WaitGroup
+	closed    chan struct{}
+	alreadyMu sync.Mutex
+	already   bool
+	wg        sync.WaitGroup
 }
 
 // NewRelay creates a relay on conn, forwarding the given sender's media to
 // subscribers added with Subscribe.
 func NewRelay(conn net.PacketConn, sender net.Addr) *Relay {
+	return NewRelayWith(conn, sender, relaycore.Config{})
+}
+
+// NewRelayWith creates a relay with an explicit data-plane configuration
+// (queue depth, feedback windows, or the legacy Sequential path kept for
+// A/B measurement — see livo-bench -relaybench).
+func NewRelayWith(conn net.PacketConn, sender net.Addr, cfg relaycore.Config) *Relay {
 	return &Relay{
 		conn:   conn,
-		sender: sender,
-		rembBy: make(map[string]float64),
+		router: relaycore.NewRouter(conn, sender, cfg),
 		closed: make(chan struct{}),
 	}
 }
 
-// Subscribe adds a receiver. The first subscriber becomes the primary
-// viewer (its poses drive the sender's culling).
-func (r *Relay) Subscribe(addr net.Addr) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.subs = append(r.subs, addr)
-}
+// Subscribe adds a receiver (idempotent per address). The first subscriber
+// becomes the primary viewer (its poses drive the sender's culling).
+func (r *Relay) Subscribe(addr net.Addr) { r.router.Subscribe(addr) }
+
+// Unsubscribe removes a receiver: its send queue is torn down, its REMB
+// entry is evicted (so the forwarded minimum can rise), and if it was the
+// primary viewer the oldest remaining subscriber takes over. Reports
+// whether the address was subscribed.
+func (r *Relay) Unsubscribe(addr net.Addr) bool { return r.router.Unsubscribe(addr) }
 
 // Subscribers returns the current subscriber count.
-func (r *Relay) Subscribers() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.subs)
-}
+func (r *Relay) Subscribers() int { return r.router.Subscribers() }
+
+// Primary returns the current primary viewer's address, or nil when there
+// are no subscribers.
+func (r *Relay) Primary() net.Addr { return r.router.Primary() }
+
+// Stats snapshots the relay data plane (fan-out counts, per-subscriber
+// queue depths and drops, feedback dedup counters).
+func (r *Relay) Stats() relaycore.Stats { return r.router.Stats() }
 
 // Run forwards packets until Close; call on its own goroutine.
 func (r *Relay) Run() {
 	r.wg.Add(1)
 	defer r.wg.Done()
+	pool := r.router.Pool()
 	buf := make([]byte, 65536)
 	for {
 		select {
@@ -83,63 +93,29 @@ func (r *Relay) Run() {
 		if n == 0 {
 			continue
 		}
-		r.route(buf[:n], from)
+		if r.router.FromSender(from) {
+			// Media (and sender pings) fan out to every subscriber: one
+			// copy into a pooled buffer, references to every queue.
+			r.router.RouteMedia(pool.Load(buf[:n]))
+			continue
+		}
+		r.router.RouteFeedback(buf[:n], from)
 	}
 }
 
-// route forwards one packet in the appropriate direction.
-func (r *Relay) route(b []byte, from net.Addr) {
-	fromSender := from.String() == r.sender.String()
-	if fromSender {
-		// Media (and sender pings) fan out to every subscriber.
-		r.mu.Lock()
-		subs := append([]net.Addr(nil), r.subs...)
-		r.mu.Unlock()
-		for _, s := range subs {
-			_, _ = r.conn.WriteTo(b, s)
-		}
-		return
-	}
-	// Reverse path from a subscriber.
-	switch b[0] {
-	case fbREMB:
-		bps, err := unmarshalREMB(b)
-		if err != nil {
-			return
-		}
-		r.mu.Lock()
-		r.rembBy[from.String()] = bps
-		min := bps
-		for _, v := range r.rembBy {
-			if v < min {
-				min = v
-			}
-		}
-		r.mu.Unlock()
-		_, _ = r.conn.WriteTo(marshalREMB(min), r.sender)
-	case fbPose:
-		// Only the primary viewer's poses reach the sender.
-		r.mu.Lock()
-		isPrimary := len(r.subs) > r.primary && r.subs[r.primary].String() == from.String()
-		r.mu.Unlock()
-		if isPrimary {
-			_, _ = r.conn.WriteTo(b, r.sender)
-		}
-	default:
-		// NACK, PLI, pongs: forward to the sender.
-		_, _ = r.conn.WriteTo(b, r.sender)
-	}
-}
-
-// Close stops the relay (the caller owns the connection).
+// Close stops the relay and its subscriber writers (the caller owns the
+// connection).
 func (r *Relay) Close() error {
-	select {
-	case <-r.closed:
+	r.alreadyMu.Lock()
+	if r.already {
+		r.alreadyMu.Unlock()
 		return fmt.Errorf("livo: relay already closed")
-	default:
 	}
+	r.already = true
+	r.alreadyMu.Unlock()
 	close(r.closed)
 	_ = r.conn.SetReadDeadline(time.Now())
 	r.wg.Wait()
+	r.router.Close()
 	return nil
 }

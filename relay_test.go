@@ -95,6 +95,43 @@ func TestRelayFanOut(t *testing.T) {
 	}
 }
 
+// TestRelayUnsubscribe: removing a subscriber tears down its queue, evicts
+// its REMB entry, and repoints the primary viewer to the oldest remaining
+// subscriber.
+func TestRelayUnsubscribe(t *testing.T) {
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sender, _ := net.ResolveUDPAddr("udp", "127.0.0.1:1")
+	s1, _ := net.ResolveUDPAddr("udp", "127.0.0.1:2001")
+	s2, _ := net.ResolveUDPAddr("udp", "127.0.0.1:2002")
+	r := NewRelay(c, sender)
+	defer r.Close()
+
+	r.Subscribe(s1)
+	r.Subscribe(s2)
+	if p := r.Primary(); p == nil || p.String() != s1.String() {
+		t.Fatalf("primary = %v, want %v", p, s1)
+	}
+	if !r.Unsubscribe(s1) {
+		t.Fatal("Unsubscribe(s1) = false, want true")
+	}
+	if r.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1", r.Subscribers())
+	}
+	if p := r.Primary(); p == nil || p.String() != s2.String() {
+		t.Fatalf("primary = %v after unsubscribe, want repointed to %v", p, s2)
+	}
+	if r.Unsubscribe(s1) {
+		t.Fatal("second Unsubscribe(s1) = true, want false")
+	}
+	if st := r.Stats(); st.Subscribers != 1 {
+		t.Fatalf("stats subscribers = %d, want 1", st.Subscribers)
+	}
+}
+
 func TestRelayDoubleClose(t *testing.T) {
 	c, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {

@@ -14,7 +14,7 @@ import (
 )
 
 // mediaMagic distinguishes media packets from feedback on the same socket.
-const mediaMagic byte = 0xD7
+const mediaMagic = transport.MediaMagic
 
 // SendSession streams one direction of a live conference: it encodes camera
 // views with the LiVo pipeline and sends them to a remote receiver over a
