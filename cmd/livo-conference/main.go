@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"livo"
+	"livo/internal/relaycore"
 	"livo/internal/scene"
 	"livo/internal/telemetry"
 )
@@ -37,6 +38,7 @@ func main() {
 		videoB  = flag.String("video-b", "office1", "site B's scene")
 		seconds = flag.Float64("seconds", 5, "conference duration")
 		fanout  = flag.Int("fanout", 0, "route site A through a relay to this many subscribers (site B plus counting sinks)")
+		shards  = flag.Int("relay-shards", 0, "relay data-plane ingest shards (0 = GOMAXPROCS)")
 		debug   = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -108,7 +110,7 @@ func main() {
 	if *fanout > 0 {
 		relayConn := mkConn()
 		defer relayConn.Close()
-		relay = livo.NewRelay(relayConn, aOut.LocalAddr())
+		relay = livo.NewRelayWith(relayConn, aOut.LocalAddr(), relaycore.Config{Shards: *shards})
 		relay.Subscribe(bIn.LocalAddr()) // first subscriber: primary viewer
 		for i := 1; i < *fanout; i++ {
 			sink := mkConn()
@@ -179,5 +181,9 @@ func main() {
 			st.Subscribers, st.MediaPackets, st.FanoutPackets, st.Drops, sinkPkts.Load())
 		fmt.Printf("relay feedback: pli %d fwd/%d deduped, nack %d fwd/%d coalesced, remb %d fwd, pose %d fwd\n",
 			st.PLIForwarded, st.PLISuppressed, st.NACKForwarded, st.NACKCoalesced, st.REMBForwarded, st.PoseForwarded)
+		for _, sh := range st.Shards {
+			fmt.Printf("relay shard %d: %d subs, %d pkts routed, %d queues stolen by its workers\n",
+				sh.ID, sh.Subscribers, sh.Routed, sh.Stolen)
+		}
 	}
 }

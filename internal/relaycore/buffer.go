@@ -51,6 +51,8 @@ type BufPool struct {
 
 	misses   atomic.Int64
 	oversize atomic.Int64
+	gets     atomic.Int64
+	puts     atomic.Int64
 }
 
 // DefaultBufClass comfortably holds a media packet: MTU (1200) plus the
@@ -87,6 +89,7 @@ func (bp *BufPool) Get(n int) *PacketBuf {
 	}
 	p.n = n
 	p.refs.Store(1)
+	bp.gets.Add(1)
 	return p
 }
 
@@ -98,6 +101,7 @@ func (bp *BufPool) Load(b []byte) *PacketBuf {
 }
 
 func (bp *BufPool) put(p *PacketBuf) {
+	bp.puts.Add(1)
 	bp.mu.Lock()
 	bp.free = append(bp.free, p)
 	bp.mu.Unlock()
@@ -106,3 +110,8 @@ func (bp *BufPool) put(p *PacketBuf) {
 // Misses returns how many buffers were newly allocated (pool cold or
 // growing); steady state adds none.
 func (bp *BufPool) Misses() int64 { return bp.misses.Load() }
+
+// Live returns how many pooled buffers are checked out (get minus put).
+// After every reference is released it must read 0 — the leak invariant the
+// unsubscribe-mid-frame regression test asserts across all shards.
+func (bp *BufPool) Live() int64 { return bp.gets.Load() - bp.puts.Load() }

@@ -1,8 +1,14 @@
 package relaycore
 
-// Feedback aggregation state. All three structures are driven from the
-// router's single routing goroutine (plus Unsubscribe under the router's
-// feedback mutex); none is safe for unguarded concurrent use on its own.
+// Feedback aggregation state. Unlike the media path, which is sharded
+// across cores, the reverse path stays centralized: its job is global
+// deduplication (one PLI per window, one NACK per fragment, one REMB
+// minimum across every subscriber), so it is serialized under the
+// router's feedback mutex — RouteFeedback callers, Unsubscribe, and the
+// key-frame re-arm all take it. None of the three structures is safe for
+// unguarded concurrent use on its own. REMB messages additionally fan
+// *in* to the reporting subscriber's queue (SubQueue.UpdateBandwidth)
+// before min-tracking, driving the adaptive ring depth.
 
 // rembMin maintains the minimum REMB across subscribers without a full
 // map scan per message: the scan happens only when the current minimum's

@@ -17,6 +17,36 @@ type Key struct {
 // does, without its allocation.
 var v4InV6Prefix = [12]byte{10: 0xff, 11: 0xff}
 
+// hash folds the key FNV-1a style for shard assignment: equal Keys land on
+// the same shard, and real subscriber populations (distinct ports/IPs)
+// spread evenly across partitions. Raw FNV-1a is weak in its low bits
+// (shard index is hash mod N, typically a small power of two, and
+// consecutive ports otherwise alias onto a few shards), so a final
+// avalanche step mixes the high bits down. Allocation-free.
+func (k Key) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range k.ip {
+		h = (h ^ uint64(b)) * prime64
+	}
+	h = (h ^ uint64(k.port)) * prime64
+	for i := 0; i < len(k.zone); i++ {
+		h = (h ^ uint64(k.zone[i])) * prime64
+	}
+	for i := 0; i < len(k.str); i++ {
+		h = (h ^ uint64(k.str[i])) * prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
 // KeyOf builds the canonical key for an address. Two addresses that
 // compare equal by String() produce equal Keys.
 func KeyOf(a net.Addr) Key {

@@ -4,18 +4,22 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"livo/internal/telemetry"
+	"livo/internal/transport"
 )
 
 // frameID groups the fragments of one media frame so the drop policy can
 // discard whole frames. Non-media packets (pongs, sender pings) each get a
-// unique control id: they are individually droppable.
+// unique control id: they are individually droppable. key marks key-frame
+// media — the drop policy spends delta frames before touching it.
 type frameID struct {
 	ctl    uint64
 	seq    uint32
 	stream uint8
 	media  bool
+	key    bool
 }
 
 type entry struct {
@@ -23,194 +27,297 @@ type entry struct {
 	fid frameID
 }
 
-// writerBatch bounds how many entries a writer pops per lock acquisition.
-const writerBatch = 16
+// writerBatch bounds how many entries a writer worker pops per drain — the
+// sendmmsg-shaped WriteBatch unit.
+const writerBatch = 32
+
+// queueState is the scheduling state of a SubQueue within its shard.
+type queueState uint8
+
+const (
+	// qIdle: empty (or unscheduled); the next Enqueue pushes it ready.
+	qIdle queueState = iota
+	// qReady: sitting in a shard ready list awaiting a writer worker.
+	qReady
+	// qDraining: owned by one writer worker (at most one at a time — a
+	// stalled WriteBatch parks exactly one worker per stalled subscriber).
+	qDraining
+)
 
 // SubQueue is one subscriber's bounded send queue: a ring of refcounted
-// packet buffers drained by a dedicated writer goroutine. A stalled
-// subscriber fills its own ring and triggers the drop policy; it never
-// blocks the router or other subscribers.
+// packet buffers drained in batches by the router's writer workers. A
+// stalled subscriber fills its own ring and triggers the drop policy; it
+// never blocks the router or other subscribers.
 //
-// Drop policy (slow subscriber): drop-oldest at media-frame granularity.
-// When the ring is full the oldest *whole* queued frame is discarded —
-// never a strict subset of a fragment run whose earlier fragments already
-// left the queue (a split run forces the receiver to NACK every remaining
-// fragment; a cleanly dropped frame costs one jitter-buffer skip). If the
-// entire ring is the tail of the frame currently being written, the
-// incoming packet is rejected instead.
+// Drop policy (slow subscriber): drop-oldest at media-frame granularity,
+// preferring delta frames. When the ring is over its limit the oldest whole
+// *delta* frame is discarded first; key frames are spent only to admit an
+// incoming key frame (an incoming delta never evicts a queued key frame —
+// the key frame is what every later delta depends on). A fragment run is
+// never split: eviction removes every queued fragment of the victim frame,
+// and the run currently being written (whose earlier fragments already left
+// the queue) is immune. If nothing is droppable the incoming packet is
+// rejected instead.
+//
+// Adaptive depth: the effective limit tracks the subscriber's REMB-estimated
+// bandwidth-delay product (UpdateBandwidth) between a configured floor and
+// the allocated ring capacity, so a slow subscriber queues what it can
+// actually drain inside the depth window instead of a fixed second of media.
 type SubQueue struct {
-	addr net.Addr
-	out  Writer
+	addr  net.Addr
+	shard *shard // owning shard; nil when unscheduled (sequential mode, tests)
 
 	mu          sync.Mutex
-	cond        *sync.Cond
 	ring        []entry
 	mask        int
 	head        int // ring index of the oldest entry
 	size        int
+	limit       int     // adaptive effective depth (≤ len(ring))
+	minLimit    int     // adaptive floor
+	window      float64 // seconds of traffic the limit targets (BDP window)
+	avgBytes    int     // EMA of enqueued packet size
 	inFlight    frameID // frame of the most recently popped entry
 	hasInFlight bool
+	state       queueState
 	closed      bool
 
 	enqueued atomic.Int64
 	sent     atomic.Int64
 	dropped  atomic.Int64
 	depth    atomic.Int64
-	writing  atomic.Bool
+	limitA   atomic.Int64
 
 	telDrops *telemetry.Counter
 }
 
-func newSubQueue(out Writer, addr net.Addr, depth int, telDrops *telemetry.Counter) *SubQueue {
+func newSubQueue(addr net.Addr, depth, minDepth int, window time.Duration, telDrops *telemetry.Counter) *SubQueue {
 	cap := 1
 	for cap < depth {
 		cap <<= 1
 	}
+	if minDepth <= 0 || minDepth > cap {
+		minDepth = cap
+	}
 	q := &SubQueue{
 		addr:     addr,
-		out:      out,
 		ring:     make([]entry, cap),
 		mask:     cap - 1,
+		limit:    cap,
+		minLimit: minDepth,
+		window:   window.Seconds(),
+		avgBytes: transport.MTU,
 		telDrops: telDrops,
 	}
-	q.cond = sync.NewCond(&q.mu)
+	q.limitA.Store(int64(cap))
 	return q
 }
 
 // Enqueue appends one packet, taking ownership of one reference on success.
-// On a full ring it runs the drop policy first. It returns false — and the
-// caller keeps its reference — when the queue is closed or the incoming
-// packet itself was rejected.
+// Over the adaptive limit it runs the drop policy first. It returns false —
+// and the caller keeps its reference — when the queue is closed or the
+// incoming packet itself was rejected.
 func (q *SubQueue) Enqueue(buf *PacketBuf, fid frameID) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
 		return false
 	}
-	if q.size == len(q.ring) {
-		q.dropOldestFrameLocked()
-	}
-	if q.size == len(q.ring) {
-		// Nothing droppable: the ring is one partially-sent fragment run.
-		// Reject the incoming packet rather than splitting the queued run.
-		// It still counts as enqueued-then-dropped so the accounting
-		// invariant (enqueued == sent + dropped + depth) holds.
-		q.mu.Unlock()
-		q.enqueued.Add(1)
-		q.dropped.Add(1)
-		q.telDrops.Add(1)
-		return false
+	for q.size >= q.limit {
+		if !q.dropFrameLocked(fid.key) {
+			// Nothing droppable (in-flight tail, or only key frames and the
+			// incoming packet is a delta). Reject the incoming packet. It
+			// still counts as enqueued-then-dropped so the accounting
+			// invariant (enqueued == sent + dropped + depth) holds.
+			q.mu.Unlock()
+			q.enqueued.Add(1)
+			q.dropped.Add(1)
+			q.telDrops.Add(1)
+			return false
+		}
 	}
 	q.ring[(q.head+q.size)&q.mask] = entry{buf: buf, fid: fid}
 	q.size++
 	q.depth.Store(int64(q.size))
-	wake := q.size == 1
+	q.avgBytes += (buf.n - q.avgBytes) >> 3
+	schedule := q.state == qIdle && q.shard != nil
+	if schedule {
+		q.state = qReady
+	}
 	q.mu.Unlock()
-	if wake {
-		q.cond.Signal()
+	if schedule {
+		q.shard.pushReady(q)
 	}
 	q.enqueued.Add(1)
 	return true
 }
 
-// dropOldestFrameLocked discards the full fragment run of the oldest frame
-// that has not started transmission. The head prefix belonging to the
-// in-flight frame is skipped (its earlier fragments already left the
-// queue) and shifted forward over the freed slots.
-func (q *SubQueue) dropOldestFrameLocked() {
-	skip := 0
-	if q.hasInFlight {
-		for skip < q.size && q.ring[(q.head+skip)&q.mask].fid == q.inFlight {
-			skip++
+// dropFrameLocked evicts one whole frame to make room, preferring the
+// oldest droppable delta frame; a queued key frame is spent only for an
+// incoming key frame. Every queued fragment of the victim is removed (runs
+// interleaved across streams are evicted in full, never split), and the
+// in-flight frame's remaining fragments are immune. Reports whether
+// anything was dropped.
+func (q *SubQueue) dropFrameLocked(incomingKey bool) bool {
+	var deltaVictim, anyVictim frameID
+	haveDelta, haveAny := false, false
+	for i := 0; i < q.size; i++ {
+		e := &q.ring[(q.head+i)&q.mask]
+		if q.hasInFlight && e.fid == q.inFlight {
+			continue
+		}
+		if !haveAny {
+			anyVictim, haveAny = e.fid, true
+		}
+		if !e.fid.key {
+			deltaVictim, haveDelta = e.fid, true
+			break
 		}
 	}
-	if skip == q.size {
-		return
+	var victim frameID
+	switch {
+	case haveDelta:
+		victim = deltaVictim
+	case haveAny && incomingKey:
+		victim = anyVictim
+	default:
+		return false
 	}
-	victim := q.ring[(q.head+skip)&q.mask].fid
-	run := 0
-	for skip+run < q.size && q.ring[(q.head+skip+run)&q.mask].fid == victim {
-		run++
+	w, dropped := 0, int64(0)
+	for i := 0; i < q.size; i++ {
+		e := q.ring[(q.head+i)&q.mask]
+		if e.fid == victim {
+			e.buf.Release()
+			dropped++
+			continue
+		}
+		q.ring[(q.head+w)&q.mask] = e
+		w++
 	}
-	for i := 0; i < run; i++ {
-		e := &q.ring[(q.head+skip+i)&q.mask]
-		e.buf.Release()
-		*e = entry{}
-	}
-	// Shift the skipped prefix forward by run slots, newest first, so no
-	// slot is read after being overwritten.
-	for i := skip - 1; i >= 0; i-- {
-		q.ring[(q.head+i+run)&q.mask] = q.ring[(q.head+i)&q.mask]
+	for i := w; i < q.size; i++ {
 		q.ring[(q.head+i)&q.mask] = entry{}
 	}
-	q.head = (q.head + run) & q.mask
-	q.size -= run
-	q.depth.Store(int64(q.size))
-	q.dropped.Add(int64(run))
-	q.telDrops.Add(int64(run))
+	q.size = w
+	q.depth.Store(int64(w))
+	q.dropped.Add(dropped)
+	q.telDrops.Add(dropped)
+	return true
 }
 
-// run is the writer worker: it pops batches and writes them to the
-// subscriber. A blocking WriteTo (stalled receiver) parks only this
-// goroutine — the ring keeps absorbing and dropping behind it.
-func (q *SubQueue) run(wg *sync.WaitGroup) {
-	defer wg.Done()
-	var batch [writerBatch]entry
-	for {
-		q.mu.Lock()
-		for q.size == 0 && !q.closed {
-			q.cond.Wait()
-		}
-		if q.closed {
-			// Prompt shutdown: release the backlog unwritten.
-			for q.size > 0 {
-				e := &q.ring[q.head]
-				e.buf.Release()
-				*e = entry{}
-				q.head = (q.head + 1) & q.mask
-				q.size--
-			}
-			q.depth.Store(0)
-			q.mu.Unlock()
-			return
-		}
-		n := q.size
-		if n > writerBatch {
-			n = writerBatch
-		}
-		for i := 0; i < n; i++ {
-			batch[i] = q.ring[(q.head+i)&q.mask]
-			q.ring[(q.head+i)&q.mask] = entry{}
-		}
-		q.head = (q.head + n) & q.mask
-		q.size -= n
-		q.depth.Store(int64(q.size))
-		// Everything popped will be written; the drop policy must not split
-		// the run still queued behind the last popped fragment.
-		q.inFlight = batch[n-1].fid
-		q.hasInFlight = true
-		q.writing.Store(true)
-		q.mu.Unlock()
-		for i := 0; i < n; i++ {
-			_, _ = q.out.WriteTo(batch[i].buf.Bytes(), q.addr)
-			batch[i].buf.Release()
-			batch[i] = entry{}
-		}
-		q.sent.Add(int64(n))
-		q.writing.Store(false)
+// UpdateBandwidth retargets the effective ring depth to the subscriber's
+// bandwidth-delay product: window seconds of traffic at bps, in packets of
+// the observed average size, clamped to [minLimit, capacity]. Shrinking
+// does not discard queued packets; the next over-limit Enqueue runs the
+// drop policy down to the new bound.
+func (q *SubQueue) UpdateBandwidth(bps float64) {
+	q.mu.Lock()
+	avg := q.avgBytes
+	if avg <= 0 {
+		avg = transport.MTU
 	}
+	pkts := int(bps * q.window / 8 / float64(avg))
+	if pkts < q.minLimit {
+		pkts = q.minLimit
+	}
+	if pkts > len(q.ring) {
+		pkts = len(q.ring)
+	}
+	q.limit = pkts
+	q.limitA.Store(int64(pkts))
+	q.mu.Unlock()
 }
 
-// Close marks the queue closed and wakes the writer to release its backlog.
+// popBatch moves up to len(bufs) entries out of the ring for writing and
+// marks the queue draining. The popped frame becomes in-flight: the drop
+// policy will not split the run still queued behind it. Returns 0 when the
+// queue is closed or empty (the caller must still call finishDrain).
+func (q *SubQueue) popBatch(bufs []*PacketBuf, pkts [][]byte) int {
+	q.mu.Lock()
+	q.state = qDraining
+	if q.closed || q.size == 0 {
+		q.mu.Unlock()
+		return 0
+	}
+	n := q.size
+	if n > len(bufs) {
+		n = len(bufs)
+	}
+	for i := 0; i < n; i++ {
+		e := &q.ring[(q.head+i)&q.mask]
+		bufs[i] = e.buf
+		pkts[i] = e.buf.Bytes()
+		if i == n-1 {
+			q.inFlight = e.fid
+			q.hasInFlight = true
+		}
+		*e = entry{}
+	}
+	q.head = (q.head + n) & q.mask
+	q.size -= n
+	q.depth.Store(int64(q.size))
+	q.mu.Unlock()
+	return n
+}
+
+// finishDrain returns a drained queue to the scheduler: back onto the ready
+// list when more packets arrived during the write, idle otherwise.
+func (q *SubQueue) finishDrain() {
+	q.mu.Lock()
+	if q.closed || q.size == 0 || q.shard == nil {
+		q.state = qIdle
+		q.mu.Unlock()
+		return
+	}
+	q.state = qReady
+	q.mu.Unlock()
+	q.shard.pushReady(q)
+}
+
+// drainOnce pops one batch and writes it through out, releasing the popped
+// references. Unit tests drive queues with it; writer workers inline the
+// same sequence with the router's batch-capable conn.
+func (q *SubQueue) drainOnce(out Writer) int {
+	var bufs [writerBatch]*PacketBuf
+	var pkts [writerBatch][]byte
+	n := q.popBatch(bufs[:], pkts[:])
+	for i := 0; i < n; i++ {
+		_, _ = out.WriteTo(pkts[i], q.addr)
+		bufs[i].Release()
+	}
+	if n > 0 {
+		q.sent.Add(int64(n))
+	}
+	q.finishDrain()
+	return n
+}
+
+// Close rejects further enqueues and releases the backlog. A worker mid-
+// WriteBatch holds its popped references separately and releases them when
+// the write returns; everything still in the ring is released here, exactly
+// once.
 func (q *SubQueue) Close() {
 	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
 	q.closed = true
+	for q.size > 0 {
+		e := &q.ring[q.head]
+		e.buf.Release()
+		*e = entry{}
+		q.head = (q.head + 1) & q.mask
+		q.size--
+	}
+	q.depth.Store(0)
 	q.mu.Unlock()
-	q.cond.Broadcast()
 }
 
-// Idle reports whether the queue is empty with no write in progress.
-func (q *SubQueue) Idle() bool { return q.depth.Load() == 0 && !q.writing.Load() }
+// Idle reports whether the queue is empty with no drain in progress.
+func (q *SubQueue) Idle() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size == 0 && q.state == qIdle
+}
 
 // SubStats is a point-in-time snapshot of one subscriber queue.
 type SubStats struct {
@@ -219,6 +326,7 @@ type SubStats struct {
 	Sent     int64
 	Dropped  int64
 	Depth    int64
+	Limit    int64 // current adaptive depth limit
 }
 
 func (q *SubQueue) stats() SubStats {
@@ -228,5 +336,6 @@ func (q *SubQueue) stats() SubStats {
 		Sent:     q.sent.Load(),
 		Dropped:  q.dropped.Load(),
 		Depth:    q.depth.Load(),
+		Limit:    q.limitA.Load(),
 	}
 }

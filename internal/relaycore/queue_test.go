@@ -3,59 +3,11 @@ package relaycore
 import (
 	"fmt"
 	"net"
-	"sync"
 	"testing"
 	"time"
 
 	"livo/internal/telemetry"
 )
-
-// recWriter records writes per destination (thread-safe).
-type recWriter struct {
-	mu     sync.Mutex
-	writes map[string][][]byte
-}
-
-func newRecWriter() *recWriter { return &recWriter{writes: make(map[string][][]byte)} }
-
-func (w *recWriter) WriteTo(p []byte, a net.Addr) (int, error) {
-	cp := append([]byte(nil), p...)
-	w.mu.Lock()
-	w.writes[a.String()] = append(w.writes[a.String()], cp)
-	w.mu.Unlock()
-	return len(p), nil
-}
-
-func (w *recWriter) count(a net.Addr) int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.writes[a.String()])
-}
-
-func (w *recWriter) payloads(a net.Addr) [][]byte {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return append([][]byte(nil), w.writes[a.String()]...)
-}
-
-// gateWriter hands control of each WriteTo to the test: the call parks on
-// entered until the test sends on proceed.
-type gateWriter struct {
-	rec     *recWriter
-	entered chan []byte
-	proceed chan struct{}
-}
-
-func newGateWriter() *gateWriter {
-	return &gateWriter{rec: newRecWriter(), entered: make(chan []byte), proceed: make(chan struct{})}
-}
-
-func (w *gateWriter) WriteTo(p []byte, a net.Addr) (int, error) {
-	cp := append([]byte(nil), p...)
-	w.entered <- cp
-	<-w.proceed
-	return w.rec.WriteTo(cp, a)
-}
 
 func testCounter() *telemetry.Counter {
 	return telemetry.NewRegistry(0).Counter("test_drops_total")
@@ -67,16 +19,26 @@ func udp(i int) *net.UDPAddr {
 
 func mediaFID(seq uint32) frameID { return frameID{media: true, stream: 1, seq: seq} }
 
+func streamFID(stream uint8, seq uint32, key bool) frameID {
+	return frameID{media: true, stream: stream, seq: seq, key: key}
+}
+
 func tag(frame, frag int) []byte { return []byte(fmt.Sprintf("f%d.%d", frame, frag)) }
 
-func waitIdleQueue(t *testing.T, q *SubQueue) {
+// testQueue builds an unscheduled queue (no shard): tests drive drains with
+// drainOnce, exactly the pop/write/release sequence writer workers run.
+func testQueue(addr net.Addr, depth int) *SubQueue {
+	return newSubQueue(addr, depth, 0, 250*time.Millisecond, testCounter())
+}
+
+// drainAll pumps drainOnce until the queue idles.
+func drainAll(t *testing.T, q *SubQueue, out Writer) {
 	t.Helper()
 	deadline := time.Now().Add(2 * time.Second)
 	for !q.Idle() {
-		if time.Now().After(deadline) {
+		if q.drainOnce(out) == 0 && time.Now().After(deadline) {
 			t.Fatalf("queue did not drain: %+v", q.stats())
 		}
-		time.Sleep(100 * time.Microsecond)
 	}
 }
 
@@ -85,10 +47,10 @@ func waitIdleQueue(t *testing.T, q *SubQueue) {
 func TestQueueDropWholeFrames(t *testing.T) {
 	rec := newRecWriter()
 	addr := udp(1)
-	q := newSubQueue(rec, addr, 8, testCounter())
+	q := testQueue(addr, 8)
 	bp := NewBufPool(64)
 
-	// Frames 1 and 2 (4 fragments each) fill the ring of 8; no writer runs.
+	// Frames 1 and 2 (4 fragments each) fill the ring of 8.
 	for frame := 1; frame <= 2; frame++ {
 		for frag := 0; frag < 4; frag++ {
 			if !q.Enqueue(bp.Load(tag(frame, frag)), mediaFID(uint32(frame))) {
@@ -108,13 +70,8 @@ func TestQueueDropWholeFrames(t *testing.T) {
 		t.Fatalf("depth = %d, want 5 (frame 2 + f3.0)", st.Depth)
 	}
 
-	// Drain and verify order: frame 2's run intact, then frame 3.
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go q.run(&wg)
-	waitIdleQueue(t, q)
+	drainAll(t, q, rec)
 	q.Close()
-	wg.Wait()
 
 	want := [][]byte{tag(2, 0), tag(2, 1), tag(2, 2), tag(2, 3), tag(3, 0)}
 	got := rec.payloads(addr)
@@ -129,6 +86,9 @@ func TestQueueDropWholeFrames(t *testing.T) {
 	if e, s, d := q.enqueued.Load(), q.sent.Load(), q.dropped.Load(); e != s+d {
 		t.Fatalf("accounting: enqueued %d != sent %d + dropped %d", e, s, d)
 	}
+	if bp.Live() != 0 {
+		t.Fatalf("pool live = %d after drain+close, want 0", bp.Live())
+	}
 }
 
 // TestQueueDropSkipsInFlightRun: when the oldest queued entries belong to
@@ -137,17 +97,15 @@ func TestQueueDropWholeFrames(t *testing.T) {
 func TestQueueDropSkipsInFlightRun(t *testing.T) {
 	gw := newGateWriter()
 	addr := udp(2)
-	q := newSubQueue(gw, addr, 4, testCounter())
+	q := testQueue(addr, 4)
 	bp := NewBufPool(64)
 
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go q.run(&wg)
-
-	// Writer pops f1.0 and parks inside WriteTo; frame 1 is now in flight.
+	// A drain pops f1.0 and parks inside WriteTo; frame 1 is now in flight.
 	if !q.Enqueue(bp.Load(tag(1, 0)), mediaFID(1)) {
 		t.Fatal("enqueue f1.0 rejected")
 	}
+	firstDrain := make(chan struct{})
+	go func() { defer close(firstDrain); q.drainOnce(gw) }()
 	<-gw.entered
 
 	// Ring: the in-flight frame's tail, then frame 2.
@@ -164,7 +122,7 @@ func TestQueueDropSkipsInFlightRun(t *testing.T) {
 		t.Fatalf("dropped = %d, want 2 (frame 2's run)", d)
 	}
 
-	// Release the writer and pump the remaining gated writes.
+	// Release the gated writes and drain the rest.
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -178,10 +136,10 @@ func TestQueueDropSkipsInFlightRun(t *testing.T) {
 		}
 	}()
 	gw.proceed <- struct{}{} // f1.0
+	<-firstDrain             // it must record before the remainder drains
+	drainAll(t, q, gw)
 	<-done
-	waitIdleQueue(t, q)
 	q.Close()
-	wg.Wait()
 
 	want := []string{"f1.0", "f1.1", "f1.2", "f3.0"}
 	got := gw.rec.payloads(addr)
@@ -201,17 +159,15 @@ func TestQueueDropSkipsInFlightRun(t *testing.T) {
 func TestQueueRejectsIncomingWhenRingIsInFlight(t *testing.T) {
 	gw := newGateWriter()
 	addr := udp(3)
-	q := newSubQueue(gw, addr, 4, testCounter())
+	q := testQueue(addr, 4)
 	bp := NewBufPool(64)
-
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go q.run(&wg)
 
 	if !q.Enqueue(bp.Load(tag(1, 0)), mediaFID(1)) {
 		t.Fatal("enqueue f1.0 rejected")
 	}
-	<-gw.entered // writer parked, frame 1 in flight
+	firstDrain := make(chan struct{})
+	go func() { defer close(firstDrain); q.drainOnce(gw) }()
+	<-gw.entered // drain parked, frame 1 in flight
 
 	for frag := 1; frag <= 4; frag++ {
 		if !q.Enqueue(bp.Load(tag(1, frag)), mediaFID(1)) {
@@ -240,13 +196,180 @@ func TestQueueRejectsIncomingWhenRingIsInFlight(t *testing.T) {
 		}
 	}()
 	gw.proceed <- struct{}{}
+	<-firstDrain
+	drainAll(t, q, gw)
 	<-done
-	waitIdleQueue(t, q)
 	q.Close()
-	wg.Wait()
 
 	if n := gw.rec.count(addr); n != 5 {
 		t.Fatalf("delivered %d packets, want 5 (f1.0..f1.4)", n)
+	}
+	if bp.Live() != 0 {
+		t.Fatalf("pool live = %d, want 0", bp.Live())
+	}
+}
+
+// TestQueueDropPrefersDelta: with both a key frame and a later delta frame
+// queued, overflow spends the delta frame and the key frame survives.
+func TestQueueDropPrefersDelta(t *testing.T) {
+	rec := newRecWriter()
+	addr := udp(5)
+	q := testQueue(addr, 8)
+	bp := NewBufPool(64)
+
+	for frag := 0; frag < 4; frag++ { // key frame 1 (oldest)
+		if !q.Enqueue(bp.Load(tag(1, frag)), streamFID(1, 1, true)) {
+			t.Fatalf("enqueue key f1.%d rejected", frag)
+		}
+	}
+	for frag := 0; frag < 4; frag++ { // delta frame 2
+		if !q.Enqueue(bp.Load(tag(2, frag)), streamFID(1, 2, false)) {
+			t.Fatalf("enqueue delta f2.%d rejected", frag)
+		}
+	}
+	// Overflow with a delta: frame 2 (the delta) goes, NOT the older key.
+	if !q.Enqueue(bp.Load(tag(3, 0)), streamFID(1, 3, false)) {
+		t.Fatal("enqueue f3.0 rejected, want accepted after dropping delta frame 2")
+	}
+	if d := q.dropped.Load(); d != 4 {
+		t.Fatalf("dropped = %d, want 4 (delta frame 2)", d)
+	}
+
+	drainAll(t, q, rec)
+	q.Close()
+	want := []string{"f1.0", "f1.1", "f1.2", "f1.3", "f3.0"}
+	got := rec.payloads(addr)
+	if len(got) != len(want) {
+		t.Fatalf("delivered %q, want %v", got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("delivery[%d] = %q, want %q (key frame not preserved?)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueueIncomingDeltaNeverEvictsKey: a ring of key frames rejects an
+// incoming delta rather than dropping the key frames later deltas depend on.
+func TestQueueIncomingDeltaNeverEvictsKey(t *testing.T) {
+	addr := udp(6)
+	q := testQueue(addr, 8)
+	bp := NewBufPool(64)
+
+	for frame := 1; frame <= 2; frame++ {
+		for frag := 0; frag < 4; frag++ {
+			if !q.Enqueue(bp.Load(tag(frame, frag)), streamFID(1, uint32(frame), true)) {
+				t.Fatalf("enqueue key f%d.%d rejected", frame, frag)
+			}
+		}
+	}
+	buf := bp.Load(tag(3, 0))
+	if q.Enqueue(buf, streamFID(1, 3, false)) {
+		t.Fatal("incoming delta evicted a queued key frame")
+	}
+	buf.Release()
+	if st := q.stats(); st.Depth != 8 || st.Dropped != 1 {
+		t.Fatalf("depth=%d dropped=%d, want 8/1 (only the rejected delta)", st.Depth, st.Dropped)
+	}
+
+	// An incoming KEY frame, by contrast, may spend the oldest key frame.
+	if !q.Enqueue(bp.Load(tag(4, 0)), streamFID(1, 4, true)) {
+		t.Fatal("incoming key frame rejected, want accepted after dropping oldest key")
+	}
+	if st := q.stats(); st.Dropped != 5 {
+		t.Fatalf("dropped = %d, want 5 (rejected delta + key frame 1's run)", st.Dropped)
+	}
+	q.Close()
+	if bp.Live() != 0 {
+		t.Fatalf("pool live = %d, want 0", bp.Live())
+	}
+}
+
+// TestQueueInterleavedRunNeverSplit: fragment runs interleaved across
+// streams are evicted in full — every fragment of the victim frame goes,
+// even non-contiguous ones, and the survivors keep their order.
+func TestQueueInterleavedRunNeverSplit(t *testing.T) {
+	rec := newRecWriter()
+	addr := udp(7)
+	q := testQueue(addr, 8)
+	bp := NewBufPool(64)
+
+	// Color frame 1 and depth frame 7 interleaved fragment by fragment.
+	for frag := 0; frag < 4; frag++ {
+		if !q.Enqueue(bp.Load([]byte(fmt.Sprintf("c1.%d", frag))), streamFID(1, 1, false)) {
+			t.Fatalf("enqueue c1.%d rejected", frag)
+		}
+		if !q.Enqueue(bp.Load([]byte(fmt.Sprintf("d7.%d", frag))), streamFID(2, 7, false)) {
+			t.Fatalf("enqueue d7.%d rejected", frag)
+		}
+	}
+	// Overflow: the oldest delta (color frame 1) is evicted in full — all
+	// four interleaved fragments — never a prefix.
+	if !q.Enqueue(bp.Load([]byte("c2.0")), streamFID(1, 2, false)) {
+		t.Fatal("enqueue c2.0 rejected")
+	}
+	if d := q.dropped.Load(); d != 4 {
+		t.Fatalf("dropped = %d, want 4 (color frame 1, interleaved)", d)
+	}
+
+	drainAll(t, q, rec)
+	q.Close()
+	want := []string{"d7.0", "d7.1", "d7.2", "d7.3", "c2.0"}
+	got := rec.payloads(addr)
+	if len(got) != len(want) {
+		t.Fatalf("delivered %q, want %v", got, want)
+	}
+	for i := range want {
+		if string(got[i]) != want[i] {
+			t.Fatalf("delivery[%d] = %q, want %q (run split or reordered)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestQueueAdaptiveDepth: the effective ring limit follows REMB swings —
+// growing toward capacity on high estimates, shrinking toward the floor on
+// low ones — and enqueues beyond the shrunken limit trigger the drop policy.
+func TestQueueAdaptiveDepth(t *testing.T) {
+	addr := udp(8)
+	q := newSubQueue(addr, 1024, 16, 250*time.Millisecond, testCounter())
+	bp := NewBufPool(2048)
+
+	if st := q.stats(); st.Limit != 1024 {
+		t.Fatalf("initial limit = %d, want full capacity 1024", st.Limit)
+	}
+	// 1 Mbps × 250 ms / 8 / 1200 B ≈ 26 packets.
+	q.UpdateBandwidth(1e6)
+	if st := q.stats(); st.Limit != 26 {
+		t.Fatalf("limit at 1 Mbps = %d, want 26", st.Limit)
+	}
+	// A high estimate grows the limit back to capacity (clamped).
+	q.UpdateBandwidth(64e6)
+	if st := q.stats(); st.Limit != 1024 {
+		t.Fatalf("limit at 64 Mbps = %d, want capacity 1024", st.Limit)
+	}
+	// A collapse clamps at the floor.
+	q.UpdateBandwidth(1000)
+	if st := q.stats(); st.Limit != 16 {
+		t.Fatalf("limit at 1 kbps = %d, want floor 16", st.Limit)
+	}
+
+	// Enqueues past the shrunken limit shed whole frames: 30 one-fragment
+	// delta frames against a limit of 16 keeps depth at the limit.
+	payload := make([]byte, 1200)
+	for f := uint32(0); f < 30; f++ {
+		q.Enqueue(bp.Load(payload), mediaFID(f))
+	}
+	st := q.stats()
+	if st.Depth != 16 {
+		t.Fatalf("depth = %d, want the adaptive limit 16", st.Depth)
+	}
+	if st.Enqueued != st.Sent+st.Dropped+st.Depth {
+		t.Fatalf("accounting: enqueued %d != sent %d + dropped %d + depth %d",
+			st.Enqueued, st.Sent, st.Dropped, st.Depth)
+	}
+	q.Close()
+	if bp.Live() != 0 {
+		t.Fatalf("pool live = %d, want 0", bp.Live())
 	}
 }
 
@@ -255,7 +378,7 @@ func TestQueueRejectsIncomingWhenRingIsInFlight(t *testing.T) {
 func TestQueueCloseReleasesBacklog(t *testing.T) {
 	rec := newRecWriter()
 	addr := udp(4)
-	q := newSubQueue(rec, addr, 16, testCounter())
+	q := testQueue(addr, 16)
 	bp := NewBufPool(64)
 
 	bufs := make([]*PacketBuf, 8)
@@ -265,11 +388,7 @@ func TestQueueCloseReleasesBacklog(t *testing.T) {
 			t.Fatalf("enqueue %d rejected", i)
 		}
 	}
-	var wg sync.WaitGroup
-	wg.Add(1)
 	q.Close()
-	go q.run(&wg)
-	wg.Wait()
 
 	for i, b := range bufs {
 		if b.refs.Load() != 0 {
@@ -278,6 +397,9 @@ func TestQueueCloseReleasesBacklog(t *testing.T) {
 	}
 	if n := rec.count(addr); n != 0 {
 		t.Fatalf("closed queue wrote %d packets, want 0", n)
+	}
+	if bp.Live() != 0 {
+		t.Fatalf("pool live = %d after close, want 0", bp.Live())
 	}
 	// Rejected after close: caller keeps its reference.
 	b := bp.Load(tag(2, 0))

@@ -2,26 +2,34 @@
 // Relay so it is unit-testable and benchmarkable without UDP sockets
 // (livo-bench -relaybench drives it with an in-memory conn).
 //
-// Design (SFU-style fan-out; cf. DESIGN.md §7):
+// Design (SFU-style fan-out, sharded across cores; cf. DESIGN.md §7):
 //
-//   - Media packets from the sender are loaded once into a pooled,
-//     refcounted PacketBuf and a reference is enqueued onto every
-//     subscriber's bounded SubQueue; a dedicated writer per subscriber
-//     drains it. One stalled receiver fills only its own ring (drop-oldest
-//     per whole media frame) and never head-of-line-blocks the rest.
-//   - The subscriber set is an immutable snapshot behind an atomic pointer
-//     (copy-on-write on Subscribe/Unsubscribe), so the per-packet fan-out
-//     takes no lock and allocates nothing.
+//   - The subscriber registry is partitioned across N shards
+//     (SO_REUSEPORT-style, N defaults to GOMAXPROCS). Media packets are
+//     loaded once into a pooled, refcounted PacketBuf; RouteMedia hands one
+//     descriptor to each populated shard's ingest ring, and each shard's
+//     ingest goroutine enqueues a reference onto its own partition's
+//     bounded SubQueues — the per-packet fan-out work runs on N cores, not
+//     one, and stays lock-free and 0 allocs/pkt (per-shard buffer pools).
+//   - Writer workers (a small pool per shard) drain ready queues in
+//     WriteBatch-sized pops — one sendmmsg-shaped call per batch instead of
+//     one syscall-shaped op per packet — and steal from other shards' ready
+//     lists when their home shard is empty, so one slow partition cannot
+//     idle other cores. A stalled receiver parks at most one worker and
+//     fills only its own ring (drop policy: whole delta frames first).
 //   - Reverse-path feedback is aggregated, not mirrored: PLIs are deduped
 //     to one per refresh window, NACKs for the same fragment are coalesced
 //     across subscribers, and REMB forwards the running minimum (O(1)
 //     amortized) — at 1000 subscribers one lost key frame becomes one
-//     forwarded PLI instead of a 1000-message storm.
+//     forwarded PLI instead of a 1000-message storm. Each subscriber's REMB
+//     additionally retargets its queue's adaptive depth (BDP tracking).
 package relaycore
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,11 +44,36 @@ type Writer interface {
 	WriteTo(p []byte, addr net.Addr) (n int, err error)
 }
 
+// BatchWriter is the sendmmsg-shaped extension of Writer: write every
+// packet in ps to one destination with a single call. Conns that implement
+// it (the relay's UDP shell, the bench conn) amortize per-op cost across a
+// writer batch; the router falls back to per-packet WriteTo otherwise.
+type BatchWriter interface {
+	Writer
+	WriteBatch(ps [][]byte, addr net.Addr) (n int, err error)
+}
+
 // Config parameterizes a Router. The zero value picks production defaults.
 type Config struct {
+	// Shards is the number of data-plane shards — subscriber-registry
+	// partitions with their own ingest goroutine, buffer pool, and writer
+	// workers (default GOMAXPROCS).
+	Shards int
+	// WritersPerShard sizes each shard's writer-worker pool (default 4).
+	// Workers steal across shards, so the pool is a per-core drain budget,
+	// not a per-subscriber one.
+	WritersPerShard int
 	// QueueDepth is the per-subscriber ring capacity in packets (rounded
-	// up to a power of two; default 1024 ≈ a second of 4K media).
+	// up to a power of two; default 1024 ≈ a second of 4K media). It is the
+	// ceiling of the adaptive depth limit.
 	QueueDepth int
+	// MinQueueDepth floors the adaptive depth limit (default 64 — a few
+	// frames of headroom however slow the subscriber's REMB).
+	MinQueueDepth int
+	// DepthWindow is the bandwidth-delay window the adaptive limit targets:
+	// a subscriber's queue holds about DepthWindow seconds of traffic at
+	// its REMB-estimated rate (default 250 ms).
+	DepthWindow time.Duration
 	// BufClass is the pooled packet-buffer size (default 2048 bytes).
 	BufClass int
 	// PLIWindow is the PLI dedup window (default 250 ms, matching
@@ -65,8 +98,20 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.WritersPerShard <= 0 {
+		c.WritersPerShard = 4
+	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 1024
+	}
+	if c.MinQueueDepth <= 0 {
+		c.MinQueueDepth = 64
+	}
+	if c.DepthWindow <= 0 {
+		c.DepthWindow = 250 * time.Millisecond
 	}
 	if c.BufClass <= 0 {
 		c.BufClass = DefaultBufClass
@@ -86,36 +131,52 @@ func (c *Config) fill() {
 }
 
 // Subscriber is one receiver: its address, canonical key (cached at
-// subscribe time — no String() comparisons on the packet path), and queue.
+// subscribe time — no String() comparisons on the packet path), queue, and
+// owning shard.
 type Subscriber struct {
-	addr net.Addr
-	key  Key
-	q    *SubQueue
+	addr  net.Addr
+	key   Key
+	q     *SubQueue
+	shard int
 }
 
 // Addr returns the subscriber's address.
 func (s *Subscriber) Addr() net.Addr { return s.addr }
 
 // subSnapshot is the immutable subscriber set; the hot path reads it with
-// one atomic load.
+// one atomic load. byKey serves the feedback path's per-subscriber lookups
+// (pose gating, REMB depth retargeting) without a scan.
 type subSnapshot struct {
 	subs    []*Subscriber
+	byKey   map[Key]*Subscriber
 	primary *Subscriber
 }
 
-// Router fans one sender's media out to subscribers and aggregates their
-// feedback. RouteMedia and RouteFeedback must be called from a single
-// routing goroutine (the relay's read loop); membership and Stats are safe
-// from any goroutine.
-type Router struct {
-	cfg    Config
-	out    Writer
-	sender net.Addr
-	pool   *BufPool
+// stealPoll bounds how long an idle writer worker waits before re-scanning
+// other shards' ready lists (its own shard wakes it immediately via the
+// shard notify channel; stealing is the backstop).
+const stealPoll = 500 * time.Microsecond
 
-	snap atomic.Pointer[subSnapshot]
-	mu   sync.Mutex // membership changes (copy-on-write)
-	wg   sync.WaitGroup
+// Router fans one sender's media out to subscribers and aggregates their
+// feedback. RouteMedia may be called concurrently from multiple ingest
+// loops (one per reuseport socket); RouteFeedback must be called from a
+// single routing goroutine. Membership and Stats are safe from any
+// goroutine.
+type Router struct {
+	cfg      Config
+	out      Writer
+	batchOut BatchWriter // non-nil when out implements BatchWriter
+	sender   net.Addr
+
+	shards []*shard
+	pools  []*BufPool
+
+	snap      atomic.Pointer[subSnapshot]
+	mu        sync.Mutex // membership changes (copy-on-write)
+	ingestWg  sync.WaitGroup
+	writerWg  sync.WaitGroup
+	closedCh  chan struct{}
+	closeOnce sync.Once
 
 	// Feedback aggregation state; fbMu serializes the routing goroutine
 	// with Unsubscribe's REMB eviction.
@@ -127,7 +188,7 @@ type Router struct {
 	lastREMBMin float64
 	rembSent    bool
 	rembScratch [9]byte
-	ctlSeq      uint64 // routing-goroutine only
+	ctlSeq      atomic.Uint64
 
 	mediaPkts     atomic.Int64
 	fanoutPkts    atomic.Int64
@@ -138,25 +199,29 @@ type Router struct {
 	rembFwd       atomic.Int64
 	poseFwd       atomic.Int64
 
-	telMedia, telFanout, telDrops     *telemetry.Counter
-	telPLIFwd, telPLISup              *telemetry.Counter
-	telNACKFwd, telNACKSup, telREMB   *telemetry.Counter
-	telSubs, telDepthMax              *telemetry.Gauge
+	telMedia, telFanout, telDrops   *telemetry.Counter
+	telPLIFwd, telPLISup            *telemetry.Counter
+	telNACKFwd, telNACKSup, telREMB *telemetry.Counter
+	telSubs, telDepthMax            *telemetry.Gauge
+	telBatch                        *telemetry.Histogram
 }
 
 // NewRouter builds a router writing through out toward the given sender.
+// The sharded plane's ingest and writer goroutines start immediately (none
+// in Sequential mode) and stop at Close.
 func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 	cfg.fill()
 	r := &Router{
-		cfg:    cfg,
-		out:    out,
-		sender: sender,
-		pool:   NewBufPool(cfg.BufClass),
-		remb:   newREMBMin(),
-		nacks:  newNACKCoalescer(cfg.NACKWindow.Nanoseconds()),
+		cfg:      cfg,
+		out:      out,
+		sender:   sender,
+		remb:     newREMBMin(),
+		nacks:    newNACKCoalescer(cfg.NACKWindow.Nanoseconds()),
+		closedCh: make(chan struct{}),
 	}
+	r.batchOut, _ = out.(BatchWriter)
 	r.pli.window = cfg.PLIWindow.Nanoseconds()
-	r.snap.Store(&subSnapshot{})
+	r.snap.Store(&subSnapshot{byKey: map[Key]*Subscriber{}})
 	reg := cfg.Telemetry
 	r.telMedia = reg.Counter("livo_relay_media_packets_total")
 	r.telFanout = reg.Counter("livo_relay_fanout_packets_total")
@@ -168,12 +233,50 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 	r.telREMB = reg.Counter("livo_relay_remb_forwarded_total")
 	r.telSubs = reg.Gauge("livo_relay_subscribers")
 	r.telDepthMax = reg.Gauge("livo_relay_queue_depth_max")
+	r.telBatch = reg.Histogram("livo_relay_shard_batch_size", []float64{1, 2, 4, 8, 16, 32})
+
+	if cfg.Sequential {
+		r.pools = []*BufPool{NewBufPool(cfg.BufClass)}
+		return r
+	}
+	r.shards = make([]*shard, cfg.Shards)
+	r.pools = make([]*BufPool, cfg.Shards)
+	for i := range r.shards {
+		r.pools[i] = NewBufPool(cfg.BufClass)
+		r.shards[i] = newShard(i, r.pools[i],
+			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_routed_total", i)),
+			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_stolen_total", i)))
+	}
+	r.ingestWg.Add(len(r.shards))
+	for _, s := range r.shards {
+		go s.runIngest(&r.ingestWg)
+	}
+	for i := range r.shards {
+		r.writerWg.Add(cfg.WritersPerShard)
+		for w := 0; w < cfg.WritersPerShard; w++ {
+			go r.runWriter(i)
+		}
+	}
 	return r
 }
 
-// Pool returns the router's packet-buffer pool (the relay read loop loads
-// inbound datagrams through it).
-func (r *Router) Pool() *BufPool { return r.pool }
+// Pool returns the shard-0 packet-buffer pool (a single relay read loop
+// loads inbound datagrams through it); multi-socket ingest loops should
+// spread across ShardPool.
+func (r *Router) Pool() *BufPool { return r.pools[0] }
+
+// ShardPool returns shard i's buffer pool (reuseport-style ingest: each
+// socket's read loop loads through its own shard's pool, so pool locks
+// never contend across cores).
+func (r *Router) ShardPool(i int) *BufPool { return r.pools[i%len(r.pools)] }
+
+// Shards returns the shard count (1 in Sequential mode).
+func (r *Router) Shards() int {
+	if r.cfg.Sequential {
+		return 1
+	}
+	return len(r.shards)
+}
 
 // Sender returns the sender address the router forwards feedback to.
 func (r *Router) Sender() net.Addr { return r.sender }
@@ -187,52 +290,86 @@ func (r *Router) now() int64 {
 
 // Subscribe adds a receiver (idempotent by canonical address key). The
 // first subscriber becomes the primary viewer whose poses drive culling.
+// The subscriber lands on the shard its address hashes to.
 func (r *Router) Subscribe(addr net.Addr) {
 	k := KeyOf(addr)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	cur := r.snap.Load()
-	for _, s := range cur.subs {
-		if s.key == k {
-			return
-		}
+	if _, ok := cur.byKey[k]; ok {
+		return
 	}
-	sub := &Subscriber{addr: addr, key: k, q: newSubQueue(r.out, addr, r.cfg.QueueDepth, r.telDrops)}
-	next := &subSnapshot{subs: make([]*Subscriber, 0, len(cur.subs)+1), primary: cur.primary}
+	shardIdx := 0
+	if len(r.shards) > 0 {
+		shardIdx = int(k.hash() % uint64(len(r.shards)))
+	}
+	sub := &Subscriber{
+		addr:  addr,
+		key:   k,
+		shard: shardIdx,
+		q:     newSubQueue(addr, r.cfg.QueueDepth, r.cfg.MinQueueDepth, r.cfg.DepthWindow, r.telDrops),
+	}
+	if len(r.shards) > 0 {
+		sub.q.shard = r.shards[shardIdx]
+	}
+	next := &subSnapshot{
+		subs:    make([]*Subscriber, 0, len(cur.subs)+1),
+		byKey:   make(map[Key]*Subscriber, len(cur.subs)+1),
+		primary: cur.primary,
+	}
 	next.subs = append(append(next.subs, cur.subs...), sub)
+	for _, s := range next.subs {
+		next.byKey[s.key] = s
+	}
 	if next.primary == nil {
 		next.primary = sub
 	}
 	r.snap.Store(next)
 	r.telSubs.SetInt(int64(len(next.subs)))
-	if !r.cfg.Sequential {
-		r.wg.Add(1)
-		go sub.q.run(&r.wg)
-	}
+	r.storePartitionLocked(shardIdx, next)
 }
 
-// Unsubscribe removes a receiver: its writer stops, its queued buffers are
-// released, its REMB entry is evicted (the forwarded minimum may rise),
-// and — if it was the primary viewer — the oldest remaining subscriber
-// becomes primary. Reports whether the address was subscribed.
+// storePartitionLocked rebuilds shard shardIdx's partition snapshot from
+// the global snapshot (r.mu held).
+func (r *Router) storePartitionLocked(shardIdx int, snap *subSnapshot) {
+	if len(r.shards) == 0 {
+		return
+	}
+	part := make([]*Subscriber, 0, 1+len(snap.subs)/len(r.shards))
+	for _, s := range snap.subs {
+		if s.shard == shardIdx {
+			part = append(part, s)
+		}
+	}
+	r.shards[shardIdx].subs.Store(&part)
+}
+
+// Unsubscribe removes a receiver: it leaves its shard's partition, its
+// queued buffers are released (a batch already popped by a writer finishes
+// its write, then the queue idles), its REMB entry is evicted (the
+// forwarded minimum may rise), and — if it was the primary viewer — the
+// oldest remaining subscriber becomes primary. Reports whether the address
+// was subscribed.
 func (r *Router) Unsubscribe(addr net.Addr) bool {
 	k := KeyOf(addr)
 	r.mu.Lock()
 	cur := r.snap.Load()
-	idx := -1
-	for i, s := range cur.subs {
-		if s.key == k {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
+	removed, ok := cur.byKey[k]
+	if !ok {
 		r.mu.Unlock()
 		return false
 	}
-	removed := cur.subs[idx]
-	next := &subSnapshot{subs: make([]*Subscriber, 0, len(cur.subs)-1), primary: cur.primary}
-	next.subs = append(append(next.subs, cur.subs[:idx]...), cur.subs[idx+1:]...)
+	next := &subSnapshot{
+		subs:    make([]*Subscriber, 0, len(cur.subs)-1),
+		byKey:   make(map[Key]*Subscriber, len(cur.subs)-1),
+		primary: cur.primary,
+	}
+	for _, s := range cur.subs {
+		if s != removed {
+			next.subs = append(next.subs, s)
+			next.byKey[s.key] = s
+		}
+	}
 	if cur.primary == removed {
 		next.primary = nil
 		if len(next.subs) > 0 {
@@ -241,6 +378,7 @@ func (r *Router) Unsubscribe(addr net.Addr) bool {
 	}
 	r.snap.Store(next)
 	r.telSubs.SetInt(int64(len(next.subs)))
+	r.storePartitionLocked(removed.shard, next)
 	r.mu.Unlock()
 
 	removed.q.Close()
@@ -266,14 +404,18 @@ func (r *Router) Primary() net.Addr {
 func (r *Router) FromSender(addr net.Addr) bool { return KeyOf(addr) == KeyOf(r.sender) }
 
 // frameIDOf classifies a wire packet for the drop policy. Media packets
-// (magic-prefixed transport header) group by stream+sequence; anything
-// else is its own droppable unit.
+// (magic-prefixed transport header) group by stream+sequence and carry the
+// key-frame flag; anything else is its own droppable unit.
 func (r *Router) frameIDOf(b []byte) frameID {
 	if len(b) >= 11 && b[0] == transport.MediaMagic {
-		return frameID{media: true, stream: b[1], seq: binary.BigEndian.Uint32(b[2:6])}
+		return frameID{
+			media:  true,
+			stream: b[1],
+			seq:    binary.BigEndian.Uint32(b[2:6]),
+			key:    b[10]&1 != 0,
+		}
 	}
-	r.ctlSeq++
-	return frameID{ctl: r.ctlSeq}
+	return frameID{ctl: r.ctlSeq.Add(1)}
 }
 
 // mediaKeyFlag reports whether a wire packet is a key-frame media packet
@@ -282,8 +424,10 @@ func mediaKeyFlag(b []byte) bool {
 	return len(b) >= 11 && b[0] == transport.MediaMagic && b[10]&1 != 0
 }
 
-// RouteMedia fans one sender packet out to every subscriber. It takes
-// ownership of the caller's buffer reference.
+// RouteMedia fans one sender packet out to every subscriber: one descriptor
+// per populated shard, each shard enqueuing references onto its own
+// partition's queues. It takes ownership of the caller's buffer reference
+// and is safe to call concurrently from multiple ingest loops.
 func (r *Router) RouteMedia(buf *PacketBuf) {
 	r.mediaPkts.Add(1)
 	r.telMedia.Inc()
@@ -301,16 +445,95 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 		return
 	}
 	snap := r.snap.Load()
+	if len(snap.subs) == 0 {
+		buf.Release()
+		return
+	}
 	fid := r.frameIDOf(b)
-	for _, s := range snap.subs {
+	for _, s := range r.shards {
+		if s.subCount() == 0 {
+			continue
+		}
 		buf.Retain()
-		if !s.q.Enqueue(buf, fid) {
+		if !s.push(buf, fid) {
 			buf.Release()
 		}
 	}
 	r.fanoutPkts.Add(int64(len(snap.subs)))
 	r.telFanout.Add(int64(len(snap.subs)))
 	buf.Release()
+}
+
+// runWriter is one writer worker homed on shard home: it drains ready
+// queues in WriteBatch-sized pops, preferring its own shard and stealing
+// from the others when idle. A stalled subscriber parks exactly one worker
+// (the queue is owned while draining); the rest keep the healthy queues
+// flowing.
+func (r *Router) runWriter(home int) {
+	defer r.writerWg.Done()
+	var bufs [writerBatch]*PacketBuf
+	var pkts [writerBatch][]byte
+	hs := r.shards[home]
+	timer := time.NewTimer(stealPoll)
+	defer timer.Stop()
+	for {
+		q := hs.popReady()
+		if q == nil {
+			for i := 1; i < len(r.shards); i++ {
+				if q = r.shards[(home+i)%len(r.shards)].popReady(); q != nil {
+					hs.stolen.Add(1)
+					hs.telStolen.Inc()
+					break
+				}
+			}
+		}
+		if q == nil {
+			select {
+			case <-r.closedCh:
+				return
+			default:
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(stealPoll)
+			select {
+			case <-hs.notify:
+			case <-timer.C:
+			case <-r.closedCh:
+				return
+			}
+			continue
+		}
+		n := q.popBatch(bufs[:], pkts[:])
+		if n > 0 {
+			r.writeBatch(pkts[:n], q.addr)
+			for i := 0; i < n; i++ {
+				bufs[i].Release()
+				bufs[i] = nil
+				pkts[i] = nil
+			}
+			q.sent.Add(int64(n))
+			r.telBatch.Observe(float64(n))
+		}
+		q.finishDrain()
+	}
+}
+
+// writeBatch sends one drained batch to a subscriber: a single
+// sendmmsg-shaped call when the conn supports it, per-packet WriteTo
+// otherwise.
+func (r *Router) writeBatch(pkts [][]byte, addr net.Addr) {
+	if r.batchOut != nil {
+		_, _ = r.batchOut.WriteBatch(pkts, addr)
+		return
+	}
+	for _, p := range pkts {
+		_, _ = r.out.WriteTo(p, addr)
+	}
 }
 
 // routeSequential is the pre-change data plane, preserved verbatim for the
@@ -343,9 +566,15 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		if err != nil {
 			return
 		}
+		k := KeyOf(from)
+		// The subscriber's own queue tracks its bandwidth-delay product:
+		// ring depth follows the REMB estimate instead of a fixed 1024.
+		if sub, ok := r.snap.Load().byKey[k]; ok {
+			sub.q.UpdateBandwidth(bps)
+		}
 		now := r.now()
 		r.fbMu.Lock()
-		min := r.remb.Update(KeyOf(from), bps)
+		min := r.remb.Update(k, bps)
 		fwd := !r.rembSent || min != r.lastREMBMin || now-r.lastREMBFwd >= r.cfg.REMBInterval.Nanoseconds()
 		var wire []byte
 		if fwd {
@@ -405,31 +634,54 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 	}
 }
 
-// Close stops every subscriber writer and releases queued buffers. Media
-// routed after Close is dropped at the (closed) queues.
-func (r *Router) Close() {
+// Close stops the shard ingest goroutines and writer workers and releases
+// queued buffers. Media routed after Close is dropped at the (closed)
+// shards and queues.
+func (r *Router) Close() { r.closeOnce.Do(r.doClose) }
+
+func (r *Router) doClose() {
 	r.mu.Lock()
 	snap := r.snap.Load()
-	r.snap.Store(&subSnapshot{})
+	r.snap.Store(&subSnapshot{byKey: map[Key]*Subscriber{}})
+	for i := range r.shards {
+		empty := []*Subscriber{}
+		r.shards[i].subs.Store(&empty)
+	}
 	r.telSubs.SetInt(0)
 	r.mu.Unlock()
+
+	// Stop ingest first (no new queue enqueues), then release queue
+	// backlogs, then let the writers run dry and exit.
+	for _, s := range r.shards {
+		s.close()
+	}
+	r.ingestWg.Wait()
 	for _, s := range snap.subs {
 		s.q.Close()
 	}
-	r.wg.Wait()
+	close(r.closedCh)
+	r.writerWg.Wait()
 }
 
-// WaitIdle blocks until every subscriber queue is drained (or the timeout
-// elapses), returning whether it drained. Benchmarks use it to charge
-// queued-mode wall time with delivery, not just enqueue.
+// WaitIdle blocks until every shard ring and subscriber queue is drained
+// (or the timeout elapses), returning whether it drained. Benchmarks use it
+// to charge queued-mode wall time with delivery, not just enqueue.
 func (r *Router) WaitIdle(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for {
 		idle := true
-		for _, s := range r.snap.Load().subs {
-			if !s.q.Idle() {
+		for _, s := range r.shards {
+			if !s.idle() {
 				idle = false
 				break
+			}
+		}
+		if idle {
+			for _, s := range r.snap.Load().subs {
+				if !s.q.Idle() {
+					idle = false
+					break
+				}
 			}
 		}
 		if idle {
@@ -440,6 +692,14 @@ func (r *Router) WaitIdle(timeout time.Duration) bool {
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
+}
+
+// ShardStats is a point-in-time snapshot of one shard.
+type ShardStats struct {
+	ID          int
+	Subscribers int
+	Routed      int64 // packets fanned out by this shard's ingest worker
+	Stolen      int64 // ready queues this shard's workers stole from peers
 }
 
 // Stats is a point-in-time snapshot of the router.
@@ -456,10 +716,12 @@ type Stats struct {
 	REMBForwarded int64
 	PoseForwarded int64
 	Subs          []SubStats
+	Shards        []ShardStats
 }
 
-// Stats snapshots the router and its per-subscriber queues, and refreshes
-// the livo_relay_queue_depth_max gauge (the hot path never touches it).
+// Stats snapshots the router, its shards, and per-subscriber queues, and
+// refreshes the livo_relay_queue_depth_max gauge (the hot path never
+// touches it).
 func (r *Router) Stats() Stats {
 	snap := r.snap.Load()
 	st := Stats{
@@ -473,6 +735,7 @@ func (r *Router) Stats() Stats {
 		REMBForwarded: r.rembFwd.Load(),
 		PoseForwarded: r.poseFwd.Load(),
 		Subs:          make([]SubStats, 0, len(snap.subs)),
+		Shards:        make([]ShardStats, 0, len(r.shards)),
 	}
 	for _, s := range snap.subs {
 		ss := s.q.stats()
@@ -481,6 +744,14 @@ func (r *Router) Stats() Stats {
 			st.MaxDepth = ss.Depth
 		}
 		st.Subs = append(st.Subs, ss)
+	}
+	for _, s := range r.shards {
+		st.Shards = append(st.Shards, ShardStats{
+			ID:          s.id,
+			Subscribers: s.subCount(),
+			Routed:      s.routed.Load(),
+			Stolen:      s.stolen.Load(),
+		})
 	}
 	r.telDepthMax.SetInt(st.MaxDepth)
 	return st

@@ -105,61 +105,68 @@ func (w *stallWriter) WriteTo(p []byte, a net.Addr) (int, error) {
 
 // TestStalledSubscriberIsolation: one receiver whose socket never drains
 // must not reduce delivery to healthy receivers (the acceptance bound is
-// ≤10%; with per-subscriber queues it is 0%).
+// ≤10%; with per-subscriber queues it is 0%). A stalled queue parks at most
+// one writer worker; stealing keeps the rest of the plane draining, with
+// one shard and with several.
 func TestStalledSubscriberIsolation(t *testing.T) {
-	stalled := udp(99)
-	w := &stallWriter{rec: newRecWriter(), stalled: stalled.String(), release: make(chan struct{})}
-	cfg := testConfig()
-	cfg.QueueDepth = 64
-	r := NewRouter(w, senderAddr(), cfg)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			stalled := udp(99)
+			w := &stallWriter{rec: newRecWriter(), stalled: stalled.String(), release: make(chan struct{})}
+			cfg := testConfig()
+			cfg.QueueDepth = 64
+			cfg.Shards = shards
+			r := NewRouter(w, senderAddr(), cfg)
 
-	healthy := make([]*net.UDPAddr, 4)
-	for i := range healthy {
-		healthy[i] = udp(i + 1)
-		r.Subscribe(healthy[i])
-	}
-	r.Subscribe(stalled)
-
-	const frames, frags = 100, 8 // 800 packets >> stalled queue depth
-	pool := r.Pool()
-	for f := uint32(0); f < frames; f++ {
-		for g := uint16(0); g < frags; g++ {
-			r.RouteMedia(pool.Load(mediaWire(1, f, g, frags, false, nil)))
-		}
-		// Pace like a real sender so writer goroutines interleave on one
-		// core; the stalled queue still overflows at depth 64.
-		time.Sleep(100 * time.Microsecond)
-	}
-	// Healthy queues drain fully even while the stalled writer is parked.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		done := true
-		for _, a := range healthy {
-			if w.rec.count(a) < frames*frags {
-				done = false
+			healthy := make([]*net.UDPAddr, 4)
+			for i := range healthy {
+				healthy[i] = udp(i + 1)
+				r.Subscribe(healthy[i])
 			}
-		}
-		if done || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(time.Millisecond)
+			r.Subscribe(stalled)
+
+			const frames, frags = 100, 8 // 800 packets >> stalled queue depth
+			pool := r.Pool()
+			for f := uint32(0); f < frames; f++ {
+				for g := uint16(0); g < frags; g++ {
+					r.RouteMedia(pool.Load(mediaWire(1, f, g, frags, false, nil)))
+				}
+				// Pace like a real sender so writer goroutines interleave on one
+				// core; the stalled queue still overflows at depth 64.
+				time.Sleep(100 * time.Microsecond)
+			}
+			// Healthy queues drain fully even while the stalled writer is parked.
+			deadline := time.Now().Add(2 * time.Second)
+			for {
+				done := true
+				for _, a := range healthy {
+					if w.rec.count(a) < frames*frags {
+						done = false
+					}
+				}
+				if done || time.Now().After(deadline) {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			for i, a := range healthy {
+				if n := w.rec.count(a); n != frames*frags {
+					t.Fatalf("healthy sub %d delivered %d/%d packets while peer stalled", i, n, frames*frags)
+				}
+			}
+			var stalledDrops int64
+			for _, ss := range r.Stats().Subs {
+				if ss.Addr == stalled.String() {
+					stalledDrops = ss.Dropped
+				}
+			}
+			if stalledDrops == 0 {
+				t.Fatal("stalled subscriber accrued no drops; queue bound not enforced")
+			}
+			close(w.release) // unpark before Close so the writer goroutine can exit
+			r.Close()
+		})
 	}
-	for i, a := range healthy {
-		if n := w.rec.count(a); n != frames*frags {
-			t.Fatalf("healthy sub %d delivered %d/%d packets while peer stalled", i, n, frames*frags)
-		}
-	}
-	var stalledDrops int64
-	for _, ss := range r.Stats().Subs {
-		if ss.Addr == stalled.String() {
-			stalledDrops = ss.Dropped
-		}
-	}
-	if stalledDrops == 0 {
-		t.Fatal("stalled subscriber accrued no drops; queue bound not enforced")
-	}
-	close(w.release) // unpark before Close so the writer goroutine can exit
-	r.Close()
 }
 
 func TestRouterUnsubscribe(t *testing.T) {
@@ -399,13 +406,173 @@ func TestSubscribeUnsubscribeConcurrentWithRoute(t *testing.T) {
 }
 
 // TestRouterChaos64: 64 subscribers under bursty loss and reordering on the
-// inbound path. Asserts the drop-accounting invariant on every queue, full
-// drain, and no goroutine leak after Close.
+// inbound path, with one shard and with several. Asserts the
+// drop-accounting invariant on every queue, full drain, zero leaked pool
+// buffers, and no goroutine leak after Close.
 func TestRouterChaos64(t *testing.T) {
-	baseline := runtime.NumGoroutine()
-	rec := newRecWriter()
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			rec := newRecWriter()
+			cfg := testConfig()
+			cfg.QueueDepth = 256
+			cfg.Shards = shards
+			r := NewRouter(rec, senderAddr(), cfg)
+
+			const nSubs = 64
+			for i := 0; i < nSubs; i++ {
+				r.Subscribe(udp(i + 1))
+			}
+
+			chaos := netem.NewChaos(netem.ChaosConfig{
+				Seed:        7,
+				PEnterBurst: 0.02, PExitBurst: 0.10,
+				LossGood: 0.01, LossBad: 0.5,
+				ReorderProb: 0.05, ReorderDelay: 0.03,
+				DupProb: 0.01,
+			})
+
+			packets := 3000
+			if testing.Short() {
+				packets = 600
+			}
+			pool := r.Pool()
+			routed := 0
+			for i := 0; i < packets; i++ {
+				wire := mediaWire(1, uint32(i/8), uint16(i%8), 8, i%480 == 0, []byte(fmt.Sprintf("p%d", i)))
+				for _, d := range chaos.Apply(wire) {
+					r.RouteMedia(pool.Load(d.Payload))
+					routed++
+				}
+				if i%100 == 0 { // interleave feedback churn from random subscribers
+					r.RouteFeedback([]byte{transport.FBPLI}, udp(1+i%nSubs))
+					r.RouteFeedback(transport.MarshalNACK(1, uint32(i/8), uint16(i%8)), udp(1+(i+3)%nSubs))
+					r.RouteFeedback(transport.AppendREMB(nil, float64(1e6*(1+i%5))), udp(1+(i+7)%nSubs))
+				}
+			}
+			if chaos.Dropped() == 0 || chaos.Reordered() == 0 {
+				t.Fatalf("chaos injected no faults (dropped=%d reordered=%d)", chaos.Dropped(), chaos.Reordered())
+			}
+			if !r.WaitIdle(5 * time.Second) {
+				t.Fatal("router did not drain under chaos")
+			}
+			st := r.Stats()
+			if st.MediaPackets != int64(routed) {
+				t.Fatalf("media packets = %d, want %d", st.MediaPackets, routed)
+			}
+			for _, ss := range st.Subs {
+				if ss.Depth != 0 {
+					t.Fatalf("sub %s depth = %d after WaitIdle", ss.Addr, ss.Depth)
+				}
+				if ss.Enqueued != ss.Sent+ss.Dropped {
+					t.Fatalf("sub %s accounting: enqueued %d != sent %d + dropped %d",
+						ss.Addr, ss.Enqueued, ss.Sent, ss.Dropped)
+				}
+				if ss.Sent != int64(routed)-ss.Dropped {
+					t.Fatalf("sub %s delivered %d of %d routed (dropped %d)", ss.Addr, ss.Sent, routed, ss.Dropped)
+				}
+			}
+			if len(st.Shards) != shards {
+				t.Fatalf("shard stats: %d entries, want %d", len(st.Shards), shards)
+			}
+			gotSubs := 0
+			for _, sh := range st.Shards {
+				gotSubs += sh.Subscribers
+			}
+			if gotSubs != nSubs {
+				t.Fatalf("shard partitions hold %d subscribers total, want %d", gotSubs, nSubs)
+			}
+			r.Close()
+
+			// Every pooled buffer is back: fan-out refs, queue backlogs, and
+			// in-flight writer batches all released exactly once.
+			for i := 0; i < r.Shards(); i++ {
+				if live := r.ShardPool(i).Live(); live != 0 {
+					t.Fatalf("shard %d pool leaks %d buffers after Close", i, live)
+				}
+			}
+
+			// All ingest and writer goroutines must exit.
+			deadline := time.Now().Add(2 * time.Second)
+			for runtime.NumGoroutine() > baseline+2 {
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutine leak after Close: %d, baseline %d", runtime.NumGoroutine(), baseline)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestUnsubscribeMidFrameReleasesBuffers: a subscriber removed while a
+// writer worker is parked mid-frame inside WriteTo (holding a popped batch
+// of refcounted buffers) must have its ring backlog released, and the
+// worker's in-flight batch released after the write returns — pool
+// get == put across every shard at shutdown, no leaked PacketBufs.
+func TestUnsubscribeMidFrameReleasesBuffers(t *testing.T) {
+	leaving := udp(99)
+	w := &stallWriter{rec: newRecWriter(), stalled: leaving.String(), release: make(chan struct{})}
 	cfg := testConfig()
-	cfg.QueueDepth = 256
+	cfg.QueueDepth = 64
+	cfg.Shards = 4
+	r := NewRouter(w, senderAddr(), cfg)
+
+	healthy := make([]*net.UDPAddr, 7)
+	for i := range healthy {
+		healthy[i] = udp(i + 1)
+		r.Subscribe(healthy[i])
+	}
+	r.Subscribe(leaving)
+
+	// One 16-fragment frame: the leaving subscriber's worker parks on the
+	// first fragment with the rest of its batch popped, and more fragments
+	// still queued in the ring behind it.
+	const frags = 16
+	pool := r.Pool()
+	for g := uint16(0); g < frags; g++ {
+		r.RouteMedia(pool.Load(mediaWire(1, 7, g, frags, true, []byte{byte(g)})))
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.blocked.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never entered the stalled WriteTo")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Remove the subscriber mid-frame: Close drains and releases the ring
+	// backlog; the parked worker still owns its popped batch.
+	if !r.Unsubscribe(leaving) {
+		t.Fatal("Unsubscribe(leaving) = false, want true")
+	}
+	close(w.release) // the parked write completes; worker releases its batch
+
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("router did not drain")
+	}
+	for i, a := range healthy {
+		if n := w.rec.count(a); n != frags {
+			t.Fatalf("healthy sub %d delivered %d/%d fragments", i, n, frags)
+		}
+	}
+	r.Close()
+	for i := 0; i < r.Shards(); i++ {
+		if live := r.ShardPool(i).Live(); live != 0 {
+			t.Fatalf("shard %d pool leaks %d buffers after mid-frame unsubscribe", i, live)
+		}
+	}
+}
+
+// TestRouterShardedAccounting64: concurrent producers (one per shard pool,
+// distinct streams, modeling SO_REUSEPORT multi-socket ingest) against 64
+// subscribers on shallow queues with REMB churn. After drain, every queue
+// satisfies enqueued == sent + dropped + depth (depth 0 once idle) and no
+// shard leaks buffers; run under -race.
+func TestRouterShardedAccounting64(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 32 // shallow: force the drop policy to engage
+	cfg.Shards = 4
+	rec := newRecWriter()
 	r := NewRouter(rec, senderAddr(), cfg)
 
 	const nSubs = 64
@@ -413,41 +580,41 @@ func TestRouterChaos64(t *testing.T) {
 		r.Subscribe(udp(i + 1))
 	}
 
-	chaos := netem.NewChaos(netem.ChaosConfig{
-		Seed:        7,
-		PEnterBurst: 0.02, PExitBurst: 0.10,
-		LossGood: 0.01, LossBad: 0.5,
-		ReorderProb: 0.05, ReorderDelay: 0.03,
-		DupProb: 0.01,
-	})
-
-	packets := 3000
-	if testing.Short() {
-		packets = 600
+	const producers, frames, frags = 4, 120, 8
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for p := 0; p < producers; p++ {
+		go func(p int) {
+			defer wg.Done()
+			pool := r.ShardPool(p)
+			stream := uint8(p + 1)
+			for f := uint32(0); f < frames; f++ {
+				for g := uint16(0); g < frags; g++ {
+					r.RouteMedia(pool.Load(mediaWire(stream, f, g, frags, f%30 == 0, []byte{byte(p)})))
+				}
+				if f%10 == uint32(p) { // REMB churn swings adaptive depth
+					r.RouteFeedback(transport.AppendREMB(nil, float64(5e5*(1+f%8))), udp(1+int(f)%nSubs))
+				}
+			}
+		}(p)
 	}
-	pool := r.Pool()
-	routed := 0
-	for i := 0; i < packets; i++ {
-		wire := mediaWire(1, uint32(i/8), uint16(i%8), 8, i%480 == 0, []byte(fmt.Sprintf("p%d", i)))
-		for _, d := range chaos.Apply(wire) {
-			r.RouteMedia(pool.Load(d.Payload))
-			routed++
-		}
-		if i%100 == 0 { // interleave feedback churn from random subscribers
-			r.RouteFeedback([]byte{transport.FBPLI}, udp(1+i%nSubs))
-			r.RouteFeedback(transport.MarshalNACK(1, uint32(i/8), uint16(i%8)), udp(1+(i+3)%nSubs))
-			r.RouteFeedback(transport.AppendREMB(nil, float64(1e6*(1+i%5))), udp(1+(i+7)%nSubs))
-		}
-	}
-	if chaos.Dropped() == 0 || chaos.Reordered() == 0 {
-		t.Fatalf("chaos injected no faults (dropped=%d reordered=%d)", chaos.Dropped(), chaos.Reordered())
-	}
+	wg.Wait()
 	if !r.WaitIdle(5 * time.Second) {
-		t.Fatal("router did not drain under chaos")
+		t.Fatal("router did not drain")
 	}
+
+	const routed = producers * frames * frags
 	st := r.Stats()
-	if st.MediaPackets != int64(routed) {
+	if st.MediaPackets != routed {
 		t.Fatalf("media packets = %d, want %d", st.MediaPackets, routed)
+	}
+	var shardRouted int64
+	for _, sh := range st.Shards {
+		shardRouted += sh.Routed
+	}
+	if shardRouted != routed*int64(len(st.Shards)) {
+		t.Fatalf("shards routed %d packet descriptors, want %d (every packet visits every shard)",
+			shardRouted, routed*int64(len(st.Shards)))
 	}
 	for _, ss := range st.Subs {
 		if ss.Depth != 0 {
@@ -457,19 +624,97 @@ func TestRouterChaos64(t *testing.T) {
 			t.Fatalf("sub %s accounting: enqueued %d != sent %d + dropped %d",
 				ss.Addr, ss.Enqueued, ss.Sent, ss.Dropped)
 		}
-		if ss.Sent != int64(routed)-ss.Dropped {
-			t.Fatalf("sub %s delivered %d of %d routed (dropped %d)", ss.Addr, ss.Sent, routed, ss.Dropped)
+		if ss.Sent+ss.Dropped != routed {
+			t.Fatalf("sub %s saw %d of %d routed packets", ss.Addr, ss.Sent+ss.Dropped, routed)
 		}
 	}
 	r.Close()
-
-	// All writer goroutines must exit.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > baseline+2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutine leak after Close: %d, baseline %d", runtime.NumGoroutine(), baseline)
+	for i := 0; i < r.Shards(); i++ {
+		if live := r.ShardPool(i).Live(); live != 0 {
+			t.Fatalf("shard %d pool leaks %d buffers", i, live)
 		}
-		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRouterBatchWriterPath: a conn implementing BatchWriter receives ring
+// drains as WriteBatch calls (sendmmsg-shaped), with identical delivery.
+func TestRouterBatchWriterPath(t *testing.T) {
+	bw := newBatchRecWriter()
+	cfg := testConfig()
+	cfg.Shards = 2
+	r := NewRouter(bw, senderAddr(), cfg)
+	defer r.Close()
+
+	subs := []*net.UDPAddr{udp(1), udp(2), udp(3)}
+	for _, a := range subs {
+		r.Subscribe(a)
+	}
+	const frames, frags = 20, 8
+	pool := r.Pool()
+	for f := uint32(0); f < frames; f++ {
+		for g := uint16(0); g < frags; g++ {
+			r.RouteMedia(pool.Load(mediaWire(1, f, g, frags, false, []byte{byte(f)})))
+		}
+	}
+	if !r.WaitIdle(2 * time.Second) {
+		t.Fatal("router did not drain")
+	}
+	for i, a := range subs {
+		got := bw.payloads(a)
+		if len(got) != frames*frags {
+			t.Fatalf("sub %d received %d packets via batch path, want %d", i, len(got), frames*frags)
+		}
+		for j, b := range got {
+			f, g := uint32(j/frags), uint16(j%frags)
+			if binary.BigEndian.Uint32(b[2:6]) != f || binary.BigEndian.Uint16(b[6:8]) != g {
+				t.Fatalf("sub %d batch delivery %d out of order", i, j)
+			}
+		}
+	}
+	calls, pkts := bw.batches()
+	if calls == 0 || pkts != frames*frags*len(subs) {
+		t.Fatalf("batch path: %d calls / %d packets, want all %d packets batched",
+			calls, pkts, frames*frags*len(subs))
+	}
+}
+
+// TestREMBAdaptsQueueDepth: a subscriber's REMB flows through RouteFeedback
+// into its queue's adaptive limit (SubStats.Limit tracks the BDP estimate).
+func TestREMBAdaptsQueueDepth(t *testing.T) {
+	cfg := testConfig()
+	cfg.QueueDepth = 1024
+	cfg.MinQueueDepth = 16
+	cfg.DepthWindow = 250 * time.Millisecond
+	rec := newRecWriter()
+	r := NewRouter(rec, senderAddr(), cfg)
+	defer r.Close()
+
+	sub := udp(1)
+	r.Subscribe(sub)
+
+	limitOf := func() int64 {
+		for _, ss := range r.Stats().Subs {
+			if ss.Addr == sub.String() {
+				return ss.Limit
+			}
+		}
+		t.Fatal("subscriber missing from stats")
+		return 0
+	}
+	if got := limitOf(); got != 1024 {
+		t.Fatalf("initial limit = %d, want full depth 1024", got)
+	}
+	// Starve the estimate: at 1 Mbps over a 250 ms window and MTU-sized
+	// packets (the initial size EMA) the BDP is ~26 packets.
+	r.RouteFeedback(transport.AppendREMB(nil, 1e6), sub)
+	lo := limitOf()
+	if lo >= 1024 || lo < 16 {
+		t.Fatalf("limit after 1 Mbps REMB = %d, want shrunk within [16, 1024)", lo)
+	}
+	// Bandwidth recovers: the window re-opens.
+	r.RouteFeedback(transport.AppendREMB(nil, 100e6), sub)
+	if hi := limitOf(); hi <= lo {
+		t.Fatalf("limit after recovery = %d, want > %d", hi, lo)
 	}
 }
 

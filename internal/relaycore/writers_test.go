@@ -1,0 +1,85 @@
+package relaycore
+
+import (
+	"net"
+	"sync"
+)
+
+// recWriter records writes per destination (thread-safe). It implements
+// only Writer, so routers built over it exercise the per-packet WriteBatch
+// fallback.
+type recWriter struct {
+	mu     sync.Mutex
+	writes map[string][][]byte
+}
+
+func newRecWriter() *recWriter { return &recWriter{writes: make(map[string][][]byte)} }
+
+func (w *recWriter) WriteTo(p []byte, a net.Addr) (int, error) {
+	cp := append([]byte(nil), p...)
+	w.mu.Lock()
+	w.writes[a.String()] = append(w.writes[a.String()], cp)
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+func (w *recWriter) count(a net.Addr) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.writes[a.String()])
+}
+
+func (w *recWriter) payloads(a net.Addr) [][]byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([][]byte(nil), w.writes[a.String()]...)
+}
+
+// batchRecWriter is a recWriter that also implements BatchWriter, counting
+// batch calls so tests can assert the batched path is taken.
+type batchRecWriter struct {
+	recWriter
+	batchCalls  int
+	batchedPkts int
+}
+
+func newBatchRecWriter() *batchRecWriter {
+	return &batchRecWriter{recWriter: recWriter{writes: make(map[string][][]byte)}}
+}
+
+func (w *batchRecWriter) WriteBatch(ps [][]byte, a net.Addr) (int, error) {
+	w.mu.Lock()
+	w.batchCalls++
+	w.batchedPkts += len(ps)
+	for _, p := range ps {
+		cp := append([]byte(nil), p...)
+		w.writes[a.String()] = append(w.writes[a.String()], cp)
+	}
+	w.mu.Unlock()
+	return len(ps), nil
+}
+
+func (w *batchRecWriter) batches() (calls, pkts int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.batchCalls, w.batchedPkts
+}
+
+// gateWriter hands control of each WriteTo to the test: the call parks on
+// entered until the test sends on proceed.
+type gateWriter struct {
+	rec     *recWriter
+	entered chan []byte
+	proceed chan struct{}
+}
+
+func newGateWriter() *gateWriter {
+	return &gateWriter{rec: newRecWriter(), entered: make(chan []byte), proceed: make(chan struct{})}
+}
+
+func (w *gateWriter) WriteTo(p []byte, a net.Addr) (int, error) {
+	cp := append([]byte(nil), p...)
+	w.entered <- cp
+	<-w.proceed
+	return w.rec.WriteTo(cp, a)
+}

@@ -39,14 +39,35 @@ func NewRelay(conn net.PacketConn, sender net.Addr) *Relay {
 }
 
 // NewRelayWith creates a relay with an explicit data-plane configuration
-// (queue depth, feedback windows, or the legacy Sequential path kept for
-// A/B measurement — see livo-bench -relaybench).
+// (shard count, queue depth, feedback windows, or the legacy Sequential
+// path kept for A/B measurement — see livo-bench -relaybench).
 func NewRelayWith(conn net.PacketConn, sender net.Addr, cfg relaycore.Config) *Relay {
 	return &Relay{
 		conn:   conn,
-		router: relaycore.NewRouter(conn, sender, cfg),
+		router: relaycore.NewRouter(batchConn{conn}, sender, cfg),
 		closed: make(chan struct{}),
 	}
+}
+
+// batchConn adapts the relay's net.PacketConn to relaycore.BatchWriter so
+// writer workers drain each ring batch with one call. Conns that batch
+// natively (a future sendmmsg socket) are delegated to; plain conns get a
+// per-packet fallback loop — the WriteBatch contract (all-or-prefix to one
+// destination) holds either way.
+type batchConn struct{ net.PacketConn }
+
+func (c batchConn) WriteBatch(ps [][]byte, addr net.Addr) (int, error) {
+	if bw, ok := c.PacketConn.(relaycore.BatchWriter); ok {
+		return bw.WriteBatch(ps, addr)
+	}
+	n := 0
+	for _, p := range ps {
+		if _, err := c.PacketConn.WriteTo(p, addr); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
 }
 
 // Subscribe adds a receiver (idempotent per address). The first subscriber
