@@ -263,6 +263,16 @@ func runRelayBench(outPath, baselinePath string, short bool) error {
 		}
 	}
 	fmt.Printf("(relaybench in %s)\n", time.Since(start).Round(time.Millisecond))
+	// Absolute allocation budget, independent of any baseline: the routing
+	// hot path is designed for 0 allocs/pkt and the retransmission cache's
+	// bookkeeping (owner-shard index map churn) is allowed at most 1, so
+	// any cell above 1.0 means the cache leaked work onto the hot path.
+	for _, r := range results {
+		if r.Mode == "queued" && r.AllocsPerPacket > 1.0 {
+			return fmt.Errorf("relaybench: subs=%d procs=%d %.2f allocs/packet exceeds the 1.0 cache-bookkeeping budget",
+				r.Subs, r.Procs, r.AllocsPerPacket)
+		}
+	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err

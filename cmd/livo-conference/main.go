@@ -181,6 +181,8 @@ func main() {
 			st.Subscribers, st.MediaPackets, st.FanoutPackets, st.Drops, sinkPkts.Load())
 		fmt.Printf("relay feedback: pli %d fwd/%d deduped, nack %d fwd/%d coalesced, remb %d fwd, pose %d fwd\n",
 			st.PLIForwarded, st.PLISuppressed, st.NACKForwarded, st.NACKCoalesced, st.REMBForwarded, st.PoseForwarded)
+		fmt.Printf("relay retx: %d served from cache, %d escalated, %d cached, %d liveness evictions\n",
+			st.RetxHits, st.RetxMisses, st.RetxCached, st.LivenessEvicted)
 		for _, sh := range st.Shards {
 			fmt.Printf("relay shard %d: %d subs, %d pkts routed, %d queues stolen by its workers\n",
 				sh.ID, sh.Subscribers, sh.Routed, sh.Stolen)

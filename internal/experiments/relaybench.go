@@ -5,10 +5,12 @@ import (
 	"math/rand"
 	"net"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"livo/internal/netem"
 	"livo/internal/relaycore"
 	"livo/internal/telemetry"
 	"livo/internal/transport"
@@ -48,7 +50,9 @@ import (
 
 // RelayBenchResult is one (mode, subscriber-count, procs) measurement.
 // PacketsRouted through AllocsPerPacket describe the flat-out phase;
-// DeliveredPerSec, Drops, and DropRate describe the paced phase.
+// DeliveredPerSec, Drops, and DropRate describe the paced phase; the Retx*
+// and Recovery* fields describe the loss-recovery phase (paced producer
+// behind ~2% bursty downstream loss, receivers NACKing every hole).
 type RelayBenchResult struct {
 	Mode               string  `json:"mode"` // "sequential" or "queued"
 	Subs               int     `json:"subs"`
@@ -64,6 +68,17 @@ type RelayBenchResult struct {
 	DeliveredPerSec    float64 `json:"delivered_per_sec"`
 	Drops              int64   `json:"drops"`
 	DropRate           float64 `json:"drop_rate"` // paced drops / (paced routed × subs)
+
+	// Loss-recovery phase: how the relay absorbs downstream loss.
+	LossDropped     int64   `json:"loss_dropped"`      // chaos-dropped media fragments
+	LossRecovered   int64   `json:"loss_recovered"`    // holes filled by retransmission
+	LossUnrecovered int64   `json:"loss_unrecovered"`  // holes still open at phase end
+	RetxHits        int64   `json:"retx_hits"`         // NACKs served from the relay cache
+	RetxMisses      int64   `json:"retx_misses"`       // NACKs escalated toward the sender
+	RetxHitRate     float64 `json:"retx_hit_rate"`     // hits / (hits + misses)
+	SenderNACKs     int64   `json:"sender_nacks"`      // NACKs the sender actually observed
+	RecoveryP50Ms   float64 `json:"recovery_p50_ms"`   // drop → hole-filled latency
+	RecoveryP99Ms   float64 `json:"recovery_p99_ms"`
 }
 
 // RelayBenchConfig parameterizes a run; zero values pick defaults.
@@ -123,6 +138,9 @@ func (c *RelayBenchConfig) fill(short bool) {
 
 // relayBenchAddr is an index-keyed subscriber address: WriteTo resolves the
 // subscriber by integer, never by String(), so delivery is allocation-free.
+// The sender carries a negative index — it must never collide with
+// subscriber 0, or feedback escalated to the sender would land in a
+// subscriber's buffer (and be miscounted as a delivery).
 type relayBenchAddr struct {
 	i int
 	s string
@@ -142,6 +160,28 @@ type relayBenchConn struct {
 	pauseProb float64
 	pauseDur  time.Duration
 	wg        sync.WaitGroup
+
+	// Loss-recovery phase state (armLoss / disarmLoss). Writes to the
+	// sender's address are counted rather than buffered: a NACK there means
+	// the relay escalated a loss instead of absorbing it.
+	senderNACKs atomic.Int64
+	nackCh      chan benchNACK
+	recMu       sync.Mutex
+	recoveries  []time.Duration
+}
+
+// benchLossKey names one media fragment, mirroring the NACK triple.
+type benchLossKey struct {
+	seq    uint32
+	frag   uint16
+	stream uint8
+}
+
+// benchNACK is one retransmission request queued from a subscriber's write
+// path toward the phase driver (which plays the relay read loop's role).
+type benchNACK struct {
+	key benchLossKey
+	sub int
 }
 
 type relayBenchSub struct {
@@ -153,7 +193,14 @@ type relayBenchSub struct {
 	size     int
 	closed   bool
 	scratch  []byte
-	_pad     [4]uint64 // keep neighbouring subscribers off one cache line
+
+	// Lossy-phase state, guarded by mu (armed only while the router is
+	// idle). chaos == nil means the leg is lossless (every other phase).
+	chaos       *netem.Chaos
+	outstanding map[benchLossKey]time.Time
+	lossDropped int64
+
+	_pad [4]uint64 // keep neighbouring subscribers off one cache line
 }
 
 func newRelayBenchConn(n int, cfg RelayBenchConfig) *relayBenchConn {
@@ -197,26 +244,138 @@ func (s *relayBenchSub) putLocked(p []byte) bool {
 
 // WriteTo models a blocking datagram send into one subscriber's buffer.
 func (c *relayBenchConn) WriteTo(p []byte, a net.Addr) (int, error) {
-	s := &c.subs[a.(*relayBenchAddr).i]
+	i := a.(*relayBenchAddr).i
+	if i < 0 {
+		c.countSender(p)
+		return len(p), nil
+	}
+	s := &c.subs[i]
 	s.mu.Lock()
-	s.putLocked(p)
+	c.putLossyLocked(s, i, p)
 	s.mu.Unlock()
 	return len(p), nil
 }
 
 // WriteBatch lands a whole ring batch under one lock acquisition.
 func (c *relayBenchConn) WriteBatch(ps [][]byte, a net.Addr) (int, error) {
-	s := &c.subs[a.(*relayBenchAddr).i]
+	i := a.(*relayBenchAddr).i
+	if i < 0 {
+		for _, p := range ps {
+			c.countSender(p)
+		}
+		return len(ps), nil
+	}
+	s := &c.subs[i]
 	s.mu.Lock()
 	n := 0
 	for _, p := range ps {
-		if !s.putLocked(p) {
+		if !c.putLossyLocked(s, i, p) {
 			break
 		}
 		n++
 	}
 	s.mu.Unlock()
 	return n, nil
+}
+
+// countSender tallies feedback escalated to the sender's address.
+func (c *relayBenchConn) countSender(p []byte) {
+	if len(p) > 0 && p[0] == transport.FBNACK {
+		c.senderNACKs.Add(1)
+	}
+}
+
+// putLossyLocked runs one packet through the subscriber's chaos schedule
+// (when the loss phase is armed) before buffering it: a dropped media
+// fragment is remembered and a retransmission request queued toward the
+// phase driver; a delivery that fills a remembered hole closes its
+// recovery timer. Lossless legs fall straight through to putLocked.
+func (c *relayBenchConn) putLossyLocked(s *relayBenchSub, i int, p []byte) bool {
+	if s.chaos == nil {
+		return s.putLocked(p)
+	}
+	media := len(p) >= 11 && p[0] == transport.MediaMagic && p[10]&transport.FlagParity == 0
+	if !media {
+		return s.putLocked(p)
+	}
+	k := benchLossKey{
+		seq:    uint32(p[2])<<24 | uint32(p[3])<<16 | uint32(p[4])<<8 | uint32(p[5]),
+		frag:   uint16(p[6])<<8 | uint16(p[7]),
+		stream: p[1],
+	}
+	if len(s.chaos.Apply(p)) == 0 {
+		s.lossDropped++
+		if _, dup := s.outstanding[k]; !dup {
+			s.outstanding[k] = time.Now()
+		}
+		// Request a retransmission; a re-drop keeps the original drop time
+		// so recovery latency spans the full outage.
+		select {
+		case c.nackCh <- benchNACK{key: k, sub: i}:
+		default: // driver backlogged; the next sweep re-requests
+		}
+		return true // dropped on the "network", not by the conn
+	}
+	if t0, ok := s.outstanding[k]; ok {
+		delete(s.outstanding, k)
+		c.recMu.Lock()
+		c.recoveries = append(c.recoveries, time.Since(t0))
+		c.recMu.Unlock()
+	}
+	return s.putLocked(p)
+}
+
+// armLoss equips every subscriber leg with a seeded Gilbert–Elliott loss
+// schedule; call only while the router is idle (no writes in flight).
+func (c *relayBenchConn) armLoss(seed int64, avgLoss float64) {
+	c.nackCh = make(chan benchNACK, 1<<16)
+	c.recoveries = nil
+	for i := range c.subs {
+		s := &c.subs[i]
+		s.mu.Lock()
+		s.chaos = netem.NewChaos(netem.BurstyLossConfig(seed+int64(i), avgLoss))
+		s.outstanding = make(map[benchLossKey]time.Time)
+		s.lossDropped = 0
+		s.mu.Unlock()
+	}
+}
+
+// disarmLoss returns every leg to lossless pass-through.
+func (c *relayBenchConn) disarmLoss() {
+	for i := range c.subs {
+		s := &c.subs[i]
+		s.mu.Lock()
+		s.chaos = nil
+		s.mu.Unlock()
+	}
+}
+
+// lossTotals sums the per-leg loss counters.
+func (c *relayBenchConn) lossTotals() (dropped, outstanding int64) {
+	for i := range c.subs {
+		s := &c.subs[i]
+		s.mu.Lock()
+		dropped += s.lossDropped
+		outstanding += int64(len(s.outstanding))
+		s.mu.Unlock()
+	}
+	return
+}
+
+// outstandingNACKs re-requests every still-open hole (retransmissions lost
+// to chaos would otherwise stay open: the queued NACK was consumed but the
+// repair never landed).
+func (c *relayBenchConn) outstandingNACKs() []benchNACK {
+	var out []benchNACK
+	for i := range c.subs {
+		s := &c.subs[i]
+		s.mu.Lock()
+		for k := range s.outstanding {
+			out = append(out, benchNACK{key: k, sub: i})
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 func (c *relayBenchConn) drain(i int, rng *rand.Rand) {
@@ -306,9 +465,10 @@ func RunRelayBench(cfg RelayBenchConfig, short bool, progress func(string)) ([]R
 		if err != nil {
 			return err
 		}
-		progress(fmt.Sprintf("%-10s subs=%-5d procs=%d shards=%d %12.0f pkts/s (%10.0f /core) %8.0f ns/pkt %5.2f allocs/pkt | paced %6.0f offered/s %8.0f delivered/s drops=%d (%.2f%%)",
+		progress(fmt.Sprintf("%-10s subs=%-5d procs=%d shards=%d %12.0f pkts/s (%10.0f /core) %8.0f ns/pkt %5.2f allocs/pkt | paced %6.0f offered/s %8.0f delivered/s drops=%d (%.2f%%) | loss retx=%.1f%% p99=%.1fms sndNACK=%d open=%d",
 			r.Mode, r.Subs, r.Procs, r.Shards, r.PacketsPerSec, r.PacketsPerSecCore,
-			r.NsPerPacket, r.AllocsPerPacket, r.PacedOfferedPerSec, r.DeliveredPerSec, r.Drops, r.DropRate*100))
+			r.NsPerPacket, r.AllocsPerPacket, r.PacedOfferedPerSec, r.DeliveredPerSec, r.Drops, r.DropRate*100,
+			r.RetxHitRate*100, r.RecoveryP99Ms, r.SenderNACKs, r.LossUnrecovered))
 		out = append(out, r)
 		return nil
 	}
@@ -328,13 +488,15 @@ func RunRelayBench(cfg RelayBenchConfig, short bool, progress func(string)) ([]R
 func runRelayBenchOne(mode string, subs, procs int, cfg RelayBenchConfig) (RelayBenchResult, error) {
 	runtime.GOMAXPROCS(procs)
 	conn := newRelayBenchConn(subs, cfg)
-	router := relaycore.NewRouter(conn, &relayBenchAddr{i: 0, s: "sender"}, relaycore.Config{
+	router := relaycore.NewRouter(conn, &relayBenchAddr{i: -1, s: "sender"}, relaycore.Config{
 		Sequential: mode == "sequential",
 		Shards:     procs,
 		Telemetry:  telemetry.NewRegistry(0),
 	})
+	subAddrs := make([]net.Addr, subs)
 	for i := 0; i < subs; i++ {
-		router.Subscribe(&relayBenchAddr{i: i, s: fmt.Sprintf("sub-%d", i)})
+		subAddrs[i] = &relayBenchAddr{i: i, s: fmt.Sprintf("sub-%d", i)}
+		router.Subscribe(subAddrs[i])
 	}
 
 	// Flat-out phase: one free-running producer per proc, each with its own
@@ -432,6 +594,80 @@ func runRelayBenchOne(mode string, subs, procs int, cfg RelayBenchConfig) (Relay
 	p1 := router.Stats()
 	pd1 := conn.delivered.Load()
 
+	// Loss-recovery phase: the paced producer again, but with every
+	// downstream leg behind ~2% bursty (Gilbert–Elliott) loss. Subscribers
+	// NACK each hole; the driver plays the relay read loop's role, feeding
+	// those NACKs to RouteFeedback between frames so retransmissions come
+	// from the relay's cache rather than the sender. Recovery latency runs
+	// from the chaos drop to the hole-filling delivery.
+	r0 := router.Stats()
+	conn.armLoss(cfg.Seed, 0.02)
+	pumpNACKs := func(reqs []benchNACK) {
+		for _, n := range reqs {
+			router.RouteFeedback(transport.MarshalNACK(n.key.stream, n.key.seq, n.key.frag), subAddrs[n.sub])
+		}
+		for {
+			select {
+			case n := <-conn.nackCh:
+				router.RouteFeedback(transport.MarshalNACK(n.key.stream, n.key.seq, n.key.frag), subAddrs[n.sub])
+			default:
+				return
+			}
+		}
+	}
+	{
+		tmpl := mediaTemplate()
+		pool := router.Pool()
+		interval := time.Second / time.Duration(cfg.FPS)
+		// Offset the sequence space so the paced phase's frames can't
+		// shadow this phase's cache entries.
+		const seqBase = 1 << 20
+		t0 := time.Now()
+		next := t0
+		for frame := 0; ; frame++ {
+			now := time.Now()
+			if now.Sub(t0) >= cfg.Duration {
+				break
+			}
+			if now.Before(next) {
+				time.Sleep(next.Sub(now))
+			}
+			restampFrame(tmpl, transport.StreamColor, uint32(seqBase+frame), frame%benchGOP == 0)
+			for frag := 0; frag < benchFragsPerFrame; frag++ {
+				tmpl[6] = byte(frag >> 8)
+				tmpl[7] = byte(frag)
+				router.RouteMedia(pool.Load(tmpl))
+			}
+			pumpNACKs(nil)
+			next = next.Add(interval)
+		}
+		// Close out the tail: keep serving NACKs (including re-requests for
+		// retransmissions that chaos itself consumed) until every hole is
+		// filled or the grace window runs out.
+		grace := time.Now().Add(5 * time.Second)
+		for time.Now().Before(grace) {
+			pumpNACKs(conn.outstandingNACKs())
+			if !router.WaitIdle(10 * time.Second) {
+				break
+			}
+			if _, open := conn.lossTotals(); open == 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	conn.disarmLoss()
+	if !router.WaitIdle(60 * time.Second) {
+		router.Close()
+		conn.close()
+		return RelayBenchResult{}, fmt.Errorf("relaybench: %s/%d/procs=%d loss phase did not drain", mode, subs, procs)
+	}
+	r1 := router.Stats()
+	lossDropped, lossOpen := conn.lossTotals()
+	conn.recMu.Lock()
+	recoveries := append([]time.Duration(nil), conn.recoveries...)
+	conn.recMu.Unlock()
+
 	// Flat-out measurement: best of two windows. A scheduler hiccup or GC
 	// inside one window only depresses that window; taking the better one
 	// keeps the CI throughput gate from tripping on machine noise while a
@@ -489,5 +725,27 @@ func runRelayBenchOne(mode string, subs, procs int, cfg RelayBenchConfig) (Relay
 	if pacedRouted > 0 && subs > 0 {
 		res.DropRate = float64(res.Drops) / (float64(pacedRouted) * float64(subs))
 	}
+	res.LossDropped = lossDropped
+	res.LossRecovered = int64(len(recoveries))
+	res.LossUnrecovered = lossOpen
+	res.RetxHits = r1.RetxHits - r0.RetxHits
+	res.RetxMisses = r1.RetxMisses - r0.RetxMisses
+	if n := res.RetxHits + res.RetxMisses; n > 0 {
+		res.RetxHitRate = float64(res.RetxHits) / float64(n)
+	}
+	res.SenderNACKs = conn.senderNACKs.Load()
+	res.RecoveryP50Ms = durPercentile(recoveries, 0.50).Seconds() * 1e3
+	res.RecoveryP99Ms = durPercentile(recoveries, 0.99).Seconds() * 1e3
 	return res, nil
+}
+
+// durPercentile returns the q-quantile of samples (0 when empty).
+func durPercentile(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
 }

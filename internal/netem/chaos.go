@@ -72,6 +72,29 @@ func DefaultChaosConfig(seed int64) ChaosConfig {
 	}
 }
 
+// BurstyLossConfig builds a loss-only Gilbert–Elliott schedule whose
+// long-run average drop rate is approximately avgLoss, with losses
+// clustered in bursts (50% loss inside a burst, mean burst length 4
+// packets, ~2% of time in bursts). The good-state rate is solved from the
+// stationary burst fraction so the average comes out right; avgLoss below
+// the bursts' own contribution clamps the good state to lossless. Used by
+// the relay loss-recovery harness at avgLoss = 0.02.
+func BurstyLossConfig(seed int64, avgLoss float64) ChaosConfig {
+	const pEnter, pExit, lossBad = 0.005, 0.25, 0.5
+	f := pEnter / (pEnter + pExit) // stationary fraction of time in Bad
+	lossGood := (avgLoss - f*lossBad) / (1 - f)
+	if lossGood < 0 {
+		lossGood = 0
+	}
+	return ChaosConfig{
+		Seed:        seed,
+		PEnterBurst: pEnter,
+		PExitBurst:  pExit,
+		LossGood:    lossGood,
+		LossBad:     lossBad,
+	}
+}
+
 // Delivery is one copy of a packet that survives the injector.
 type Delivery struct {
 	Payload []byte

@@ -63,7 +63,9 @@ func (m *rembMin) recompute() {
 // Len returns how many subscribers have reported an estimate.
 func (m *rembMin) Len() int { return len(m.by) }
 
-// nackKey identifies one requested fragment.
+// nackKey identifies one media fragment — the triple a NACK names. The
+// retransmission cache (retxcache.go) indexes by the same key, so a cache
+// miss escalates through the coalescer with no re-keying.
 type nackKey struct {
 	seq    uint32
 	frag   uint16

@@ -69,6 +69,63 @@ func TestNACKCoalesceWindow(t *testing.T) {
 	}
 }
 
+// TestNACKCoalesceWindowBoundary: the window is half-open — a repeat
+// exactly one window after the stamp forwards (now-t < window suppresses,
+// now-t == window does not), and forwarding restamps the entry so the
+// next window measures from the forwarded request.
+func TestNACKCoalesceWindowBoundary(t *testing.T) {
+	const window = int64(50e6)
+	c := newNACKCoalescer(window)
+	k := nackKey{seq: 1, frag: 0, stream: 1}
+	if !c.ShouldForward(k, 100) {
+		t.Fatal("first NACK suppressed")
+	}
+	if c.ShouldForward(k, 100+window-1) {
+		t.Fatal("NACK one tick inside the window forwarded")
+	}
+	if !c.ShouldForward(k, 100+window) {
+		t.Fatal("NACK exactly at the window boundary suppressed")
+	}
+	// Restamped at 100+window: the next boundary is one full window later.
+	if c.ShouldForward(k, 100+2*window-1) {
+		t.Fatal("NACK inside the restamped window forwarded")
+	}
+	if !c.ShouldForward(k, 100+2*window) {
+		t.Fatal("NACK at the restamped boundary suppressed")
+	}
+}
+
+// TestNACKCoalesceMapMaxForcedSweep: when the stamp map outgrows
+// nackMapMax the next insert sweeps regardless of the insert cadence
+// counter, and a swept-out fragment is forwarded again on re-request.
+func TestNACKCoalesceMapMaxForcedSweep(t *testing.T) {
+	const window = int64(50e6)
+	c := newNACKCoalescer(window)
+	// Overfill with in-window entries: they survive sweeps (not stale yet),
+	// so the map really does exceed the cap.
+	for i := 0; i <= nackMapMax; i++ {
+		c.ShouldForward(nackKey{seq: uint32(i), frag: 0, stream: 1}, 0)
+	}
+	if len(c.last) <= nackMapMax {
+		t.Fatalf("precondition: map holds %d entries, want > %d", len(c.last), nackMapMax)
+	}
+	// One window later everything above is stale; the very next insert must
+	// trip the size-forced sweep even though the cadence counter was just
+	// reset by the insert at i == nackMapMax... so force a non-cadence
+	// position by a single insert.
+	if !c.ShouldForward(nackKey{seq: 1 << 30, frag: 0, stream: 1}, window) {
+		t.Fatal("fresh NACK suppressed")
+	}
+	if len(c.last) > 2 {
+		t.Fatalf("forced sweep left %d entries, want <= 2", len(c.last))
+	}
+	// The old generation was swept: re-requesting one of those fragments
+	// forwards again instead of being treated as a duplicate.
+	if !c.ShouldForward(nackKey{seq: 3, frag: 0, stream: 1}, window+1) {
+		t.Fatal("re-request after sweep suppressed")
+	}
+}
+
 // TestNACKCoalesceSweep: a moving sequence window must not grow the stamp
 // map without bound — stale entries are swept opportunistically.
 func TestNACKCoalesceSweep(t *testing.T) {
@@ -106,5 +163,38 @@ func TestPLIGateWindow(t *testing.T) {
 	g.OnKeyFrame()
 	if !g.ShouldForward(window + 1) {
 		t.Fatal("PLI after key frame suppressed")
+	}
+}
+
+// TestPLIGateRearmNearExpiry: a key frame passing just before the window
+// expires re-opens the gate immediately — and the forwarded PLI starts a
+// fresh window from its own timestamp, not the old one's remainder.
+func TestPLIGateRearmNearExpiry(t *testing.T) {
+	const window = int64(250e6)
+	g := pliGate{window: window}
+	if !g.ShouldForward(0) {
+		t.Fatal("first PLI suppressed")
+	}
+	// Key frame lands one tick before the window would have expired.
+	g.OnKeyFrame()
+	if !g.ShouldForward(window - 1) {
+		t.Fatal("PLI after key-frame re-arm suppressed inside the old window")
+	}
+	// The forward restarted the window at window-1: the old boundary
+	// (2*window-2 measured from 0) must still be suppressed...
+	if g.ShouldForward(2*window - 2) {
+		t.Fatal("PLI inside the restarted window forwarded")
+	}
+	// ...and the new boundary forwards.
+	if !g.ShouldForward(2*window - 1) {
+		t.Fatal("PLI at the restarted window boundary suppressed")
+	}
+	// Re-arm racing a same-instant PLI burst: exactly one forwards.
+	g.OnKeyFrame()
+	if !g.ShouldForward(2 * window) {
+		t.Fatal("PLI after second re-arm suppressed")
+	}
+	if g.ShouldForward(2 * window) {
+		t.Fatal("duplicate PLI at the same instant forwarded twice")
 	}
 }

@@ -1,0 +1,172 @@
+package relaycore
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"livo/internal/transport"
+)
+
+// TestLivenessEviction: a subscriber whose reverse path goes silent past
+// the window is evicted in full — queue torn down with every pooled buffer
+// released (gets == puts across all shards), primary repointed, REMB entry
+// evicted so the forwarded minimum rises — and the OnEvict hook and
+// LivenessEvicted counter both fire. Runs at shards=1 and shards=4 (under
+// -race via the tier-1 relaycore race list).
+func TestLivenessEviction(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			clk := &fakeClock{}
+			rec := newRecWriter()
+			silent, live := udp(1), udp(2)
+			// The silent subscriber's socket also stalls, so its queue holds
+			// a backlog of pooled buffers at eviction time — the teardown
+			// must release them all.
+			stall := &stallWriter{rec: rec, stalled: silent.String(), release: make(chan struct{})}
+
+			var evictMu sync.Mutex
+			var evicted []string
+			cfg := testConfig()
+			cfg.Shards = shards
+			cfg.QueueDepth = 256
+			cfg.SilenceWindow = 500 * time.Millisecond
+			cfg.Now = clk.Now
+			cfg.OnEvict = func(a net.Addr) {
+				evictMu.Lock()
+				evicted = append(evicted, a.String())
+				evictMu.Unlock()
+			}
+			r := NewRouter(stall, senderAddr(), cfg)
+
+			r.Subscribe(silent)
+			r.Subscribe(live)
+			if r.Primary().String() != silent.String() {
+				t.Fatalf("primary = %v, want the first subscriber %v", r.Primary(), silent)
+			}
+
+			// The soon-to-vanish subscriber reports the lowest estimate: it
+			// pins the forwarded REMB minimum until evicted.
+			r.RouteFeedback(transport.AppendREMB(nil, 1e6), silent)
+			r.RouteFeedback(transport.AppendREMB(nil, 8e6), live)
+			if min, ok := lastREMB(t, rec); !ok || min != 1e6 {
+				t.Fatalf("forwarded REMB min = %v (%v), want 1e6", min, ok)
+			}
+
+			pool := r.Pool()
+			for i := 0; i < 128; i++ {
+				r.RouteMedia(pool.Load(mediaWire(1, uint32(i/8), uint16(i%8), 8, false, []byte{byte(i)})))
+			}
+
+			// The live subscriber stays active inside the window; the other
+			// goes quiet.
+			clk.Advance(400 * time.Millisecond)
+			r.RouteFeedback(transport.AppendREMB(nil, 8e6), live)
+			clk.Advance(200 * time.Millisecond) // silent: 600 ms quiet; live: 200 ms
+
+			r.EvictStale()
+			if got := r.Subscribers(); got != 1 {
+				t.Fatalf("subscribers = %d after eviction, want 1", got)
+			}
+			if r.Primary().String() != live.String() {
+				t.Fatalf("primary = %v after eviction, want %v", r.Primary(), live)
+			}
+			evictMu.Lock()
+			hooks := append([]string(nil), evicted...)
+			evictMu.Unlock()
+			if len(hooks) != 1 || hooks[0] != silent.String() {
+				t.Fatalf("OnEvict calls = %v, want [%s]", hooks, silent)
+			}
+			if st := r.Stats(); st.LivenessEvicted != 1 {
+				t.Fatalf("LivenessEvicted = %d, want 1", st.LivenessEvicted)
+			}
+
+			// With the slow subscriber's REMB entry gone, the forwarded
+			// minimum rises to the surviving subscriber's estimate.
+			clk.Advance(50 * time.Millisecond)
+			r.RouteFeedback(transport.AppendREMB(nil, 8e6), live)
+			if min, ok := lastREMB(t, rec); !ok || min != 8e6 {
+				t.Fatalf("forwarded REMB min = %v (%v) after eviction, want 8e6", min, ok)
+			}
+
+			// Unblock the parked writer, drain, close: every pooled buffer —
+			// the evicted queue's backlog included — must be back.
+			close(stall.release)
+			if !r.WaitIdle(5 * time.Second) {
+				t.Fatal("router did not drain after eviction")
+			}
+			r.Close()
+			if st := r.Stats(); st.PoolLive != 0 {
+				t.Fatalf("PoolLive = %d after close, want 0 (gets == puts)", st.PoolLive)
+			}
+		})
+	}
+}
+
+// TestLivenessSweepBackground: the background sweep (real ticker) evicts a
+// silent subscriber without an explicit EvictStale call.
+func TestLivenessSweepBackground(t *testing.T) {
+	rec := newRecWriter()
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.SilenceWindow = 60 * time.Millisecond
+	r := NewRouter(rec, senderAddr(), cfg)
+	defer r.Close()
+
+	silent, live := udp(1), udp(2)
+	r.Subscribe(silent)
+	r.Subscribe(live)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		r.RouteFeedback(transport.AppendREMB(nil, 5e6), live)
+		if r.Subscribers() == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := r.Subscribers(); got != 1 {
+		t.Fatalf("background sweep left %d subscribers, want 1", got)
+	}
+	if r.Primary().String() != live.String() {
+		t.Fatalf("primary = %v, want %v", r.Primary(), live)
+	}
+}
+
+// TestLivenessDisabledByDefault: the zero config never evicts — benchmark
+// and test subscribers send no feedback at all.
+func TestLivenessDisabledByDefault(t *testing.T) {
+	clk := &fakeClock{}
+	cfg := testConfig()
+	cfg.Shards = 1
+	cfg.Now = clk.Now
+	r := NewRouter(newRecWriter(), senderAddr(), cfg)
+	defer r.Close()
+	r.Subscribe(udp(1))
+	clk.Advance(time.Hour)
+	if n := r.EvictStale(); n != 0 {
+		t.Fatalf("EvictStale evicted %d with liveness disabled, want 0", n)
+	}
+	if got := r.Subscribers(); got != 1 {
+		t.Fatalf("subscribers = %d, want 1", got)
+	}
+}
+
+// lastREMB parses the most recent REMB the router forwarded to the sender.
+func lastREMB(t *testing.T, rec *recWriter) (float64, bool) {
+	t.Helper()
+	var min float64
+	found := false
+	for _, p := range rec.payloads(senderAddr()) {
+		if len(p) > 0 && p[0] == transport.FBREMB {
+			v, err := transport.UnmarshalREMB(p)
+			if err != nil {
+				t.Fatalf("bad forwarded REMB: %v", err)
+			}
+			min, found = v, true
+		}
+	}
+	return min, found
+}

@@ -86,6 +86,7 @@ type SubQueue struct {
 	dropped  atomic.Int64
 	depth    atomic.Int64
 	limitA   atomic.Int64
+	retx     atomic.Int64 // cache-served retransmissions enqueued here
 
 	telDrops *telemetry.Counter
 }
@@ -327,6 +328,7 @@ type SubStats struct {
 	Dropped  int64
 	Depth    int64
 	Limit    int64 // current adaptive depth limit
+	Retx     int64 // retransmissions served into this queue from the relay cache
 }
 
 func (q *SubQueue) stats() SubStats {
@@ -337,5 +339,6 @@ func (q *SubQueue) stats() SubStats {
 		Dropped:  q.dropped.Load(),
 		Depth:    q.depth.Load(),
 		Limit:    q.limitA.Load(),
+		Retx:     q.retx.Load(),
 	}
 }

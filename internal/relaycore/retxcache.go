@@ -1,0 +1,203 @@
+package relaycore
+
+import (
+	"sync"
+
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+)
+
+// retxCache is a bounded FIFO of recently routed media packets, keyed by
+// (stream, frameSeq, frag) — the same triple a NACK names — so the relay
+// can serve retransmissions locally instead of escalating every loss to
+// the sender (a full extra RTT plus sender load proportional to receiver
+// loss). Each shard owns one cache, filled by its ingest goroutine, so
+// inserts stay off the producer hot path and the cache needs only its own
+// mutex (lookups come from the feedback goroutine).
+//
+// Entries hold a retained PacketBuf reference: Insert retains, eviction
+// and close release, and Lookup retains once more on behalf of the
+// caller — the pool's Live() leak invariant keeps holding through any
+// interleaving of route, NACK, eviction, and shutdown.
+//
+// Sizing: capacity is packets, age is wall time; with the defaults
+// (1024 packets / 1 s) the cache holds about one GOP of 4K media — the
+// window inside which a receiver's NACK (NackAfter 15 ms, re-request
+// 250 ms) can still arrive. Duplicate keys (a rare sender retransmission
+// passing through) overwrite in place: the newer copy wins and the older
+// slot is released immediately.
+type retxCache struct {
+	mu     sync.Mutex
+	closed bool
+	ageNs  int64
+
+	// FIFO ring indexed by absolute insert position; idx maps a key to the
+	// absolute position of its live slot, so eviction of an overwritten
+	// slot never deletes a newer entry's index.
+	ring    []retxSlot
+	absHead int64 // absolute position of the oldest live slot
+	size    int
+
+	idx map[nackKey]int64
+
+	inserted int64
+	evicted  int64
+
+	telEvicted *telemetry.Counter
+}
+
+type retxSlot struct {
+	key   nackKey
+	buf   *PacketBuf
+	stamp int64 // insert time, ns
+}
+
+func newRetxCache(capacity int, ageNs int64, telEvicted *telemetry.Counter) *retxCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &retxCache{
+		ageNs:      ageNs,
+		ring:       make([]retxSlot, capacity),
+		idx:        make(map[nackKey]int64, capacity),
+		telEvicted: telEvicted,
+	}
+}
+
+// Insert caches one media packet, retaining a reference for the cache.
+// Packets older than the age bound are evicted first, then the oldest
+// entry if the ring is full. No-op after close.
+func (c *retxCache) Insert(k nackKey, buf *PacketBuf, now int64) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.evictLocked(now)
+	if pos, ok := c.idx[k]; ok {
+		// Overwrite in place: a retransmitted copy of a cached packet
+		// replaces the original without consuming capacity.
+		s := &c.ring[pos%int64(len(c.ring))]
+		s.buf.Release()
+		s.buf = buf.Retain()
+		s.stamp = now
+		c.mu.Unlock()
+		return
+	}
+	if c.size == len(c.ring) {
+		c.evictOldestLocked()
+	}
+	pos := c.absHead + int64(c.size)
+	c.ring[pos%int64(len(c.ring))] = retxSlot{key: k, buf: buf.Retain(), stamp: now}
+	c.idx[k] = pos
+	c.size++
+	c.inserted++
+	c.mu.Unlock()
+}
+
+// Lookup returns the cached packet for k with a reference retained for the
+// caller (who must Release it), or nil on miss / expiry / closed cache.
+func (c *retxCache) Lookup(k nackKey, now int64) *PacketBuf {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	pos, ok := c.idx[k]
+	if !ok {
+		c.mu.Unlock()
+		return nil
+	}
+	s := &c.ring[pos%int64(len(c.ring))]
+	if c.ageNs > 0 && now-s.stamp >= c.ageNs {
+		c.mu.Unlock()
+		return nil
+	}
+	buf := s.buf.Retain()
+	c.mu.Unlock()
+	return buf
+}
+
+// evictLocked releases entries older than the age bound, oldest first.
+func (c *retxCache) evictLocked(now int64) {
+	if c.ageNs <= 0 {
+		return
+	}
+	for c.size > 0 {
+		s := &c.ring[c.absHead%int64(len(c.ring))]
+		if now-s.stamp < c.ageNs {
+			return
+		}
+		c.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked releases the oldest slot. The index entry is removed
+// only if it still points at this slot (an overwritten duplicate's index
+// already points at the newer position).
+func (c *retxCache) evictOldestLocked() {
+	s := &c.ring[c.absHead%int64(len(c.ring))]
+	if pos, ok := c.idx[s.key]; ok && pos == c.absHead {
+		delete(c.idx, s.key)
+	}
+	s.buf.Release()
+	*s = retxSlot{}
+	c.absHead++
+	c.size--
+	c.evicted++
+	c.telEvicted.Inc()
+}
+
+// close releases every cached reference; Insert and Lookup become no-ops.
+func (c *retxCache) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for c.size > 0 {
+		s := &c.ring[c.absHead%int64(len(c.ring))]
+		s.buf.Release()
+		*s = retxSlot{}
+		c.absHead++
+		c.size--
+	}
+	c.idx = nil
+	c.mu.Unlock()
+}
+
+// retxStats is a point-in-time (size, inserted, evicted) snapshot.
+func (c *retxCache) retxStats() (size int, inserted, evicted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size, c.inserted, c.evicted
+}
+
+// retxKeyOf extracts the retransmission-cache key from a wire packet.
+// Only media packets are cacheable, and parity packets are excluded: they
+// share the fragment index space with data fragments (see transport/fec.go),
+// so caching them could answer a data NACK with a parity payload.
+func retxKeyOf(b []byte) (nackKey, bool) {
+	if len(b) < 11 || b[0] != transport.MediaMagic || b[10]&transport.FlagParity != 0 {
+		return nackKey{}, false
+	}
+	return nackKey{
+		seq:    uint32(b[2])<<24 | uint32(b[3])<<16 | uint32(b[4])<<8 | uint32(b[5]),
+		frag:   uint16(b[6])<<8 | uint16(b[7]),
+		stream: b[1],
+	}, true
+}
+
+// retxShard maps a cache key to its owner shard, spreading cache memory
+// and insert work across shards regardless of where subscribers hash.
+func retxShard(k nackKey, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := uint64(k.seq)<<24 | uint64(k.frag)<<8 | uint64(k.stream)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h % uint64(n))
+}

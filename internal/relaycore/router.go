@@ -86,6 +86,28 @@ type Config struct {
 	// REMBInterval rate-limits forwarding of an unchanged REMB minimum
 	// (default 33 ms, the receivers' own feedback cadence).
 	REMBInterval time.Duration
+	// RetxCachePackets bounds the relay-wide retransmission cache (default
+	// 1024 packets ≈ one GOP of 4K media — the window a receiver's NACK can
+	// still usefully arrive in). The budget is split evenly across shards,
+	// floored at 64 packets per shard.
+	RetxCachePackets int
+	// RetxCacheAge bounds how old a cached packet may be and still serve a
+	// NACK (default 1 s — past that the receiver has skipped the frame).
+	RetxCacheAge time.Duration
+	// DisableRetxCache turns the relay-side retransmission cache off, so
+	// every NACK escalates to the sender (A/B measurement).
+	DisableRetxCache bool
+	// SilenceWindow evicts a subscriber whose reverse path has been silent
+	// (no feedback of any kind) for this long: its queue is torn down, its
+	// REMB entry leaves the forwarded minimum, and the primary is
+	// repointed. Zero disables liveness eviction (the default — receivers
+	// send feedback every 33 ms, so even one second is generous in
+	// production, but benchmarks and tests drive media with no reverse
+	// path at all).
+	SilenceWindow time.Duration
+	// OnEvict, when set, is called off the hot path with the address of
+	// each liveness-evicted subscriber.
+	OnEvict func(addr net.Addr)
 	// Sequential selects the pre-queue data plane — a mutex-guarded
 	// snapshot copy and serial WriteTo per packet — kept for A/B
 	// measurement (livo-bench -relaybench benchmarks both).
@@ -125,6 +147,12 @@ func (c *Config) fill() {
 	if c.REMBInterval <= 0 {
 		c.REMBInterval = 33 * time.Millisecond
 	}
+	if c.RetxCachePackets <= 0 {
+		c.RetxCachePackets = 1024
+	}
+	if c.RetxCacheAge <= 0 {
+		c.RetxCacheAge = time.Second
+	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.Default
 	}
@@ -138,6 +166,11 @@ type Subscriber struct {
 	key   Key
 	q     *SubQueue
 	shard int
+
+	// lastActive is the ns timestamp of the newest reverse-path packet from
+	// this subscriber (stamped at subscribe and on every RouteFeedback);
+	// the liveness sweep evicts subscribers silent past the window.
+	lastActive atomic.Int64
 }
 
 // Addr returns the subscriber's address.
@@ -175,8 +208,16 @@ type Router struct {
 	mu        sync.Mutex // membership changes (copy-on-write)
 	ingestWg  sync.WaitGroup
 	writerWg  sync.WaitGroup
+	liveWg    sync.WaitGroup
 	closedCh  chan struct{}
 	closeOnce sync.Once
+
+	// Retransmission caches: one per shard (owned by shard.retx, filled by
+	// its ingest goroutine) or a single router-held cache in Sequential
+	// mode. retxSeq is nil when the cache is disabled or the plane is
+	// sharded.
+	retxSeq *retxCache
+	retxOn  bool
 
 	// Feedback aggregation state; fbMu serializes the routing goroutine
 	// with Unsubscribe's REMB eviction.
@@ -198,12 +239,17 @@ type Router struct {
 	nackCoalesced atomic.Int64
 	rembFwd       atomic.Int64
 	poseFwd       atomic.Int64
+	retxHits      atomic.Int64
+	retxMisses    atomic.Int64
+	liveEvicted   atomic.Int64
 
-	telMedia, telFanout, telDrops   *telemetry.Counter
-	telPLIFwd, telPLISup            *telemetry.Counter
-	telNACKFwd, telNACKSup, telREMB *telemetry.Counter
-	telSubs, telDepthMax            *telemetry.Gauge
-	telBatch                        *telemetry.Histogram
+	telMedia, telFanout, telDrops      *telemetry.Counter
+	telPLIFwd, telPLISup               *telemetry.Counter
+	telNACKFwd, telNACKSup, telREMB    *telemetry.Counter
+	telRetxHit, telRetxMiss            *telemetry.Counter
+	telRetxEvict, telLiveEvict         *telemetry.Counter
+	telSubs, telDepthMax, telRetxCache *telemetry.Gauge
+	telBatch                           *telemetry.Histogram
 }
 
 // NewRouter builds a router writing through out toward the given sender.
@@ -231,13 +277,29 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 	r.telNACKFwd = reg.Counter("livo_relay_nack_forwarded_total")
 	r.telNACKSup = reg.Counter("livo_relay_nack_coalesced_total")
 	r.telREMB = reg.Counter("livo_relay_remb_forwarded_total")
+	r.telRetxHit = reg.Counter("livo_relay_retx_hits_total")
+	r.telRetxMiss = reg.Counter("livo_relay_retx_misses_total")
+	r.telRetxEvict = reg.Counter("livo_relay_retx_evicted_total")
+	r.telLiveEvict = reg.Counter("livo_relay_liveness_evictions_total")
 	r.telSubs = reg.Gauge("livo_relay_subscribers")
 	r.telDepthMax = reg.Gauge("livo_relay_queue_depth_max")
+	r.telRetxCache = reg.Gauge("livo_relay_retx_cached")
 	r.telBatch = reg.Histogram("livo_relay_shard_batch_size", []float64{1, 2, 4, 8, 16, 32})
+	r.retxOn = !cfg.DisableRetxCache
 
 	if cfg.Sequential {
 		r.pools = []*BufPool{NewBufPool(cfg.BufClass)}
+		if r.retxOn {
+			r.retxSeq = newRetxCache(cfg.RetxCachePackets, cfg.RetxCacheAge.Nanoseconds(), r.telRetxEvict)
+		}
+		r.startLiveness()
 		return r
+	}
+	// Each shard's cache share; floored so a many-shard router still holds
+	// a useful window per shard.
+	retxPerShard := cfg.RetxCachePackets / cfg.Shards
+	if retxPerShard < 64 {
+		retxPerShard = 64
 	}
 	r.shards = make([]*shard, cfg.Shards)
 	r.pools = make([]*BufPool, cfg.Shards)
@@ -246,6 +308,10 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 		r.shards[i] = newShard(i, r.pools[i],
 			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_routed_total", i)),
 			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_stolen_total", i)))
+		if r.retxOn {
+			r.shards[i].retx = newRetxCache(retxPerShard, cfg.RetxCacheAge.Nanoseconds(), r.telRetxEvict)
+			r.shards[i].now = r.now
+		}
 	}
 	r.ingestWg.Add(len(r.shards))
 	for _, s := range r.shards {
@@ -257,7 +323,18 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 			go r.runWriter(i)
 		}
 	}
+	r.startLiveness()
 	return r
+}
+
+// startLiveness launches the liveness sweep when a silence window is
+// configured.
+func (r *Router) startLiveness() {
+	if r.cfg.SilenceWindow <= 0 {
+		return
+	}
+	r.liveWg.Add(1)
+	go r.runLiveness()
 }
 
 // Pool returns the shard-0 packet-buffer pool (a single relay read loop
@@ -309,6 +386,7 @@ func (r *Router) Subscribe(addr net.Addr) {
 		shard: shardIdx,
 		q:     newSubQueue(addr, r.cfg.QueueDepth, r.cfg.MinQueueDepth, r.cfg.DepthWindow, r.telDrops),
 	}
+	sub.lastActive.Store(r.now())
 	if len(r.shards) > 0 {
 		sub.q.shard = r.shards[shardIdx]
 	}
@@ -440,22 +518,39 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 		r.fbMu.Unlock()
 	}
 	if r.cfg.Sequential {
+		if r.retxSeq != nil {
+			if rk, ok := retxKeyOf(b); ok {
+				r.retxSeq.Insert(rk, buf, r.now())
+			}
+		}
 		r.routeSequential(b)
 		buf.Release()
 		return
 	}
+	fid := r.frameIDOf(b)
+	// A cacheable packet is assigned an owner shard whose ingest goroutine
+	// inserts it into that shard's retransmission cache — cache bookkeeping
+	// rides the existing fan-out hop instead of the producer hot path. The
+	// owner gets the descriptor even when its subscriber partition is empty.
+	owner := -1
+	var rk nackKey
+	if r.retxOn && fid.media {
+		if k, ok := retxKeyOf(b); ok {
+			rk = k
+			owner = retxShard(k, len(r.shards))
+		}
+	}
 	snap := r.snap.Load()
-	if len(snap.subs) == 0 {
+	if len(snap.subs) == 0 && owner < 0 {
 		buf.Release()
 		return
 	}
-	fid := r.frameIDOf(b)
-	for _, s := range r.shards {
-		if s.subCount() == 0 {
+	for i, s := range r.shards {
+		if s.subCount() == 0 && i != owner {
 			continue
 		}
 		buf.Retain()
-		if !s.push(buf, fid) {
+		if !s.push(ingestEntry{buf: buf, fid: fid, rk: rk, cache: i == owner}) {
 			buf.Release()
 		}
 	}
@@ -560,16 +655,22 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 	if len(b) == 0 {
 		return
 	}
+	k := KeyOf(from)
+	snap := r.snap.Load()
+	sub := snap.byKey[k]
+	if sub != nil {
+		// Any reverse-path packet proves the subscriber alive.
+		sub.lastActive.Store(r.now())
+	}
 	switch b[0] {
 	case transport.FBREMB:
 		bps, err := transport.UnmarshalREMB(b)
 		if err != nil {
 			return
 		}
-		k := KeyOf(from)
 		// The subscriber's own queue tracks its bandwidth-delay product:
 		// ring depth follows the REMB estimate instead of a fixed 1024.
-		if sub, ok := r.snap.Load().byKey[k]; ok {
+		if sub != nil {
 			sub.q.UpdateBandwidth(bps)
 		}
 		now := r.now()
@@ -593,8 +694,7 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		// Only the primary viewer's poses reach the sender: culling is
 		// per-viewer state, so the sender culls for the primary and the
 		// other subscribers get the same (conservatively larger) view.
-		p := r.snap.Load().primary
-		if p != nil && KeyOf(from) == p.key {
+		if sub != nil && sub == snap.primary {
 			r.poseFwd.Add(1)
 			_, _ = r.out.WriteTo(b, r.sender)
 		}
@@ -603,9 +703,22 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		if err != nil {
 			return
 		}
+		nk := nackKey{seq: seq, frag: frag, stream: stream}
+		// Self-healing path: a cache hit retransmits to the requester only
+		// and the sender never sees the loss. Misses (expired, evicted, or
+		// never routed here) escalate through the coalescer as before.
+		if r.serveRetx(nk, sub, from) {
+			r.retxHits.Add(1)
+			r.telRetxHit.Inc()
+			return
+		}
+		if r.retxOn {
+			r.retxMisses.Add(1)
+			r.telRetxMiss.Inc()
+		}
 		now := r.now()
 		r.fbMu.Lock()
-		fwd := r.nacks.ShouldForward(nackKey{seq: seq, frag: frag, stream: stream}, now)
+		fwd := r.nacks.ShouldForward(nk, now)
 		r.fbMu.Unlock()
 		if !fwd {
 			r.nackCoalesced.Add(1)
@@ -634,6 +747,88 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 	}
 }
 
+// serveRetx answers one NACK from the retransmission cache, reporting
+// whether it was served locally. A hit is retransmitted to the requester
+// only — through its queue on the sharded plane (so the drop policy and
+// pacing still apply), or a direct write in Sequential mode / for a
+// requester that is not a subscriber.
+func (r *Router) serveRetx(k nackKey, sub *Subscriber, from net.Addr) bool {
+	if !r.retxOn {
+		return false
+	}
+	now := r.now()
+	var buf *PacketBuf
+	if r.retxSeq != nil {
+		buf = r.retxSeq.Lookup(k, now)
+	} else if len(r.shards) > 0 {
+		buf = r.shards[retxShard(k, len(r.shards))].retx.Lookup(k, now)
+	}
+	if buf == nil {
+		return false
+	}
+	if sub != nil && !r.cfg.Sequential {
+		// Classify before Enqueue: on success the queue owns our reference
+		// and a writer may release it at any moment.
+		fid := r.frameIDOf(buf.Bytes())
+		if sub.q.Enqueue(buf, fid) {
+			sub.q.retx.Add(1)
+		} else {
+			buf.Release()
+		}
+	} else {
+		_, _ = r.out.WriteTo(buf.Bytes(), from)
+		buf.Release()
+	}
+	return true
+}
+
+// EvictStale removes every subscriber whose reverse path has been silent
+// for at least the configured SilenceWindow, returning how many were
+// evicted. Each eviction is a full Unsubscribe — queue teardown, REMB
+// entry release (a vanished receiver's stale estimate no longer pins the
+// forwarded minimum), primary repoint — plus the OnEvict hook. The
+// background sweep calls this on a SilenceWindow/4 cadence; tests with a
+// fake clock may call it directly.
+func (r *Router) EvictStale() int {
+	if r.cfg.SilenceWindow <= 0 {
+		return 0
+	}
+	cutoff := r.now() - r.cfg.SilenceWindow.Nanoseconds()
+	var stale []*Subscriber
+	for _, s := range r.snap.Load().subs {
+		if s.lastActive.Load() < cutoff {
+			stale = append(stale, s)
+		}
+	}
+	n := 0
+	for _, s := range stale {
+		if r.Unsubscribe(s.addr) {
+			n++
+			r.liveEvicted.Add(1)
+			r.telLiveEvict.Inc()
+			if r.cfg.OnEvict != nil {
+				r.cfg.OnEvict(s.addr)
+			}
+		}
+	}
+	return n
+}
+
+// runLiveness is the background liveness sweep (SilenceWindow > 0).
+func (r *Router) runLiveness() {
+	defer r.liveWg.Done()
+	tick := time.NewTicker(r.cfg.SilenceWindow / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.closedCh:
+			return
+		case <-tick.C:
+			r.EvictStale()
+		}
+	}
+}
+
 // Close stops the shard ingest goroutines and writer workers and releases
 // queued buffers. Media routed after Close is dropped at the (closed)
 // shards and queues.
@@ -650,17 +845,27 @@ func (r *Router) doClose() {
 	r.telSubs.SetInt(0)
 	r.mu.Unlock()
 
-	// Stop ingest first (no new queue enqueues), then release queue
-	// backlogs, then let the writers run dry and exit.
+	// Stop ingest first (no new queue enqueues or cache inserts), then
+	// release the retransmission caches and queue backlogs, then let the
+	// writers and the liveness sweep run dry and exit.
 	for _, s := range r.shards {
 		s.close()
 	}
 	r.ingestWg.Wait()
+	for _, s := range r.shards {
+		if s.retx != nil {
+			s.retx.close()
+		}
+	}
+	if r.retxSeq != nil {
+		r.retxSeq.close()
+	}
 	for _, s := range snap.subs {
 		s.q.Close()
 	}
 	close(r.closedCh)
 	r.writerWg.Wait()
+	r.liveWg.Wait()
 }
 
 // WaitIdle blocks until every shard ring and subscriber queue is drained
@@ -715,8 +920,21 @@ type Stats struct {
 	NACKCoalesced int64
 	REMBForwarded int64
 	PoseForwarded int64
-	Subs          []SubStats
-	Shards        []ShardStats
+
+	// Self-healing layer: NACKs served from the relay's retransmission
+	// cache vs escalated (RetxMisses feeds the coalescer path), cache
+	// occupancy/lifetime eviction counts, and liveness evictions.
+	RetxHits        int64
+	RetxMisses      int64
+	RetxCached      int64
+	RetxEvicted     int64
+	LivenessEvicted int64
+	// PoolLive sums Live() over every shard pool — the leak invariant
+	// (0 once every buffer reference, cached ones included, is released).
+	PoolLive int64
+
+	Subs   []SubStats
+	Shards []ShardStats
 }
 
 // Stats snapshots the router, its shards, and per-subscriber queues, and
@@ -734,9 +952,30 @@ func (r *Router) Stats() Stats {
 		NACKCoalesced: r.nackCoalesced.Load(),
 		REMBForwarded: r.rembFwd.Load(),
 		PoseForwarded: r.poseFwd.Load(),
-		Subs:          make([]SubStats, 0, len(snap.subs)),
-		Shards:        make([]ShardStats, 0, len(r.shards)),
+
+		RetxHits:        r.retxHits.Load(),
+		RetxMisses:      r.retxMisses.Load(),
+		LivenessEvicted: r.liveEvicted.Load(),
+
+		Subs:   make([]SubStats, 0, len(snap.subs)),
+		Shards: make([]ShardStats, 0, len(r.shards)),
 	}
+	for _, p := range r.pools {
+		st.PoolLive += p.Live()
+	}
+	if r.retxSeq != nil {
+		size, _, ev := r.retxSeq.retxStats()
+		st.RetxCached += int64(size)
+		st.RetxEvicted += ev
+	}
+	for _, s := range r.shards {
+		if s.retx != nil {
+			size, _, ev := s.retx.retxStats()
+			st.RetxCached += int64(size)
+			st.RetxEvicted += ev
+		}
+	}
+	r.telRetxCache.SetInt(st.RetxCached)
 	for _, s := range snap.subs {
 		ss := s.q.stats()
 		st.Drops += ss.Dropped

@@ -50,12 +50,20 @@ type shard struct {
 	routed atomic.Int64 // packets fanned out by this shard's ingest worker
 	stolen atomic.Int64 // queues this shard's workers stole from other shards
 
+	// Retransmission cache owned by this shard (nil when disabled). The
+	// ingest goroutine inserts cache-flagged descriptors; the router's
+	// feedback path looks up NACKs. now is the router's clock.
+	retx *retxCache
+	now  func() int64
+
 	telRouted, telStolen *telemetry.Counter
 }
 
 type ingestEntry struct {
-	buf *PacketBuf
-	fid frameID
+	buf   *PacketBuf
+	fid   frameID
+	rk    nackKey // retransmission-cache key (valid when cache is set)
+	cache bool    // this shard owns caching this packet
 }
 
 // ingestRingCap bounds per-shard ingest backlog (power of two). At 2048
@@ -91,7 +99,7 @@ func (s *shard) subCount() int { return len(*s.subs.Load()) }
 // push hands one packet descriptor to the shard, taking ownership of the
 // caller's reference on success. It blocks while the ring is full
 // (backpressure) and returns false once the shard is closed.
-func (s *shard) push(buf *PacketBuf, fid frameID) bool {
+func (s *shard) push(e ingestEntry) bool {
 	s.mu.Lock()
 	for s.size == len(s.ring) && !s.closed {
 		s.notFull.Wait()
@@ -100,7 +108,7 @@ func (s *shard) push(buf *PacketBuf, fid frameID) bool {
 		s.mu.Unlock()
 		return false
 	}
-	s.ring[(s.head+s.size)&s.mask] = ingestEntry{buf: buf, fid: fid}
+	s.ring[(s.head+s.size)&s.mask] = e
 	s.size++
 	s.pending.Add(1)
 	wake := s.size == 1
@@ -161,6 +169,9 @@ func (s *shard) runIngest(wg *sync.WaitGroup) {
 		for i := 0; i < n; i++ {
 			e := batch[i]
 			batch[i] = ingestEntry{}
+			if e.cache && s.retx != nil {
+				s.retx.Insert(e.rk, e.buf, s.now())
+			}
 			for _, sub := range subs {
 				e.buf.Retain()
 				if !sub.q.Enqueue(e.buf, e.fid) {

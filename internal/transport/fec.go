@@ -17,7 +17,7 @@ import (
 const FECGroupSize = 8
 
 // parityFlag marks a parity packet in the packet flags byte.
-const parityFlag = 0x2
+const parityFlag = FlagParity
 
 // BuildParity returns the parity packets protecting pkts (the fragments of
 // ONE frame, in order). Each parity packet's FragIndex is the index of the

@@ -37,11 +37,16 @@ type JitterBuffer struct {
 	// NackAfter is how long a fragment may be missing (while later
 	// fragments of the frame have arrived) before it is NACK-ed.
 	NackAfter float64
+	// RenackAfter is how long after a NACK the still-missing fragment is
+	// requested again — a lost retransmission (or a lost NACK) would
+	// otherwise leave the frame waiting for the skip deadline. Zero or
+	// negative disables re-requests (the pre-recovery behavior).
+	RenackAfter float64
 
 	frames  map[uint32]*partialFrame
 	nextSeq uint32
 	hasNext bool
-	nacked  map[nackKey]bool
+	nacked  map[nackKey]float64 // fragment → time of its latest NACK
 
 	// Occupancy and recovery counters are atomics: the buffer itself is
 	// single-goroutine (the session Run loop), but session Stats() snapshots
@@ -98,11 +103,12 @@ type partialFrame struct {
 // NewJitterBuffer creates a buffer with the paper's 100 ms delay.
 func NewJitterBuffer() *JitterBuffer {
 	return &JitterBuffer{
-		Delay:     0.100,
-		SkipAfter: 0.120,
-		NackAfter: 0.015,
-		frames:    make(map[uint32]*partialFrame),
-		nacked:    make(map[nackKey]bool),
+		Delay:       0.100,
+		SkipAfter:   0.120,
+		NackAfter:   0.015,
+		RenackAfter: 0.250,
+		frames:      make(map[uint32]*partialFrame),
+		nacked:      make(map[nackKey]float64),
 	}
 }
 
@@ -246,7 +252,9 @@ func assemble(f *partialFrame) []byte {
 
 // Nacks returns fragments that should be retransmitted: missing pieces of
 // frames where later data has already arrived and NackAfter has elapsed.
-// Each fragment is NACK-ed at most once.
+// A fragment still missing RenackAfter past its last NACK is requested
+// again (lost retransmissions must not wait out the skip deadline);
+// with RenackAfter disabled each fragment is NACK-ed at most once.
 func (jb *JitterBuffer) Nacks(now float64) []NackRequest {
 	var out []NackRequest
 	for seq, f := range jb.frames {
@@ -261,10 +269,10 @@ func (jb *JitterBuffer) Nacks(now float64) []NackRequest {
 				continue
 			}
 			k := nackKey{seq, i}
-			if jb.nacked[k] {
+			if last, ok := jb.nacked[k]; ok && (jb.RenackAfter <= 0 || now-last < jb.RenackAfter) {
 				continue
 			}
-			jb.nacked[k] = true
+			jb.nacked[k] = now
 			jb.nackedTotal.Add(1)
 			out = append(out, NackRequest{Stream: f.stream, FrameSeq: seq, FragIndex: i})
 		}

@@ -22,6 +22,13 @@ const (
 	StreamDepth uint8 = 2
 )
 
+// Wire flag bits of the packet flags byte (offset 9 of Marshal's output,
+// offset 10 of a MediaMagic-prefixed relay datagram).
+const (
+	FlagKey    = 0x1 // key-frame fragment
+	FlagParity = 0x2 // FEC parity packet (fec.go)
+)
+
 // Packet is one transport packet: a fragment of an encoded video frame, or
 // a parity packet protecting a group of fragments (fec.go).
 type Packet struct {

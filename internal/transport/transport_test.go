@@ -197,6 +197,51 @@ func TestNacks(t *testing.T) {
 	}
 }
 
+// TestRenacks: a fragment still missing RenackAfter past its NACK (the
+// retransmission itself was lost) is requested again; with re-requests
+// disabled the old NACK-once behavior holds.
+func TestRenacks(t *testing.T) {
+	jb := NewJitterBuffer()
+	jb.SkipAfter = 10 // keep the frame pending across re-NACK intervals
+	pkts := Packetize(StreamColor, 5, false, 0, make([]byte, 3*MTU))
+	jb.Push(pkts[0], 1.0)
+	jb.Push(pkts[2], 1.001)
+	if n := jb.Nacks(1.05); len(n) != 1 || n[0].FragIndex != 1 {
+		t.Fatalf("first NACK round: %+v", n)
+	}
+	// Inside the retry interval: no repeat.
+	if n := jb.Nacks(1.05 + jb.RenackAfter - 0.01); len(n) != 0 {
+		t.Fatalf("premature re-NACK: %+v", n)
+	}
+	// Retry interval elapsed, fragment still missing: re-requested.
+	n := jb.Nacks(1.05 + jb.RenackAfter)
+	if len(n) != 1 || n[0].FragIndex != 1 || n[0].FrameSeq != 5 {
+		t.Fatalf("re-NACK round: %+v", n)
+	}
+	if got := jb.Stats().Nacked; got != 2 {
+		t.Fatalf("Nacked = %d, want 2", got)
+	}
+	// The second retransmission lands; frame delivers.
+	jb.Push(pkts[1], 1.5)
+	if out := jb.Pop(1.7); len(out) != 1 {
+		t.Fatal("frame not delivered after re-NACK recovery")
+	}
+
+	// Disabled: each fragment is NACK-ed at most once, ever.
+	once := NewJitterBuffer()
+	once.RenackAfter = 0
+	once.SkipAfter = 10
+	pkts = Packetize(StreamColor, 6, false, 0, make([]byte, 3*MTU))
+	once.Push(pkts[0], 1.0)
+	once.Push(pkts[2], 1.0)
+	if n := once.Nacks(1.05); len(n) != 1 {
+		t.Fatalf("first NACK round (disabled): %+v", n)
+	}
+	if n := once.Nacks(5.0); len(n) != 0 {
+		t.Fatalf("NACK-once violated: %+v", n)
+	}
+}
+
 func TestGCCIncreasesWhenUnderused(t *testing.T) {
 	g := NewGCC(10e6, 1e6, 500e6)
 	// Plenty of capacity: constant one-way delay.

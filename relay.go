@@ -1,12 +1,13 @@
 package livo
 
 import (
-	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"livo/internal/relaycore"
+	"livo/internal/telemetry"
 )
 
 // Relay is a selective-forwarding unit for multi-way conferencing — the
@@ -30,6 +31,9 @@ type Relay struct {
 	alreadyMu sync.Mutex
 	already   bool
 	wg        sync.WaitGroup
+
+	err        atomic.Value // error — first fatal read error (Err)
+	telReadErr *telemetry.Counter
 }
 
 // NewRelay creates a relay on conn, forwarding the given sender's media to
@@ -42,10 +46,15 @@ func NewRelay(conn net.PacketConn, sender net.Addr) *Relay {
 // (shard count, queue depth, feedback windows, or the legacy Sequential
 // path kept for A/B measurement — see livo-bench -relaybench).
 func NewRelayWith(conn net.PacketConn, sender net.Addr, cfg relaycore.Config) *Relay {
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.Default
+	}
 	return &Relay{
-		conn:   conn,
-		router: relaycore.NewRouter(batchConn{conn}, sender, cfg),
-		closed: make(chan struct{}),
+		conn:       conn,
+		router:     relaycore.NewRouter(batchConn{conn}, sender, cfg),
+		closed:     make(chan struct{}),
+		telReadErr: reg.Counter("livo_relay_read_errors_total"),
 	}
 }
 
@@ -109,6 +118,15 @@ func (r *Relay) Run() {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
+			// A fatal read error stops the loop: record it (unless this is
+			// the expected teardown unblock) so operators can distinguish a
+			// dead relay from an idle one.
+			select {
+			case <-r.closed:
+			default:
+				r.err.CompareAndSwap(nil, err)
+				r.telReadErr.Inc()
+			}
 			return
 		}
 		if n == 0 {
@@ -124,13 +142,24 @@ func (r *Relay) Run() {
 	}
 }
 
+// Err returns the first fatal read error that stopped Run, or nil. It
+// mirrors SendSession.Err: a relay whose socket died mid-conference
+// reports why instead of silently going quiet.
+func (r *Relay) Err() error {
+	if err, ok := r.err.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Close stops the relay and its subscriber writers (the caller owns the
-// connection).
+// connection). Closing an already-closed relay is a no-op, matching
+// Router.Close.
 func (r *Relay) Close() error {
 	r.alreadyMu.Lock()
 	if r.already {
 		r.alreadyMu.Unlock()
-		return fmt.Errorf("livo: relay already closed")
+		return nil
 	}
 	r.already = true
 	r.alreadyMu.Unlock()

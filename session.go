@@ -423,6 +423,11 @@ type RecvSessionConfig struct {
 	MinRateBps, MaxRateBps float64
 	// JitterDelay overrides the 100 ms default.
 	JitterDelay float64
+	// NackRetry overrides the jitter buffers' 250 ms re-NACK interval (how
+	// long a NACK-ed fragment may stay missing before it is requested
+	// again — a lost retransmission is re-requested instead of waiting out
+	// the skip deadline). Negative disables re-requests.
+	NackRetry float64
 }
 
 // NewRecvSession builds a receiving session bound to conn; feedback goes to
@@ -457,6 +462,15 @@ func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig)
 	if cfg.JitterDelay > 0 {
 		for _, jb := range r.jb {
 			jb.Delay = cfg.JitterDelay
+		}
+	}
+	if cfg.NackRetry != 0 {
+		retry := cfg.NackRetry
+		if retry < 0 {
+			retry = 0 // RenackAfter ≤ 0 means NACK-once
+		}
+		for _, jb := range r.jb {
+			jb.RenackAfter = retry
 		}
 	}
 	tel := cfg.Receiver.Telemetry
