@@ -43,6 +43,9 @@ func main() {
 		rbench   = flag.Bool("relaybench", false, "run the relay fan-out scale benchmark and write JSON results")
 		rbenchTo = flag.String("relaybench-out", "BENCH_relay.json", "output path for -relaybench results")
 		rbase    = flag.String("relaybench-baseline", "", "compare -relaybench queued allocs/packet against this baseline JSON; exit nonzero on regression")
+		tbench   = flag.Bool("tracebench", false, "run the frame-trace decomposition and overhead benchmark and write JSON results")
+		tbenchTo = flag.String("tracebench-out", "BENCH_trace.json", "output path for -tracebench results")
+		tdump    = flag.String("trace-dump", "", "replay the chaos harness with the frame ledger armed and write merged capture→reconstruct timelines (JSONL) to this path")
 		short    = flag.Bool("short", false, "reduced -pipebench workload for CI smoke runs")
 		debug    = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 	)
@@ -68,6 +71,22 @@ func main() {
 	if *rbench {
 		if err := runRelayBench(*rbenchTo, *rbase, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "relaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tbench {
+		if err := runTraceBench(*tbenchTo, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "tracebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tdump != "" {
+		if err := runChaosTraceDump(*tdump, *frames); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-dump: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -358,6 +377,84 @@ func checkRelayBaseline(path string, results []experiments.RelayBenchResult) err
 	if failed {
 		return fmt.Errorf("relay data plane regressed against %s", path)
 	}
+	return nil
+}
+
+// runTraceBench runs the cross-hop frame-trace benchmark (DESIGN.md §6):
+// the pipeline phase produces the capture→reconstruct latency decomposition
+// at 64 subscribers, the overhead phase A/Bs the relay with the ledger off
+// vs on. Three gates are absolute (no baseline file): the decomposition
+// must reconcile (per-frame stage sums within 5% of measured end-to-end),
+// tracing may cost the paced relay at most 1% delivered/sec, and the
+// traced hot path must stay within the relay's 1.0 allocs/packet budget.
+func runTraceBench(outPath string, short bool) error {
+	fmt.Println("=== tracebench (cross-hop decomposition + ledger overhead) ===")
+	start := time.Now()
+	res, err := experiments.RunTraceBench(experiments.TraceBenchConfig{}, short, func(line string) {
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range res.Pipeline.Stages {
+		fmt.Printf("stage %-12s n=%-4d %8.2f ms p50 %8.2f ms p99\n", s.Name, s.Count, s.P50Ms, s.P99Ms)
+	}
+	e := res.Pipeline.EndToEnd
+	fmt.Printf("stage %-12s n=%-4d %8.2f ms p50 %8.2f ms p99 (stage sum %.2f ms, reconcile %.2f%%)\n",
+		e.Name, e.Count, e.P50Ms, e.P99Ms, res.Pipeline.StageSumMeanMs, res.Pipeline.ReconcilePct)
+	o := res.Overhead
+	fmt.Printf("overhead: paced delivery ratio %.3f off vs %.3f on (%.2f%%), allocs/pkt %.2f off vs %.2f on, %d stamps\n",
+		o.DeliveredPerRoutedOff, o.DeliveredPerRoutedOn, o.OverheadPct, o.AllocsPerPacketOff, o.AllocsPerPacketOn, o.TraceStamps)
+	fmt.Printf("(tracebench in %s)\n", time.Since(start).Round(time.Millisecond))
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if res.Pipeline.Complete == 0 {
+		return fmt.Errorf("tracebench: no frame completed every capture→reconstruct hop")
+	}
+	if res.Pipeline.ReconcilePct > 5 {
+		return fmt.Errorf("tracebench: stage sums diverge %.2f%% from end-to-end latency (budget 5%%) — a hop is stamped out of order or on the wrong clock", res.Pipeline.ReconcilePct)
+	}
+	if o.TraceStamps == 0 {
+		return fmt.Errorf("tracebench: traced overhead rounds recorded no stamps — the comparison measured nothing")
+	}
+	if o.OverheadPct > 1 {
+		return fmt.Errorf("tracebench: tracing costs the paced relay %.2f%% of its delivery ratio (budget 1%%)", o.OverheadPct)
+	}
+	if o.AllocsPerPacketOn > 1.0 {
+		return fmt.Errorf("tracebench: %.2f allocs/packet with tracing on exceeds the 1.0 budget", o.AllocsPerPacketOn)
+	}
+	return nil
+}
+
+// runChaosTraceDump replays the chaos harness with the frame ledger armed
+// and writes one merged capture→reconstruct timeline per frame as JSONL
+// (the deterministic simulated-time counterpart of livo-conference's
+// -trace-dump).
+func runChaosTraceDump(outPath string, frames int) error {
+	q := experiments.QuickQuality()
+	if frames > 0 {
+		q.Frames = frames
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := experiments.ChaosTraceDump(q, f)
+	if err != nil {
+		return err
+	}
+	// The chaos path has no relay leg, so "complete" here means both ends
+	// of the end-to-end span, not every relay chain point.
+	fmt.Printf("wrote %s: %d frames merged, %d with capture→reconstruct, e2e p50 %.1f ms p99 %.1f ms\n",
+		outPath, rep.Frames, rep.EndToEnd.Count, rep.EndToEnd.P50Ms, rep.EndToEnd.P99Ms)
 	return nil
 }
 

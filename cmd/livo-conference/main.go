@@ -7,6 +7,13 @@
 // Usage:
 //
 //	livo-conference -seconds 10
+//
+// The A→B direction is traced end to end (capture → encode → packetize →
+// relay → jitter → decode → reconstruct): -debug-addr serves the merged
+// timelines at /debugz/frames, structured relay events at /debugz/events,
+// and per-subscriber queue stats at /debugz/subscribers; -trace-dump writes
+// the merged timelines as JSONL at exit; SIGQUIT prints a compact
+// subscriber table without stopping the conference.
 package main
 
 import (
@@ -14,10 +21,15 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"livo"
+	"livo/internal/frametrace"
 	"livo/internal/relaycore"
 	"livo/internal/scene"
 	"livo/internal/telemetry"
@@ -34,22 +46,23 @@ type site struct {
 
 func main() {
 	var (
-		videoA  = flag.String("video-a", "band2", "site A's scene")
-		videoB  = flag.String("video-b", "office1", "site B's scene")
-		seconds = flag.Float64("seconds", 5, "conference duration")
-		fanout  = flag.Int("fanout", 0, "route site A through a relay to this many subscribers (site B plus counting sinks)")
-		shards  = flag.Int("relay-shards", 0, "relay data-plane ingest shards (0 = GOMAXPROCS)")
-		debug   = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
+		videoA    = flag.String("video-a", "band2", "site A's scene")
+		videoB    = flag.String("video-b", "office1", "site B's scene")
+		seconds   = flag.Float64("seconds", 5, "conference duration")
+		fanout    = flag.Int("fanout", 0, "route site A through a relay to this many subscribers (site B plus counting sinks)")
+		shards    = flag.Int("relay-shards", 0, "relay data-plane ingest shards (0 = GOMAXPROCS)")
+		debug     = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
+		traceDump = flag.String("trace-dump", "", "write the A→B merged frame timelines as JSONL to this file at exit")
 	)
 	flag.Parse()
 
-	if *debug != "" {
-		if _, url, err := telemetry.ServeDebug(*debug, telemetry.Default); err != nil {
-			log.Fatalf("debug server: %v", err)
-		} else {
-			fmt.Printf("debug server on %s/debugz\n", url)
-		}
-	}
+	// Frame-trace ledgers for the A→B direction: one per process hop
+	// (sender pipeline, relay data plane, receiver pipeline). Everything is
+	// in-process, so the collector merges them with zero clock offset.
+	traceSend := frametrace.NewLedger("sender-a", 4096)
+	traceRelay := frametrace.NewLedger("relay", 8192)
+	traceRecv := frametrace.NewLedger("recv-b", 4096)
+	traceEvents := frametrace.NewEventRing(1024)
 
 	cfg := scene.DefaultCaptureConfig()
 	cfg.Cameras, cfg.Width, cfg.Height = 4, 64, 48 // small rig for the demo
@@ -69,20 +82,20 @@ func main() {
 	defer bOut.Close()
 	defer aIn.Close()
 
-	mkSite := func(name, videoName string, out net.PacketConn, outPeer net.Addr, in net.PacketConn, inPeer net.Addr) *site {
+	mkSite := func(name, videoName string, out net.PacketConn, outPeer net.Addr, in net.PacketConn, inPeer net.Addr, sendTrace, recvTrace *frametrace.Ledger) *site {
 		v, err := scene.OpenVideo(videoName, cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		st := &site{name: name, video: v}
 		st.send, err = livo.NewSendSession(out, outPeer, livo.SendSessionConfig{
-			Sender: livo.SenderConfig{Array: v.Array, ViewParams: livo.DefaultViewParams()},
+			Sender: livo.SenderConfig{Array: v.Array, ViewParams: livo.DefaultViewParams(), Trace: sendTrace},
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		st.recv, err = livo.NewRecvSession(in, inPeer, livo.RecvSessionConfig{
-			Receiver:    livo.ReceiverConfig{Array: v.Array},
+			Receiver:    livo.ReceiverConfig{Array: v.Array, Trace: recvTrace},
 			JitterDelay: 0.05,
 		})
 		if err != nil {
@@ -110,7 +123,11 @@ func main() {
 	if *fanout > 0 {
 		relayConn := mkConn()
 		defer relayConn.Close()
-		relay = livo.NewRelayWith(relayConn, aOut.LocalAddr(), relaycore.Config{Shards: *shards})
+		relay = livo.NewRelayWith(relayConn, aOut.LocalAddr(), relaycore.Config{
+			Shards: *shards,
+			Trace:  traceRelay,
+			Events: traceEvents,
+		})
 		relay.Subscribe(bIn.LocalAddr()) // first subscriber: primary viewer
 		for i := 1; i < *fanout; i++ {
 			sink := mkConn()
@@ -136,10 +153,48 @@ func main() {
 		fmt.Printf("relaying A's media to %d subscribers\n", relay.Subscribers())
 	}
 
+	// Debug server starts after the relay exists so its endpoints can be
+	// mounted alongside the registry pages.
+	if *debug != "" {
+		extra := map[string]http.Handler{
+			"/debugz/frames": frametrace.MergedFramesHandler(traceSend, traceRelay, traceRecv),
+			"/debugz/events": frametrace.EventsHandler(traceEvents),
+		}
+		if relay != nil {
+			extra["/debugz/subscribers"] = relay.SubscribersHandler()
+		}
+		if _, url, err := telemetry.ServeDebugWith(*debug, telemetry.Default, extra); err != nil {
+			log.Fatalf("debug server: %v", err)
+		} else {
+			fmt.Printf("debug server on %s/debugz\n", url)
+		}
+	}
+
+	// SIGQUIT prints a compact subscriber table (depth vs limit, drops,
+	// retransmissions, REMB, reverse-path age) without stopping the run.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGQUIT)
+	go func() {
+		for range sigc {
+			if relay == nil {
+				fmt.Println("SIGQUIT: no relay (run with -fanout for the subscriber table)")
+				continue
+			}
+			subs := relay.Stats().Subs
+			fmt.Printf("%-4s %-22s %9s %9s %8s %6s %6s %6s %10s %9s\n",
+				"id", "addr", "enqueued", "sent", "dropped", "depth", "limit", "retx", "remb_mbps", "idle_ms")
+			for _, s := range subs {
+				fmt.Printf("%-4d %-22s %9d %9d %8d %6d %6d %6d %10.1f %9.0f\n",
+					s.ID, s.Addr, s.Enqueued, s.Sent, s.Dropped, s.Depth, s.Limit, s.Retx,
+					s.REMBBps/1e6, s.LastActiveAgeMs)
+			}
+		}
+	}()
+
 	// Note: both sites share camera geometry in this demo; a real
 	// deployment exchanges calibration at setup (§A.1).
-	siteA := mkSite("A", *videoA, aOut, aOutPeer, aIn, bOut.LocalAddr())
-	siteB := mkSite("B", *videoB, bOut, aIn.LocalAddr(), bIn, bInPeer)
+	siteA := mkSite("A", *videoA, aOut, aOutPeer, aIn, bOut.LocalAddr(), traceSend, nil)
+	siteB := mkSite("B", *videoB, bOut, aIn.LocalAddr(), bIn, bInPeer, nil, traceRecv)
 	defer siteA.send.Close()
 	defer siteB.send.Close()
 	defer siteA.recv.Close()
@@ -187,5 +242,37 @@ func main() {
 			fmt.Printf("relay shard %d: %d subs, %d pkts routed, %d queues stolen by its workers\n",
 				sh.ID, sh.Subscribers, sh.Routed, sh.Stolen)
 		}
+	}
+
+	// Merge the A→B ledgers into per-frame timelines: hops stamped on the
+	// primary viewer's path (sub 0) when relaying, every hop otherwise.
+	col := frametrace.NewCollector()
+	col.Add(traceSend, 0)
+	col.Add(traceRelay, 0)
+	col.Add(traceRecv, 0)
+	sub := frametrace.NoSub
+	if relay != nil {
+		sub = 0 // primary viewer (site B) was the first subscriber
+	}
+	tls := col.Merge(sub)
+	rep := frametrace.Decompose(tls)
+	fmt.Printf("trace A→B: %d frames merged, %d complete capture→reconstruct", rep.Frames, rep.Complete)
+	if rep.EndToEnd.Count > 0 {
+		fmt.Printf(", e2e p50 %.1f ms p99 %.1f ms (stage sum %.1f ms, reconcile %.2f%%)",
+			rep.EndToEnd.P50Ms, rep.EndToEnd.P99Ms, rep.StageSumMeanMs, rep.ReconcilePct)
+	}
+	fmt.Println()
+	if *traceDump != "" {
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			log.Fatalf("trace dump: %v", err)
+		}
+		if err := frametrace.WriteTimelinesJSONL(f, tls); err != nil {
+			log.Fatalf("trace dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace dump: %v", err)
+		}
+		fmt.Printf("wrote %d frame timelines to %s\n", len(tls), *traceDump)
 	}
 }

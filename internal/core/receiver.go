@@ -8,6 +8,7 @@ import (
 	"livo/internal/codec/depth"
 	"livo/internal/codec/vcodec"
 	"livo/internal/frame"
+	"livo/internal/frametrace"
 	"livo/internal/geom"
 	"livo/internal/pipeline"
 	"livo/internal/pointcloud"
@@ -28,6 +29,9 @@ type ReceiverConfig struct {
 	// Telemetry receives frame-path metrics and stage spans (DESIGN.md §6);
 	// nil uses telemetry.Default.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives decode and reconstruct hop stamps for
+	// the cross-hop frame ledger (DESIGN.md §6); nil disables tracing.
+	Trace *frametrace.Ledger
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -154,6 +158,7 @@ func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
 		}
 	}
 	r.stages.Done(seq, telemetry.StageDecodeColor, t0)
+	r.cfg.Trace.StampNow(frametrace.HopDecodeColor, 0, seq, frametrace.NoSub)
 	if d, ok := r.pendingDepth[seq]; ok {
 		delete(r.pendingDepth, seq)
 		return r.pairCounted(seq, im, d), nil
@@ -183,6 +188,7 @@ func (r *Receiver) PushDepth(pkt *vcodec.Packet) (*PairedFrame, error) {
 		}
 	}
 	r.stages.Done(seq, telemetry.StageDecodeDepth, t0)
+	r.cfg.Trace.StampNow(frametrace.HopDecodeDepth, 0, seq, frametrace.NoSub)
 	if c, ok := r.pendingColor[seq]; ok {
 		delete(r.pendingColor, seq)
 		return r.pairCounted(seq, c, im), nil
@@ -259,7 +265,10 @@ func (r *Receiver) SeqMismatches() int { return r.mismatches }
 // cloud across frames must Clone it.
 func (r *Receiver) Reconstruct(pf *PairedFrame, frustum *geom.Frustum) (*pointcloud.Cloud, error) {
 	t0 := time.Now()
-	defer r.stages.Done(pf.Seq, telemetry.StageReconstruct, t0)
+	defer func() {
+		r.stages.Done(pf.Seq, telemetry.StageReconstruct, t0)
+		r.cfg.Trace.StampNow(frametrace.HopReconstruct, 0, pf.Seq, frametrace.NoSub)
+	}()
 	n := r.cfg.Array.N()
 	if r.views == nil {
 		r.views = make([]frame.RGBDFrame, n)

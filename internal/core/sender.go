@@ -24,6 +24,7 @@ import (
 	"livo/internal/codec/vcodec"
 	"livo/internal/cull"
 	"livo/internal/frame"
+	"livo/internal/frametrace"
 	"livo/internal/geom"
 	"livo/internal/pipeline"
 	"livo/internal/split"
@@ -98,6 +99,9 @@ type SenderConfig struct {
 	// Telemetry receives frame-path metrics and stage spans (DESIGN.md §6);
 	// nil uses telemetry.Default.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives capture and encode hop stamps for the
+	// cross-hop frame ledger (DESIGN.md §6); nil disables tracing.
+	Trace *frametrace.Ledger
 }
 
 func (c SenderConfig) withDefaults() SenderConfig {
@@ -234,12 +238,12 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		initial = cfg.StaticSplit
 	}
 	s := &Sender{
-		cfg:       cfg,
-		tiler:     tiler,
-		colorEnc:  colorEnc,
-		depthEnc:  depthEnc,
-		splitter:  split.New(initial),
-		predictor: cull.NewFrustumPredictor(cfg.ViewParams),
+		cfg:        cfg,
+		tiler:      tiler,
+		colorEnc:   colorEnc,
+		depthEnc:   depthEnc,
+		splitter:   split.New(initial),
+		predictor:  cull.NewFrustumPredictor(cfg.ViewParams),
 		markersOK:  tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
 		srcColor:   vcodec.NewFrame(tw, th, 3),
 		blankColor: frame.NewColorImage(in.W, in.H),
@@ -325,6 +329,7 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	if len(views) != s.cfg.Array.N() {
 		return nil, fmt.Errorf("core: got %d views for %d cameras", len(views), s.cfg.Array.N())
 	}
+	s.cfg.Trace.StampNow(frametrace.HopCapture, 0, s.seq, frametrace.NoSub)
 
 	// 1. View culling in pixel space (§3.4).
 	var st cull.Stats
@@ -399,6 +404,7 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 			defer wg.Done()
 			depthPkt, depthErr = s.depthEnc.Encode(tiledDepth, depthBudget)
 			s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
+			s.cfg.Trace.StampNow(frametrace.HopEncodeDepth, 0, s.seq, frametrace.NoSub)
 		}()
 		colorPkt, err = s.colorEnc.Encode(srcColor, colorBudget)
 	} else {
@@ -407,10 +413,12 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 			defer wg.Done()
 			depthPkt, depthErr = s.depthEnc.EncodeQP(tiledDepth, s.cfg.FixedDepthQP)
 			s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
+			s.cfg.Trace.StampNow(frametrace.HopEncodeDepth, 0, s.seq, frametrace.NoSub)
 		}()
 		colorPkt, err = s.colorEnc.EncodeQP(srcColor, s.cfg.FixedColorQP)
 	}
 	s.stages.Done(s.seq, telemetry.StageEncodeColor, encStart)
+	s.cfg.Trace.StampNow(frametrace.HopEncodeColor, 0, s.seq, frametrace.NoSub)
 	wg.Wait()
 	if err != nil {
 		return nil, err

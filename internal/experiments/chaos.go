@@ -6,6 +6,7 @@ import (
 
 	"livo/internal/codec/vcodec"
 	"livo/internal/core"
+	"livo/internal/frametrace"
 	"livo/internal/geom"
 	"livo/internal/metrics"
 	"livo/internal/netem"
@@ -37,6 +38,12 @@ type ChaosRunConfig struct {
 	LinkMbps float64
 	// Seed drives metric subsampling.
 	Seed int64
+	// Trace, when non-nil, receives per-frame hop stamps in *simulated*
+	// replay time (nanoseconds since replay start), so a chaos run exports
+	// deterministic capture→reconstruct timelines (-trace-dump). Sender-side
+	// hops share the capture instant (the replay has no wall-clock encode
+	// cost); wire and jitter hops carry the fault injector's real delays.
+	Trace *frametrace.Ledger
 }
 
 func (cc ChaosRunConfig) withDefaults() ChaosRunConfig {
@@ -131,6 +138,8 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 	pliPending := false
 	outageStart := -1 // frame seq of the first failure of the current outage
 	budget := 0.85 * cc.LinkMbps * 1e6
+	tr := cc.Trace // nil-safe: every Stamp below is a no-op when disabled
+	simNs := func(t float64) int64 { return int64(t * 1e9) }
 
 	// deliver moves due arrivals into the jitter buffers.
 	deliver := func(now float64) {
@@ -146,6 +155,9 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 				mCorrupt.Inc()
 				continue
 			}
+			if p.FragIndex == 0 && !p.Parity {
+				tr.Stamp(frametrace.HopWire, p.Stream, p.FrameSeq, frametrace.NoSub, simNs(a.t))
+			}
 			if b := jb[p.Stream]; b != nil {
 				b.Push(p, a.t)
 			}
@@ -158,13 +170,16 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 	pop := func(now float64) error {
 		for _, stream := range []uint8{transport.StreamColor, transport.StreamDepth} {
 			for _, af := range jb[stream].Pop(now) {
+				tr.Stamp(frametrace.HopJitter, stream, af.FrameSeq, frametrace.NoSub, simNs(now))
 				pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq}
 				var pf *core.PairedFrame
 				var err error
 				if stream == transport.StreamColor {
 					pf, err = receiver.PushColor(pkt)
+					tr.Stamp(frametrace.HopDecodeColor, 0, af.FrameSeq, frametrace.NoSub, simNs(now))
 				} else {
 					pf, err = receiver.PushDepth(pkt)
+					tr.Stamp(frametrace.HopDecodeDepth, 0, af.FrameSeq, frametrace.NoSub, simNs(now))
 				}
 				if err != nil {
 					// Undecodable: conceal with the last good pair and run
@@ -187,7 +202,9 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 					continue
 				}
 				// A paired frame ends any outage: both streams are decodable
-				// again.
+				// again. The pair instant stands in for reconstruction in the
+				// trace (the replay only reconstructs on the metric cadence).
+				tr.Stamp(frametrace.HopReconstruct, 0, pf.Seq, frametrace.NoSub, simNs(now))
 				pli.OnKeyFrame()
 				res.Paired++
 				if outageStart >= 0 {
@@ -227,6 +244,12 @@ func RunChaos(cc ChaosRunConfig) (*ChaosResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Sender-side hops all share the capture instant: the replay models
+		// transport time, not encode time, so these stages are zero-width.
+		tr.Stamp(frametrace.HopCapture, 0, enc.Seq, frametrace.NoSub, simNs(now))
+		tr.Stamp(frametrace.HopEncodeColor, 0, enc.Seq, frametrace.NoSub, simNs(now))
+		tr.Stamp(frametrace.HopEncodeDepth, 0, enc.Seq, frametrace.NoSub, simNs(now))
+		tr.Stamp(frametrace.HopPacketize, 0, enc.Seq, frametrace.NoSub, simNs(now))
 		var pkts []transport.Packet
 		for _, s := range []struct {
 			stream uint8

@@ -1,0 +1,580 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livo/internal/codec/vcodec"
+	"livo/internal/core"
+	"livo/internal/frametrace"
+	"livo/internal/geom"
+	"livo/internal/netem"
+	"livo/internal/relaycore"
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+)
+
+// Frame-trace benchmark (`livo-bench -tracebench`): exercises the cross-hop
+// frame ledger (internal/frametrace, DESIGN.md §6) in two phases and writes
+// BENCH_trace.json.
+//
+//   - The pipeline phase runs the real capture→reconstruct path in one
+//     process: the sender encodes office1 frames, packetizes them, and
+//     routes the wire packets through the sharded relay fanning out to
+//     cfg.Subs subscribers. Subscriber 0's leg feeds a real receiver —
+//     jitter buffers, decoders, pairing, reconstruction — so every hop of
+//     the ledger is stamped by the component that owns it. The merged
+//     timelines yield the paper-style latency decomposition (per-stage
+//     p50/p99) and its reconciliation check: the stage durations telescope,
+//     so their per-frame sum must match the measured end-to-end latency.
+//
+//   - The overhead phase answers "what does tracing cost the relay": the
+//     relaybench paced workload (64 subscribers, stalling consumers) runs
+//     with the ledger disabled and enabled on identical stall schedules
+//     (same seed), comparing delivered/sec; a flat-out window with tracing
+//     on re-measures allocs/packet so the 0-allocation hot path is gated
+//     with stamps live. Off/on rounds alternate and each mode keeps its
+//     best window, so machine drift cannot masquerade as tracing cost.
+
+// TraceBenchConfig parameterizes a run; zero values pick defaults.
+type TraceBenchConfig struct {
+	Subs     int           // relay fan-out in both phases
+	Frames   int           // frames replayed in the pipeline phase
+	FPS      int           // media rate for both phases
+	LinkMbps float64       // pipeline-phase encoder bandwidth budget
+	Duration time.Duration // overhead-phase timed window
+	Warmup   time.Duration // overhead-phase untimed warmup
+	Seed     int64
+}
+
+func (c *TraceBenchConfig) fill(short bool) {
+	if c.Subs <= 0 {
+		c.Subs = 64
+	}
+	if c.Frames <= 0 {
+		c.Frames = 120
+		if short {
+			c.Frames = 36
+		}
+	}
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.LinkMbps <= 0 {
+		c.LinkMbps = 4.0
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1200 * time.Millisecond
+		if short {
+			c.Duration = 400 * time.Millisecond
+		}
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 250 * time.Millisecond
+		if short {
+			c.Warmup = 100 * time.Millisecond
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// TraceOverheadResult is the tracing-on vs tracing-off relay measurement.
+type TraceOverheadResult struct {
+	Subs               int     `json:"subs"`
+	Procs              int     `json:"procs"`
+	Shards             int     `json:"shards"`
+	DeliveredPerSecOff float64 `json:"delivered_per_sec_off"`
+	DeliveredPerSecOn  float64 `json:"delivered_per_sec_on"`
+	// DeliveredPerRouted is paced delivered ÷ routed packets — the fan-out
+	// delivery ratio (= Subs when nothing drops). Delivered/sec quantizes
+	// on whole frames at the window edge (±1 frame ≈ ±3%), so the overhead
+	// gate compares this ratio instead: it is edge-free, and a relay slowed
+	// past the paced budget still shows up in it as queue-overflow drops.
+	DeliveredPerRoutedOff float64 `json:"delivered_per_routed_off"`
+	DeliveredPerRoutedOn  float64 `json:"delivered_per_routed_on"`
+	OverheadPct           float64 `json:"overhead_pct"` // (off − on) / off × 100, on the delivery ratio
+	AllocsPerPacketOff    float64 `json:"allocs_per_packet_off"`
+	AllocsPerPacketOn     float64 `json:"allocs_per_packet_on"`
+	FlatPktsPerSecOff     float64 `json:"flat_pkts_per_sec_off"`
+	FlatPktsPerSecOn      float64 `json:"flat_pkts_per_sec_on"`
+	// TraceStamps counts ledger writes during the traced rounds — proof the
+	// overhead comparison actually had tracing live, not a nil ledger.
+	TraceStamps uint64 `json:"trace_stamps"`
+}
+
+// TraceBenchResult is the BENCH_trace.json payload.
+type TraceBenchResult struct {
+	PipelineSubs   int                 `json:"pipeline_subs"`
+	PipelineFrames int                 `json:"pipeline_frames"`
+	PipelineEvents uint64              `json:"pipeline_events"` // structured events fired (drops, PLIs, ...)
+	Pipeline       frametrace.Report   `json:"pipeline"`
+	Overhead       TraceOverheadResult `json:"overhead"`
+}
+
+// RunTraceBench runs both phases and returns the combined measurement.
+func RunTraceBench(cfg TraceBenchConfig, short bool, progress func(string)) (*TraceBenchResult, error) {
+	cfg.fill(short)
+	if progress == nil {
+		progress = func(string) {}
+	}
+	progress(fmt.Sprintf("pipeline: %d frames at %d FPS through %d subscribers", cfg.Frames, cfg.FPS, cfg.Subs))
+	rep, nEvents, err := runTracePipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+	progress(fmt.Sprintf("pipeline: %d/%d frames complete, e2e p50 %.1f ms p99 %.1f ms, reconcile %.2f%%",
+		rep.Complete, rep.Frames, rep.EndToEnd.P50Ms, rep.EndToEnd.P99Ms, rep.ReconcilePct))
+	ovh, err := runTraceOverhead(cfg, short, progress)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceBenchResult{
+		PipelineSubs:   cfg.Subs,
+		PipelineFrames: cfg.Frames,
+		PipelineEvents: nEvents,
+		Pipeline:       rep,
+		Overhead:       ovh,
+	}, nil
+}
+
+// traceBenchConn fans relay writes out to cfg.Subs sinks: subscriber 0's
+// packets are copied into recvCh for the in-process receiver leg; the rest
+// are counted and discarded (they model fan-out load, not receivers).
+type traceBenchConn struct {
+	recvCh    chan []byte
+	discarded atomic.Int64
+}
+
+func (c *traceBenchConn) put(i int, p []byte) {
+	if i == 0 {
+		c.recvCh <- append([]byte(nil), p...)
+		return
+	}
+	c.discarded.Add(1)
+}
+
+func (c *traceBenchConn) WriteTo(p []byte, a net.Addr) (int, error) {
+	if i := a.(*relayBenchAddr).i; i >= 0 {
+		c.put(i, p)
+	}
+	return len(p), nil
+}
+
+func (c *traceBenchConn) WriteBatch(ps [][]byte, a net.Addr) (int, error) {
+	i := a.(*relayBenchAddr).i
+	for _, p := range ps {
+		if i >= 0 {
+			c.put(i, p)
+		}
+	}
+	return len(ps), nil
+}
+
+// runTracePipeline runs the traced capture→reconstruct path and returns the
+// merged latency decomposition for subscriber 0 plus the number of
+// structured data-plane events fired.
+func runTracePipeline(cfg TraceBenchConfig) (frametrace.Report, uint64, error) {
+	q := QuickQuality()
+	q.Frames = cfg.Frames
+	w, err := workload("office1", q)
+	if err != nil {
+		return frametrace.Report{}, 0, err
+	}
+
+	reg := telemetry.NewRegistry(0)
+	ledSend := frametrace.NewLedger("sender", 1<<12)
+	ledRelay := frametrace.NewLedger("relay", 1<<16)
+	ledRecv := frametrace.NewLedger("recv", 1<<12)
+	events := frametrace.NewEventRing(1 << 10)
+
+	sender, err := core.NewSender(core.SenderConfig{
+		Variant:    core.LiVoNoCull,
+		Array:      w.Array(),
+		ViewParams: geom.DefaultViewParams(),
+		GOP:        benchGOP,
+		Telemetry:  reg,
+		Trace:      ledSend,
+	})
+	if err != nil {
+		return frametrace.Report{}, 0, err
+	}
+	receiver, err := core.NewReceiver(core.ReceiverConfig{
+		Array: w.Array(), GOP: benchGOP, Telemetry: reg, Trace: ledRecv,
+	})
+	if err != nil {
+		return frametrace.Report{}, 0, err
+	}
+
+	conn := &traceBenchConn{recvCh: make(chan []byte, 1<<12)}
+	router := relaycore.NewRouter(conn, &relayBenchAddr{i: -1, s: "sender"}, relaycore.Config{
+		Telemetry: reg, Trace: ledRelay, Events: events,
+	})
+	for i := 0; i < cfg.Subs; i++ {
+		router.Subscribe(&relayBenchAddr{i: i, s: fmt.Sprintf("sub-%d", i)})
+	}
+
+	t0 := time.Now()
+	secs := func() float64 { return time.Since(t0).Seconds() }
+
+	// Subscriber 0's receiver leg: reassemble through real jitter buffers,
+	// decode, pair, and reconstruct — each step stamping its hop.
+	jb := map[uint8]*transport.JitterBuffer{
+		transport.StreamColor: transport.NewJitterBuffer(),
+		transport.StreamDepth: transport.NewJitterBuffer(),
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var recvErr error
+	go func() {
+		defer close(done)
+		pop := func(now float64) {
+			for _, stream := range []uint8{transport.StreamColor, transport.StreamDepth} {
+				for _, af := range jb[stream].Pop(now) {
+					ledRecv.StampNow(frametrace.HopJitter, stream, af.FrameSeq, frametrace.NoSub)
+					pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq}
+					var pf *core.PairedFrame
+					var err error
+					if stream == transport.StreamColor {
+						pf, err = receiver.PushColor(pkt)
+					} else {
+						pf, err = receiver.PushDepth(pkt)
+					}
+					if err != nil || pf == nil {
+						continue // lossless leg: nothing to conceal
+					}
+					if _, err := receiver.Reconstruct(pf, nil); err != nil && recvErr == nil {
+						recvErr = err
+					}
+				}
+			}
+		}
+		ingest := func(wire []byte) {
+			if stream, seq, ok := transport.FirstFragment(wire); ok {
+				ledRecv.StampNow(frametrace.HopWire, stream, seq, frametrace.NoSub)
+			}
+			if len(wire) > 1 && wire[0] == transport.MediaMagic {
+				if p, err := transport.Unmarshal(wire[1:]); err == nil {
+					if b := jb[p.Stream]; b != nil {
+						b.Push(p, secs())
+					}
+				}
+			}
+		}
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case wire := <-conn.recvCh:
+				ingest(wire)
+			case <-tick.C:
+				pop(secs())
+			case <-stop:
+				for {
+					select {
+					case wire := <-conn.recvCh:
+						ingest(wire)
+						continue
+					default:
+					}
+					break
+				}
+				// Flush stragglers still inside the playout window; their
+				// jitter_wait is measured by the stamp clock, not this value.
+				pop(secs() + 1)
+				return
+			}
+		}
+	}()
+
+	// Paced sender: real encode, real packetize, wire packets through the
+	// relay. The packetize stamp lands before routing so the uplink stage
+	// covers pacing plus the sender→relay handoff, matching SendSession.
+	interval := time.Second / time.Duration(cfg.FPS)
+	budget := 0.85 * cfg.LinkMbps * 1e6
+	pool := router.Pool()
+	next := time.Now()
+	fail := func(err error) (frametrace.Report, uint64, error) {
+		close(stop)
+		<-done
+		router.Close()
+		return frametrace.Report{}, 0, err
+	}
+	for i := 0; i < cfg.Frames; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		enc, err := sender.ProcessFrame(w.Views[i], budget)
+		if err != nil {
+			return fail(err)
+		}
+		var pkts []transport.Packet
+		for _, s := range []struct {
+			stream uint8
+			pkt    *vcodec.Packet
+		}{{transport.StreamColor, enc.Color}, {transport.StreamDepth, enc.Depth}} {
+			pkts = append(pkts, transport.Packetize(s.stream, enc.Seq, s.pkt.Key, uint64(secs()*1e6), s.pkt.Data)...)
+		}
+		ledSend.StampNow(frametrace.HopPacketize, 0, enc.Seq, frametrace.NoSub)
+		for _, p := range pkts {
+			wire := append([]byte{transport.MediaMagic}, p.Marshal()...)
+			router.RouteMedia(pool.Load(wire))
+		}
+		next = next.Add(interval)
+	}
+	if !router.WaitIdle(30 * time.Second) {
+		return fail(fmt.Errorf("tracebench: pipeline phase did not drain"))
+	}
+	// Let the tail clear subscriber 0's playout delay before tearing down.
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	<-done
+	router.Close()
+	if recvErr != nil {
+		return frametrace.Report{}, 0, recvErr
+	}
+
+	// All three ledgers share this process's clock: offsets are zero.
+	col := frametrace.NewCollector()
+	col.Add(ledSend, 0)
+	col.Add(ledRelay, 0)
+	col.Add(ledRecv, 0)
+	rep := frametrace.Decompose(col.Merge(0))
+	return rep, events.Recorded(), nil
+}
+
+// benchSendPaced drives the router at the media rate with a GOP key-frame
+// pattern for d (same shape as the relaybench paced phase).
+func benchSendPaced(router *relaycore.Router, fps int, d time.Duration) (routed int64, elapsed time.Duration) {
+	tmpl := mediaTemplate()
+	pool := router.Pool()
+	interval := time.Second / time.Duration(fps)
+	t0 := time.Now()
+	next := t0
+	for frame := 0; ; frame++ {
+		now := time.Now()
+		if now.Sub(t0) >= d {
+			return routed, time.Since(t0)
+		}
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		restampFrame(tmpl, transport.StreamColor, uint32(frame+1), frame%benchGOP == 0)
+		for frag := 0; frag < benchFragsPerFrame; frag++ {
+			tmpl[6] = byte(frag >> 8)
+			tmpl[7] = byte(frag)
+			router.RouteMedia(pool.Load(tmpl))
+			routed++
+		}
+		next = next.Add(interval)
+	}
+}
+
+// benchSendFlat free-runs one producer per proc through its own shard pool
+// (same shape as the relaybench flat-out phase).
+func benchSendFlat(router *relaycore.Router, procs int, d time.Duration) int64 {
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for p := 0; p < procs; p++ {
+		go func(p int) {
+			defer wg.Done()
+			tmpl := mediaTemplate()
+			pool := router.ShardPool(p)
+			stream := uint8(1 + p)
+			var routed int64
+			seq := uint32(0)
+			t0 := time.Now()
+			for time.Since(t0) < d {
+				seq++
+				restampFrame(tmpl, stream, seq, false)
+				for frag := 0; frag < benchFragsPerFrame; frag++ {
+					tmpl[6] = byte(frag >> 8)
+					tmpl[7] = byte(frag)
+					router.RouteMedia(pool.Load(tmpl))
+					routed++
+				}
+				runtime.Gosched()
+			}
+			total.Add(routed)
+		}(p)
+	}
+	wg.Wait()
+	return total.Load()
+}
+
+// runTraceOverhead measures the relay with the ledger off vs on. Rounds
+// alternate modes on identical (seeded) consumer-stall schedules; each mode
+// keeps its best paced window and its lowest allocs/packet.
+func runTraceOverhead(cfg TraceBenchConfig, short bool, progress func(string)) (TraceOverheadResult, error) {
+	rb := RelayBenchConfig{FPS: cfg.FPS, Duration: cfg.Duration, Warmup: cfg.Warmup, Seed: cfg.Seed}
+	rb.fill(short)
+	// Consumer stalls stay off here (set after fill, which would otherwise
+	// default them on): which packets a stall's queue overflow drops is
+	// timing-chaotic, and that alignment noise (±1.5% delivered/s between
+	// identical runs) swamps the sub-1% signal this phase gates. Stall
+	// resilience is relaybench's measurement; this one isolates what the
+	// ledger costs the same workload.
+	rb.PauseProb = 0
+	procs := runtime.GOMAXPROCS(0)
+	if procs > 4 {
+		procs = 4
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	res := TraceOverheadResult{Subs: cfg.Subs, Procs: procs}
+	delivered := map[bool]float64{}
+	ratio := map[bool]float64{}
+	flat := map[bool]float64{}
+	allocs := map[bool]float64{false: math.Inf(1), true: math.Inf(1)}
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		for _, traced := range []bool{false, true} {
+			one, err := runTraceOverheadOne(cfg, rb, procs, traced)
+			if err != nil {
+				return res, err
+			}
+			res.Shards = one.shards
+			res.TraceStamps += one.stamps
+			if one.deliveredPerSec > delivered[traced] {
+				delivered[traced] = one.deliveredPerSec
+			}
+			if one.deliveredPerRouted > ratio[traced] {
+				ratio[traced] = one.deliveredPerRouted
+			}
+			if one.flatPktsPerSec > flat[traced] {
+				flat[traced] = one.flatPktsPerSec
+			}
+			if one.allocsPerPkt < allocs[traced] {
+				allocs[traced] = one.allocsPerPkt
+			}
+			progress(fmt.Sprintf("overhead round %d traced=%-5v %9.0f delivered/s %7.3f delivered/routed %11.0f flat pkts/s %5.2f allocs/pkt",
+				round+1, traced, one.deliveredPerSec, one.deliveredPerRouted, one.flatPktsPerSec, one.allocsPerPkt))
+		}
+	}
+	res.DeliveredPerSecOff = delivered[false]
+	res.DeliveredPerSecOn = delivered[true]
+	res.DeliveredPerRoutedOff = ratio[false]
+	res.DeliveredPerRoutedOn = ratio[true]
+	res.FlatPktsPerSecOff = flat[false]
+	res.FlatPktsPerSecOn = flat[true]
+	res.AllocsPerPacketOff = allocs[false]
+	res.AllocsPerPacketOn = allocs[true]
+	if res.DeliveredPerRoutedOff > 0 {
+		res.OverheadPct = (res.DeliveredPerRoutedOff - res.DeliveredPerRoutedOn) / res.DeliveredPerRoutedOff * 100
+	}
+	return res, nil
+}
+
+type traceOverheadCell struct {
+	shards             int
+	stamps             uint64
+	deliveredPerSec    float64
+	deliveredPerRouted float64
+	flatPktsPerSec     float64
+	allocsPerPkt       float64
+}
+
+func runTraceOverheadOne(cfg TraceBenchConfig, rb RelayBenchConfig, procs int, traced bool) (traceOverheadCell, error) {
+	conn := newRelayBenchConn(cfg.Subs, rb)
+	rcfg := relaycore.Config{Shards: procs, Telemetry: telemetry.NewRegistry(0)}
+	var led *frametrace.Ledger
+	if traced {
+		led = frametrace.NewLedger("relay", 1<<14)
+		rcfg.Trace = led
+		rcfg.Events = frametrace.NewEventRing(1 << 12)
+	}
+	router := relaycore.NewRouter(conn, &relayBenchAddr{i: -1, s: "sender"}, rcfg)
+	for i := 0; i < cfg.Subs; i++ {
+		router.Subscribe(&relayBenchAddr{i: i, s: fmt.Sprintf("sub-%d", i)})
+	}
+	teardown := func() {
+		router.Close()
+		conn.close()
+	}
+	// Pre-grow each shard pool to its steady-state working set, as the
+	// relaybench phases do, so the timed windows charge the hot path rather
+	// than one-time capacity acquisition.
+	const prewarm = 4096
+	for i := 0; i < router.Shards(); i++ {
+		pool := router.ShardPool(i)
+		bufs := make([]*relaycore.PacketBuf, prewarm)
+		for j := range bufs {
+			bufs[j] = pool.Get(1)
+		}
+		for _, b := range bufs {
+			b.Release()
+		}
+	}
+
+	benchSendFlat(router, procs, rb.Warmup)
+	if !router.WaitIdle(60 * time.Second) {
+		teardown()
+		return traceOverheadCell{}, fmt.Errorf("tracebench: warmup did not drain (traced=%v)", traced)
+	}
+
+	d0 := conn.delivered.Load()
+	pacedRouted, pacedElapsed := benchSendPaced(router, rb.FPS, rb.Duration)
+	if !router.WaitIdle(60 * time.Second) {
+		teardown()
+		return traceOverheadCell{}, fmt.Errorf("tracebench: paced phase did not drain (traced=%v)", traced)
+	}
+	d1 := conn.delivered.Load()
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	routed := benchSendFlat(router, procs, rb.Duration)
+	drained := router.WaitIdle(60 * time.Second)
+	runtime.ReadMemStats(&m1)
+	teardown()
+	if !drained {
+		return traceOverheadCell{}, fmt.Errorf("tracebench: flat-out phase did not drain (traced=%v)", traced)
+	}
+
+	cell := traceOverheadCell{
+		shards:          router.Shards(),
+		deliveredPerSec: float64(d1-d0) / pacedElapsed.Seconds(),
+		flatPktsPerSec:  float64(routed) / cfg.Duration.Seconds(),
+		allocsPerPkt:    float64(m1.Mallocs-m0.Mallocs) / float64(routed),
+	}
+	if pacedRouted > 0 {
+		cell.deliveredPerRouted = float64(d1-d0) / float64(pacedRouted)
+	}
+	if led != nil {
+		cell.stamps = led.Recorded()
+	}
+	return cell, nil
+}
+
+// ChaosTraceDump replays office1 through the chaos harness (bursty loss,
+// corruption, FEC on) with the frame ledger armed, writes the merged
+// capture→reconstruct timelines as JSONL to out, and returns their latency
+// decomposition. Chaos stamps carry *simulated* replay time, so the dump is
+// deterministic for a given quality preset and seed.
+func ChaosTraceDump(q Quality, out io.Writer) (frametrace.Report, error) {
+	w, err := workload("office1", q)
+	if err != nil {
+		return frametrace.Report{}, err
+	}
+	led := frametrace.NewLedger("chaos", 1<<13)
+	if _, err := RunChaos(ChaosRunConfig{
+		Workload: w, Chaos: netem.DefaultChaosConfig(42), FEC: true, Seed: 1, Trace: led,
+	}); err != nil {
+		return frametrace.Report{}, err
+	}
+	col := frametrace.NewCollector()
+	col.Add(led, 0)
+	tls := col.Merge(frametrace.NoSub)
+	if err := frametrace.WriteTimelinesJSONL(out, tls); err != nil {
+		return frametrace.Report{}, err
+	}
+	return frametrace.Decompose(tls), nil
+}

@@ -1,0 +1,217 @@
+package frametrace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// stampChain writes a full synthetic pipeline for frame seq across three
+// ledgers: every hop lands 1 ms after the previous one on each ledger's
+// local clock, with the relay and receiver clocks shifted by their
+// (negated) offsets so a correct merge reproduces the reference times.
+func stampChain(send, relay, recv *Ledger, seq uint32, baseNs, stepNs, relayOff, recvOff int64) {
+	t := baseNs
+	next := func() int64 { t += stepNs; return t }
+	send.Stamp(HopCapture, 0, seq, NoSub, t)
+	send.Stamp(HopEncodeColor, 0, seq, NoSub, next())
+	send.Stamp(HopEncodeDepth, 0, seq, NoSub, next())
+	send.Stamp(HopPacketize, 0, seq, NoSub, next())
+	relay.Stamp(HopRelayIngest, 1, seq, NoSub, next()-relayOff)
+	relay.Stamp(HopShardRoute, 1, seq, NoSub, next()-relayOff)
+	relay.Stamp(HopSubEnqueue, 1, seq, 0, next()-relayOff)
+	relay.Stamp(HopSubDrain, 1, seq, 0, next()-relayOff)
+	recv.Stamp(HopWire, 1, seq, NoSub, next()-recvOff)
+	recv.Stamp(HopJitter, 1, seq, NoSub, next()-recvOff)
+	// decode color deliberately unshifted: the vDecode max picks the later
+	recv.Stamp(HopDecodeColor, 0, seq, NoSub, next())
+	recv.Stamp(HopDecodeDepth, 0, seq, NoSub, next()-recvOff)
+	recv.Stamp(HopReconstruct, 0, seq, NoSub, next()-recvOff)
+}
+
+// TestMergeDecompose runs a synthetic 3-ledger pipeline through the
+// collector and checks the merged timelines, the stage decomposition,
+// and the telescoping reconciliation.
+func TestMergeDecompose(t *testing.T) {
+	send := NewLedger("sender", 1024)
+	relay := NewLedger("relay", 1024)
+	recv := NewLedger("receiver", 1024)
+	const frames = 50
+	const step = int64(1e6) // 1 ms per hop
+	relayOff, recvOff := int64(7e6), int64(-3e6)
+	for i := 0; i < frames; i++ {
+		stampChain(send, relay, recv, uint32(i), int64(i)*40e6, step, relayOff, recvOff)
+	}
+
+	c := NewCollector()
+	c.Add(send, 0)
+	c.Add(relay, relayOff)
+	c.Add(recv, recvOff)
+	tls := c.Merge(0)
+	if len(tls) != frames {
+		t.Fatalf("merged %d timelines, want %d", len(tls), frames)
+	}
+	// Decode color was stamped on the reference clock (unshifted) but the
+	// receiver ledger adds recvOff; with recvOff < 0 the shifted depth
+	// stamp is later, so the vDecode max must equal the reference time.
+	tl := &tls[0]
+	cap0, okC := tl.Get(HopCapture)
+	rec, okR := tl.Get(HopReconstruct)
+	if !okC || !okR {
+		t.Fatal("capture/reconstruct missing after merge")
+	}
+	if want := int64(12) * step; rec-cap0 != want {
+		t.Fatalf("e2e for frame 0: got %d ns, want %d", rec-cap0, want)
+	}
+
+	rep := Decompose(tls)
+	if rep.Frames != frames || rep.Complete != frames {
+		t.Fatalf("frames=%d complete=%d, want %d/%d", rep.Frames, rep.Complete, frames, frames)
+	}
+	if len(rep.Stages) != len(Stages) {
+		t.Fatalf("got %d stages, want %d", len(rep.Stages), len(Stages))
+	}
+	// Every chain gap is one step except encode (capture→max encode = 2
+	// steps) and decode (jitter→max decode = 2 steps).
+	for _, st := range rep.Stages {
+		want := float64(step) / 1e6
+		if st.Name == "encode" || st.Name == "decode" {
+			want *= 2
+		}
+		if st.Count != frames {
+			t.Fatalf("stage %s count=%d, want %d", st.Name, st.Count, frames)
+		}
+		if math.Abs(st.P50Ms-want) > 1e-9 || math.Abs(st.MeanMs-want) > 1e-9 {
+			t.Fatalf("stage %s: p50=%g mean=%g, want %g", st.Name, st.P50Ms, st.MeanMs, want)
+		}
+	}
+	if want := float64(12*step) / 1e6; math.Abs(rep.EndToEnd.MeanMs-want) > 1e-9 {
+		t.Fatalf("e2e mean: got %g, want %g", rep.EndToEnd.MeanMs, want)
+	}
+	if rep.ReconcilePct > 1e-9 {
+		t.Fatalf("reconcile: %g%%, want ~0 (telescoping)", rep.ReconcilePct)
+	}
+}
+
+// TestMergeSubFilter checks that per-subscriber stamps for other
+// subscribers are excluded from a sub-filtered merge.
+func TestMergeSubFilter(t *testing.T) {
+	led := NewLedger("relay", 64)
+	led.Stamp(HopSubEnqueue, 1, 7, 0, 100)
+	led.Stamp(HopSubEnqueue, 1, 7, 3, 999) // other subscriber, later
+	c := NewCollector()
+	c.Add(led, 0)
+	tls := c.Merge(0)
+	if len(tls) != 1 {
+		t.Fatalf("got %d timelines", len(tls))
+	}
+	if tt, ok := tls[0].Get(HopSubEnqueue); !ok || tt != 100 {
+		t.Fatalf("sub filter leaked: got %d", tt)
+	}
+	// Unfiltered merge keeps the max across subscribers.
+	c2 := NewCollector()
+	c2.Add(led, 0)
+	all := c2.Merge(NoSub)
+	if tt, ok := all[0].Get(HopSubEnqueue); !ok || tt != 999 {
+		t.Fatalf("unfiltered merge: got %d, want 999", tt)
+	}
+}
+
+// TestEstimateOffset checks the one-way-delay-minimum model.
+func TestEstimateOffset(t *testing.T) {
+	if got := EstimateOffset(nil, nil); got != 0 {
+		t.Fatalf("empty: got %d", got)
+	}
+	// Receiver clock is +50ms; one-way delays are 5..9 ms.
+	var send, recvT []int64
+	for i := 0; i < 5; i++ {
+		send = append(send, int64(i)*1e6)
+		recvT = append(recvT, int64(i)*1e6+50e6+int64(9-i)*1e6)
+	}
+	got := EstimateOffset(send, recvT)
+	if want := int64(50e6 + 5e6); got != want {
+		t.Fatalf("offset: got %d, want %d (offset + min delay)", got, want)
+	}
+}
+
+// TestIncompleteTimelines checks that partially-stamped frames still
+// contribute to the stages they cover without polluting reconciliation.
+func TestIncompleteTimelines(t *testing.T) {
+	led := NewLedger("x", 64)
+	led.Stamp(HopCapture, 0, 1, NoSub, 0)
+	led.Stamp(HopEncodeColor, 0, 1, NoSub, 2e6)
+	led.Stamp(HopEncodeDepth, 0, 1, NoSub, 3e6)
+	// no further hops: frame was dropped downstream
+	c := NewCollector()
+	c.Add(led, 0)
+	rep := Decompose(c.Merge(NoSub))
+	if rep.Frames != 1 || rep.Complete != 0 {
+		t.Fatalf("frames=%d complete=%d", rep.Frames, rep.Complete)
+	}
+	if rep.Stages[0].Name != "encode" || rep.Stages[0].Count != 1 ||
+		math.Abs(rep.Stages[0].MeanMs-3) > 1e-9 {
+		t.Fatalf("encode stage: %+v", rep.Stages[0])
+	}
+	if rep.EndToEnd.Count != 0 || rep.ReconcilePct != 0 {
+		t.Fatalf("incomplete frame leaked into e2e: %+v", rep.EndToEnd)
+	}
+}
+
+// TestJSONLAndHandlers checks the JSONL export is parseable and the
+// /debugz handlers serve it.
+func TestJSONLAndHandlers(t *testing.T) {
+	send := NewLedger("sender", 64)
+	relay := NewLedger("relay", 64)
+	recv := NewLedger("receiver", 64)
+	for i := 0; i < 3; i++ {
+		stampChain(send, relay, recv, uint32(i), int64(i)*40e6, 1e6, 0, 0)
+	}
+	c := NewCollector()
+	c.Add(send, 0)
+	c.Add(relay, 0)
+	c.Add(recv, 0)
+	var buf bytes.Buffer
+	if err := WriteTimelinesJSONL(&buf, c.Merge(0)); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var obj struct {
+			Seq   uint32           `json:"seq"`
+			Hops  map[string]int64 `json:"hops"`
+			E2EMs float64          `json:"e2e_ms"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if len(obj.Hops) != NumHops {
+			t.Fatalf("line %d: %d hops, want %d", lines, len(obj.Hops), NumHops)
+		}
+		if math.Abs(obj.E2EMs-12) > 1e-9 {
+			t.Fatalf("line %d: e2e %g, want 12", lines, obj.E2EMs)
+		}
+		lines++
+	}
+	if lines != 3 {
+		t.Fatalf("got %d lines, want 3", lines)
+	}
+
+	fh := httptest.NewRecorder()
+	MergedFramesHandler(send, relay, recv).ServeHTTP(fh, httptest.NewRequest("GET", "/debugz/frames?n=2&sub=0", nil))
+	if fh.Code != 200 || strings.Count(fh.Body.String(), "\n") != 2 {
+		t.Fatalf("frames handler: code=%d body=%q", fh.Code, fh.Body.String())
+	}
+
+	ring := NewEventRing(64)
+	ring.Add(EvFrameDrop, 1, 42, 3, int64(DropKey))
+	eh := httptest.NewRecorder()
+	EventsHandler(ring).ServeHTTP(eh, httptest.NewRequest("GET", "/debugz/events", nil))
+	if eh.Code != 200 || !strings.Contains(eh.Body.String(), "\"evict_key\"") {
+		t.Fatalf("events handler: code=%d body=%q", eh.Code, eh.Body.String())
+	}
+}

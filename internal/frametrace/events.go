@@ -1,0 +1,158 @@
+package frametrace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EventKind classifies one structured data-plane event.
+type EventKind uint8
+
+const (
+	EvFrameDrop     EventKind = iota // subscriber queue dropped a frame; Val is a DropReason
+	EvPLI                            // PLI forwarded to the sender
+	EvLivenessEvict                  // subscriber evicted for silence; Val is silence ns
+	EvRetxHit                        // NACK served from the retransmission cache
+	EvRetxMiss                       // NACK escalated to the sender
+	EvREMB                           // forwarded REMB minimum changed; Val is bps
+	NumEventKinds   int       = iota
+)
+
+var eventNames = [NumEventKinds]string{
+	"frame_drop", "pli", "liveness_evict", "retx_hit", "retx_miss", "remb",
+}
+
+func (k EventKind) String() string {
+	if int(k) < NumEventKinds {
+		return eventNames[k]
+	}
+	return "event?"
+}
+
+// DropReason says why a subscriber queue dropped a frame; carried in
+// EvFrameDrop's Val field.
+type DropReason int64
+
+const (
+	DropReject DropReason = iota // ring full, nothing evictable
+	DropDelta                    // delta frame evicted to admit a newer frame
+	DropKey                      // key frame evicted to admit a newer key frame
+)
+
+func (r DropReason) String() string {
+	switch r {
+	case DropReject:
+		return "reject"
+	case DropDelta:
+		return "evict_delta"
+	case DropKey:
+		return "evict_key"
+	}
+	return "drop?"
+}
+
+// Event is one recorded data-plane event.
+type Event struct {
+	Kind   EventKind
+	Stream uint8
+	Seq    uint32 // frame or packet sequence the event concerns; 0 if none
+	Sub    int32  // subscriber id; -1 if not tied to one subscriber
+	Val    int64  // kind-specific value (drop reason, bps, ns)
+	TimeNs int64
+}
+
+// eventSlot follows the same ticket-publication scheme as Ledger slots.
+type eventSlot struct {
+	ticket atomic.Uint64
+	meta   atomic.Uint64 // seq<<32 | kind<<8 | stream
+	sub    atomic.Int64
+	val    atomic.Int64
+	t      atomic.Int64
+}
+
+// EventRing is a fixed-capacity lock-free ring of recent data-plane
+// events. A nil *EventRing ignores all events.
+type EventRing struct {
+	slots []eventSlot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewEventRing creates a ring with at least capacity entries (rounded up
+// to a power of two; minimum 64).
+func NewEventRing(capacity int) *EventRing {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &EventRing{slots: make([]eventSlot, n), mask: uint64(n - 1)}
+}
+
+// Cap returns the ring capacity; 0 for a nil ring.
+func (r *EventRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Recorded returns how many events have ever been recorded.
+func (r *EventRing) Recorded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.next.Load()
+}
+
+// Add records one event at time.Now(). Safe for concurrent use; free of
+// allocations; a no-op on nil.
+func (r *EventRing) Add(kind EventKind, stream uint8, seq uint32, sub int32, val int64) {
+	if r == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	s := &r.slots[i&r.mask]
+	s.ticket.Store(0)
+	s.meta.Store(uint64(seq)<<32 | uint64(kind)<<8 | uint64(stream))
+	s.sub.Store(int64(sub))
+	s.val.Store(val)
+	s.t.Store(time.Now().UnixNano())
+	s.ticket.Store(i + 1)
+}
+
+// Recent returns up to n of the most recent events, oldest first.
+func (r *EventRing) Recent(n int) []Event {
+	if r == nil {
+		return nil
+	}
+	cur := r.next.Load()
+	if n <= 0 || cur == 0 {
+		return nil
+	}
+	if uint64(n) > cur {
+		n = int(cur)
+	}
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	out := make([]Event, 0, n)
+	for i := cur - uint64(n); i < cur; i++ {
+		s := &r.slots[i&r.mask]
+		if s.ticket.Load() != i+1 {
+			continue
+		}
+		meta, sub, val, t := s.meta.Load(), s.sub.Load(), s.val.Load(), s.t.Load()
+		if s.ticket.Load() != i+1 {
+			continue
+		}
+		out = append(out, Event{
+			Kind:   EventKind(meta >> 8 & 0xff),
+			Stream: uint8(meta & 0xff),
+			Seq:    uint32(meta >> 32),
+			Sub:    int32(sub),
+			Val:    val,
+			TimeNs: t,
+		})
+	}
+	return out
+}

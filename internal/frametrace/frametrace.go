@@ -1,0 +1,184 @@
+// Package frametrace is a cross-process frame lifecycle ledger: every
+// layer a frame passes through — capture, encode, packetize, relay
+// ingest, shard route, subscriber queue, wire, jitter buffer, decode,
+// reconstruct — stamps the frame's arrival at that hop into a fixed-size
+// lock-free ring, and a collector merges the sender, relay, and receiver
+// ledgers into one timeline per frame. The decomposition report built
+// from those timelines (per-stage p50/p99, stage sums reconciled against
+// end-to-end) is the latency breakdown the paper's evaluation hinges on.
+//
+// The hot path is allocation-free: a stamp is one atomic increment plus
+// four atomic stores, and a nil *Ledger is a no-op so call sites need no
+// enable branches of their own. Storage follows telemetry.SpanRing's
+// ticket-publication scheme: writers invalidate a slot's ticket, rewrite
+// the fields, then republish; readers validate the ticket before and
+// after copying.
+package frametrace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Hop identifies one pipeline layer a frame passes through, in pipeline
+// order. Color and depth encode/decode are separate hops because they
+// run concurrently; the merge takes the later of the two.
+type Hop uint8
+
+const (
+	HopCapture Hop = iota
+	HopEncodeColor
+	HopEncodeDepth
+	HopPacketize
+	HopRelayIngest // relay read a frame's first fragment off the socket
+	HopShardRoute  // ingest shard dequeued it and began fan-out
+	HopSubEnqueue  // admitted to one subscriber's queue
+	HopSubDrain    // popped from that queue by a writer worker
+	HopWire        // receiver read the first fragment off the socket
+	HopJitter      // jitter buffer released the assembled frame
+	HopDecodeColor
+	HopDecodeDepth
+	HopReconstruct
+	NumHops int = iota
+)
+
+var hopNames = [NumHops]string{
+	"capture", "encode_color", "encode_depth", "packetize",
+	"relay_ingest", "shard_route", "sub_enqueue", "sub_drain",
+	"wire", "jitter", "decode_color", "decode_depth", "reconstruct",
+}
+
+func (h Hop) String() string {
+	if int(h) < NumHops {
+		return hopNames[h]
+	}
+	return "hop?"
+}
+
+// Stamp records that one frame reached one hop at one instant.
+type Stamp struct {
+	Seq    uint32 // frame sequence number
+	Hop    Hop
+	Stream uint8 // transport stream id; 0 when the hop is stream-agnostic
+	Sub    int32 // subscriber id for per-subscriber hops; -1 otherwise
+	TimeNs int64 // ledger-local clock, nanoseconds
+}
+
+// NoSub marks a stamp that is not tied to one subscriber.
+const NoSub int32 = -1
+
+// slot is one ring entry; see telemetry.spanSlot for the ticket scheme.
+type slot struct {
+	ticket atomic.Uint64
+	meta   atomic.Uint64 // seq<<32 | hop<<8 | stream
+	sub    atomic.Int64
+	t      atomic.Int64
+}
+
+// Ledger is one process's fixed-capacity ring of hop stamps. A nil
+// *Ledger is valid and ignores all stamps, so tracing is enabled by
+// plumbing a ledger in and disabled by leaving it nil.
+type Ledger struct {
+	node  string
+	slots []slot
+	mask  uint64
+	next  atomic.Uint64
+}
+
+// NewLedger creates a ledger with at least capacity slots (rounded up to
+// a power of two; minimum 64). node labels the process in merged dumps
+// ("sender", "relay", "receiver").
+func NewLedger(node string, capacity int) *Ledger {
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ledger{node: node, slots: make([]slot, n), mask: uint64(n - 1)}
+}
+
+// Node returns the ledger's process label.
+func (l *Ledger) Node() string {
+	if l == nil {
+		return ""
+	}
+	return l.node
+}
+
+// Cap returns the ring capacity; 0 for a nil ledger.
+func (l *Ledger) Cap() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// Recorded returns how many stamps have ever been recorded (≥ Cap means
+// the ring has wrapped).
+func (l *Ledger) Recorded() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.next.Load()
+}
+
+// Stamp records that frame seq reached hop at tNs on the ledger's clock.
+// Safe for concurrent use; free of allocations; a no-op on nil.
+func (l *Ledger) Stamp(hop Hop, stream uint8, seq uint32, sub int32, tNs int64) {
+	if l == nil {
+		return
+	}
+	i := l.next.Add(1) - 1
+	s := &l.slots[i&l.mask]
+	s.ticket.Store(0) // invalidate while rewriting
+	s.meta.Store(uint64(seq)<<32 | uint64(hop)<<8 | uint64(stream))
+	s.sub.Store(int64(sub))
+	s.t.Store(tNs)
+	s.ticket.Store(i + 1)
+}
+
+// StampNow is Stamp at time.Now().UnixNano() — the common case for
+// wall-clock processes. Harnesses running on a simulated clock pass
+// their own time to Stamp instead.
+func (l *Ledger) StampNow(hop Hop, stream uint8, seq uint32, sub int32) {
+	if l == nil {
+		return
+	}
+	l.Stamp(hop, stream, seq, sub, time.Now().UnixNano())
+}
+
+// Recent returns up to n of the most recent stamps, oldest first. Slots
+// concurrently being rewritten are skipped.
+func (l *Ledger) Recent(n int) []Stamp {
+	if l == nil {
+		return nil
+	}
+	cur := l.next.Load()
+	if n <= 0 || cur == 0 {
+		return nil
+	}
+	if uint64(n) > cur {
+		n = int(cur)
+	}
+	if n > len(l.slots) {
+		n = len(l.slots)
+	}
+	out := make([]Stamp, 0, n)
+	for i := cur - uint64(n); i < cur; i++ {
+		s := &l.slots[i&l.mask]
+		if s.ticket.Load() != i+1 {
+			continue
+		}
+		meta, sub, t := s.meta.Load(), s.sub.Load(), s.t.Load()
+		if s.ticket.Load() != i+1 {
+			continue // rewritten mid-copy
+		}
+		out = append(out, Stamp{
+			Seq:    uint32(meta >> 32),
+			Hop:    Hop(meta >> 8 & 0xff),
+			Stream: uint8(meta & 0xff),
+			Sub:    int32(sub),
+			TimeNs: t,
+		})
+	}
+	return out
+}

@@ -1,11 +1,13 @@
 package relaycore
 
 import (
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"livo/internal/frametrace"
 	"livo/internal/telemetry"
 	"livo/internal/transport"
 )
@@ -66,6 +68,11 @@ const (
 type SubQueue struct {
 	addr  net.Addr
 	shard *shard // owning shard; nil when unscheduled (sequential mode, tests)
+	sub   int32  // subscriber id for trace stamps and events (Subscribe assigns)
+
+	// events, when non-nil, receives a frame-drop event for every frame
+	// the drop policy discards or rejects (frametrace.EvFrameDrop).
+	events *frametrace.EventRing
 
 	mu          sync.Mutex
 	ring        []entry
@@ -86,7 +93,8 @@ type SubQueue struct {
 	dropped  atomic.Int64
 	depth    atomic.Int64
 	limitA   atomic.Int64
-	retx     atomic.Int64 // cache-served retransmissions enqueued here
+	retx     atomic.Int64  // cache-served retransmissions enqueued here
+	rembBps  atomic.Uint64 // float64 bits of the last REMB estimate (0 = none yet)
 
 	telDrops *telemetry.Counter
 }
@@ -101,6 +109,7 @@ func newSubQueue(addr net.Addr, depth, minDepth int, window time.Duration, telDr
 	}
 	q := &SubQueue{
 		addr:     addr,
+		sub:      frametrace.NoSub, // Subscribe assigns the real id
 		ring:     make([]entry, cap),
 		mask:     cap - 1,
 		limit:    cap,
@@ -133,6 +142,7 @@ func (q *SubQueue) Enqueue(buf *PacketBuf, fid frameID) bool {
 			q.enqueued.Add(1)
 			q.dropped.Add(1)
 			q.telDrops.Add(1)
+			q.events.Add(frametrace.EvFrameDrop, fid.stream, fid.seq, q.sub, int64(frametrace.DropReject))
 			return false
 		}
 	}
@@ -201,6 +211,11 @@ func (q *SubQueue) dropFrameLocked(incomingKey bool) bool {
 	q.depth.Store(int64(w))
 	q.dropped.Add(dropped)
 	q.telDrops.Add(dropped)
+	reason := frametrace.DropDelta
+	if victim.key {
+		reason = frametrace.DropKey
+	}
+	q.events.Add(frametrace.EvFrameDrop, victim.stream, victim.seq, q.sub, int64(reason))
 	return true
 }
 
@@ -225,6 +240,7 @@ func (q *SubQueue) UpdateBandwidth(bps float64) {
 	q.limit = pkts
 	q.limitA.Store(int64(pkts))
 	q.mu.Unlock()
+	q.rembBps.Store(math.Float64bits(bps))
 }
 
 // popBatch moves up to len(bufs) entries out of the ring for writing and
@@ -320,19 +336,26 @@ func (q *SubQueue) Idle() bool {
 	return q.size == 0 && q.state == qIdle
 }
 
-// SubStats is a point-in-time snapshot of one subscriber queue.
+// SubStats is a point-in-time snapshot of one subscriber queue, shaped
+// for the /debugz/subscribers JSON endpoint.
 type SubStats struct {
-	Addr     string
-	Enqueued int64
-	Sent     int64
-	Dropped  int64
-	Depth    int64
-	Limit    int64 // current adaptive depth limit
-	Retx     int64 // retransmissions served into this queue from the relay cache
+	ID       int32   `json:"id"` // subscriber id (trace stamps and events use it)
+	Addr     string  `json:"addr"`
+	Enqueued int64   `json:"enqueued"`
+	Sent     int64   `json:"sent"`
+	Dropped  int64   `json:"dropped"`
+	Depth    int64   `json:"depth"`
+	Limit    int64   `json:"limit"`    // current adaptive depth limit
+	Retx     int64   `json:"retx"`     // retransmissions served into this queue from the relay cache
+	REMBBps  float64 `json:"remb_bps"` // last REMB bandwidth estimate (0 = none yet)
+	// LastActiveAgeMs is how long the subscriber's reverse path has been
+	// silent; Router.Stats fills it (the queue has no clock).
+	LastActiveAgeMs float64 `json:"last_active_age_ms"`
 }
 
 func (q *SubQueue) stats() SubStats {
 	return SubStats{
+		ID:       q.sub,
 		Addr:     q.addr.String(),
 		Enqueued: q.enqueued.Load(),
 		Sent:     q.sent.Load(),
@@ -340,5 +363,6 @@ func (q *SubQueue) stats() SubStats {
 		Depth:    q.depth.Load(),
 		Limit:    q.limitA.Load(),
 		Retx:     q.retx.Load(),
+		REMBBps:  math.Float64frombits(q.rembBps.Load()),
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"livo/internal/frametrace"
 	"livo/internal/telemetry"
 	"livo/internal/transport"
 )
@@ -115,6 +116,17 @@ type Config struct {
 	// Telemetry receives the livo_relay_* series (default
 	// telemetry.Default).
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives a frame-lifecycle stamp at each relay
+	// hop — relay_ingest, shard_route, and per-subscriber sub_enqueue /
+	// sub_drain — for the first fragment of every media frame. Nil (the
+	// default) disables tracing with a single branch per packet; enabled,
+	// a stamp is a handful of atomic stores and the hot path stays
+	// allocation-free.
+	Trace *frametrace.Ledger
+	// Events, when non-nil, receives structured data-plane events: frame
+	// drops with reason, PLI forwards, retransmission-cache hits/misses,
+	// REMB minimum changes, and liveness evictions.
+	Events *frametrace.EventRing
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -164,6 +176,7 @@ func (c *Config) fill() {
 type Subscriber struct {
 	addr  net.Addr
 	key   Key
+	id    int32 // stable per-router id; trace stamps and events carry it
 	q     *SubQueue
 	shard int
 
@@ -175,6 +188,18 @@ type Subscriber struct {
 
 // Addr returns the subscriber's address.
 func (s *Subscriber) Addr() net.Addr { return s.addr }
+
+// ID returns the subscriber's stable per-router id, the key that links
+// it to frametrace stamps and events.
+func (s *Subscriber) ID() int32 { return s.id }
+
+// subID is the event-friendly id of a possibly-nil subscriber.
+func subID(s *Subscriber) int32 {
+	if s == nil {
+		return frametrace.NoSub
+	}
+	return s.id
+}
 
 // subSnapshot is the immutable subscriber set; the hot path reads it with
 // one atomic load. byKey serves the feedback path's per-subscriber lookups
@@ -230,6 +255,7 @@ type Router struct {
 	rembSent    bool
 	rembScratch [9]byte
 	ctlSeq      atomic.Uint64
+	subSeq      atomic.Int32 // next subscriber id
 
 	mediaPkts     atomic.Int64
 	fanoutPkts    atomic.Int64
@@ -308,6 +334,7 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 		r.shards[i] = newShard(i, r.pools[i],
 			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_routed_total", i)),
 			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_stolen_total", i)))
+		r.shards[i].trace = cfg.Trace
 		if r.retxOn {
 			r.shards[i].retx = newRetxCache(retxPerShard, cfg.RetxCacheAge.Nanoseconds(), r.telRetxEvict)
 			r.shards[i].now = r.now
@@ -383,9 +410,12 @@ func (r *Router) Subscribe(addr net.Addr) {
 	sub := &Subscriber{
 		addr:  addr,
 		key:   k,
+		id:    r.subSeq.Add(1) - 1,
 		shard: shardIdx,
 		q:     newSubQueue(addr, r.cfg.QueueDepth, r.cfg.MinQueueDepth, r.cfg.DepthWindow, r.telDrops),
 	}
+	sub.q.sub = sub.id
+	sub.q.events = r.cfg.Events
 	sub.lastActive.Store(r.now())
 	if len(r.shards) > 0 {
 		sub.q.shard = r.shards[shardIdx]
@@ -510,6 +540,16 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 	r.mediaPkts.Add(1)
 	r.telMedia.Inc()
 	b := buf.Bytes()
+	// One branch per packet when tracing is off; when on, each frame's
+	// first fragment is stamped at ingest and flagged so the shard and
+	// queue hops stamp the same fragment downstream.
+	first := false
+	if r.cfg.Trace != nil {
+		if stream, seq, ok := transport.FirstFragment(b); ok {
+			first = true
+			r.cfg.Trace.StampNow(frametrace.HopRelayIngest, stream, seq, frametrace.NoSub)
+		}
+	}
 	if mediaKeyFlag(b) {
 		// A key frame is on its way to everyone: the PLI refresh cycle is
 		// complete, mirror the receivers' PLITracker.OnKeyFrame.
@@ -550,7 +590,7 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 			continue
 		}
 		buf.Retain()
-		if !s.push(ingestEntry{buf: buf, fid: fid, rk: rk, cache: i == owner}) {
+		if !s.push(ingestEntry{buf: buf, fid: fid, rk: rk, cache: i == owner, first: first}) {
 			buf.Release()
 		}
 	}
@@ -605,6 +645,15 @@ func (r *Router) runWriter(home int) {
 		}
 		n := q.popBatch(bufs[:], pkts[:])
 		if n > 0 {
+			if tr := r.cfg.Trace; tr != nil {
+				// Stamp queue exit before the write so queue_wait measures
+				// ring residency alone, not the batch syscall.
+				for i := 0; i < n; i++ {
+					if stream, seq, ok := transport.FirstFragment(pkts[i]); ok {
+						tr.StampNow(frametrace.HopSubDrain, stream, seq, q.sub)
+					}
+				}
+			}
 			r.writeBatch(pkts[:n], q.addr)
 			for i := 0; i < n; i++ {
 				bufs[i].Release()
@@ -688,6 +737,7 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		if fwd {
 			r.rembFwd.Add(1)
 			r.telREMB.Inc()
+			r.cfg.Events.Add(frametrace.EvREMB, 0, 0, subID(sub), int64(min))
 			_, _ = r.out.WriteTo(wire, r.sender)
 		}
 	case transport.FBPose:
@@ -710,11 +760,13 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		if r.serveRetx(nk, sub, from) {
 			r.retxHits.Add(1)
 			r.telRetxHit.Inc()
+			r.cfg.Events.Add(frametrace.EvRetxHit, stream, seq, subID(sub), int64(frag))
 			return
 		}
 		if r.retxOn {
 			r.retxMisses.Add(1)
 			r.telRetxMiss.Inc()
+			r.cfg.Events.Add(frametrace.EvRetxMiss, stream, seq, subID(sub), int64(frag))
 		}
 		now := r.now()
 		r.fbMu.Lock()
@@ -740,6 +792,7 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		}
 		r.pliFwd.Add(1)
 		r.telPLIFwd.Inc()
+		r.cfg.Events.Add(frametrace.EvPLI, 0, 0, subID(sub), 0)
 		_, _ = r.out.WriteTo(b, r.sender)
 	default:
 		// Pings, pongs, unknown types: forward to the sender.
@@ -793,7 +846,8 @@ func (r *Router) EvictStale() int {
 	if r.cfg.SilenceWindow <= 0 {
 		return 0
 	}
-	cutoff := r.now() - r.cfg.SilenceWindow.Nanoseconds()
+	now := r.now()
+	cutoff := now - r.cfg.SilenceWindow.Nanoseconds()
 	var stale []*Subscriber
 	for _, s := range r.snap.Load().subs {
 		if s.lastActive.Load() < cutoff {
@@ -806,6 +860,7 @@ func (r *Router) EvictStale() int {
 			n++
 			r.liveEvicted.Add(1)
 			r.telLiveEvict.Inc()
+			r.cfg.Events.Add(frametrace.EvLivenessEvict, 0, 0, s.id, now-s.lastActive.Load())
 			if r.cfg.OnEvict != nil {
 				r.cfg.OnEvict(s.addr)
 			}
@@ -976,8 +1031,10 @@ func (r *Router) Stats() Stats {
 		}
 	}
 	r.telRetxCache.SetInt(st.RetxCached)
+	now := r.now()
 	for _, s := range snap.subs {
 		ss := s.q.stats()
+		ss.LastActiveAgeMs = float64(now-s.lastActive.Load()) / 1e6
 		st.Drops += ss.Dropped
 		if ss.Depth > st.MaxDepth {
 			st.MaxDepth = ss.Depth

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"livo/internal/frametrace"
 	"livo/internal/telemetry"
 )
 
@@ -56,6 +57,10 @@ type shard struct {
 	retx *retxCache
 	now  func() int64
 
+	// trace, when non-nil, receives shard_route and sub_enqueue stamps for
+	// each frame's first fragment (cfg.Trace; nil disables tracing).
+	trace *frametrace.Ledger
+
 	telRouted, telStolen *telemetry.Counter
 }
 
@@ -64,6 +69,7 @@ type ingestEntry struct {
 	fid   frameID
 	rk    nackKey // retransmission-cache key (valid when cache is set)
 	cache bool    // this shard owns caching this packet
+	first bool    // frame's first fragment — the one trace stamp sites fire on
 }
 
 // ingestRingCap bounds per-shard ingest backlog (power of two). At 2048
@@ -172,10 +178,15 @@ func (s *shard) runIngest(wg *sync.WaitGroup) {
 			if e.cache && s.retx != nil {
 				s.retx.Insert(e.rk, e.buf, s.now())
 			}
+			if e.first {
+				s.trace.StampNow(frametrace.HopShardRoute, e.fid.stream, e.fid.seq, frametrace.NoSub)
+			}
 			for _, sub := range subs {
 				e.buf.Retain()
 				if !sub.q.Enqueue(e.buf, e.fid) {
 					e.buf.Release()
+				} else if e.first {
+					s.trace.StampNow(frametrace.HopSubEnqueue, e.fid.stream, e.fid.seq, sub.q.sub)
 				}
 			}
 			e.buf.Release()

@@ -19,11 +19,23 @@ import (
 //	/debugz/spans.jsonl recent spans as JSONL (?n=COUNT, default 512)
 //	/debug/vars         expvar
 //	/debug/pprof/       pprof index (profile, heap, goroutine, ...)
-func Handler(reg *Registry) http.Handler {
+func Handler(reg *Registry) http.Handler { return HandlerWith(reg, nil) }
+
+// HandlerWith is Handler plus extra endpoints mounted at their map keys
+// (e.g. "/debugz/frames", "/debugz/subscribers"); callers use it to hang
+// subsystem-specific debug pages off one server without this package
+// importing them. Extra paths are listed on the /debugz overview.
+func HandlerWith(reg *Registry, extra map[string]http.Handler) http.Handler {
 	mux := http.NewServeMux()
+	extraPaths := make([]string, 0, len(extra))
+	for path, h := range extra {
+		mux.Handle(path, h)
+		extraPaths = append(extraPaths, path)
+	}
+	sort.Strings(extraPaths)
 	mux.HandleFunc("/debugz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		writeDebugz(w, reg)
+		writeDebugz(w, reg, extraPaths)
 	})
 	mux.HandleFunc("/debugz/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -49,9 +61,13 @@ func Handler(reg *Registry) http.Handler {
 }
 
 // writeDebugz renders the human overview page.
-func writeDebugz(w http.ResponseWriter, reg *Registry) {
+func writeDebugz(w http.ResponseWriter, reg *Registry, extraPaths []string) {
 	fmt.Fprintf(w, "livo /debugz — %s\n", time.Now().Format(time.RFC3339))
-	fmt.Fprintf(w, "see also: /debugz/metrics /debugz/spans.jsonl /debug/vars /debug/pprof/\n\n")
+	fmt.Fprintf(w, "see also: /debugz/metrics /debugz/spans.jsonl /debug/vars /debug/pprof/")
+	for _, p := range extraPaths {
+		fmt.Fprintf(w, " %s", p)
+	}
+	fmt.Fprintf(w, "\n\n")
 
 	fmt.Fprintf(w, "== stage latencies (s) ==\n")
 	fmt.Fprintf(w, "%-16s %10s %10s %10s %10s\n", "stage", "count", "p50", "p99", "mean")
@@ -94,11 +110,16 @@ func writeDebugz(w http.ResponseWriter, reg *Registry) {
 // a background goroutine and returns the server plus the bound address
 // (useful with port 0). Close the returned server to stop it.
 func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+	return ServeDebugWith(addr, reg, nil)
+}
+
+// ServeDebugWith is ServeDebug with extra endpoints (see HandlerWith).
+func ServeDebugWith(addr string, reg *Registry, extra map[string]http.Handler) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	srv := &http.Server{Handler: HandlerWith(reg, extra)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, ln.Addr().String(), nil
 }

@@ -203,11 +203,16 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Quantile estimates the q-th quantile (0..1) of the observed
 // distribution by linear interpolation inside the bucket holding the
-// target rank. It returns NaN for an empty histogram; ranks landing in
-// the +Inf bucket return the largest finite bound.
+// target rank. When no finite estimate exists it returns a sentinel
+// rather than a fabricated number: NaN for an empty histogram or one
+// with no finite buckets (nothing to interpolate inside), and +Inf when
+// the target rank lands in the +Inf overflow bucket (the true value is
+// beyond the largest bound; reporting that bound would silently
+// underestimate). Callers should math.IsNaN/math.IsInf-check before
+// feeding the result into arithmetic.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
-	if total == 0 {
+	if total == 0 || len(h.bounds) == 0 {
 		return math.NaN()
 	}
 	if q < 0 {
@@ -226,10 +231,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		if cum+n >= rank {
 			if i == len(h.bounds) {
 				// +Inf bucket: no finite upper bound to interpolate toward.
-				if len(h.bounds) == 0 {
-					return math.NaN()
-				}
-				return h.bounds[len(h.bounds)-1]
+				return math.Inf(1)
 			}
 			lower := 0.0
 			if i > 0 {
@@ -240,10 +242,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		cum += n
 	}
-	if len(h.bounds) == 0 {
-		return math.NaN()
-	}
-	return h.bounds[len(h.bounds)-1]
+	return math.Inf(1)
 }
 
 // HistSnapshot is a consistent-enough copy of a histogram for reporting

@@ -105,8 +105,40 @@ func TestHistogramEdgeCases(t *testing.T) {
 		t.Error("empty histogram quantile should be NaN")
 	}
 	h.Observe(100) // lands in +Inf bucket
-	if got := h.Quantile(0.99); got != 2 {
-		t.Errorf("+Inf-bucket quantile = %g, want largest finite bound 2", got)
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Errorf("+Inf-bucket quantile = %g, want +Inf sentinel (a finite bound would underestimate)", got)
+	}
+	h.Observe(1.5) // now half the mass is finite again
+	if got := h.Quantile(0.25); got < 1 || got > 2 {
+		t.Errorf("in-range quantile = %g, want within (1, 2]", got)
+	}
+	if got := h.Quantile(0.99); !math.IsInf(got, 1) {
+		t.Errorf("rank beyond the last bound = %g, want +Inf sentinel", got)
+	}
+}
+
+// TestHistogramQuantileNoFiniteBuckets checks the single-bucket guard: a
+// histogram with no finite bounds has only the +Inf overflow bucket, so
+// any quantile estimate would be fabricated — the sentinel is NaN even
+// after observations arrive.
+func TestHistogramQuantileNoFiniteBuckets(t *testing.T) {
+	reg := NewRegistry(64)
+	h := reg.Histogram("livo_nobounds", nil)
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty no-bounds histogram should be NaN")
+	}
+	h.Observe(42)
+	h.Observe(7)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("q%.2f = %g, want NaN sentinel for a single-bucket histogram", q, got)
+		}
+	}
+	if h.Sum() != 49 {
+		t.Errorf("sum = %g, want 49 (count/sum still track without buckets)", h.Sum())
 	}
 }
 

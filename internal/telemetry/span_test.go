@@ -100,6 +100,71 @@ func TestSpanRingConcurrent(t *testing.T) {
 	}
 }
 
+// TestSpanRingTicketValidationAtWrap reads the full ring while writers
+// continuously wrap it, exercising the ticket check against slots from
+// a previous lap: a slot whose ticket belongs to an older lap (or is 0,
+// mid-rewrite) must be skipped, so every span a reader gets back is
+// untorn and each Recent batch is strictly ordered with no stale
+// resurrections. Run with -race.
+func TestSpanRingTicketValidationAtWrap(t *testing.T) {
+	r := NewSpanRing(64) // small ring so every reader pass races a wrap
+	const workers = 4
+	const per = 20000
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		readerDone.Add(1)
+		go func() {
+			defer readerDone.Done()
+			for {
+				spans := r.Recent(r.Cap())
+				prev := int64(-1)
+				for _, sp := range spans {
+					if sp.StartNs != int64(sp.Seq)*7 || sp.DurNs != int64(sp.Seq)+3 {
+						t.Errorf("torn span at wrap: %+v", sp)
+						return
+					}
+					// Recent walks slot indices oldest→newest; a slot
+					// holding a previous lap's ticket that slipped through
+					// would appear here with an out-of-order start time.
+					if int64(sp.StartNs) <= prev-int64(r.Cap()*workers)*7 {
+						t.Errorf("stale lap resurfaced: start=%d after %d", sp.StartNs, prev)
+						return
+					}
+					prev = sp.StartNs
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < per; i++ {
+				seq := uint32(w*per + i)
+				r.Record(seq, StageJitter, int64(seq)*7, int64(seq)+3)
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readerDone.Wait()
+	if r.Recorded() != uint64(workers*per) {
+		t.Fatalf("Recorded = %d, want %d", r.Recorded(), workers*per)
+	}
+	// After writers stop the ring is quiescent: a full read must return
+	// every slot (all tickets valid for the final lap).
+	if got := len(r.Recent(r.Cap())); got != r.Cap() {
+		t.Fatalf("quiescent full read returned %d spans, want %d", got, r.Cap())
+	}
+}
+
 func TestSpanRingJSONL(t *testing.T) {
 	r := NewSpanRing(64)
 	r.Record(1, StageDecodeColor, 100, 200)

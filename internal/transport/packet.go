@@ -88,6 +88,20 @@ func Unmarshal(b []byte) (Packet, error) {
 	return p, nil
 }
 
+// FirstFragment reports whether a MediaMagic-prefixed wire datagram
+// carries fragment 0 of a media frame (parity excluded) and, if so,
+// returns the frame's stream and sequence without unmarshalling. Trace
+// stamp sites on the relay and receiver hot paths use it to stamp each
+// frame exactly once per hop straight off the raw bytes.
+func FirstFragment(wire []byte) (stream uint8, frameSeq uint32, ok bool) {
+	if len(wire) < 11 || wire[0] != MediaMagic ||
+		wire[6] != 0 || wire[7] != 0 || // FragIndex (offsets 6–7 past the magic)
+		wire[10]&FlagParity != 0 {
+		return 0, 0, false
+	}
+	return wire[1], binary.BigEndian.Uint32(wire[2:]), true
+}
+
 // Packetize splits one encoded frame into MTU-sized packets.
 func Packetize(stream uint8, frameSeq uint32, key bool, sendTimeUs uint64, data []byte) []Packet {
 	if len(data) == 0 {

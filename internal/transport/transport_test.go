@@ -312,3 +312,30 @@ func TestGCCConvergesNearLinkCapacity(t *testing.T) {
 		t.Errorf("GCC converged to %.1f Mbps on a %.0f Mbps link", rate, linkMbps)
 	}
 }
+
+// TestFirstFragment checks the raw-bytes first-fragment probe against
+// Marshal across fragment positions, parity, and junk input.
+func TestFirstFragment(t *testing.T) {
+	mk := func(p Packet) []byte { return append([]byte{MediaMagic}, p.Marshal()...) }
+	first := Packet{Stream: StreamDepth, FrameSeq: 0xcafe01, FragIndex: 0, FragCount: 3,
+		Key: true, SendTimeUs: 123, Payload: []byte{1}}
+	if s, seq, ok := FirstFragment(mk(first)); !ok || s != StreamDepth || seq != 0xcafe01 {
+		t.Fatalf("first fragment: got stream=%d seq=%d ok=%v", s, seq, ok)
+	}
+	later := first
+	later.FragIndex = 1
+	if _, _, ok := FirstFragment(mk(later)); ok {
+		t.Fatal("non-first fragment accepted")
+	}
+	parity := first
+	parity.Parity = true
+	if _, _, ok := FirstFragment(mk(parity)); ok {
+		t.Fatal("parity packet accepted")
+	}
+	if _, _, ok := FirstFragment(first.Marshal()); ok {
+		t.Fatal("unprefixed packet accepted (payload byte happened to match?)")
+	}
+	if _, _, ok := FirstFragment([]byte{MediaMagic, 1, 2}); ok {
+		t.Fatal("short datagram accepted")
+	}
+}

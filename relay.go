@@ -1,7 +1,9 @@
 package livo
 
 import (
+	"encoding/json"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -99,6 +101,20 @@ func (r *Relay) Primary() net.Addr { return r.router.Primary() }
 // Stats snapshots the relay data plane (fan-out counts, per-subscriber
 // queue depths and drops, feedback dedup counters).
 func (r *Relay) Stats() relaycore.Stats { return r.router.Stats() }
+
+// SubscribersHandler serves the per-subscriber queue snapshots (SubStats:
+// depth vs adaptive limit, drops, retransmissions, last REMB, liveness age)
+// as a JSON array — mounted as /debugz/subscribers by livo-conference.
+func (r *Relay) SubscribersHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		subs := r.router.Stats().Subs
+		if subs == nil {
+			subs = []relaycore.SubStats{}
+		}
+		_ = json.NewEncoder(w).Encode(subs)
+	})
+}
 
 // Run forwards packets until Close; call on its own goroutine.
 func (r *Relay) Run() {

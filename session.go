@@ -9,6 +9,7 @@ import (
 
 	"livo/internal/codec/vcodec"
 	"livo/internal/core"
+	"livo/internal/frametrace"
 	"livo/internal/telemetry"
 	"livo/internal/transport"
 )
@@ -27,6 +28,7 @@ type SendSession struct {
 	remote net.Addr
 	fps    int
 	fec    bool
+	trace  *frametrace.Ledger // cfg.Sender.Trace (nil disables stamps)
 
 	rateBps atomic.Uint64 // current send rate from receiver REMB
 	paceQ   chan []byte
@@ -98,6 +100,7 @@ func NewSendSession(conn net.PacketConn, remote net.Addr, cfg SendSessionConfig)
 		remote:  remote,
 		fps:     cfg.FPS,
 		fec:     cfg.EnableFEC,
+		trace:   cfg.Sender.Trace,
 		history: make(map[retxKey][]byte),
 		start:   time.Now(),
 		closed:  make(chan struct{}),
@@ -184,6 +187,7 @@ func (s *SendSession) SendViews(views []RGBDFrame) (*EncodedFrame, error) {
 		pkts = append(pkts, transport.BuildParity(depthPkts)...)
 	}
 	s.stages.Done(enc.Seq, telemetry.StagePacketize, tPkt)
+	s.trace.StampNow(frametrace.HopPacketize, 0, enc.Seq, frametrace.NoSub)
 	tSend := time.Now()
 	for i := range pkts {
 		if err := s.sendPacket(&pkts[i]); err != nil {
@@ -367,6 +371,7 @@ type RecvSession struct {
 	receiver *core.Receiver
 	conn     net.PacketConn
 	remote   net.Addr
+	trace    *frametrace.Ledger // cfg.Receiver.Trace (nil disables stamps)
 
 	jb  map[uint8]*transport.JitterBuffer
 	gcc *transport.GCC
@@ -450,6 +455,7 @@ func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig)
 		receiver: recv,
 		conn:     conn,
 		remote:   remote,
+		trace:    cfg.Receiver.Trace,
 		jb: map[uint8]*transport.JitterBuffer{
 			transport.StreamColor: transport.NewJitterBuffer(),
 			transport.StreamDepth: transport.NewJitterBuffer(),
@@ -529,6 +535,9 @@ func (r *RecvSession) Run() {
 			continue
 		}
 		r.stages.Done(pkt.FrameSeq, telemetry.StageDepacketize, t0)
+		if pkt.FragIndex == 0 && !pkt.Parity {
+			r.trace.StampNow(frametrace.HopWire, pkt.Stream, pkt.FrameSeq, frametrace.NoSub)
+		}
 		r.gcc.OnArrival(float64(pkt.SendTimeUs)/1e6, now, n)
 		r.received.Add(1)
 		r.rxTotal.Add(1)
@@ -553,6 +562,7 @@ func (r *RecvSession) drain(now float64) {
 				r.stages.Done(af.FrameSeq, telemetry.StageJitter,
 					time.Now().Add(-time.Duration(res*float64(time.Second))))
 			}
+			r.trace.StampNow(frametrace.HopJitter, stream, af.FrameSeq, frametrace.NoSub)
 			pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq}
 			var pf *PairedFrame
 			var err error
