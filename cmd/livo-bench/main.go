@@ -43,6 +43,9 @@ func main() {
 		rbench   = flag.Bool("relaybench", false, "run the relay fan-out scale benchmark and write JSON results")
 		rbenchTo = flag.String("relaybench-out", "BENCH_relay.json", "output path for -relaybench results")
 		rbase    = flag.String("relaybench-baseline", "", "compare -relaybench queued allocs/packet against this baseline JSON; exit nonzero on regression")
+		nbench   = flag.Bool("netbench", false, "run the kernel-batched wire-path benchmark over real loopback sockets and write JSON results")
+		nbenchTo = flag.String("netbench-out", "BENCH_net.json", "output path for -netbench results")
+		nbase    = flag.String("netbench-baseline", "", "compare -netbench syscalls/pkt, allocs/pkt, and delivery against this baseline JSON; exit nonzero on regression")
 		tbench   = flag.Bool("tracebench", false, "run the frame-trace decomposition and overhead benchmark and write JSON results")
 		tbenchTo = flag.String("tracebench-out", "BENCH_trace.json", "output path for -tracebench results")
 		tdump    = flag.String("trace-dump", "", "replay the chaos harness with the frame ledger armed and write merged capture→reconstruct timelines (JSONL) to this path")
@@ -71,6 +74,14 @@ func main() {
 	if *rbench {
 		if err := runRelayBench(*rbenchTo, *rbase, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "relaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *nbench {
+		if err := runNetBench(*nbenchTo, *nbase, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "netbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -376,6 +387,188 @@ func checkRelayBaseline(path string, results []experiments.RelayBenchResult) err
 	}
 	if failed {
 		return fmt.Errorf("relay data plane regressed against %s", path)
+	}
+	return nil
+}
+
+// runNetBench A/Bs the kernel-batched wire path (sendmmsg fan-out,
+// recvmmsg ingest) against the per-packet fallback over real loopback
+// sockets, writes BENCH_net.json, and prints the delivered-throughput
+// speedup at each subscriber count. Three gates are absolute and only
+// armed where the kernel actually batches (KernelBatched — platforms
+// without sendmmsg are informational only):
+//
+//   - at ≥64 subscribers the batched path must spend at most 1/16 write
+//     syscall per fan-out packet (a saturated relay drains full
+//     writer-ring batches, so it sits near 1/32) and must stay within the
+//     1.0 allocs-per-wire-packet budget;
+//   - the peak delivered speedup across the sweep must reach ≥1.2×
+//     (≥1.1× under -short, whose window amortizes startup less). The
+//     floor is kernel-dependent by nature: batching deletes the syscall
+//     entry/exit, and what that is worth depends on how expensive entry
+//     is. A loopback microbenchmark on the reference box (see DESIGN.md
+//     §7, "wire I/O") puts sendto at ~2.5 µs/pkt vs sendmmsg at
+//     ~1.9 µs/pkt — entry costs ~0.6 µs while the kernel's fixed per-skb
+//     work (~1.9 µs, identical in both modes and nearly size-independent)
+//     dominates, capping the honest wall-clock ratio near 1.3× there. On
+//     mitigation-heavy kernels where entry costs 1–2 µs the same 1/32
+//     amortization clears 1.5×. The syscalls-per-packet figure, which is
+//     deterministic, is therefore the pinned high-fan-out gate.
+//
+// With a baseline path it additionally gates against the committed
+// BENCH_net.json (see checkNetBaseline).
+func runNetBench(outPath, baselinePath string, short bool) error {
+	fmt.Println("=== netbench (kernel-batched vs per-packet wire path, loopback) ===")
+	start := time.Now()
+	results, err := experiments.RunNetBench(experiments.NetBenchConfig{}, short, func(line string) {
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	perpacket := map[int]float64{}
+	for _, r := range results {
+		if r.Mode == "perpacket" {
+			perpacket[r.Subs] = r.DeliveredPerSec
+		}
+	}
+	minRatio := 1.2
+	if short {
+		minRatio = 1.1
+	}
+	peakRatio, anyBatched := 0.0, false
+	var gateErr error
+	for _, r := range results {
+		if r.Mode != "batched" {
+			continue
+		}
+		if pp := perpacket[r.Subs]; pp > 0 {
+			ratio := r.DeliveredPerSec / pp
+			fmt.Printf("speedup subs=%-4d %5.2fx delivered pkts/s vs per-packet\n", r.Subs, ratio)
+			if r.KernelBatched && ratio > peakRatio {
+				peakRatio = ratio
+			}
+		}
+		if !r.KernelBatched {
+			continue
+		}
+		anyBatched = true
+		if r.Subs < 64 {
+			continue
+		}
+		if r.WriteSyscallsPerPkt > 1.0/16 {
+			gateErr = fmt.Errorf("netbench: subs=%d spends %.4f write syscalls/pkt, budget 1/16", r.Subs, r.WriteSyscallsPerPkt)
+		}
+		if r.AllocsPerPacket > 1.0 {
+			gateErr = fmt.Errorf("netbench: subs=%d batched path allocates %.2f/pkt, budget 1.0", r.Subs, r.AllocsPerPacket)
+		}
+	}
+	if anyBatched && gateErr == nil && peakRatio < minRatio {
+		gateErr = fmt.Errorf("netbench: peak batched speedup %.2fx never reached the %.1fx floor", peakRatio, minRatio)
+	}
+	fmt.Printf("(netbench in %s)\n", time.Since(start).Round(time.Millisecond))
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if gateErr != nil {
+		return gateErr
+	}
+	if baselinePath != "" {
+		return checkNetBaseline(baselinePath, results)
+	}
+	return nil
+}
+
+// checkNetBaseline gates the batched wire path against the committed
+// baseline, matched on (mode, subs) with the closest window duration (the
+// committed file carries both the full and the -short sweep, like the
+// relay baseline):
+//
+//   - write syscalls/pkt may not exceed 1.5× baseline + 0.01 — batching
+//     regressions are catastrophic (the figure jumps from ~1/32 toward
+//     1.0), so the slack only absorbs ring-occupancy noise;
+//   - allocs per wire packet may not exceed baseline + 0.05 (the batched
+//     path is designed allocation-free);
+//   - delivered pkts/s may not fall below 60% of baseline — loopback
+//     throughput on a shared one-core box swings ±40% run to run at low
+//     fan-out (the baseline keeps each cell's best round, so it sits at
+//     the optimistic edge), which is why the floor is much looser than
+//     the in-memory relay gate and the syscall/alloc gates above carry
+//     the real regression signal.
+//
+// Cells whose baseline never batched (KernelBatched false) are skipped:
+// there is no amortization to protect.
+func checkNetBaseline(path string, results []experiments.NetBenchResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []experiments.NetBenchResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	type cell struct {
+		mode string
+		subs int
+	}
+	baseBy := map[cell][]experiments.NetBenchResult{}
+	for _, b := range base {
+		baseBy[cell{b.Mode, b.Subs}] = append(baseBy[cell{b.Mode, b.Subs}], b)
+	}
+	var failed bool
+	for _, r := range results {
+		if r.Mode != "batched" || !r.KernelBatched {
+			continue
+		}
+		cands := baseBy[cell{r.Mode, r.Subs}]
+		if len(cands) == 0 {
+			continue
+		}
+		b := cands[0]
+		for _, c := range cands[1:] {
+			if math.Abs(c.Seconds-r.Seconds) < math.Abs(b.Seconds-r.Seconds) {
+				b = c
+			}
+		}
+		if !b.KernelBatched {
+			continue
+		}
+		sysLimit := b.WriteSyscallsPerPkt*1.5 + 0.01
+		if r.WriteSyscallsPerPkt > sysLimit {
+			failed = true
+			fmt.Fprintf(os.Stderr, "SYSCALL REGRESSION net subs=%-4d %.4f wr-sys/pkt > limit %.4f (baseline %.4f)\n",
+				r.Subs, r.WriteSyscallsPerPkt, sysLimit, b.WriteSyscallsPerPkt)
+		} else {
+			fmt.Printf("syscall check net subs=%-4d %.4f wr-sys/pkt <= limit %.4f (baseline %.4f)\n",
+				r.Subs, r.WriteSyscallsPerPkt, sysLimit, b.WriteSyscallsPerPkt)
+		}
+		allocLimit := b.AllocsPerPacket + 0.05
+		if r.AllocsPerPacket > allocLimit {
+			failed = true
+			fmt.Fprintf(os.Stderr, "ALLOC REGRESSION net subs=%-4d %.2f allocs/pkt > limit %.2f (baseline %.2f)\n",
+				r.Subs, r.AllocsPerPacket, allocLimit, b.AllocsPerPacket)
+		} else {
+			fmt.Printf("alloc check   net subs=%-4d %.2f allocs/pkt <= limit %.2f (baseline %.2f)\n",
+				r.Subs, r.AllocsPerPacket, allocLimit, b.AllocsPerPacket)
+		}
+		floor := b.DeliveredPerSec * 0.6
+		if r.DeliveredPerSec < floor {
+			failed = true
+			fmt.Fprintf(os.Stderr, "THROUGHPUT REGRESSION net subs=%-4d %.0f delivered/s < floor %.0f (baseline %.0f)\n",
+				r.Subs, r.DeliveredPerSec, floor, b.DeliveredPerSec)
+		} else {
+			fmt.Printf("pps check     net subs=%-4d %.0f delivered/s >= floor %.0f (baseline %.0f)\n",
+				r.Subs, r.DeliveredPerSec, floor, b.DeliveredPerSec)
+		}
+	}
+	if failed {
+		return fmt.Errorf("wire path regressed against %s", path)
 	}
 	return nil
 }

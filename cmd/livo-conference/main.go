@@ -33,6 +33,7 @@ import (
 	"livo/internal/relaycore"
 	"livo/internal/scene"
 	"livo/internal/telemetry"
+	"livo/internal/udpio"
 )
 
 // site is one conference endpoint: a captured scene plus a viewer.
@@ -51,10 +52,19 @@ func main() {
 		seconds   = flag.Float64("seconds", 5, "conference duration")
 		fanout    = flag.Int("fanout", 0, "route site A through a relay to this many subscribers (site B plus counting sinks)")
 		shards    = flag.Int("relay-shards", 0, "relay data-plane ingest shards (0 = GOMAXPROCS)")
+		udpBatch  = flag.Bool("udp-batch", true, "batch UDP syscalls with sendmmsg/recvmmsg where the kernel supports it")
+		rpShards  = flag.Int("reuseport-shards", 0, "bind this many SO_REUSEPORT relay ingest sockets sharing one port (0/1 = single socket)")
+		sockBuf   = flag.Int("sockbuf", 0, "request SO_RCVBUF/SO_SNDBUF of this many bytes on every socket (0 = default ~1s of media)")
 		debug     = flag.String("debug-addr", "", "serve /debugz, /debug/pprof, and /debug/vars on this address (e.g. localhost:6060)")
 		traceDump = flag.String("trace-dump", "", "write the A→B merged frame timelines as JSONL to this file at exit")
 	)
 	flag.Parse()
+
+	sockCfg := udpio.Config{
+		RecvBuf:      *sockBuf,
+		SendBuf:      *sockBuf,
+		DisableBatch: !*udpBatch,
+	}
 
 	// Frame-trace ledgers for the A→B direction: one per process hop
 	// (sender pipeline, relay data plane, receiver pipeline). Everything is
@@ -67,12 +77,15 @@ func main() {
 	cfg := scene.DefaultCaptureConfig()
 	cfg.Cameras, cfg.Width, cfg.Height = 4, 64, 48 // small rig for the demo
 
+	// Session sockets go through udpio so the receive loops can drain with
+	// recvmmsg and the kernel queues hold ~1s of media (or -sockbuf) instead
+	// of the tiny distro default.
 	mkConn := func() net.PacketConn {
-		c, err := net.ListenPacket("udp", "127.0.0.1:0")
+		s, err := udpio.Listen("udp", "127.0.0.1:0", sockCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return c
+		return s
 	}
 	// Each direction gets its own socket pair (media + feedback share it).
 	aOut, bIn := mkConn(), mkConn() // A -> B
@@ -81,6 +94,10 @@ func main() {
 	defer bIn.Close()
 	defer bOut.Close()
 	defer aIn.Close()
+	if st := aOut.(*udpio.Socket).Stats(); st.RecvBufBytes > 0 {
+		fmt.Printf("udp sockets: batched=%v rcvbuf=%d sndbuf=%d (kernel-granted)\n",
+			st.Batched, st.RecvBufBytes, st.SendBufBytes)
+	}
 
 	mkSite := func(name, videoName string, out net.PacketConn, outPeer net.Addr, in net.PacketConn, inPeer net.Addr, sendTrace, recvTrace *frametrace.Ledger) *site {
 		v, err := scene.OpenVideo(videoName, cfg)
@@ -121,9 +138,26 @@ func main() {
 		sinkConns []net.PacketConn
 	)
 	if *fanout > 0 {
-		relayConn := mkConn()
-		defer relayConn.Close()
-		relay = livo.NewRelayWith(relayConn, aOut.LocalAddr(), relaycore.Config{
+		// One SO_REUSEPORT socket per ingest shard lets the kernel steer
+		// flows across the relay's batch-read loops; a single socket keeps
+		// the classic layout.
+		ngroup := *rpShards
+		if ngroup < 1 {
+			ngroup = 1
+		}
+		socks, err := udpio.ListenGroup("udp", "127.0.0.1:0", ngroup, sockCfg)
+		if err != nil {
+			log.Fatalf("relay sockets: %v", err)
+		}
+		relayConns := make([]net.PacketConn, len(socks))
+		for i, s := range socks {
+			relayConns[i] = s
+			defer s.Close()
+		}
+		st := socks[0].Stats()
+		fmt.Printf("relay sockets: %d×%s batched=%v rcvbuf=%d sndbuf=%d (kernel-granted)\n",
+			len(socks), socks[0].LocalAddr(), st.Batched, st.RecvBufBytes, st.SendBufBytes)
+		relay = livo.NewRelayGroup(relayConns, aOut.LocalAddr(), relaycore.Config{
 			Shards: *shards,
 			Trace:  traceRelay,
 			Events: traceEvents,
@@ -148,8 +182,8 @@ func main() {
 		for _, c := range sinkConns {
 			defer c.Close()
 		}
-		aOutPeer = relayConn.LocalAddr()
-		bInPeer = relayConn.LocalAddr()
+		aOutPeer = socks[0].LocalAddr()
+		bInPeer = socks[0].LocalAddr()
 		fmt.Printf("relaying A's media to %d subscribers\n", relay.Subscribers())
 	}
 

@@ -11,22 +11,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net"
 	"os"
 	"os/signal"
 	"sync/atomic"
 	"time"
 
 	"livo"
+	"livo/internal/udpio"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":7000", "UDP listen address")
-		cameras = flag.Int("cameras", 6, "cameras in the sender's rig (session setup)")
-		width   = flag.Int("width", 96, "per-camera width")
-		height  = flag.Int("height", 80, "per-camera height")
-		voxel   = flag.Float64("voxel", 0, "receiver-side voxel size, m (0 = off)")
+		listen   = flag.String("listen", ":7000", "UDP listen address")
+		cameras  = flag.Int("cameras", 6, "cameras in the sender's rig (session setup)")
+		width    = flag.Int("width", 96, "per-camera width")
+		height   = flag.Int("height", 80, "per-camera height")
+		voxel    = flag.Float64("voxel", 0, "receiver-side voxel size, m (0 = off)")
+		udpBatch = flag.Bool("udp-batch", true, "batch UDP syscalls with sendmmsg/recvmmsg where the kernel supports it")
+		sockBuf  = flag.Int("sockbuf", 0, "request SO_RCVBUF/SO_SNDBUF of this many bytes (0 = default ~1s of media)")
 	)
 	flag.Parse()
 
@@ -35,11 +37,19 @@ func main() {
 	in := livo.NewIntrinsics(*width, *height, livo.DegToRad(75))
 	arr := livo.NewCameraRing(*cameras, 2.6, 1.5, 0.9, in, 6)
 
-	conn, err := net.ListenPacket("udp", *listen)
+	conn, err := udpio.Listen("udp", *listen, udpio.Config{
+		RecvBuf:      *sockBuf,
+		SendBuf:      *sockBuf,
+		DisableBatch: !*udpBatch,
+	})
 	if err != nil {
 		log.Fatalf("listen %q: %v", *listen, err)
 	}
 	defer conn.Close()
+	if st := conn.Stats(); st.RecvBufBytes > 0 {
+		fmt.Printf("socket: batched=%v rcvbuf=%d sndbuf=%d (kernel-granted)\n",
+			st.Batched, st.RecvBufBytes, st.SendBufBytes)
+	}
 	fmt.Printf("listening on %s; waiting for first packet...\n", conn.LocalAddr())
 
 	// Learn the sender's address from its first packet.

@@ -20,18 +20,21 @@ import (
 
 	"livo"
 	"livo/internal/scene"
+	"livo/internal/udpio"
 )
 
 func main() {
 	var (
-		to      = flag.String("to", "127.0.0.1:7000", "receiver address")
-		video   = flag.String("video", "band2", "dataset video to stream")
-		cameras = flag.Int("cameras", 6, "cameras in the capture rig")
-		width   = flag.Int("width", 96, "per-camera width")
-		height  = flag.Int("height", 80, "per-camera height")
-		rate    = flag.Float64("rate", 20, "initial send rate, Mbps")
-		seconds = flag.Float64("seconds", 10, "how long to stream (0 = whole video)")
-		noCull  = flag.Bool("nocull", false, "disable view culling (LiVo-NoCull)")
+		to       = flag.String("to", "127.0.0.1:7000", "receiver address")
+		video    = flag.String("video", "band2", "dataset video to stream")
+		cameras  = flag.Int("cameras", 6, "cameras in the capture rig")
+		width    = flag.Int("width", 96, "per-camera width")
+		height   = flag.Int("height", 80, "per-camera height")
+		rate     = flag.Float64("rate", 20, "initial send rate, Mbps")
+		seconds  = flag.Float64("seconds", 10, "how long to stream (0 = whole video)")
+		noCull   = flag.Bool("nocull", false, "disable view culling (LiVo-NoCull)")
+		udpBatch = flag.Bool("udp-batch", true, "batch UDP syscalls with sendmmsg/recvmmsg where the kernel supports it")
+		sockBuf  = flag.Int("sockbuf", 0, "request SO_RCVBUF/SO_SNDBUF of this many bytes (0 = default ~1s of media)")
 	)
 	flag.Parse()
 
@@ -45,11 +48,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("resolve %q: %v", *to, err)
 	}
-	conn, err := net.ListenPacket("udp", ":0")
+	conn, err := udpio.Listen("udp", ":0", udpio.Config{
+		RecvBuf:      *sockBuf,
+		SendBuf:      *sockBuf,
+		DisableBatch: !*udpBatch,
+	})
 	if err != nil {
 		log.Fatalf("socket: %v", err)
 	}
 	defer conn.Close()
+	if st := conn.Stats(); st.RecvBufBytes > 0 {
+		fmt.Printf("socket: batched=%v rcvbuf=%d sndbuf=%d (kernel-granted)\n",
+			st.Batched, st.RecvBufBytes, st.SendBufBytes)
+	}
 
 	variant := livo.VariantLiVo
 	if *noCull {

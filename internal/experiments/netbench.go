@@ -1,0 +1,468 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"livo/internal/relaycore"
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+	"livo/internal/udpio"
+)
+
+// Wire-path benchmark (`livo-bench -netbench`): drives the relay data plane
+// over real loopback UDP sockets — one flood sender, a reuseport ingest
+// group, and one sink socket per subscriber — and A/Bs the kernel-batched
+// wire path (sendmmsg fan-out, recvmmsg ingest) against the per-packet
+// fallback (udpio.Config.DisableBatch, one sendto/recvfrom per datagram).
+// The results land in BENCH_net.json.
+//
+// Where -relaybench isolates the router over an in-memory conn (routing
+// cost, queue behaviour, loss recovery), -netbench puts the kernel back in
+// the loop: syscall amortization is the whole measurement, so the figures
+// that matter are write-syscalls/pkt (one sendmmsg drains a whole writer
+// ring batch, so a flooded relay approaches 1/Batch), delivered pkts/s at
+// the sinks, and allocs per wire packet (the batched path decodes source
+// addresses into reusable scratch, so it stays allocation-free where the
+// per-packet fallback pays net.UDPConn.ReadFrom's per-datagram address
+// allocations).
+//
+// The A/B covers the full wire path this bench reproduces in miniature:
+// the relay's sockets AND the subscriber (sink) sockets switch mode
+// together, because the per-packet baseline is the pre-batching system —
+// per-datagram reads on the session receive path included. Only the
+// producer stays batched in both modes: it is the load generator, and its
+// offered rate is admission-controlled far below its own capacity, so its
+// mode cannot bottleneck either cell.
+
+// NetBenchResult is one (mode, subscriber-count) measurement over real
+// loopback sockets. Rates are per second of measured window; the syscall
+// figures aggregate every socket in the relay's reuseport group.
+type NetBenchResult struct {
+	Mode                string  `json:"mode"` // "batched" or "perpacket"
+	Subs                int     `json:"subs"`
+	Shards              int     `json:"shards"`  // reuseport group size = ingest loops
+	Seconds             float64 `json:"seconds"` // measured window
+	KernelBatched       bool    `json:"kernel_batched"` // sendmmsg/recvmmsg actually active
+	OfferedPerSec       float64 `json:"offered_per_sec"`   // producer → kernel
+	IngestPerSec        float64 `json:"ingest_per_sec"`    // relay reads off the wire
+	FanoutPerSec        float64 `json:"fanout_per_sec"`    // relay writes into the kernel
+	DeliveredPerSec     float64 `json:"delivered_per_sec"` // sinks read off the wire
+	WriteSyscallsPerPkt float64 `json:"write_syscalls_per_pkt"`
+	ReadSyscallsPerPkt  float64 `json:"read_syscalls_per_pkt"`
+	AvgWriteBatch       float64 `json:"avg_write_batch"` // pkts per write syscall
+	AvgReadBatch        float64 `json:"avg_read_batch"`  // pkts per read syscall
+	AllocsPerPacket     float64 `json:"allocs_per_packet"` // heap allocs / wire pkts (in+out)
+	KernelDrops         int64   `json:"kernel_drops"` // fan-out pkts the sinks never saw
+	RecvBufBytes        int     `json:"recvbuf_bytes"` // SO_RCVBUF the kernel granted
+	SendBufBytes        int     `json:"sendbuf_bytes"` // SO_SNDBUF the kernel granted
+}
+
+// NetBenchConfig parameterizes a run; zero values pick defaults.
+type NetBenchConfig struct {
+	SubCounts []int         // subscriber (sink socket) counts to sweep
+	Shards    int           // reuseport sockets = router ingest shards
+	Batch     int           // packets per syscall (udpio.Config.Batch)
+	SockBuf   int           // SO_RCVBUF/SO_SNDBUF request, bytes
+	Duration  time.Duration // timed window per cell
+	Warmup    time.Duration // untimed warmup per cell (pools grow here)
+}
+
+func (c *NetBenchConfig) fill(short bool) {
+	if len(c.SubCounts) == 0 {
+		c.SubCounts = []int{1, 8, 64, 256}
+		if short {
+			c.SubCounts = []int{1, 8, 64}
+		}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Batch <= 0 {
+		c.Batch = udpio.DefaultBatch
+	}
+	if c.SockBuf == 0 {
+		c.SockBuf = udpio.DefaultBufferBytes
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+		if short {
+			c.Duration = 350 * time.Millisecond
+		}
+	}
+	if c.Warmup <= 0 {
+		// The warmup covers both pool growth and the producer's admission
+		// controller converging on the relay's fan-out capacity.
+		c.Warmup = 700 * time.Millisecond
+		if short {
+			c.Warmup = 300 * time.Millisecond
+		}
+	}
+}
+
+// netGroup fans router writes across the reuseport socket group by
+// destination hash — the same stable per-subscriber pick the relay shell
+// uses, so egress ordering per sink holds.
+type netGroup struct{ socks []*udpio.Socket }
+
+func (g netGroup) pick(addr net.Addr) *udpio.Socket {
+	return g.socks[relaycore.KeyOf(addr).Hash()%uint64(len(g.socks))]
+}
+
+func (g netGroup) WriteTo(p []byte, addr net.Addr) (int, error) {
+	return g.pick(addr).WriteTo(p, addr)
+}
+
+func (g netGroup) WriteBatch(ps [][]byte, addr net.Addr) (int, error) {
+	return g.pick(addr).WriteBatch(ps, addr)
+}
+
+// RunNetBench sweeps subscriber counts for the per-packet and batched wire
+// paths and returns the measurements (per-packet first at each count, so a
+// reader scanning the output sees baseline then speedup). Each (mode,
+// subs) cell runs twice with fully fresh sockets and the round with the
+// higher delivered rate is kept — the same keep-the-best idiom as the
+// telemetry-overhead bench, because a single-core box's scheduler can
+// hand either mode a bad draw and turn the A/B ratio into noise.
+func RunNetBench(cfg NetBenchConfig, short bool, progress func(string)) ([]NetBenchResult, error) {
+	cfg.fill(short)
+	if progress == nil {
+		progress = func(string) {}
+	}
+	const rounds = 2
+	modes := []string{"perpacket", "batched"}
+	var out []NetBenchResult
+	for _, subs := range cfg.SubCounts {
+		best := map[string]NetBenchResult{}
+		// Rounds interleave the modes (pp, b, pp, b) so slow host-load
+		// drift lands on both sides of the A/B rather than on one.
+		for round := 0; round < rounds; round++ {
+			for _, mode := range modes {
+				r, err := runNetBenchOne(mode, subs, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if b, ok := best[mode]; !ok || r.DeliveredPerSec > b.DeliveredPerSec {
+					best[mode] = r
+				}
+			}
+		}
+		for _, mode := range modes {
+			r := best[mode]
+			progress(fmt.Sprintf("%-9s subs=%-4d shards=%d kernel=%-5v %9.0f offered/s %9.0f ingest/s %10.0f fanout/s %10.0f delivered/s | %.4f wr-sys/pkt %.4f rd-sys/pkt (batch %4.1f wr / %4.1f rd) %5.2f allocs/pkt drops=%d",
+				r.Mode, r.Subs, r.Shards, r.KernelBatched, r.OfferedPerSec, r.IngestPerSec,
+				r.FanoutPerSec, r.DeliveredPerSec, r.WriteSyscallsPerPkt, r.ReadSyscallsPerPkt,
+				r.AvgWriteBatch, r.AvgReadBatch, r.AllocsPerPacket, r.KernelDrops))
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// netSnap is one point-in-time reading of every counter the result rates
+// are computed from; a cell measures the delta between two snaps so warmup
+// (pool growth, socket buffer autotuning) never pollutes the window.
+type netSnap struct {
+	offered, delivered int64
+	wire               udpio.SocketStats
+	mallocs            uint64
+}
+
+func runNetBenchOne(mode string, subs int, cfg NetBenchConfig) (res NetBenchResult, err error) {
+	sockCfg := udpio.Config{
+		Batch:        cfg.Batch,
+		RecvBuf:      cfg.SockBuf,
+		SendBuf:      cfg.SockBuf,
+		DisableBatch: mode == "perpacket",
+	}
+	socks, err := udpio.ListenGroup("udp", "127.0.0.1:0", cfg.Shards, sockCfg)
+	if err != nil {
+		return res, fmt.Errorf("netbench: relay sockets: %w", err)
+	}
+	defer func() {
+		for _, s := range socks {
+			s.Close()
+		}
+	}()
+
+	// The producer stays batched in both modes (see package comment); the
+	// sinks switch with the relay — they play the session receive path,
+	// which the per-packet baseline reads one datagram at a time.
+	prod, err := udpio.Listen("udp", "127.0.0.1:0",
+		udpio.Config{Batch: cfg.Batch, RecvBuf: cfg.SockBuf, SendBuf: cfg.SockBuf})
+	if err != nil {
+		return res, fmt.Errorf("netbench: producer socket: %w", err)
+	}
+	defer prod.Close()
+
+	var delivered atomic.Int64
+	var sinkWG sync.WaitGroup
+	sinks := make([]*udpio.Socket, subs)
+	defer func() {
+		for _, s := range sinks {
+			if s != nil {
+				s.Close()
+			}
+		}
+		sinkWG.Wait()
+	}()
+	for i := range sinks {
+		sinks[i], err = udpio.Listen("udp", "127.0.0.1:0", sockCfg)
+		if err != nil {
+			return res, fmt.Errorf("netbench: sink socket %d: %w", i, err)
+		}
+		sinkWG.Add(1)
+		go drainNetSink(sinks[i], cfg.Batch, &delivered, &sinkWG)
+	}
+
+	router := relaycore.NewRouter(netGroup{socks}, prod.LocalAddr(), relaycore.Config{
+		Shards:    cfg.Shards,
+		Telemetry: telemetry.NewRegistry(0),
+	})
+	for _, s := range sinks {
+		router.Subscribe(s.LocalAddr())
+	}
+
+	// Batch ingest loops, one per group socket — the same recvmmsg-into-
+	// shard-pool idiom as the relay shell's runBatchIngest, media-only (this
+	// harness generates no feedback).
+	closed := make(chan struct{})
+	var ingestWG sync.WaitGroup
+	for i, s := range socks {
+		ingestWG.Add(1)
+		go func(i int, s *udpio.Socket) {
+			defer ingestWG.Done()
+			pool := router.ShardPool(i % cfg.Shards)
+			ms := make([]udpio.Message, cfg.Batch)
+			bufs := make([]*relaycore.PacketBuf, len(ms))
+			for j := range ms {
+				bufs[j] = pool.GetBlank()
+				ms[j].Buf = bufs[j].Raw()
+			}
+			defer func() {
+				for _, b := range bufs {
+					b.Release()
+				}
+			}()
+			for {
+				got, rerr := s.ReadBatch(ms)
+				if rerr != nil {
+					select {
+					case <-closed:
+						return
+					default:
+					}
+					if ne, ok := rerr.(net.Error); ok && ne.Timeout() {
+						continue
+					}
+					return
+				}
+				for j := 0; j < got; j++ {
+					n := ms[j].N
+					if n <= 0 {
+						continue
+					}
+					pb := bufs[j]
+					pb.SetLen(n)
+					bufs[j] = pool.GetBlank()
+					ms[j].Buf = bufs[j].Raw()
+					router.RouteMedia(pb)
+				}
+			}
+		}(i, s)
+	}
+
+	// Closed-loop producer: one sender flow (a relay serves one sender),
+	// restamped media fragments in Batch-sized sendmmsg bursts, paced just
+	// above the relay's measured fan-out capacity. An open-loop flood would
+	// bias the A/B the wrong way: the batched ingest admits several times
+	// more packets than the fan-out can carry, and the router then spends
+	// the core on ring-drop bookkeeping instead of the wire — while the
+	// per-packet cell is accidentally admission-controlled by its own slow
+	// ingest. The controller keeps both modes saturated (admitted ≈ 1.1×
+	// what the kernel accepts on the way out) with drop thrash bounded, so
+	// the delivered figure measures the wire path, not the overload policy.
+	var offered atomic.Int64
+	stop := make(chan struct{})
+	var prodWG sync.WaitGroup
+	relayAddr := socks[0].LocalAddr()
+	fanoutNow := func() int64 {
+		var t int64
+		for _, s := range socks {
+			t += s.Stats().WritePackets
+		}
+		return t
+	}
+	prodWG.Add(1)
+	go func() {
+		defer prodWG.Done()
+		tmpl := mediaTemplate()
+		batch := make([][]byte, cfg.Batch)
+		for i := range batch {
+			batch[i] = append([]byte(nil), tmpl...)
+		}
+		seq, frag := uint32(1), 0
+		// Admitted packets/s at the producer; each admitted packet becomes
+		// subs fan-out packets. Start near plausible capacity and let the
+		// multiplicative controller converge within the warmup.
+		rate := 300_000.0 / float64(subs)
+		const ctlEvery = 50 * time.Millisecond
+		lastCtl := time.Now()
+		lastFan := fanoutNow()
+		lastOff := offered.Load()
+		next := time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := range batch {
+				p := batch[i]
+				restampFrame(p, transport.StreamColor, seq, false)
+				p[6] = byte(frag >> 8)
+				p[7] = byte(frag)
+				if frag++; frag == benchFragsPerFrame {
+					frag = 0
+					seq++
+				}
+			}
+			n, werr := prod.WriteBatch(batch, relayAddr)
+			offered.Add(int64(n))
+			if werr != nil {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+			next = next.Add(time.Duration(float64(cfg.Batch) / rate * float64(time.Second)))
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			} else if d < -20*time.Millisecond {
+				next = time.Now() // fell behind; don't bank a burst backlog
+			} else {
+				runtime.Gosched()
+			}
+			if elapsed := time.Since(lastCtl); elapsed >= ctlEvery {
+				fan, off := fanoutNow(), offered.Load()
+				fanRate := float64(fan-lastFan) / elapsed.Seconds()
+				offRate := float64(off-lastOff) * float64(subs) / elapsed.Seconds()
+				if offRate > 0 && fanRate >= 0.97*offRate {
+					rate *= 1.05 // the relay kept up: probe for headroom
+				} else if fanRate > 0 {
+					rate = fanRate / float64(subs) * 1.02 // hold at capacity
+				}
+				if rate < 500 {
+					rate = 500
+				}
+				lastCtl, lastFan, lastOff = time.Now(), fan, off
+			}
+		}
+	}()
+
+	snap := func() netSnap {
+		var s netSnap
+		s.offered = offered.Load()
+		s.delivered = delivered.Load()
+		for _, sk := range socks {
+			st := sk.Stats()
+			s.wire.ReadSyscalls += st.ReadSyscalls
+			s.wire.ReadPackets += st.ReadPackets
+			s.wire.WriteSyscalls += st.WriteSyscalls
+			s.wire.WritePackets += st.WritePackets
+			s.wire.RecvBufBytes = st.RecvBufBytes
+			s.wire.SendBufBytes = st.SendBufBytes
+			s.wire.Batched = s.wire.Batched || st.Batched
+		}
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		s.mallocs = m.Mallocs
+		return s
+	}
+
+	time.Sleep(cfg.Warmup)
+	s0 := snap()
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	s1 := snap()
+	secs := time.Since(t0).Seconds()
+
+	// Teardown: stop the producer, then unblock and join the ingest loops
+	// before closing the router (same order as the relay shell), then the
+	// deferred closes reap the sockets and sink drains.
+	close(stop)
+	_ = prod.SetWriteDeadline(time.Now())
+	prodWG.Wait()
+	close(closed)
+	for _, s := range socks {
+		_ = s.SetReadDeadline(time.Now())
+	}
+	ingestWG.Wait()
+	router.Close()
+
+	ingest := s1.wire.ReadPackets - s0.wire.ReadPackets
+	fanout := s1.wire.WritePackets - s0.wire.WritePackets
+	readSys := s1.wire.ReadSyscalls - s0.wire.ReadSyscalls
+	writeSys := s1.wire.WriteSyscalls - s0.wire.WriteSyscalls
+	res = NetBenchResult{
+		Mode:            mode,
+		Subs:            subs,
+		Shards:          len(socks),
+		Seconds:         secs,
+		KernelBatched:   s1.wire.Batched,
+		OfferedPerSec:   float64(s1.offered-s0.offered) / secs,
+		IngestPerSec:    float64(ingest) / secs,
+		FanoutPerSec:    float64(fanout) / secs,
+		DeliveredPerSec: float64(s1.delivered-s0.delivered) / secs,
+		RecvBufBytes:    s1.wire.RecvBufBytes,
+		SendBufBytes:    s1.wire.SendBufBytes,
+	}
+	if fanout > 0 {
+		res.WriteSyscallsPerPkt = float64(writeSys) / float64(fanout)
+		res.AvgWriteBatch = float64(fanout) / float64(writeSys)
+	}
+	if ingest > 0 {
+		res.ReadSyscallsPerPkt = float64(readSys) / float64(ingest)
+		if readSys > 0 {
+			res.AvgReadBatch = float64(ingest) / float64(readSys)
+		}
+	}
+	if wire := ingest + fanout; wire > 0 {
+		res.AllocsPerPacket = float64(s1.mallocs-s0.mallocs) / float64(wire)
+	}
+	if d := fanout - (s1.delivered - s0.delivered); d > 0 {
+		res.KernelDrops = d
+	}
+	return res, nil
+}
+
+// drainNetSink counts every datagram a subscriber socket receives; it
+// exits when the socket closes under it.
+func drainNetSink(s *udpio.Socket, batch int, delivered *atomic.Int64, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ms := make([]udpio.Message, batch)
+	for j := range ms {
+		ms[j].Buf = make([]byte, 2048)
+	}
+	for {
+		got, err := s.ReadBatch(ms)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		n := 0
+		for j := 0; j < got; j++ {
+			if ms[j].N > 0 {
+				n++
+			}
+		}
+		delivered.Add(int64(n))
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"livo/internal/udpio"
+)
+
+// The in-memory bench conn must honor the same BatchWriter contract the
+// relay's wire sockets do, or -relaybench measures a different data plane
+// than production runs. The real-socket side of this suite lives in
+// internal/udpio (TestConformLoopback); here the conn's ring semantics are
+// checked: Recv is nil because the rings record only packet lengths, and
+// MaxDatagram is zero because an in-memory ring accepts any length.
+func TestRelayBenchConnConformance(t *testing.T) {
+	cfg := RelayBenchConfig{}
+	cfg.fill(true)
+	conn := newRelayBenchConn(2, cfg)
+	defer conn.close()
+	addr := &relayBenchAddr{i: 1, s: "sub-1"}
+	if err := udpio.ConformBatchWriter(conn, addr, udpio.ConformConfig{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Smoke-run the wire-path benchmark at a tiny scale: both modes must move
+// packets end to end over real loopback sockets, and the batched cell must
+// actually amortize write syscalls wherever the kernel supports it.
+func TestNetBenchSmoke(t *testing.T) {
+	res, err := RunNetBench(NetBenchConfig{
+		SubCounts: []int{2},
+		Duration:  80 * time.Millisecond,
+		Warmup:    40 * time.Millisecond,
+	}, true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results, want 2 (perpacket + batched)", len(res))
+	}
+	for _, r := range res {
+		if r.IngestPerSec <= 0 || r.FanoutPerSec <= 0 || r.DeliveredPerSec <= 0 {
+			t.Fatalf("%s: no end-to-end flow: %+v", r.Mode, r)
+		}
+		switch r.Mode {
+		case "perpacket":
+			if r.KernelBatched {
+				t.Fatalf("perpacket cell reports kernel batching: %+v", r)
+			}
+			if r.WriteSyscallsPerPkt < 0.99 {
+				t.Fatalf("perpacket cell amortized syscalls (%.3f wr-sys/pkt): %+v",
+					r.WriteSyscallsPerPkt, r)
+			}
+		case "batched":
+			if r.KernelBatched && r.AvgWriteBatch < 1.5 {
+				t.Fatalf("batched cell barely amortized (%.2f pkts/syscall): %+v",
+					r.AvgWriteBatch, r)
+			}
+		default:
+			t.Fatalf("unknown mode %q", r.Mode)
+		}
+	}
+}

@@ -93,6 +93,31 @@ func (bp *BufPool) Get(n int) *PacketBuf {
 	return p
 }
 
+// Class returns the pooled buffer size — the largest packet a blank
+// buffer can receive in place.
+func (bp *BufPool) Class() int { return bp.class }
+
+// GetBlank returns a class-size buffer (one reference held) for batch
+// ingest to fill in place: recvmmsg reads the wire directly into Raw and
+// SetLen records the datagram length, eliminating even the single Load
+// copy on the batched path.
+func (bp *BufPool) GetBlank() *PacketBuf { return bp.Get(bp.class) }
+
+// Raw exposes the full backing array for an in-place fill. Valid under
+// the same ownership contract as Bytes.
+func (p *PacketBuf) Raw() []byte { return p.b }
+
+// SetLen records the packet length after an in-place fill of Raw.
+func (p *PacketBuf) SetLen(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(p.b) {
+		n = len(p.b)
+	}
+	p.n = n
+}
+
 // Load copies b into a pooled buffer (the only copy on the fan-out path).
 func (bp *BufPool) Load(b []byte) *PacketBuf {
 	p := bp.Get(len(b))

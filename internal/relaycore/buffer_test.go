@@ -65,6 +65,32 @@ func TestBufPoolLoadCopies(t *testing.T) {
 	p.Release()
 }
 
+func TestBufPoolBlankInPlaceFill(t *testing.T) {
+	bp := NewBufPool(64)
+	p := bp.GetBlank()
+	if len(p.Raw()) != bp.Class() || bp.Class() != 64 {
+		t.Fatalf("blank Raw len = %d, class = %d, want 64", len(p.Raw()), bp.Class())
+	}
+	// recvmmsg-style in-place fill: write into Raw, record the length.
+	copy(p.Raw(), []byte{7, 8, 9})
+	p.SetLen(3)
+	if !bytes.Equal(p.Bytes(), []byte{7, 8, 9}) {
+		t.Fatalf("Bytes after SetLen = %v", p.Bytes())
+	}
+	p.SetLen(1000) // clamped to the backing array
+	if len(p.Bytes()) != 64 {
+		t.Fatalf("SetLen past class: len = %d, want 64", len(p.Bytes()))
+	}
+	p.Release()
+	if bp.Live() != 0 {
+		t.Fatalf("Live = %d after release, want 0", bp.Live())
+	}
+	// The blank path recycles like any other get.
+	if q := bp.GetBlank(); q != p {
+		t.Fatalf("blank buffer not recycled")
+	}
+}
+
 func TestBufPoolSteadyStateZeroAlloc(t *testing.T) {
 	bp := NewBufPool(DefaultBufClass)
 	payload := make([]byte, 1200)

@@ -47,6 +47,12 @@ func (k Key) hash() uint64 {
 	return h
 }
 
+// Hash exposes the shard-steering hash: multi-socket wire shells pick a
+// per-destination socket with the same avalanche mix (and the same zero
+// allocations) the router uses for its subscriber partitions, so one
+// subscriber's packets always leave through one socket, in order.
+func (k Key) Hash() uint64 { return k.hash() }
+
 // KeyOf builds the canonical key for an address. Two addresses that
 // compare equal by String() produce equal Keys.
 func KeyOf(a net.Addr) Key {

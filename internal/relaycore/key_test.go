@@ -45,6 +45,17 @@ func TestKeyOfFallback(t *testing.T) {
 	}
 }
 
+func TestKeyHashExported(t *testing.T) {
+	u := &net.UDPAddr{IP: net.IPv4(10, 0, 0, 7), Port: 5000}
+	if KeyOf(u).Hash() != KeyOf(u).hash() {
+		t.Fatalf("exported Hash disagrees with the internal shard hash")
+	}
+	allocs := testing.AllocsPerRun(200, func() { _ = KeyOf(u).Hash() })
+	if allocs != 0 {
+		t.Fatalf("KeyOf().Hash() allocates %.1f per op, want 0", allocs)
+	}
+}
+
 func TestKeyOfUDPZeroAlloc(t *testing.T) {
 	u := &net.UDPAddr{IP: net.IPv4(192, 168, 1, 1), Port: 9000}
 	allocs := testing.AllocsPerRun(200, func() { _ = KeyOf(u) })

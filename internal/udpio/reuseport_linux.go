@@ -1,0 +1,62 @@
+//go:build linux
+
+package udpio
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"syscall"
+)
+
+const reusePortSupported = true
+
+// soReusePort is not exported by package syscall; the value (15) is
+// uniform across linux architectures.
+const soReusePort = 0xf
+
+// listenReusePort binds n UDP sockets to one address with SO_REUSEPORT
+// set before bind, so the kernel hashes inbound flows across the group —
+// one socket (and one ingest loop) per relay shard.
+func listenReusePort(network, address string, n int, cfg Config) ([]*Socket, error) {
+	lc := net.ListenConfig{Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	}}
+	socks := make([]*Socket, 0, n)
+	fail := func(err error) ([]*Socket, error) {
+		for _, s := range socks {
+			s.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		pc, err := lc.ListenPacket(context.Background(), network, address)
+		if err != nil {
+			return fail(err)
+		}
+		uc, ok := pc.(*net.UDPConn)
+		if !ok {
+			pc.Close()
+			return fail(fmt.Errorf("udpio: %s is not a UDP network", network))
+		}
+		s, err := Wrap(uc, cfg)
+		if err != nil {
+			uc.Close()
+			return fail(err)
+		}
+		socks = append(socks, s)
+		if i == 0 {
+			// With a ":0" request the kernel picks the port on the first
+			// bind; the rest of the group must join that exact port.
+			address = s.LocalAddr().String()
+		}
+	}
+	return socks, nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package udpio
+
+// No portable SO_REUSEPORT: ListenGroup degrades to a single socket (one
+// ingest loop feeding all shards through ShardPool hashing, as before).
+const reusePortSupported = false
+
+func listenReusePort(network, address string, n int, cfg Config) ([]*Socket, error) {
+	s, err := Listen(network, address, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Socket{s}, nil
+}

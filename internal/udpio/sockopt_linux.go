@@ -1,0 +1,23 @@
+//go:build linux
+
+package udpio
+
+import "syscall"
+
+// grantedRecvBuffer / grantedSendBuffer read back what the kernel
+// actually granted after a SetReadBuffer/SetWriteBuffer request — linux
+// silently clamps to rmem_max/wmem_max (and doubles the granted value for
+// bookkeeping), so the requested size says nothing about reality. Callers
+// log this so undersized-buffer drops are diagnosable.
+func grantedRecvBuffer(rc syscall.RawConn) int { return getsockoptInt(rc, syscall.SO_RCVBUF) }
+func grantedSendBuffer(rc syscall.RawConn) int { return getsockoptInt(rc, syscall.SO_SNDBUF) }
+
+func getsockoptInt(rc syscall.RawConn, opt int) int {
+	v := 0
+	_ = rc.Control(func(fd uintptr) {
+		if got, err := syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, opt); err == nil {
+			v = got
+		}
+	})
+	return v
+}

@@ -1,0 +1,11 @@
+//go:build !linux
+
+package udpio
+
+import "syscall"
+
+// Non-linux platforms apply the buffer request through the portable
+// SetReadBuffer/SetWriteBuffer path but can't read back the granted size
+// without platform-specific getsockopt plumbing; report 0 (unknown).
+func grantedRecvBuffer(rc syscall.RawConn) int { return 0 }
+func grantedSendBuffer(rc syscall.RawConn) int { return 0 }

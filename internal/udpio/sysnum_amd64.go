@@ -1,0 +1,11 @@
+//go:build linux && amd64
+
+package udpio
+
+// Raw syscall numbers: package syscall predates sendmmsg and never grew a
+// SYS_SENDMMSG constant (recvmmsg made it in, but hard-coding both keeps
+// the pair symmetric and arch-gated in one place).
+const (
+	sysSENDMMSG uintptr = 307
+	sysRECVMMSG uintptr = 299
+)

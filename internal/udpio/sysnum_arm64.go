@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package udpio
+
+// Raw syscall numbers for the arm64 (asm-generic) table.
+const (
+	sysSENDMMSG uintptr = 269
+	sysRECVMMSG uintptr = 243
+)

@@ -10,6 +10,7 @@ import (
 
 	"livo/internal/relaycore"
 	"livo/internal/telemetry"
+	"livo/internal/udpio"
 )
 
 // Relay is a selective-forwarding unit for multi-way conferencing — the
@@ -23,11 +24,27 @@ import (
 // per-subscriber bounded queues with dedicated writers, so one stalled
 // receiver never head-of-line-blocks the rest; feedback is deduplicated
 // (one PLI per refresh window, NACKs coalesced per fragment, REMB minimum
-// forwarded) rather than mirrored. Relay itself is the UDP shell: one read
-// loop classifying packets by source and handing them to the router.
+// forwarded) rather than mirrored. Relay itself is the UDP shell: one
+// ingest loop per socket classifying packets by source and handing them to
+// the router.
+//
+// The wire path batches at the kernel where the conns allow it (DESIGN.md
+// §7, "wire I/O"): a conn that implements udpio.BatchReader is drained
+// with recvmmsg directly into that socket's shard BufPool (zero copies on
+// ingest), and a conn implementing relaycore.BatchWriter drains each
+// writer-ring batch with one sendmmsg. Reads block — teardown unblocks
+// them by poking a past read deadline after closing r.closed — so the idle
+// relay makes zero syscalls, where the old loop paid a SetReadDeadline +
+// ReadFrom pair every 50 ms.
 type Relay struct {
-	conn   net.PacketConn
+	conns  []net.PacketConn
 	router *relaycore.Router
+
+	// fbMu serializes RouteFeedback: with a reuseport group, kernel flow
+	// steering spreads subscribers across sockets, but the router's
+	// feedback aggregation is single-goroutine by contract. Media needs no
+	// such serialization (RouteMedia is concurrency-safe).
+	fbMu sync.Mutex
 
 	closed    chan struct{}
 	alreadyMu sync.Mutex
@@ -36,6 +53,8 @@ type Relay struct {
 
 	err        atomic.Value // error — first fatal read error (Err)
 	telReadErr *telemetry.Counter
+	telRdBatch *telemetry.Histogram
+	telSyscall *telemetry.Gauge
 }
 
 // NewRelay creates a relay on conn, forwarding the given sender's media to
@@ -48,23 +67,48 @@ func NewRelay(conn net.PacketConn, sender net.Addr) *Relay {
 // (shard count, queue depth, feedback windows, or the legacy Sequential
 // path kept for A/B measurement — see livo-bench -relaybench).
 func NewRelayWith(conn net.PacketConn, sender net.Addr, cfg relaycore.Config) *Relay {
+	return NewRelayGroup([]net.PacketConn{conn}, sender, cfg)
+}
+
+// NewRelayGroup creates a relay over a socket group — typically
+// udpio.ListenGroup's SO_REUSEPORT set, one socket per data-plane shard,
+// so the kernel steers inbound flows across ingest loops instead of one
+// reader feeding every shard. Ingest loop i fills router.ShardPool(i);
+// outbound packets leave through the socket picked by the subscriber's
+// address hash (stable per destination, so per-subscriber ordering holds).
+func NewRelayGroup(conns []net.PacketConn, sender net.Addr, cfg relaycore.Config) *Relay {
+	if len(conns) == 0 {
+		panic("livo: NewRelayGroup needs at least one conn")
+	}
 	reg := cfg.Telemetry
 	if reg == nil {
 		reg = telemetry.Default
 	}
+	var out relaycore.BatchWriter
+	if len(conns) == 1 {
+		out = batchConn{conns[0]}
+	} else {
+		g := groupConn{conns: make([]batchConn, len(conns))}
+		for i, c := range conns {
+			g.conns[i] = batchConn{c}
+		}
+		out = g
+	}
 	return &Relay{
-		conn:       conn,
-		router:     relaycore.NewRouter(batchConn{conn}, sender, cfg),
+		conns:      conns,
+		router:     relaycore.NewRouter(out, sender, cfg),
 		closed:     make(chan struct{}),
 		telReadErr: reg.Counter("livo_relay_read_errors_total"),
+		telRdBatch: reg.Histogram("livo_relay_read_batch_pkts", []float64{1, 2, 4, 8, 16, 32, 64}),
+		telSyscall: reg.Gauge("livo_relay_syscalls_per_pkt"),
 	}
 }
 
-// batchConn adapts the relay's net.PacketConn to relaycore.BatchWriter so
-// writer workers drain each ring batch with one call. Conns that batch
-// natively (a future sendmmsg socket) are delegated to; plain conns get a
-// per-packet fallback loop — the WriteBatch contract (all-or-prefix to one
-// destination) holds either way.
+// batchConn adapts a net.PacketConn to relaycore.BatchWriter so writer
+// workers drain each ring batch with one call. Conns that batch natively
+// (a udpio sendmmsg socket, the bench conn) are delegated to; plain conns
+// get a per-packet fallback loop — the WriteBatch contract (all-or-prefix
+// to one destination) holds either way.
 type batchConn struct{ net.PacketConn }
 
 func (c batchConn) WriteBatch(ps [][]byte, addr net.Addr) (int, error) {
@@ -79,6 +123,25 @@ func (c batchConn) WriteBatch(ps [][]byte, addr net.Addr) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// groupConn fans writes across a reuseport socket group: each destination
+// hashes to one member (the same avalanche mix the router uses for shard
+// partitions, allocation-free for UDP addresses), so one subscriber's
+// packets always take one socket and stay ordered. All members share the
+// local address, so the source seen by peers is identical.
+type groupConn struct{ conns []batchConn }
+
+func (g groupConn) pick(addr net.Addr) batchConn {
+	return g.conns[relaycore.KeyOf(addr).Hash()%uint64(len(g.conns))]
+}
+
+func (g groupConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	return g.pick(addr).WriteTo(p, addr)
+}
+
+func (g groupConn) WriteBatch(ps [][]byte, addr net.Addr) (int, error) {
+	return g.pick(addr).WriteBatch(ps, addr)
 }
 
 // Subscribe adds a receiver (idempotent per address). The first subscriber
@@ -99,8 +162,39 @@ func (r *Relay) Subscribers() int { return r.router.Subscribers() }
 func (r *Relay) Primary() net.Addr { return r.router.Primary() }
 
 // Stats snapshots the relay data plane (fan-out counts, per-subscriber
-// queue depths and drops, feedback dedup counters).
-func (r *Relay) Stats() relaycore.Stats { return r.router.Stats() }
+// queue depths and drops, feedback dedup counters). It also refreshes the
+// livo_relay_syscalls_per_pkt gauge from the wire sockets.
+func (r *Relay) Stats() relaycore.Stats {
+	r.refreshWireTelemetry()
+	return r.router.Stats()
+}
+
+// WireStats aggregates syscall accounting across the relay's sockets.
+// Conns that are not udpio Sockets contribute nothing (all zeros).
+func (r *Relay) WireStats() udpio.SocketStats {
+	var agg udpio.SocketStats
+	for _, c := range r.conns {
+		if sc, ok := c.(interface{ Stats() udpio.SocketStats }); ok {
+			st := sc.Stats()
+			agg.ReadSyscalls += st.ReadSyscalls
+			agg.ReadPackets += st.ReadPackets
+			agg.WriteSyscalls += st.WriteSyscalls
+			agg.WritePackets += st.WritePackets
+			agg.Truncated += st.Truncated
+			agg.RecvBufBytes = st.RecvBufBytes
+			agg.SendBufBytes = st.SendBufBytes
+			agg.Batched = agg.Batched || st.Batched
+		}
+	}
+	return agg
+}
+
+func (r *Relay) refreshWireTelemetry() {
+	st := r.WireStats()
+	if pkts := st.ReadPackets + st.WritePackets; pkts > 0 {
+		r.telSyscall.Set(float64(st.ReadSyscalls+st.WriteSyscalls) / float64(pkts))
+	}
+}
 
 // SubscribersHandler serves the per-subscriber queue snapshots (SubStats:
 // depth vs adaptive limit, drops, retransmissions, last REMB, liveness age)
@@ -116,34 +210,54 @@ func (r *Relay) SubscribersHandler() http.Handler {
 	})
 }
 
-// Run forwards packets until Close; call on its own goroutine.
+// Run forwards packets until Close; call on its own goroutine. It spawns
+// one ingest loop per conn and blocks until all of them exit.
 func (r *Relay) Run() {
+	var loops sync.WaitGroup
+	// Keep the wire gauges live for scrapers that never call Stats().
 	r.wg.Add(1)
-	defer r.wg.Done()
-	pool := r.router.Pool()
-	buf := make([]byte, 65536)
-	for {
-		select {
-		case <-r.closed:
-			return
-		default:
-		}
-		_ = r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
-		n, from, err := r.conn.ReadFrom(buf)
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				continue
-			}
-			// A fatal read error stops the loop: record it (unless this is
-			// the expected teardown unblock) so operators can distinguish a
-			// dead relay from an idle one.
+	go func() {
+		defer r.wg.Done()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
 			select {
 			case <-r.closed:
-			default:
-				r.err.CompareAndSwap(nil, err)
-				r.telReadErr.Inc()
+				return
+			case <-t.C:
+				r.refreshWireTelemetry()
 			}
-			return
+		}
+	}()
+	for i, c := range r.conns {
+		r.wg.Add(1)
+		loops.Add(1)
+		go func(i int, c net.PacketConn) {
+			defer r.wg.Done()
+			defer loops.Done()
+			if br, ok := c.(udpio.BatchReader); ok {
+				r.runBatchIngest(i, br)
+				return
+			}
+			r.runIngest(i, c)
+		}(i, c)
+	}
+	loops.Wait()
+}
+
+// runIngest is the per-packet ingest loop for plain conns: a blocking
+// ReadFrom per datagram (no per-iteration deadline syscall — Close pokes
+// a past deadline to unblock it).
+func (r *Relay) runIngest(i int, c net.PacketConn) {
+	pool := r.router.ShardPool(i)
+	buf := make([]byte, 65536)
+	for {
+		n, from, err := c.ReadFrom(buf)
+		if err != nil {
+			if r.fatalReadErr(err) {
+				return
+			}
+			continue
 		}
 		if n == 0 {
 			continue
@@ -154,8 +268,77 @@ func (r *Relay) Run() {
 			r.router.RouteMedia(pool.Load(buf[:n]))
 			continue
 		}
+		r.fbMu.Lock()
 		r.router.RouteFeedback(buf[:n], from)
+		r.fbMu.Unlock()
 	}
+}
+
+// runBatchIngest drains a batching socket with recvmmsg straight into the
+// shard's BufPool: every slot is a blank pooled buffer, so a media packet
+// is routed with zero copies — SetLen stamps the wire length and the
+// router takes ownership of the reference; the emptied slot is refilled
+// with a fresh blank. Feedback is parsed synchronously, so its slot (and
+// its scratch address) is reused in place.
+func (r *Relay) runBatchIngest(i int, br udpio.BatchReader) {
+	pool := r.router.ShardPool(i)
+	ms := make([]udpio.Message, udpio.DefaultBatch)
+	bufs := make([]*relaycore.PacketBuf, len(ms))
+	for j := range ms {
+		bufs[j] = pool.GetBlank()
+		ms[j].Buf = bufs[j].Raw()
+	}
+	defer func() {
+		for _, b := range bufs {
+			b.Release()
+		}
+	}()
+	for {
+		got, err := br.ReadBatch(ms)
+		if err != nil {
+			if r.fatalReadErr(err) {
+				return
+			}
+			continue
+		}
+		r.telRdBatch.Observe(float64(got))
+		for j := 0; j < got; j++ {
+			n := ms[j].N
+			if n <= 0 {
+				continue // empty or truncated datagram
+			}
+			from := ms[j].Addr
+			if r.router.FromSender(from) {
+				pb := bufs[j]
+				pb.SetLen(n)
+				bufs[j] = pool.GetBlank()
+				ms[j].Buf = bufs[j].Raw()
+				r.router.RouteMedia(pb)
+				continue
+			}
+			r.fbMu.Lock()
+			r.router.RouteFeedback(ms[j].Buf[:n], from)
+			r.fbMu.Unlock()
+		}
+	}
+}
+
+// fatalReadErr classifies an ingest read error: during teardown every
+// error is the expected unblock; otherwise timeouts (a poked deadline)
+// retry and anything else stops the loop and is recorded so operators can
+// distinguish a dead relay from an idle one.
+func (r *Relay) fatalReadErr(err error) bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return false
+	}
+	r.err.CompareAndSwap(nil, err)
+	r.telReadErr.Inc()
+	return true
 }
 
 // Err returns the first fatal read error that stopped Run, or nil. It
@@ -169,7 +352,7 @@ func (r *Relay) Err() error {
 }
 
 // Close stops the relay and its subscriber writers (the caller owns the
-// connection). Closing an already-closed relay is a no-op, matching
+// connections). Closing an already-closed relay is a no-op, matching
 // Router.Close.
 func (r *Relay) Close() error {
 	r.alreadyMu.Lock()
@@ -180,7 +363,11 @@ func (r *Relay) Close() error {
 	r.already = true
 	r.alreadyMu.Unlock()
 	close(r.closed)
-	_ = r.conn.SetReadDeadline(time.Now())
+	for _, c := range r.conns {
+		// Unblock every ingest loop's blocking read; closed is already
+		// observable, so the loops exit instead of spinning on timeouts.
+		_ = c.SetReadDeadline(time.Now())
+	}
 	r.wg.Wait()
 	r.router.Close()
 	return nil

@@ -63,6 +63,7 @@ type lossyRelayConn struct {
 
 	mu       sync.Mutex
 	deadline time.Time
+	dlWake   chan struct{} // closed+replaced on SetReadDeadline: wakes blocked reads
 
 	senderNACKs atomic.Int64
 
@@ -83,6 +84,7 @@ func newLossyRelayConn(sender net.Addr, nSubs int, avgLoss float64) *lossyRelayC
 		sender: sender,
 		inbox:  make(chan lossyPkt, 1<<15),
 		closed: make(chan struct{}),
+		dlWake: make(chan struct{}),
 		subs:   make(map[string]*lossySub, nSubs),
 	}
 	for i := 0; i < nSubs; i++ {
@@ -106,26 +108,41 @@ func (c *lossyRelayConn) inject(b []byte, from net.Addr) {
 }
 
 func (c *lossyRelayConn) ReadFrom(p []byte) (int, net.Addr, error) {
-	c.mu.Lock()
-	dl := c.deadline
-	c.mu.Unlock()
-	var timeout <-chan time.Time
-	if !dl.IsZero() {
-		d := time.Until(dl)
-		if d <= 0 {
-			return 0, nil, lossyTimeout{}
+	for {
+		c.mu.Lock()
+		dl := c.deadline
+		wake := c.dlWake
+		c.mu.Unlock()
+		var timeout <-chan time.Time
+		var tm *time.Timer
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return 0, nil, lossyTimeout{}
+			}
+			tm = time.NewTimer(d)
+			timeout = tm.C
 		}
-		tm := time.NewTimer(d)
-		defer tm.Stop()
-		timeout = tm.C
-	}
-	select {
-	case pkt := <-c.inbox:
-		return copy(p, pkt.b), pkt.from, nil
-	case <-timeout:
-		return 0, nil, lossyTimeout{}
-	case <-c.closed:
-		return 0, nil, net.ErrClosed
+		select {
+		case pkt := <-c.inbox:
+			if tm != nil {
+				tm.Stop()
+			}
+			return copy(p, pkt.b), pkt.from, nil
+		case <-timeout:
+			return 0, nil, lossyTimeout{}
+		case <-wake:
+			// Deadline changed while blocked (real sockets interrupt
+			// in-flight reads the same way): re-evaluate it.
+			if tm != nil {
+				tm.Stop()
+			}
+		case <-c.closed:
+			if tm != nil {
+				tm.Stop()
+			}
+			return 0, nil, net.ErrClosed
+		}
 	}
 }
 
@@ -254,6 +271,8 @@ func (c *lossyRelayConn) SetDeadline(t time.Time) error { return c.SetReadDeadli
 func (c *lossyRelayConn) SetReadDeadline(t time.Time) error {
 	c.mu.Lock()
 	c.deadline = t
+	close(c.dlWake) // wake any read blocked on the old deadline
+	c.dlWake = make(chan struct{})
 	c.mu.Unlock()
 	return nil
 }

@@ -1,0 +1,128 @@
+package livo
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"livo/internal/relaycore"
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+	"livo/internal/udpio"
+)
+
+// mkMediaDatagram builds a valid MediaMagic-prefixed wire fragment like
+// the session send path emits.
+func mkMediaDatagram(stream uint8, seq uint32, frag, count uint16, key bool, payload int) []byte {
+	p := transport.Packet{
+		Stream:    stream,
+		FrameSeq:  seq,
+		FragIndex: frag,
+		FragCount: count,
+		Key:       key,
+		Payload:   make([]byte, payload),
+	}
+	return append([]byte{transport.MediaMagic}, p.Marshal()...)
+}
+
+// TestRelayUDPBatchWirePath runs the relay over a real udpio socket group:
+// recvmmsg batch ingest straight into shard pools, sendmmsg fan-out, and
+// reuseport flow steering — media reaches every subscriber, feedback rides
+// back to the sender, and teardown unblocks the blocking batch reads.
+func TestRelayUDPBatchWirePath(t *testing.T) {
+	socks, err := udpio.ListenGroup("udp", "127.0.0.1:0", 2, udpio.Config{})
+	if err != nil {
+		t.Fatalf("ListenGroup: %v", err)
+	}
+	conns := make([]net.PacketConn, len(socks))
+	for i, s := range socks {
+		conns[i] = s
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	senderConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer senderConn.Close()
+	var subs []net.PacketConn
+	for i := 0; i < 3; i++ {
+		sc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sc.Close()
+		subs = append(subs, sc)
+	}
+
+	relay := NewRelayGroup(conns, senderConn.LocalAddr(), relaycore.Config{
+		Shards:    2,
+		Telemetry: telemetry.NewRegistry(0),
+	})
+	for _, sc := range subs {
+		relay.Subscribe(sc.LocalAddr())
+	}
+	go relay.Run()
+	defer relay.Close()
+
+	relayAddr := socks[0].LocalAddr()
+	const frames, frags = 10, 4
+	const total = frames * frags
+	for f := 0; f < frames; f++ {
+		for g := 0; g < frags; g++ {
+			d := mkMediaDatagram(transport.StreamColor, uint32(f), uint16(g), frags, f == 0, 600)
+			if _, err := senderConn.WriteTo(d, relayAddr); err != nil {
+				t.Fatalf("sender WriteTo: %v", err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	buf := make([]byte, 4096)
+	for si, sc := range subs {
+		_ = sc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		got := 0
+		for got < total {
+			n, _, err := sc.ReadFrom(buf)
+			if err != nil {
+				t.Fatalf("sub %d: %v after %d/%d packets", si, err, got, total)
+			}
+			if n > 0 && buf[0] == transport.MediaMagic {
+				got++
+			}
+		}
+	}
+
+	// Reverse path: the primary's first REMB is always forwarded.
+	if _, err := subs[0].WriteTo(transport.AppendREMB(nil, 2e6), relayAddr); err != nil {
+		t.Fatal(err)
+	}
+	_ = senderConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _, err := senderConn.ReadFrom(buf)
+	if err != nil {
+		t.Fatalf("sender never saw forwarded REMB: %v", err)
+	}
+	if n == 0 || buf[0] != transport.FBREMB {
+		t.Fatalf("sender got %d bytes type 0x%x, want REMB", n, buf[0])
+	}
+
+	ws := relay.WireStats()
+	if ws.ReadPackets == 0 || ws.WritePackets == 0 {
+		t.Fatalf("wire stats not accounted: %+v", ws)
+	}
+	if socks[0].Batched() && !ws.Batched {
+		t.Fatalf("WireStats lost the batched flag: %+v", ws)
+	}
+
+	// Close must unblock the blocking batch reads without a fatal error.
+	if err := relay.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Err(); err != nil {
+		t.Fatalf("relay recorded a fatal error on clean teardown: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"livo/internal/frametrace"
 	"livo/internal/telemetry"
 	"livo/internal/transport"
+	"livo/internal/udpio"
 )
 
 // mediaMagic distinguishes media packets from feedback on the same socket.
@@ -240,22 +241,21 @@ func (s *SendSession) feedbackLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 65536)
 	for {
-		select {
-		case <-s.closed:
-			return
-		default:
-		}
-		_ = s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		// Blocking read — no per-iteration SetReadDeadline syscall (the
+		// old loop paid one per 50 ms even when idle). Close closes
+		// s.closed first and then pokes a past read deadline, so the
+		// error that unblocks us is classified as teardown here.
 		n, _, err := s.conn.ReadFrom(buf)
 		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
-			select {
-			case <-s.closed:
-			default:
-				s.err.Store(fmt.Errorf("livo: feedback read: %w", err))
-			}
+			s.err.Store(fmt.Errorf("livo: feedback read: %w", err))
 			return
 		}
 		if n == 0 {
@@ -372,6 +372,12 @@ type RecvSession struct {
 	conn     net.PacketConn
 	remote   net.Addr
 	trace    *frametrace.Ledger // cfg.Receiver.Trace (nil disables stamps)
+
+	// loopMu serializes the session's two goroutines — the blocking read
+	// loop and the housekeeping ticker — over the single-threaded receive
+	// state: jitter buffers, decoder, congestion estimator, PLI tracker,
+	// and the user callbacks. Exactly one runs session logic at a time.
+	loopMu sync.Mutex
 
 	jb  map[uint8]*transport.JitterBuffer
 	gcc *transport.GCC
@@ -496,56 +502,134 @@ func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig)
 	return r, nil
 }
 
-// Run processes packets until Close; call it on its own goroutine.
+// Run processes packets until Close; call it on its own goroutine. Reads
+// block (no 20 ms deadline polling — Close pokes a past deadline after
+// closing r.closed to unblock the loop); timed work moves to a
+// housekeeping ticker. Conns that batch natively (a udpio socket) are
+// drained with one recvmmsg per kernel visit.
 func (r *RecvSession) Run() {
 	r.wg.Add(1)
 	defer r.wg.Done()
+	r.wg.Add(1)
+	go r.housekeeping()
+	if br, ok := r.conn.(udpio.BatchReader); ok {
+		r.runBatch(br)
+		return
+	}
 	buf := make([]byte, 65536)
-	feedbackTicker := time.NewTicker(33 * time.Millisecond)
-	defer feedbackTicker.Stop()
+	for {
+		n, _, err := r.conn.ReadFrom(buf)
+		now := r.now()
+		if err != nil {
+			if r.fatalReadErr(err) {
+				return
+			}
+			continue
+		}
+		r.loopMu.Lock()
+		if r.handleMedia(buf[:n], now) {
+			r.drain(now)
+		}
+		r.loopMu.Unlock()
+	}
+}
+
+// runBatch is the batched read loop: one recvmmsg fills a slice of slots,
+// all of which are processed (and the jitter buffers drained once) under
+// a single loopMu hold.
+func (r *RecvSession) runBatch(br udpio.BatchReader) {
+	ms := make([]udpio.Message, udpio.DefaultBatch)
+	for i := range ms {
+		ms[i].Buf = make([]byte, 2048) // > MediaMagic + header + MTU
+	}
+	for {
+		got, err := br.ReadBatch(ms)
+		now := r.now()
+		if err != nil {
+			if r.fatalReadErr(err) {
+				return
+			}
+			continue
+		}
+		r.loopMu.Lock()
+		any := false
+		for i := 0; i < got; i++ {
+			if ms[i].N > 0 && r.handleMedia(ms[i].Buf[:ms[i].N], now) {
+				any = true
+			}
+		}
+		if any {
+			r.drain(now)
+		}
+		r.loopMu.Unlock()
+	}
+}
+
+// fatalReadErr classifies a read error: teardown and poked-deadline
+// timeouts are expected; anything else kills the session and is surfaced
+// through Err.
+func (r *RecvSession) fatalReadErr(err error) bool {
+	select {
+	case <-r.closed:
+		return true
+	default:
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return false
+	}
+	r.err.Store(fmt.Errorf("livo: media read: %w", err))
+	return true
+}
+
+// handleMedia ingests one wire datagram (loopMu held), reporting whether
+// it was a media packet worth a drain pass.
+func (r *RecvSession) handleMedia(buf []byte, now float64) bool {
+	if len(buf) < 1 || buf[0] != mediaMagic {
+		return false // feedback-typed or junk: not ours
+	}
+	t0 := time.Now()
+	pkt, err := transport.Unmarshal(buf[1:])
+	if err != nil {
+		return false
+	}
+	r.stages.Done(pkt.FrameSeq, telemetry.StageDepacketize, t0)
+	if pkt.FragIndex == 0 && !pkt.Parity {
+		r.trace.StampNow(frametrace.HopWire, pkt.Stream, pkt.FrameSeq, frametrace.NoSub)
+	}
+	r.gcc.OnArrival(float64(pkt.SendTimeUs)/1e6, now, len(buf))
+	r.received.Add(1)
+	r.rxTotal.Add(1)
+	r.mRx.Inc()
+	if jb := r.jb[pkt.Stream]; jb != nil {
+		jb.Push(pkt, now)
+	}
+	return true
+}
+
+// housekeeping owns the session's timed work until Close: jitter-buffer
+// delivery and NACK scheduling every 20 ms (the cadence the old read
+// deadline provided), feedback every 33 ms. It runs even — especially —
+// when no packets arrive: an outage is exactly when NACKs and PLIs must
+// keep flowing.
+func (r *RecvSession) housekeeping() {
+	defer r.wg.Done()
+	drainTick := time.NewTicker(20 * time.Millisecond)
+	defer drainTick.Stop()
+	feedbackTick := time.NewTicker(33 * time.Millisecond)
+	defer feedbackTick.Stop()
 	for {
 		select {
 		case <-r.closed:
 			return
-		case <-feedbackTicker.C:
+		case <-drainTick.C:
+			r.loopMu.Lock()
+			r.drain(r.now())
+			r.loopMu.Unlock()
+		case <-feedbackTick.C:
+			r.loopMu.Lock()
 			r.sendFeedback()
-		default:
+			r.loopMu.Unlock()
 		}
-		_ = r.conn.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
-		n, _, err := r.conn.ReadFrom(buf)
-		now := r.now()
-		if err != nil {
-			if ne, ok := err.(net.Error); ok && ne.Timeout() {
-				r.drain(now)
-				continue
-			}
-			select {
-			case <-r.closed:
-			default:
-				r.err.Store(fmt.Errorf("livo: media read: %w", err))
-			}
-			return
-		}
-		if n < 1 || buf[0] != mediaMagic {
-			continue // feedback-typed or junk: not ours
-		}
-		t0 := time.Now()
-		pkt, err := transport.Unmarshal(buf[1:n])
-		if err != nil {
-			continue
-		}
-		r.stages.Done(pkt.FrameSeq, telemetry.StageDepacketize, t0)
-		if pkt.FragIndex == 0 && !pkt.Parity {
-			r.trace.StampNow(frametrace.HopWire, pkt.Stream, pkt.FrameSeq, frametrace.NoSub)
-		}
-		r.gcc.OnArrival(float64(pkt.SendTimeUs)/1e6, now, n)
-		r.received.Add(1)
-		r.rxTotal.Add(1)
-		r.mRx.Inc()
-		if jb := r.jb[pkt.Stream]; jb != nil {
-			jb.Push(pkt, now)
-		}
-		r.drain(now)
 	}
 }
 
