@@ -43,6 +43,8 @@ func main() {
 		rbench   = flag.Bool("relaybench", false, "run the relay fan-out scale benchmark and write JSON results")
 		rbenchTo = flag.String("relaybench-out", "BENCH_relay.json", "output path for -relaybench results")
 		rbase    = flag.String("relaybench-baseline", "", "compare -relaybench queued allocs/packet against this baseline JSON; exit nonzero on regression")
+		lbench   = flag.Bool("ladderbench", false, "run the quality-ladder benchmark (encode amortization + heterogeneous-REMB fan-out) and write JSON results")
+		lbenchTo = flag.String("ladderbench-out", "BENCH_ladder.json", "output path for -ladderbench results")
 		nbench   = flag.Bool("netbench", false, "run the kernel-batched wire-path benchmark over real loopback sockets and write JSON results")
 		nbenchTo = flag.String("netbench-out", "BENCH_net.json", "output path for -netbench results")
 		nbase    = flag.String("netbench-baseline", "", "compare -netbench syscalls/pkt, allocs/pkt, and delivery against this baseline JSON; exit nonzero on regression")
@@ -74,6 +76,14 @@ func main() {
 	if *rbench {
 		if err := runRelayBench(*rbenchTo, *rbase, *short); err != nil {
 			fmt.Fprintf(os.Stderr, "relaybench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *lbench {
+		if err := runLadderBench(*lbenchTo, *short); err != nil {
+			fmt.Fprintf(os.Stderr, "ladderbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -648,6 +658,56 @@ func runChaosTraceDump(outPath string, frames int) error {
 	// of the end-to-end span, not every relay chain point.
 	fmt.Printf("wrote %s: %d frames merged, %d with capture→reconstruct, e2e p50 %.1f ms p99 %.1f ms\n",
 		outPath, rep.Frames, rep.EndToEnd.Count, rep.EndToEnd.P50Ms, rep.EndToEnd.P99Ms)
+	return nil
+}
+
+// runLadderBench measures the quality ladder's two costs — encode
+// amortization (3 rungs vs one) and heterogeneous-REMB fan-out — writes
+// BENCH_ladder.json, and enforces the absolute acceptance gates:
+//
+//   - the 3-rung ladder encode may cost at most 1.6× a single encode;
+//   - the routing hot path stays within 1.0 allocs/packet (the same
+//     cache-bookkeeping budget as relaybench);
+//   - every bandwidth class converges onto its affordable rung and
+//     receives ≥99% of that rung's packets, loss-free.
+func runLadderBench(outPath string, short bool) error {
+	fmt.Println("=== ladderbench (encode-once quality ladder) ===")
+	start := time.Now()
+	res, err := experiments.RunLadderBench(experiments.LadderBenchConfig{}, short, func(line string) {
+		fmt.Println(line)
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("(ladderbench in %s)\n", time.Since(start).Round(time.Millisecond))
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	if res.EncodeRatio > 1.6 {
+		return fmt.Errorf("ladderbench: 3-rung encode is %.2fx one encode, budget 1.6x", res.EncodeRatio)
+	}
+	fmt.Printf("encode check  %.2fx <= 1.6x budget\n", res.EncodeRatio)
+	if res.AllocsPerPacket > 1.0 {
+		return fmt.Errorf("ladderbench: %.2f allocs/packet exceeds the 1.0 budget", res.AllocsPerPacket)
+	}
+	fmt.Printf("alloc check   %.2f allocs/packet <= 1.0 budget\n", res.AllocsPerPacket)
+	for _, cl := range res.Classes {
+		if cl.OnWantRung != cl.Subs {
+			return fmt.Errorf("ladderbench: class %s converged %d/%d subscribers onto rung %d",
+				cl.Name, cl.OnWantRung, cl.Subs, cl.WantRung)
+		}
+		if cl.DeliveredRatio < 0.99 {
+			return fmt.Errorf("ladderbench: class %s delivered %.2f%% of rung %d, floor 99%%",
+				cl.Name, cl.DeliveredRatio*100, cl.WantRung)
+		}
+		fmt.Printf("class check   %-4s rung %d delivered %.2f%% >= 99%% floor\n", cl.Name, cl.WantRung, cl.DeliveredRatio*100)
+	}
 	return nil
 }
 

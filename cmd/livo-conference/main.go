@@ -51,6 +51,7 @@ func main() {
 		videoB    = flag.String("video-b", "office1", "site B's scene")
 		seconds   = flag.Float64("seconds", 5, "conference duration")
 		fanout    = flag.Int("fanout", 0, "route site A through a relay to this many subscribers (site B plus counting sinks)")
+		ladder    = flag.Bool("ladder", false, "site A encodes the 3-rung quality ladder; the relay assigns each subscriber a rung from its REMB (DESIGN.md §8)")
 		shards    = flag.Int("relay-shards", 0, "relay data-plane ingest shards (0 = GOMAXPROCS)")
 		udpBatch  = flag.Bool("udp-batch", true, "batch UDP syscalls with sendmmsg/recvmmsg where the kernel supports it")
 		rpShards  = flag.Int("reuseport-shards", 0, "bind this many SO_REUSEPORT relay ingest sockets sharing one port (0/1 = single socket)")
@@ -99,14 +100,14 @@ func main() {
 			st.Batched, st.RecvBufBytes, st.SendBufBytes)
 	}
 
-	mkSite := func(name, videoName string, out net.PacketConn, outPeer net.Addr, in net.PacketConn, inPeer net.Addr, sendTrace, recvTrace *frametrace.Ledger) *site {
+	mkSite := func(name, videoName string, out net.PacketConn, outPeer net.Addr, in net.PacketConn, inPeer net.Addr, sendTrace, recvTrace *frametrace.Ledger, lad bool) *site {
 		v, err := scene.OpenVideo(videoName, cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
 		st := &site{name: name, video: v}
 		st.send, err = livo.NewSendSession(out, outPeer, livo.SendSessionConfig{
-			Sender: livo.SenderConfig{Array: v.Array, ViewParams: livo.DefaultViewParams(), Trace: sendTrace},
+			Sender: livo.SenderConfig{Array: v.Array, ViewParams: livo.DefaultViewParams(), Trace: sendTrace, Ladder: lad},
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -215,20 +216,20 @@ func main() {
 				continue
 			}
 			subs := relay.Stats().Subs
-			fmt.Printf("%-4s %-22s %9s %9s %8s %6s %6s %6s %10s %9s\n",
-				"id", "addr", "enqueued", "sent", "dropped", "depth", "limit", "retx", "remb_mbps", "idle_ms")
+			fmt.Printf("%-4s %-22s %9s %9s %8s %6s %6s %6s %4s %4s %10s %9s\n",
+				"id", "addr", "enqueued", "sent", "dropped", "depth", "limit", "retx", "rung", "rsw", "remb_mbps", "idle_ms")
 			for _, s := range subs {
-				fmt.Printf("%-4d %-22s %9d %9d %8d %6d %6d %6d %10.1f %9.0f\n",
+				fmt.Printf("%-4d %-22s %9d %9d %8d %6d %6d %6d %4d %4d %10.1f %9.0f\n",
 					s.ID, s.Addr, s.Enqueued, s.Sent, s.Dropped, s.Depth, s.Limit, s.Retx,
-					s.REMBBps/1e6, s.LastActiveAgeMs)
+					s.Rung, s.RungSwitches, s.REMBBps/1e6, s.LastActiveAgeMs)
 			}
 		}
 	}()
 
 	// Note: both sites share camera geometry in this demo; a real
 	// deployment exchanges calibration at setup (§A.1).
-	siteA := mkSite("A", *videoA, aOut, aOutPeer, aIn, bOut.LocalAddr(), traceSend, nil)
-	siteB := mkSite("B", *videoB, bOut, aIn.LocalAddr(), bIn, bInPeer, nil, traceRecv)
+	siteA := mkSite("A", *videoA, aOut, aOutPeer, aIn, bOut.LocalAddr(), traceSend, nil, *ladder)
+	siteB := mkSite("B", *videoB, bOut, aIn.LocalAddr(), bIn, bInPeer, nil, traceRecv, false)
 	defer siteA.send.Close()
 	defer siteB.send.Close()
 	defer siteA.recv.Close()
@@ -272,6 +273,10 @@ func main() {
 			st.PLIForwarded, st.PLISuppressed, st.NACKForwarded, st.NACKCoalesced, st.REMBForwarded, st.PoseForwarded)
 		fmt.Printf("relay retx: %d served from cache, %d escalated, %d cached, %d liveness evictions\n",
 			st.RetxHits, st.RetxMisses, st.RetxCached, st.LivenessEvicted)
+		if st.RungSwitches > 0 || *ladder {
+			fmt.Printf("relay ladder: %d rung switches, subscribers per rung %v\n",
+				st.RungSwitches, st.RungSubscribers)
+		}
 		for _, sh := range st.Shards {
 			fmt.Printf("relay shard %d: %d subs, %d pkts routed, %d queues stolen by its workers\n",
 				sh.ID, sh.Subscribers, sh.Routed, sh.Stolen)

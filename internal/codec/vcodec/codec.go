@@ -203,19 +203,29 @@ func (e *expander) run(i int) {
 // downsample2x box-filters a plane into dst at (dw, dh) = ceil(w/2) x
 // ceil(h/2).
 func downsample2x(src []int32, w, h int, dst []int32, dw, dh int) {
-	for y := 0; y < dh; y++ {
-		for x := 0; x < dw; x++ {
-			var sum, n int32
-			for dy := 0; dy < 2; dy++ {
-				for dx := 0; dx < 2; dx++ {
-					sx, sy := 2*x+dx, 2*y+dy
-					if sx < w && sy < h {
-						sum += src[sy*w+sx]
-						n++
-					}
-				}
-			}
-			dst[y*dw+x] = (sum + n/2) / n
+	// Interior 2x2 blocks are fully in-bounds; only the last column/row of
+	// odd-sized planes need the clipped tap count.
+	ex, ey := w/2, h/2
+	for y := 0; y < ey; y++ {
+		r0 := src[(2*y)*w : (2*y)*w+w]
+		r1 := src[(2*y+1)*w : (2*y+1)*w+w]
+		d := dst[y*dw : y*dw+dw]
+		for x := 0; x < ex; x++ {
+			s := r0[2*x] + r0[2*x+1] + r1[2*x] + r1[2*x+1]
+			d[x] = (s + 2) / 4
+		}
+		if dw > ex { // odd width: single-column taps
+			d[ex] = (r0[w-1] + r1[w-1] + 1) / 2
+		}
+	}
+	if dh > ey { // odd height: single-row taps
+		r0 := src[(h-1)*w : h*w]
+		d := dst[ey*dw : ey*dw+dw]
+		for x := 0; x < ex; x++ {
+			d[x] = (r0[2*x] + r0[2*x+1] + 1) / 2
+		}
+		if dw > ex {
+			d[ex] = r0[w-1]
 		}
 	}
 }
@@ -254,6 +264,10 @@ type Packet struct {
 	Key  bool   // key (intra-only) frame
 	Seq  uint32 // frame sequence number
 	QP   int    // quantization parameter the rate controller chose
+	// Rung is quality-ladder metadata (not part of the bitstream): which
+	// ladder rung this packet encodes, 0 for single-rung streams. Receivers
+	// use it to route quarter-resolution rungs through the upsampling path.
+	Rung uint8
 }
 
 // SizeBytes returns the packet payload size.
@@ -583,6 +597,24 @@ func scatter(plane []int32, w, h, x0, y0 int, pred *[blockSize * blockSize]int32
 			}
 			v := pred[y*blockSize+x] + int32(math.Round(resid[y*blockSize+x]))
 			plane[sy*w+sx] = clampI32(v, 0, maxVal)
+		}
+	}
+}
+
+// scatterPredDelta writes pred plus a constant residual delta — the
+// DC-only fast path, bit-identical to scatter over a constant plane.
+func scatterPredDelta(plane []int32, w, h, x0, y0 int, pred *[blockSize * blockSize]int32, delta, maxVal int32) {
+	for y := 0; y < blockSize; y++ {
+		sy := y0 + y
+		if sy >= h {
+			break
+		}
+		for x := 0; x < blockSize; x++ {
+			sx := x0 + x
+			if sx >= w {
+				break
+			}
+			plane[sy*w+sx] = clampI32(pred[y*blockSize+x]+delta, 0, maxVal)
 		}
 	}
 }

@@ -73,6 +73,49 @@ func idct2d(b *[blockSize * blockSize]float64) {
 	}
 }
 
+// idct2dBounded computes the inverse 2D DCT of a block whose nonzero
+// coefficients all lie at frequency rows ≤ kr and columns ≤ kc, skipping
+// the basis terms those bounds prove are zero. Every skipped term
+// contributes exactly ±0.0 to its accumulator — an exact no-op in IEEE
+// arithmetic — so the result is bit-identical to idct2d; encoder, decoder,
+// and transcoder may mix the two freely without reconstruction drift.
+// Quantized blocks are overwhelmingly low-frequency (DC-only after a
+// coarse requantization), where this is ~8x cheaper than the dense
+// transform.
+func idct2dBounded(b *[blockSize * blockSize]float64, kr, kc int) {
+	var tmp [blockSize * blockSize]float64
+	// Columns: tmp = D^T * b, restricted to coefficient rows ≤ kr and the
+	// populated columns ≤ kc (the rest of tmp stays exactly zero).
+	for c := 0; c <= kc; c++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k <= kr; k++ {
+				s += dctMat[k][n] * b[k*blockSize+c]
+			}
+			tmp[n*blockSize+c] = s
+		}
+	}
+	// Rows: b = tmp * D; tmp columns beyond kc are zero and skipped.
+	for r := 0; r < blockSize; r++ {
+		for n := 0; n < blockSize; n++ {
+			var s float64
+			for k := 0; k <= kc; k++ {
+				s += tmp[r*blockSize+k] * dctMat[k][n]
+			}
+			b[r*blockSize+n] = s
+		}
+	}
+}
+
+// dcDelta is the constant pixel-domain residual of a DC-only block,
+// rounded exactly as scatter rounds each pixel. The multiplication order
+// mirrors idct2dBounded's two passes (dm*dc then *dm), so the delta is
+// bit-identical to running the transform and rounding per pixel.
+func dcDelta(dc float64) int32 {
+	dm := dctMat[0][0]
+	return int32(math.Round(dm * (dm * dc)))
+}
+
 // zigzag is the coefficient scan order: low frequencies first so trailing
 // zeros cluster for the entropy coder.
 var zigzag = buildZigzag()

@@ -1,0 +1,168 @@
+package vcodec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synthLadderFrame fills f with deterministic moving content: a gradient
+// background plus a few moving rectangles, so frames have both static and
+// changing blocks.
+func synthLadderFrame(f *Frame, t int, rng *rand.Rand) {
+	for p := range f.Planes {
+		for y := 0; y < f.H; y++ {
+			for x := 0; x < f.W; x++ {
+				f.Planes[p][y*f.W+x] = int32((x*3 + y*2 + p*17) % 256)
+			}
+		}
+	}
+	for r := 0; r < 3; r++ {
+		x0 := (t*(3+r) + r*19) % f.W
+		y0 := (t*(2+r) + r*11) % f.H
+		v := int32(rng.Intn(256))
+		for y := y0; y < y0+10 && y < f.H; y++ {
+			for x := x0; x < x0+14 && x < f.W; x++ {
+				for p := range f.Planes {
+					f.Planes[p][y*f.W+x] = v
+				}
+			}
+		}
+	}
+}
+
+// TestLadderRungsDecodeAndTrack runs a 3-rung ladder over several GOPs and
+// checks, per frame: every rung decodes with a standard Decoder, rungs
+// share Seq and Key, the requantization rung's closed-loop reference is
+// bit-identical to what its decoder reconstructs (no silent drift), and
+// the lower rungs cost fewer bytes than rung 0.
+func TestLadderRungsDecodeAndTrack(t *testing.T) {
+	cfg := ColorConfig(96, 64)
+	cfg.GOP = 8
+	le, err := NewLadderEncoder(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg, ok := le.QuarterConfig()
+	if !ok {
+		t.Fatal("default ladder has no quarter rung")
+	}
+	if qcfg.Width != (cfg.Width+1)/2 || qcfg.Height != (cfg.Height+1)/2 {
+		t.Fatalf("quarter config %dx%d", qcfg.Width, qcfg.Height)
+	}
+	dec0, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec1, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := NewDecoder(qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	f := NewFrame(cfg.Width, cfg.Height, cfg.NumPlanes)
+	var bytes0, bytes1, bytes2 int
+	for i := 0; i < 20; i++ {
+		synthLadderFrame(f, i, rng)
+		if i == 11 {
+			le.ForceKeyFrame() // mid-GOP PLI: all rungs must key together
+		}
+		pkts, err := le.EncodeLadderQP(f, nil, 18)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if len(pkts) != 3 {
+			t.Fatalf("frame %d: %d rungs", i, len(pkts))
+		}
+		for r, pkt := range pkts {
+			if pkt.Seq != pkts[0].Seq || pkt.Key != pkts[0].Key {
+				t.Fatalf("frame %d rung %d out of lockstep: seq %d/%d key %v/%v",
+					i, r, pkt.Seq, pkts[0].Seq, pkt.Key, pkts[0].Key)
+			}
+			if pkt.Rung != uint8(r) {
+				t.Fatalf("frame %d rung %d: packet rung %d", i, r, pkt.Rung)
+			}
+		}
+		if i == 11 && !pkts[0].Key {
+			t.Fatalf("forced key frame did not key")
+		}
+		if _, err := dec0.Decode(pkts[0]); err != nil {
+			t.Fatalf("frame %d rung 0 decode: %v", i, err)
+		}
+		if _, err := dec1.Decode(pkts[1]); err != nil {
+			t.Fatalf("frame %d rung 1 decode: %v", i, err)
+		}
+		df2, err := dec2.Decode(pkts[2])
+		if err != nil {
+			t.Fatalf("frame %d rung 2 decode: %v", i, err)
+		}
+		if df2.W != qcfg.Width || df2.H != qcfg.Height {
+			t.Fatalf("frame %d rung 2 output %dx%d", i, df2.W, df2.H)
+		}
+		// The transcode's closed-loop reference must match its decoder's
+		// reconstruction exactly — any divergence would drift for a whole
+		// GOP.
+		tr := le.trefs[1]
+		for p := range tr.prev.planes {
+			for j, v := range tr.prev.planes[p] {
+				if dec1.prev.planes[p][j] != v {
+					t.Fatalf("frame %d rung 1 plane %d sample %d: encoder recon %d, decoder recon %d",
+						i, p, j, v, dec1.prev.planes[p][j])
+				}
+			}
+		}
+		bytes0 += pkts[0].SizeBytes()
+		bytes1 += pkts[1].SizeBytes()
+		bytes2 += pkts[2].SizeBytes()
+	}
+	if bytes1 >= bytes0 {
+		t.Errorf("rung 1 (%d B) not cheaper than rung 0 (%d B)", bytes1, bytes0)
+	}
+	if bytes2 >= bytes0 {
+		t.Errorf("rung 2 (%d B) not cheaper than rung 0 (%d B)", bytes2, bytes0)
+	}
+}
+
+// TestLadderRateControlled exercises the rate-controlled path (corrective
+// re-encodes roll back rung 0 before the other rungs derive from it).
+func TestLadderRateControlled(t *testing.T) {
+	cfg := DepthConfig(80, 64)
+	cfg.GOP = 5
+	le, err := NewLadderEncoder(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec0, _ := NewDecoder(cfg)
+	dec1, _ := NewDecoder(cfg)
+	rng := rand.New(rand.NewSource(3))
+	f := NewFrame(cfg.Width, cfg.Height, 1)
+	for i := 0; i < 12; i++ {
+		for j := range f.Planes[0] {
+			f.Planes[0][j] = int32((j*13+i*257)%60000) + int32(rng.Intn(64))
+		}
+		pkts, err := le.EncodeLadder(f, nil, 2000)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if _, err := dec0.Decode(pkts[0]); err != nil {
+			t.Fatalf("frame %d rung 0: %v", i, err)
+		}
+		if _, err := dec1.Decode(pkts[1]); err != nil {
+			t.Fatalf("frame %d rung 1: %v", i, err)
+		}
+	}
+}
+
+// TestLadderValidation covers constructor error paths.
+func TestLadderValidation(t *testing.T) {
+	cfg := ColorConfig(32, 32)
+	if _, err := NewLadderEncoder(cfg, []Rung{{ID: 1, QPOffset: 4}}); err == nil {
+		t.Error("non-identity rung 0 accepted")
+	}
+	if _, err := NewLadderEncoder(cfg, []Rung{{}, {ID: 1}, {ID: 2}, {ID: 3}, {ID: 3}}); err == nil {
+		t.Error("5 rungs accepted")
+	}
+}

@@ -353,14 +353,36 @@ func (s *decStripe) decode() {
 				scatterPred(pd.recon, w, h, x0, y0, &predBlk, pd.maxVal)
 				continue
 			}
+			off := int(pp.offs[i])
+			kr, kc := 0, 0
+			for k := 1; k < count; k++ {
+				if pp.coeffs[off+k] == 0 {
+					continue
+				}
+				zz := zigzag[k]
+				if r := zz / blockSize; r > kr {
+					kr = r
+				}
+				if cc := zz % blockSize; cc > kc {
+					kc = cc
+				}
+			}
+			if kr == 0 && kc == 0 {
+				// DC-only block: the inverse transform is a constant plane,
+				// so add the once-rounded delta (bit-identical to the full
+				// transform + per-pixel rounding).
+				scatterPredDelta(pd.recon, w, h, x0, y0, &predBlk, dcDelta(float64(pp.coeffs[off])*pd.step), pd.maxVal)
+				continue
+			}
 			for k := range fblk {
 				fblk[k] = 0
 			}
-			off := int(pp.offs[i])
 			for k := 0; k < count; k++ {
-				fblk[zigzag[k]] = float64(pp.coeffs[off+k]) * pd.step
+				if c := pp.coeffs[off+k]; c != 0 {
+					fblk[zigzag[k]] = float64(c) * pd.step
+				}
 			}
-			idct2d(&fblk)
+			idct2dBounded(&fblk, kr, kc)
 			scatter(pd.recon, w, h, x0, y0, &predBlk, &fblk, pd.maxVal)
 		}
 	}

@@ -32,6 +32,11 @@ type ReceiverConfig struct {
 	// Trace, when non-nil, receives decode and reconstruct hop stamps for
 	// the cross-hop frame ledger (DESIGN.md §6); nil disables tracing.
 	Trace *frametrace.Ledger
+	// Rungs describes the sender's quality ladder so quarter-resolution
+	// rungs can be recognized and routed through the superres path; nil
+	// selects vcodec.DefaultLadder(). Legacy single-rung streams mark every
+	// packet rung 0 and never touch the ladder path.
+	Rungs []vcodec.Rung
 }
 
 func (c ReceiverConfig) withDefaults() ReceiverConfig {
@@ -59,6 +64,17 @@ type Receiver struct {
 	tiler    *frame.Tiler
 	colorDec *vcodec.Decoder
 	depthDec *depth.Decoder
+
+	// Quality-ladder state: quarterRung marks which rung ids carry
+	// quarter-resolution frames; the quarter decoders are created lazily on
+	// the first quarter packet (a subscriber pinned to full-res rungs never
+	// pays for them). Quarter color is upsampled bilinearly and quarter
+	// depth goes through the edge-aware superres path (VoLUT-style), so
+	// downstream pairing and reconstruction always see full-res tiles.
+	quarterRung [4]bool
+	qColorDec   *vcodec.Decoder
+	qDepthDec   *depth.Decoder
+	qMarkersOK  bool
 
 	pendingColor map[uint32]*frame.ColorImage
 	pendingDepth map[uint32]*frame.DepthImage
@@ -120,7 +136,7 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 	if tel == nil {
 		tel = telemetry.Default
 	}
-	return &Receiver{
+	r := &Receiver{
 		cfg:          cfg,
 		tiler:        tiler,
 		colorDec:     colorDec,
@@ -134,27 +150,171 @@ func NewReceiver(cfg ReceiverConfig) (*Receiver, error) {
 		mDecodeErrors: tel.Counter("livo_decode_errors_total"),
 		mMismatches:   tel.Counter("livo_seq_mismatch_total"),
 		gPendingPairs: tel.Gauge("livo_pending_unpaired_frames"),
-	}, nil
+	}
+	rungs := cfg.Rungs
+	if rungs == nil {
+		rungs = vcodec.DefaultLadder()
+	}
+	for _, rung := range rungs {
+		if rung.Quarter && int(rung.ID) < len(r.quarterRung) {
+			r.quarterRung[rung.ID] = true
+		}
+	}
+	qw, qh := (tw+1)/2, (th+1)/2
+	r.qMarkersOK = qw >= frame.MarkerWidth && qh >= frame.MarkerHeight
+	return r, nil
+}
+
+// quarterDims is the quarter rung's tile geometry.
+func (r *Receiver) quarterDims() (int, int) {
+	tw, th := r.tiler.FrameSize()
+	return (tw + 1) / 2, (th + 1) / 2
+}
+
+// decodeQuarterColor decodes a quarter-rung color packet and lifts it to
+// full resolution: read (and zero) the quarter marker strip first — the
+// marker must not smear past the full-res strip the pairing path wipes —
+// then upsample bilinearly. Returns the full-res image and the frame seq.
+func (r *Receiver) decodeQuarterColor(pkt *vcodec.Packet) (*frame.ColorImage, uint32, error) {
+	tw, th := r.tiler.FrameSize()
+	if r.qColorDec == nil {
+		qw, qh := r.quarterDims()
+		qcfg := vcodec.ColorConfig(qw, qh)
+		qcfg.GOP = r.cfg.GOP
+		qcfg.FlateLevel = r.cfg.FlateLevel
+		dec, err := vcodec.NewDecoder(qcfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		r.qColorDec = dec
+	}
+	f, err := r.qColorDec.Decode(pkt)
+	if err != nil {
+		return nil, 0, err
+	}
+	qim := f.ToColor()
+	seq := pkt.Seq
+	if r.qMarkersOK {
+		if mseq, err := frame.DecodeColorMarker(qim); err == nil {
+			if mseq != pkt.Seq {
+				r.mismatches++
+				r.mMismatches.Inc()
+			}
+			seq = mseq
+		}
+		zeroColorStrip(qim)
+	}
+	return upsampleColor2x(qim, tw, th), seq, nil
+}
+
+// decodeQuarterDepth decodes a quarter-rung depth packet and recovers full
+// resolution with the edge-aware superres path (depth.SuperResolve2x).
+func (r *Receiver) decodeQuarterDepth(pkt *vcodec.Packet) (*frame.DepthImage, uint32, error) {
+	tw, th := r.tiler.FrameSize()
+	if r.qDepthDec == nil {
+		qw, qh := r.quarterDims()
+		dec, err := depth.NewDecoder(depth.Config{
+			Scheme: depth.Scaled16,
+			Width:  qw, Height: qh,
+			MaxMM:      r.cfg.MaxDepthMM,
+			GOP:        r.cfg.GOP,
+			FlateLevel: r.cfg.FlateLevel,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		r.qDepthDec = dec
+	}
+	qim, err := r.qDepthDec.Decode(pkt)
+	if err != nil {
+		return nil, 0, err
+	}
+	seq := pkt.Seq
+	if r.qMarkersOK {
+		if mseq, err := frame.DecodeDepthMarker(qim); err == nil {
+			if mseq != pkt.Seq {
+				r.mismatches++
+				r.mMismatches.Inc()
+			}
+			seq = mseq
+		}
+		for y := 0; y < frame.MarkerHeight; y++ {
+			for x := 0; x < frame.MarkerWidth; x++ {
+				qim.Set(x, y, 0)
+			}
+		}
+	}
+	return depth.SuperResolve2x(qim, tw, th, depth.DefaultSuperresJumpMM), seq, nil
+}
+
+// zeroColorStrip wipes the marker strip of a color image.
+func zeroColorStrip(im *frame.ColorImage) {
+	for y := 0; y < frame.MarkerHeight; y++ {
+		for x := 0; x < frame.MarkerWidth; x++ {
+			im.Set(x, y, 0, 0, 0)
+		}
+	}
+}
+
+// upsampleColor2x lifts a half-resolution color image to outW x outH:
+// even output samples copy their source pixel, odd ones average the two
+// bracketing sources (separable linear interpolation).
+func upsampleColor2x(src *frame.ColorImage, outW, outH int) *frame.ColorImage {
+	out := frame.NewColorImage(outW, outH)
+	for y := 0; y < outH; y++ {
+		sy0 := y / 2
+		sy1 := sy0
+		if y&1 == 1 && sy0+1 < src.H {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < outW; x++ {
+			sx0 := x / 2
+			sx1 := sx0
+			if x&1 == 1 && sx0+1 < src.W {
+				sx1 = sx0 + 1
+			}
+			r00, g00, b00 := src.At(sx0, sy0)
+			r10, g10, b10 := src.At(sx1, sy0)
+			r01, g01, b01 := src.At(sx0, sy1)
+			r11, g11, b11 := src.At(sx1, sy1)
+			out.Set(x, y,
+				uint8((int(r00)+int(r10)+int(r01)+int(r11))/4),
+				uint8((int(g00)+int(g10)+int(g01)+int(g11))/4),
+				uint8((int(b00)+int(b10)+int(b01)+int(b11))/4))
+		}
+	}
+	return out
 }
 
 // PushColor decodes one color packet; if its depth counterpart has already
 // arrived, the paired frame is returned.
 func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
 	t0 := time.Now()
-	f, err := r.colorDec.Decode(pkt)
-	if err != nil {
-		r.mDecodeErrors.Inc()
-		return nil, err
-	}
-	im := f.ToColor()
-	seq := pkt.Seq
-	if r.markersOK {
-		if mseq, err := frame.DecodeColorMarker(im); err == nil {
-			if mseq != pkt.Seq {
-				r.mismatches++
-				r.mMismatches.Inc()
+	var im *frame.ColorImage
+	var seq uint32
+	if int(pkt.Rung) < len(r.quarterRung) && r.quarterRung[pkt.Rung] {
+		var err error
+		im, seq, err = r.decodeQuarterColor(pkt)
+		if err != nil {
+			r.mDecodeErrors.Inc()
+			return nil, err
+		}
+	} else {
+		f, err := r.colorDec.Decode(pkt)
+		if err != nil {
+			r.mDecodeErrors.Inc()
+			return nil, err
+		}
+		im = f.ToColor()
+		seq = pkt.Seq
+		if r.markersOK {
+			if mseq, err := frame.DecodeColorMarker(im); err == nil {
+				if mseq != pkt.Seq {
+					r.mismatches++
+					r.mMismatches.Inc()
+				}
+				seq = mseq
 			}
-			seq = mseq
 		}
 	}
 	r.stages.Done(seq, telemetry.StageDecodeColor, t0)
@@ -172,19 +332,31 @@ func (r *Receiver) PushColor(pkt *vcodec.Packet) (*PairedFrame, error) {
 // arrived, the paired frame is returned.
 func (r *Receiver) PushDepth(pkt *vcodec.Packet) (*PairedFrame, error) {
 	t0 := time.Now()
-	im, err := r.depthDec.Decode(pkt)
-	if err != nil {
-		r.mDecodeErrors.Inc()
-		return nil, err
-	}
-	seq := pkt.Seq
-	if r.markersOK {
-		if mseq, err := frame.DecodeDepthMarker(im); err == nil {
-			if mseq != pkt.Seq {
-				r.mismatches++
-				r.mMismatches.Inc()
+	var im *frame.DepthImage
+	var seq uint32
+	if int(pkt.Rung) < len(r.quarterRung) && r.quarterRung[pkt.Rung] {
+		var err error
+		im, seq, err = r.decodeQuarterDepth(pkt)
+		if err != nil {
+			r.mDecodeErrors.Inc()
+			return nil, err
+		}
+	} else {
+		var err error
+		im, err = r.depthDec.Decode(pkt)
+		if err != nil {
+			r.mDecodeErrors.Inc()
+			return nil, err
+		}
+		seq = pkt.Seq
+		if r.markersOK {
+			if mseq, err := frame.DecodeDepthMarker(im); err == nil {
+				if mseq != pkt.Seq {
+					r.mismatches++
+					r.mMismatches.Inc()
+				}
+				seq = mseq
 			}
-			seq = mseq
 		}
 	}
 	r.stages.Done(seq, telemetry.StageDecodeDepth, t0)

@@ -92,6 +92,14 @@ type SenderConfig struct {
 	MaxDepthMM uint16
 	// FlateLevel tunes the entropy coder (default 4).
 	FlateLevel int
+	// Ladder enables the encode-once quality ladder (DESIGN.md §8): each
+	// frame is encoded at vcodec.DefaultLadder()'s rungs — full quality, a
+	// requantized cheaper copy, and a quarter-resolution copy — and
+	// EncodedFrame carries every rung so the relay can serve each
+	// subscriber the best rung its bandwidth affords. The rate-control
+	// budget and quality probes apply to rung 0; the other rungs derive
+	// from its analysis (§3.2's encode-once principle).
+	Ladder bool
 	// ProbeRMSE computes the sender-side depth/color RMSE on every frame
 	// and reports it in EncodedFrame (the Fig 4 instrumentation; normally
 	// the probe only runs every k-th frame inside the splitter).
@@ -146,6 +154,11 @@ type EncodedFrame struct {
 	// millimeters and 8-bit levels; -1 unless probed this frame.
 	DepthRMSEmm float64
 	ColorRMSE   float64
+	// ColorRungs/DepthRungs carry every quality-ladder rung, indexed like
+	// vcodec.DefaultLadder(); entry 0 aliases Color/Depth. Nil when the
+	// ladder is disabled.
+	ColorRungs []*vcodec.Packet
+	DepthRungs []*vcodec.Packet
 }
 
 // TotalBytes is the encoded size of both streams.
@@ -167,6 +180,20 @@ type Sender struct {
 	predictor *cull.FrustumPredictor
 	seq       uint32
 	markersOK bool
+
+	// Quality-ladder state (cfg.Ladder): ladder encoders replace the
+	// single-rung ones, and the quarter rung stages through qColor/qDepth
+	// (downsampled from the *unstamped* tiles, then stamped with their own
+	// marker — downsampling a stamped image would destroy the code).
+	// qMarkersOK is the quarter geometry's marker fit; when false the
+	// ladder derives quarters internally and receivers fall back to
+	// transport sequence numbers.
+	colorLad   *vcodec.LadderEncoder
+	depthLad   *depth.LadderEncoder
+	qMarkersOK bool
+	qColor     *frame.ColorImage
+	qDepth     *frame.DepthImage
+	qsrcColor  *vcodec.Frame
 	// refreshInFlight suppresses repeated PLI-triggered key frames until the
 	// forced IDR has actually been emitted (PLI-storm guard, §A.1).
 	refreshInFlight bool
@@ -218,19 +245,35 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 	colorCfg.GOP = cfg.GOP
 	colorCfg.SearchRadius = cfg.SearchRadius
 	colorCfg.FlateLevel = cfg.FlateLevel
-	colorEnc, err := vcodec.NewEncoder(colorCfg)
-	if err != nil {
-		return nil, err
-	}
-	depthEnc, err := depth.NewEncoder(depth.Config{
+	depthCfg := depth.Config{
 		Scheme: depth.Scaled16,
 		Width:  tw, Height: th,
 		MaxMM:      cfg.MaxDepthMM,
 		GOP:        cfg.GOP,
 		FlateLevel: cfg.FlateLevel,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var colorEnc *vcodec.Encoder
+	var depthEnc *depth.Encoder
+	var colorLad *vcodec.LadderEncoder
+	var depthLad *depth.LadderEncoder
+	if cfg.Ladder {
+		colorLad, err = vcodec.NewLadderEncoder(colorCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		depthLad, err = depth.NewLadderEncoder(depthCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		colorEnc, err = vcodec.NewEncoder(colorCfg)
+		if err != nil {
+			return nil, err
+		}
+		depthEnc, err = depth.NewEncoder(depthCfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	initial := cfg.InitialSplit
@@ -242,6 +285,8 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		tiler:      tiler,
 		colorEnc:   colorEnc,
 		depthEnc:   depthEnc,
+		colorLad:   colorLad,
+		depthLad:   depthLad,
 		splitter:   split.New(initial),
 		predictor:  cull.NewFrustumPredictor(cfg.ViewParams),
 		markersOK:  tw >= frame.MarkerWidth && th >= frame.MarkerHeight,
@@ -252,6 +297,16 @@ func NewSender(cfg SenderConfig) (*Sender, error) {
 		depthViews: make([]*frame.DepthImage, cfg.Array.N()),
 	}
 	s.predictor.Guard = cfg.GuardBand
+	if cfg.Ladder {
+		if qcfg, ok := colorLad.QuarterConfig(); ok {
+			s.qMarkersOK = s.markersOK &&
+				qcfg.Width >= frame.MarkerWidth && qcfg.Height >= frame.MarkerHeight
+			if s.qMarkersOK {
+				s.qColor = frame.NewColorImage(qcfg.Width, qcfg.Height)
+				s.qsrcColor = vcodec.NewFrame(qcfg.Width, qcfg.Height, 3)
+			}
+		}
+	}
 
 	tel := cfg.Telemetry
 	if tel == nil {
@@ -294,6 +349,11 @@ func (s *Sender) Split() float64 { return s.splitter.Split() }
 // streams. Prefer RequestKeyFrame for PLI handling — this primitive has no
 // storm guard.
 func (s *Sender) ForceKeyFrame() {
+	if s.cfg.Ladder {
+		s.colorLad.ForceKeyFrame()
+		s.depthLad.ForceKeyFrame()
+		return
+	}
 	s.colorEnc.ForceKeyFrame()
 	s.depthEnc.ForceKeyFrame()
 }
@@ -372,7 +432,14 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	}
 	s.stages.Done(s.seq, telemetry.StageTile, tileStart)
 
-	// 3. In-band sequence markers (§A.1).
+	// 3. In-band sequence markers (§A.1). The quarter rung's staging images
+	// are downsampled from the *unstamped* tiles first — downsampling a
+	// stamped image would shred the marker code — then each resolution is
+	// stamped with its own marker.
+	if s.cfg.Ladder && s.qMarkersOK {
+		downsampleColorBox2x(tiledColor, s.qColor)
+		s.qDepth = depth.Downsample2xInto(tiledDepth, s.qDepth)
+	}
 	if s.markersOK {
 		if err := frame.StampColorMarker(tiledColor, s.seq); err != nil {
 			return nil, err
@@ -380,6 +447,15 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 		if err := frame.StampDepthMarker(tiledDepth, s.seq); err != nil {
 			return nil, err
 		}
+	}
+	if s.cfg.Ladder && s.qMarkersOK {
+		if err := frame.StampColorMarker(s.qColor, s.seq); err != nil {
+			return nil, err
+		}
+		if err := frame.StampDepthMarker(s.qDepth, s.seq); err != nil {
+			return nil, err
+		}
+		vcodec.FromColorInto(s.qColor, s.qsrcColor)
 	}
 
 	// 4. Bandwidth split + encoding (§3.3). The two streams go through
@@ -394,28 +470,40 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	srcColor := s.srcColor
 	vcodec.FromColorInto(tiledColor, srcColor)
 	var colorPkt, depthPkt *vcodec.Packet
+	var colorPkts, depthPkts []*vcodec.Packet
 	var depthErr error
 	var wg sync.WaitGroup
 	encStart := time.Now()
-	if s.adapts() {
-		depthBudget, colorBudget := s.splitter.Budgets(targetBytes)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			depthPkt, depthErr = s.depthEnc.Encode(tiledDepth, depthBudget)
-			s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
-			s.cfg.Trace.StampNow(frametrace.HopEncodeDepth, 0, s.seq, frametrace.NoSub)
-		}()
-		colorPkt, err = s.colorEnc.Encode(srcColor, colorBudget)
-	} else {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	fixedQP := !s.adapts()
+	var depthBudget, colorBudget int
+	if !fixedQP {
+		depthBudget, colorBudget = s.splitter.Budgets(targetBytes)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		switch {
+		case s.cfg.Ladder && fixedQP:
+			depthPkts, depthErr = s.depthLad.EncodeLadderQP(tiledDepth, s.qDepth, s.cfg.FixedDepthQP)
+		case s.cfg.Ladder:
+			depthPkts, depthErr = s.depthLad.EncodeLadder(tiledDepth, s.qDepth, depthBudget)
+		case fixedQP:
 			depthPkt, depthErr = s.depthEnc.EncodeQP(tiledDepth, s.cfg.FixedDepthQP)
-			s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
-			s.cfg.Trace.StampNow(frametrace.HopEncodeDepth, 0, s.seq, frametrace.NoSub)
-		}()
+		default:
+			depthPkt, depthErr = s.depthEnc.Encode(tiledDepth, depthBudget)
+		}
+		s.stages.Done(s.seq, telemetry.StageEncodeDepth, encStart)
+		s.cfg.Trace.StampNow(frametrace.HopEncodeDepth, 0, s.seq, frametrace.NoSub)
+	}()
+	switch {
+	case s.cfg.Ladder && fixedQP:
+		colorPkts, err = s.colorLad.EncodeLadderQP(srcColor, s.qsrcColor, s.cfg.FixedColorQP)
+	case s.cfg.Ladder:
+		colorPkts, err = s.colorLad.EncodeLadder(srcColor, s.qsrcColor, colorBudget)
+	case fixedQP:
 		colorPkt, err = s.colorEnc.EncodeQP(srcColor, s.cfg.FixedColorQP)
+	default:
+		colorPkt, err = s.colorEnc.Encode(srcColor, colorBudget)
 	}
 	s.stages.Done(s.seq, telemetry.StageEncodeColor, encStart)
 	s.cfg.Trace.StampNow(frametrace.HopEncodeColor, 0, s.seq, frametrace.NoSub)
@@ -426,13 +514,23 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	if depthErr != nil {
 		return nil, depthErr
 	}
+	if s.cfg.Ladder {
+		colorPkt, depthPkt = colorPkts[0], depthPkts[0]
+	}
 
 	// 5. Quality probe every k frames: compare the encoder-side
 	// reconstructions to the sources and walk the split (§3.3).
 	depthRMSE, colorRMSE := -1.0, -1.0
 	if evaluate || s.cfg.ProbeRMSE {
-		colorRecon := s.colorEnc.LastRecon()
-		depthRecon := s.depthEnc.LastReconDepth()
+		var colorRecon *vcodec.Frame
+		var depthRecon *frame.DepthImage
+		if s.cfg.Ladder {
+			colorRecon = s.colorLad.Encoder().LastRecon()
+			depthRecon = s.depthLad.LastReconDepth()
+		} else {
+			colorRecon = s.colorEnc.LastRecon()
+			depthRecon = s.depthEnc.LastReconDepth()
+		}
 		if colorRecon != nil && depthRecon != nil {
 			colorRMSE = vcodec.PlaneRMSE(srcColor, colorRecon)
 			normDepth := depthRMSENorm(tiledDepth, depthRecon, float64(s.cfg.MaxDepthMM))
@@ -452,7 +550,17 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 	}
 
 	s.mFrames.Inc()
-	s.mBytes.Add(int64(colorPkt.SizeBytes() + depthPkt.SizeBytes()))
+	encodedBytes := colorPkt.SizeBytes() + depthPkt.SizeBytes()
+	if s.cfg.Ladder {
+		encodedBytes = 0
+		for _, p := range colorPkts {
+			encodedBytes += p.SizeBytes()
+		}
+		for _, p := range depthPkts {
+			encodedBytes += p.SizeBytes()
+		}
+	}
+	s.mBytes.Add(int64(encodedBytes))
 	s.gSplit.Set(s.splitter.Split())
 	s.gTarget.SetInt(int64(targetBytes))
 	if depthRMSE >= 0 {
@@ -471,9 +579,34 @@ func (s *Sender) ProcessFrame(views []frame.RGBDFrame, bandwidthBps float64) (*E
 		TargetBytes: targetBytes,
 		DepthRMSEmm: depthRMSE,
 		ColorRMSE:   colorRMSE,
+		ColorRungs:  colorPkts,
+		DepthRungs:  depthPkts,
 	}
 	s.seq++
 	return out, nil
+}
+
+// downsampleColorBox2x box-filters a color image into out, which must be
+// ceil(W/2) x ceil(H/2) (the quarter rung's staging geometry).
+func downsampleColorBox2x(src, out *frame.ColorImage) {
+	for y := 0; y < out.H; y++ {
+		for x := 0; x < out.W; x++ {
+			var rs, gs, bs, n int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sx, sy := 2*x+dx, 2*y+dy
+					if sx < src.W && sy < src.H {
+						r, g, b := src.At(sx, sy)
+						rs += int(r)
+						gs += int(g)
+						bs += int(b)
+						n++
+					}
+				}
+			}
+			out.Set(x, y, uint8(rs/n), uint8(gs/n), uint8(bs/n))
+		}
+	}
 }
 
 // depthRMSEChunk is the fixed shard size for the parallel depth probe.

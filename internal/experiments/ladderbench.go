@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"livo/internal/codec/vcodec"
+	"livo/internal/relaycore"
+	"livo/internal/telemetry"
+	"livo/internal/transport"
+)
+
+// Quality-ladder benchmark (`livo-bench -ladderbench`): measures the two
+// costs the encode-once ladder design trades against each other, and lands
+// the results in BENCH_ladder.json.
+//
+//   - Encode amortization: one LadderEncoder producing all three rungs
+//     (full, requantized, quarter-res) versus a single-rung encoder on the
+//     same frames. The requantization rung reuses rung 0's mode decisions
+//     and motion vectors and the quarter rung codes 1/4 the pixels, so the
+//     whole ladder must cost ≤1.6× one encode (the CI gate) instead of 3×.
+//
+//   - Heterogeneous fan-out: a relay carrying the 3-rung ladder serves
+//     three REMB classes of subscribers — fast (affords rung 0), mid
+//     (rung 1), and slow (rung 2). Each class must converge onto its rung
+//     and then receive ≥99% of that rung's packets, with the hot path
+//     allocation-free (≤1.0 allocs/packet, same budget as relaybench).
+//
+// The relay phase runs on a manual clock (relaycore.Config.Now) advanced
+// 1/FPS per frame, so the per-rung rate estimator sees the intended
+// bitrates regardless of how fast the host pushes packets.
+
+// LadderClassResult is one bandwidth class's outcome.
+type LadderClassResult struct {
+	Name     string  `json:"name"`
+	REMBBps  float64 `json:"remb_bps"`
+	Subs     int     `json:"subs"`
+	WantRung uint8   `json:"want_rung"`
+	// OnWantRung counts subscribers settled on the expected rung after the
+	// warmup GOPs.
+	OnWantRung int `json:"on_want_rung"`
+	// Delivered and Expected count media packets over the measured window;
+	// Expected is frames × the class rung's fragments per frame per sub.
+	Delivered      int64   `json:"delivered"`
+	Expected       int64   `json:"expected"`
+	DeliveredRatio float64 `json:"delivered_ratio"`
+}
+
+// LadderBenchResult is the whole run's measurement.
+type LadderBenchResult struct {
+	Rungs        int `json:"rungs"`
+	FPS          int `json:"fps"`
+	EncodeFrames int `json:"encode_frames"`
+	// Per-frame encode cost: one full-quality rung alone vs the whole
+	// ladder, and their ratio (the ≤1.6 gate).
+	EncodeSingleMs float64 `json:"encode_single_ms"`
+	EncodeLadderMs float64 `json:"encode_ladder_ms"`
+	EncodeRatio    float64 `json:"encode_ratio"`
+
+	Classes         []LadderClassResult `json:"classes"`
+	MeasuredFrames  int                 `json:"measured_frames"`
+	PacketsRouted   int64               `json:"packets_routed"`
+	PacketsPerSec   float64             `json:"packets_per_sec"`
+	AllocsPerPacket float64             `json:"allocs_per_packet"`
+	RungSwitches    int64               `json:"rung_switches"`
+	PLIsToSender    int64               `json:"plis_to_sender"`
+	Drops           int64               `json:"drops"`
+}
+
+// LadderBenchConfig parameterizes a run; zero values pick defaults.
+type LadderBenchConfig struct {
+	FPS            int
+	SubsPerClass   int
+	WarmupFrames   int // frames before the measured window (rung convergence)
+	MeasuredFrames int
+	EncodeW        int
+	EncodeH        int
+	EncodeFrames   int
+}
+
+func (c *LadderBenchConfig) fill(short bool) {
+	if c.FPS <= 0 {
+		c.FPS = 30
+	}
+	if c.SubsPerClass <= 0 {
+		c.SubsPerClass = 8
+		if short {
+			c.SubsPerClass = 4
+		}
+	}
+	if c.WarmupFrames <= 0 {
+		c.WarmupFrames = 3 * benchGOP
+	}
+	if c.MeasuredFrames <= 0 {
+		c.MeasuredFrames = 300
+		if short {
+			c.MeasuredFrames = 90
+		}
+	}
+	if c.EncodeW <= 0 || c.EncodeH <= 0 {
+		c.EncodeW, c.EncodeH = 160, 120
+	}
+	if c.EncodeFrames <= 0 {
+		c.EncodeFrames = 60
+		if short {
+			c.EncodeFrames = 24
+		}
+	}
+}
+
+// ladderFragsPerFrame is the per-rung fragment count of one frame: the
+// requantized rung compresses ~2× and the quarter rung ~4×, so at 30 fps
+// with 1000-byte payloads the rung bitrates are ~3.9, ~2.0, and ~1.0 Mb/s —
+// far enough apart for REMB classes to select distinct rungs.
+var ladderFragsPerFrame = [3]uint16{benchFragsPerFrame, benchFragsPerFrame / 2, benchFragsPerFrame / 4}
+
+// ladderClasses are the three bandwidth classes: each REMB affords exactly
+// one rung under the router's 0.9 headroom.
+var ladderClasses = []struct {
+	name string
+	bps  float64
+	rung uint8
+}{
+	{"fast", 8e6, 0},
+	{"mid", 3e6, 1},
+	{"slow", 1.5e6, 2},
+}
+
+// ladderBenchConn counts deliveries per subscriber without buffering —
+// the classes differ by advertised bandwidth, not by drain speed, so the
+// write path is just atomic bookkeeping (and stays allocation-free).
+type ladderBenchConn struct {
+	subs   []ladderBenchSub
+	sender ladderSenderCounters
+}
+
+type ladderBenchSub struct {
+	delivered atomic.Int64
+	_pad      [7]uint64
+}
+
+type ladderSenderCounters struct {
+	plis atomic.Int64
+}
+
+func (c *ladderBenchConn) WriteTo(p []byte, a net.Addr) (int, error) {
+	i := a.(*relayBenchAddr).i
+	if i < 0 {
+		if len(p) > 0 && p[0] == transport.FBPLI {
+			c.sender.plis.Add(1)
+		}
+		return len(p), nil
+	}
+	if len(p) > 0 && p[0] == transport.MediaMagic {
+		c.subs[i].delivered.Add(1)
+	}
+	return len(p), nil
+}
+
+func (c *ladderBenchConn) WriteBatch(ps [][]byte, a net.Addr) (int, error) {
+	i := a.(*relayBenchAddr).i
+	if i < 0 {
+		for _, p := range ps {
+			if len(p) > 0 && p[0] == transport.FBPLI {
+				c.sender.plis.Add(1)
+			}
+		}
+		return len(ps), nil
+	}
+	n := int64(0)
+	for _, p := range ps {
+		if len(p) > 0 && p[0] == transport.MediaMagic {
+			n++
+		}
+	}
+	c.subs[i].delivered.Add(n)
+	return len(ps), nil
+}
+
+// ladderTemplates builds one restampable wire packet per rung.
+func ladderTemplates() [3][]byte {
+	var out [3][]byte
+	for rung := 0; rung < 3; rung++ {
+		p := transport.Packet{
+			Stream:    transport.StreamColor,
+			FragCount: ladderFragsPerFrame[rung],
+			Rung:      uint8(rung),
+			Payload:   make([]byte, 1000),
+		}
+		out[rung] = append([]byte{transport.MediaMagic}, p.Marshal()...)
+	}
+	return out
+}
+
+// RunLadderBench measures encode amortization and the heterogeneous-REMB
+// fan-out, returning the combined result.
+func RunLadderBench(cfg LadderBenchConfig, short bool, progress func(string)) (LadderBenchResult, error) {
+	cfg.fill(short)
+	if progress == nil {
+		progress = func(string) {}
+	}
+	res := LadderBenchResult{Rungs: 3, FPS: cfg.FPS, EncodeFrames: cfg.EncodeFrames, MeasuredFrames: cfg.MeasuredFrames}
+
+	single, ladder, err := measureEncodeAmortization(cfg)
+	if err != nil {
+		return res, err
+	}
+	res.EncodeSingleMs = single.Seconds() * 1e3 / float64(cfg.EncodeFrames)
+	res.EncodeLadderMs = ladder.Seconds() * 1e3 / float64(cfg.EncodeFrames)
+	res.EncodeRatio = ladder.Seconds() / single.Seconds()
+	progress(fmt.Sprintf("encode %dx%d ×%d frames: single %.2f ms/frame, 3-rung ladder %.2f ms/frame, ratio %.2fx",
+		cfg.EncodeW, cfg.EncodeH, cfg.EncodeFrames, res.EncodeSingleMs, res.EncodeLadderMs, res.EncodeRatio))
+
+	if err := runLadderFanout(cfg, &res, progress); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// measureEncodeAmortization times N frames through a single-rung encoder
+// and through the 3-rung ladder on identical content. Both get one warmup
+// GOP so pools and stripe arenas are grown before the timed window.
+func measureEncodeAmortization(cfg LadderBenchConfig) (single, ladder time.Duration, err error) {
+	vcfg := vcodec.ColorConfig(cfg.EncodeW, cfg.EncodeH)
+	enc, err := vcodec.NewEncoder(vcfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	le, err := vcodec.NewLadderEncoder(vcfg, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	f := vcodec.NewFrame(vcfg.Width, vcfg.Height, 3)
+	const qp = 26
+	synth := func(t int) {
+		for p := range f.Planes {
+			for y := 0; y < f.H; y++ {
+				row := f.Planes[p][y*f.W : (y+1)*f.W]
+				for x := range row {
+					row[x] = int32((x*3 + y*2 + p*17 + t*5) % 256)
+				}
+			}
+		}
+	}
+	const warmup = 8
+	for i := 0; i < warmup; i++ {
+		synth(i)
+		if _, err := enc.EncodeQP(f, qp); err != nil {
+			return 0, 0, err
+		}
+		if _, err := le.EncodeLadderQP(f, nil, qp); err != nil {
+			return 0, 0, err
+		}
+	}
+	// Interleave the two timed paths frame by frame so clock-speed drift
+	// over the measurement window (CI machines throttle) cancels out of
+	// the ratio instead of landing on whichever path ran second.
+	for i := 0; i < cfg.EncodeFrames; i++ {
+		synth(warmup + i)
+		t0 := time.Now()
+		if _, err := enc.EncodeQP(f, qp); err != nil {
+			return 0, 0, err
+		}
+		single += time.Since(t0)
+		t0 = time.Now()
+		if _, err := le.EncodeLadderQP(f, nil, qp); err != nil {
+			return 0, 0, err
+		}
+		ladder += time.Since(t0)
+	}
+	return single, ladder, nil
+}
+
+// runLadderFanout drives the relay with the 3-rung wire ladder and three
+// REMB classes, filling the fan-out half of res.
+func runLadderFanout(cfg LadderBenchConfig, res *LadderBenchResult, progress func(string)) error {
+	nsubs := cfg.SubsPerClass * len(ladderClasses)
+	conn := &ladderBenchConn{subs: make([]ladderBenchSub, nsubs)}
+
+	// Manual clock: one frame interval per routed frame.
+	var clockNs atomic.Int64
+	interval := time.Second / time.Duration(cfg.FPS)
+	router := relaycore.NewRouter(conn, &relayBenchAddr{i: -1, s: "sender"}, relaycore.Config{
+		Telemetry: telemetry.NewRegistry(0),
+		Now:       func() time.Time { return time.Unix(0, clockNs.Load()) },
+	})
+	defer router.Close()
+
+	subAddrs := make([]net.Addr, nsubs)
+	rembWires := make([][]byte, len(ladderClasses))
+	for ci, cl := range ladderClasses {
+		rembWires[ci] = transport.AppendREMB(nil, cl.bps)
+		for j := 0; j < cfg.SubsPerClass; j++ {
+			i := ci*cfg.SubsPerClass + j
+			subAddrs[i] = &relayBenchAddr{i: i, s: fmt.Sprintf("sub-%d", i)}
+			router.Subscribe(subAddrs[i])
+		}
+	}
+
+	// Pre-grow the shard pools so the measured window charges only the
+	// per-packet hot path (same rationale as relaybench).
+	for i := 0; i < router.Shards(); i++ {
+		pool := router.ShardPool(i)
+		bufs := make([]*relaycore.PacketBuf, 1024)
+		for j := range bufs {
+			bufs[j] = pool.Get(1)
+		}
+		for _, b := range bufs {
+			b.Release()
+		}
+	}
+
+	tmpl := ladderTemplates()
+	pool := router.Pool()
+	frame := 0
+	routeFrame := func() {
+		seq := uint32(frame + 1)
+		key := frame%benchGOP == 0
+		for rung := 0; rung < 3; rung++ {
+			w := tmpl[rung]
+			restampFrame(w, transport.StreamColor, seq, key)
+			for frag := uint16(0); frag < ladderFragsPerFrame[rung]; frag++ {
+				w[6] = byte(frag >> 8)
+				w[7] = byte(frag)
+				router.RouteMedia(pool.Load(w))
+			}
+		}
+		frame++
+		clockNs.Add(int64(interval))
+		for ci := range ladderClasses {
+			for j := 0; j < cfg.SubsPerClass; j++ {
+				router.RouteFeedback(rembWires[ci], subAddrs[ci*cfg.SubsPerClass+j])
+			}
+		}
+		// The producer free-runs against the manual clock; without a yield
+		// per frame it starves the ingest and writer goroutines on small
+		// GOMAXPROCS and queues overflow into frame drops (same reasoning
+		// as relaybench's flat-out loop).
+		runtime.Gosched()
+		if frame%benchGOP == 0 {
+			router.WaitIdle(30 * time.Second)
+		}
+	}
+
+	// Warmup: converge every class onto its rung (downswitches commit at
+	// the GOP key frames inside this window).
+	for i := 0; i < cfg.WarmupFrames; i++ {
+		routeFrame()
+	}
+	if !router.WaitIdle(30 * time.Second) {
+		return fmt.Errorf("ladderbench: warmup did not drain")
+	}
+	st := router.Stats()
+	rungBySub := make(map[string]uint8, len(st.Subs))
+	for _, s := range st.Subs {
+		rungBySub[s.Addr] = s.Rung
+	}
+
+	// Measured window.
+	before := make([]int64, nsubs)
+	for i := range before {
+		before[i] = conn.subs[i].delivered.Load()
+	}
+	d0 := router.Stats().Drops
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	var routed int64
+	for i := 0; i < cfg.MeasuredFrames; i++ {
+		routeFrame()
+	}
+	for rung := 0; rung < 3; rung++ {
+		routed += int64(cfg.MeasuredFrames) * int64(ladderFragsPerFrame[rung])
+	}
+	if !router.WaitIdle(30 * time.Second) {
+		return fmt.Errorf("ladderbench: measured window did not drain")
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	st = router.Stats()
+
+	res.PacketsRouted = routed
+	res.PacketsPerSec = float64(routed) / elapsed.Seconds()
+	res.AllocsPerPacket = float64(m1.Mallocs-m0.Mallocs) / float64(routed)
+	res.RungSwitches = st.RungSwitches
+	res.PLIsToSender = conn.sender.plis.Load()
+	res.Drops = st.Drops - d0
+
+	for ci, cl := range ladderClasses {
+		cr := LadderClassResult{Name: cl.name, REMBBps: cl.bps, Subs: cfg.SubsPerClass, WantRung: cl.rung}
+		for j := 0; j < cfg.SubsPerClass; j++ {
+			i := ci*cfg.SubsPerClass + j
+			if rungBySub[subAddrs[i].String()] == cl.rung {
+				cr.OnWantRung++
+			}
+			cr.Delivered += conn.subs[i].delivered.Load() - before[i]
+		}
+		cr.Expected = int64(cfg.SubsPerClass) * int64(cfg.MeasuredFrames) * int64(ladderFragsPerFrame[cl.rung])
+		if cr.Expected > 0 {
+			cr.DeliveredRatio = float64(cr.Delivered) / float64(cr.Expected)
+		}
+		res.Classes = append(res.Classes, cr)
+		progress(fmt.Sprintf("class %-4s remb=%.1fMbps subs=%d rung=%d (converged %d/%d) delivered %d/%d (%.2f%%)",
+			cl.name, cl.bps/1e6, cr.Subs, cl.rung, cr.OnWantRung, cr.Subs, cr.Delivered, cr.Expected, cr.DeliveredRatio*100))
+	}
+	progress(fmt.Sprintf("fanout: %d pkts routed (%.0f/s), %.2f allocs/pkt, %d rung switches, %d PLIs to sender, %d drops",
+		res.PacketsRouted, res.PacketsPerSec, res.AllocsPerPacket, res.RungSwitches, res.PLIsToSender, res.Drops))
+	return nil
+}

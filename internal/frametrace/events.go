@@ -15,11 +15,13 @@ const (
 	EvRetxHit                        // NACK served from the retransmission cache
 	EvRetxMiss                       // NACK escalated to the sender
 	EvREMB                           // forwarded REMB minimum changed; Val is bps
+	EvRungSwitch                     // subscriber rung switch committed; Val is RungSwitchVal
 	NumEventKinds   int       = iota
 )
 
 var eventNames = [NumEventKinds]string{
 	"frame_drop", "pli", "liveness_evict", "retx_hit", "retx_miss", "remb",
+	"rung_switch",
 }
 
 func (k EventKind) String() string {
@@ -49,6 +51,18 @@ func (r DropReason) String() string {
 		return "evict_key"
 	}
 	return "drop?"
+}
+
+// RungSwitchVal packs a rung switch's context into an event Val: the old
+// and new rung ids plus the REMB estimate (bps) that triggered the
+// reassignment.
+func RungSwitchVal(oldRung, newRung uint8, rembBps int64) int64 {
+	return rembBps<<16 | int64(oldRung)<<8 | int64(newRung)
+}
+
+// UnpackRungSwitch is the inverse of RungSwitchVal.
+func UnpackRungSwitch(v int64) (oldRung, newRung uint8, rembBps int64) {
+	return uint8(v >> 8), uint8(v), v >> 16
 }
 
 // Event is one recorded data-plane event.

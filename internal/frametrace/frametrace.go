@@ -31,7 +31,7 @@ const (
 	HopEncodeDepth
 	HopPacketize
 	HopRelayIngest // relay read a frame's first fragment off the socket
-	HopShardRoute  // ingest shard dequeued it and began fan-out
+	HopShardRoute  // ingest shard reached this subscriber in its fan-out
 	HopSubEnqueue  // admitted to one subscriber's queue
 	HopSubDrain    // popped from that queue by a writer worker
 	HopWire        // receiver read the first fragment off the socket

@@ -10,13 +10,18 @@ package relaycore
 // *in* to the reporting subscriber's queue (SubQueue.UpdateBandwidth)
 // before min-tracking, driving the adaptive ring depth.
 
-// rembMin maintains the minimum REMB across subscribers without a full
-// map scan per message: the scan happens only when the current minimum's
-// owner raises its estimate or departs.
+// rembMin maintains the minimum and maximum REMB across subscribers
+// without a full map scan per message: the scan happens only when an
+// extremum's owner moves its estimate past it or departs. The sender
+// budget forwards the minimum on a single-rung stream (everyone receives
+// the one encoding) and the maximum when the quality ladder is active
+// (rung 0 serves the fastest class; slower classes ride cheaper rungs).
 type rembMin struct {
 	by     map[Key]float64
 	minKey Key
 	minVal float64
+	maxKey Key
+	maxVal float64
 	valid  bool
 }
 
@@ -26,13 +31,23 @@ func newREMBMin() *rembMin { return &rembMin{by: make(map[Key]float64)} }
 func (m *rembMin) Update(k Key, v float64) float64 {
 	_, had := m.by[k]
 	m.by[k] = v
+	if !m.valid {
+		m.minKey, m.minVal = k, v
+		m.maxKey, m.maxVal = k, v
+		m.valid = true
+		return m.minVal
+	}
 	switch {
-	case !m.valid:
-		m.minKey, m.minVal, m.valid = k, v, true
 	case v <= m.minVal:
 		m.minKey, m.minVal = k, v
 	case had && k == m.minKey:
 		// The slowest subscriber sped up: only now is a rescan needed.
+		m.recompute()
+	}
+	switch {
+	case v >= m.maxVal:
+		m.maxKey, m.maxVal = k, v
+	case had && k == m.maxKey:
 		m.recompute()
 	}
 	return m.minVal
@@ -45,31 +60,48 @@ func (m *rembMin) Remove(k Key) (float64, bool) {
 		return m.minVal, m.valid
 	}
 	delete(m.by, k)
-	if m.valid && k == m.minKey {
+	if m.valid && (k == m.minKey || k == m.maxKey) {
 		m.recompute()
 	}
 	return m.minVal, m.valid
+}
+
+// Max returns the maximum estimate (0 before any report).
+func (m *rembMin) Max() float64 {
+	if !m.valid {
+		return 0
+	}
+	return m.maxVal
 }
 
 func (m *rembMin) recompute() {
 	m.valid = false
 	for k, v := range m.by {
 		if !m.valid || v < m.minVal {
-			m.minKey, m.minVal, m.valid = k, v, true
+			m.minKey, m.minVal = k, v
 		}
+		if !m.valid || v > m.maxVal {
+			m.maxKey, m.maxVal = k, v
+		}
+		m.valid = true
 	}
 }
 
 // Len returns how many subscribers have reported an estimate.
 func (m *rembMin) Len() int { return len(m.by) }
 
-// nackKey identifies one media fragment — the triple a NACK names. The
-// retransmission cache (retxcache.go) indexes by the same key, so a cache
-// miss escalates through the coalescer with no re-keying.
+// nackKey identifies one media fragment: the (stream, seq, frag) triple a
+// NACK names plus the quality rung the copy was encoded at. The wire NACK
+// carries no rung — receivers don't know the ladder exists — so the router
+// stamps in the requester's rung for that sequence (Subscriber.rungForSeq)
+// before cache lookup. The retransmission cache (retxcache.go) indexes by
+// the same key, so a cache miss escalates through the coalescer with no
+// re-keying.
 type nackKey struct {
 	seq    uint32
 	frag   uint16
 	stream uint8
+	rung   uint8
 }
 
 // nackCoalescer deduplicates NACKs for the same fragment across

@@ -15,11 +15,14 @@ import (
 // frameID groups the fragments of one media frame so the drop policy can
 // discard whole frames. Non-media packets (pongs, sender pings) each get a
 // unique control id: they are individually droppable. key marks key-frame
-// media — the drop policy spends delta frames before touching it.
+// media — the drop policy spends delta frames before touching it. rung is
+// the quality-ladder rung: the same (stream, seq) encoded at two rungs is
+// two distinct frames for eviction and in-flight tracking.
 type frameID struct {
 	ctl    uint64
 	seq    uint32
 	stream uint8
+	rung   uint8
 	media  bool
 	key    bool
 }
@@ -348,6 +351,11 @@ type SubStats struct {
 	Limit    int64   `json:"limit"`    // current adaptive depth limit
 	Retx     int64   `json:"retx"`     // retransmissions served into this queue from the relay cache
 	REMBBps  float64 `json:"remb_bps"` // last REMB bandwidth estimate (0 = none yet)
+	// Rung and RungSwitches are the subscriber's current quality-ladder
+	// rung and how many rung switches have committed for it; Router.Stats
+	// fills them (the queue doesn't track rungs).
+	Rung         uint8 `json:"rung"`
+	RungSwitches int64 `json:"rung_switches"`
 	// LastActiveAgeMs is how long the subscriber's reverse path has been
 	// silent; Router.Stats fills it (the queue has no clock).
 	LastActiveAgeMs float64 `json:"last_active_age_ms"`

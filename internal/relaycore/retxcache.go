@@ -186,6 +186,7 @@ func retxKeyOf(b []byte) (nackKey, bool) {
 		seq:    uint32(b[2])<<24 | uint32(b[3])<<16 | uint32(b[4])<<8 | uint32(b[5]),
 		frag:   uint16(b[6])<<8 | uint16(b[7]),
 		stream: b[1],
+		rung:   (b[10] & transport.FlagRungMask) >> transport.FlagRungShift,
 	}, true
 }
 
@@ -195,7 +196,7 @@ func retxShard(k nackKey, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := uint64(k.seq)<<24 | uint64(k.frag)<<8 | uint64(k.stream)
+	h := uint64(k.seq)<<24 | uint64(k.frag)<<8 | uint64(k.stream) | uint64(k.rung)<<56
 	h ^= h >> 33
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33

@@ -184,6 +184,20 @@ type Subscriber struct {
 	// this subscriber (stamped at subscribe and on every RouteFeedback);
 	// the liveness sweep evicts subscribers silent past the window.
 	lastActive atomic.Int64
+
+	// Quality-ladder state. curRung is the rung currently delivered (written
+	// only by the owning shard's ingest goroutine, at key-frame boundaries);
+	// targetRung is the REMB-selected assignment (written by the feedback
+	// goroutine); prevRung/switchSeq remember the last switch so NACKs for
+	// pre-switch frames are served from the rung that was actually sent.
+	// selREMB is the estimate (bps) that drove the current target, carried
+	// into the rung-switch event; switches counts committed switches.
+	curRung    atomic.Uint32
+	targetRung atomic.Uint32
+	prevRung   atomic.Uint32
+	switchSeq  atomic.Uint32
+	selREMB    atomic.Int64
+	switches   atomic.Int64
 }
 
 // Addr returns the subscriber's address.
@@ -193,12 +207,53 @@ func (s *Subscriber) Addr() net.Addr { return s.addr }
 // it to frametrace stamps and events.
 func (s *Subscriber) ID() int32 { return s.id }
 
+// Rung returns the quality-ladder rung currently delivered to this
+// subscriber (0 until a ladder stream and a reassignment exist).
+func (s *Subscriber) Rung() uint8 { return uint8(s.curRung.Load()) }
+
+// rungForSeq returns the rung frame seq was delivered at: the current rung
+// for frames at or past the last switch boundary, the previous rung before
+// it. NACKs carry no rung, so retransmission lookups key through this.
+func (s *Subscriber) rungForSeq(seq uint32) uint8 {
+	if seq >= s.switchSeq.Load() {
+		return uint8(s.curRung.Load())
+	}
+	return uint8(s.prevRung.Load())
+}
+
 // subID is the event-friendly id of a possibly-nil subscriber.
 func subID(s *Subscriber) int32 {
 	if s == nil {
 		return frametrace.NoSub
 	}
 	return s.id
+}
+
+// commitAndFilterRung is the per-subscriber rung state machine, shared by
+// the sharded and sequential planes. A packet passes when its rung matches
+// the subscriber's current rung; a pending reassignment (target != current)
+// commits at the first data fragment of a key frame — whichever rung's copy
+// arrives first — so the old rung's stream ends cleanly at the previous
+// frame and the new rung starts at a key, the only boundary a stateful
+// decoder can cross. Non-media packets always pass.
+func commitAndFilterRung(sub *Subscriber, fid frameID, frag0 bool,
+	events *frametrace.EventRing, switches *atomic.Int64, tel *telemetry.Counter) bool {
+	if !fid.media {
+		return true
+	}
+	cur := sub.curRung.Load()
+	if tgt := sub.targetRung.Load(); tgt != cur && fid.key && frag0 {
+		sub.prevRung.Store(cur)
+		sub.switchSeq.Store(fid.seq)
+		sub.curRung.Store(tgt)
+		sub.switches.Add(1)
+		switches.Add(1)
+		tel.Inc()
+		events.Add(frametrace.EvRungSwitch, fid.stream, fid.seq, sub.id,
+			frametrace.RungSwitchVal(uint8(cur), uint8(tgt), sub.selREMB.Load()))
+		cur = tgt
+	}
+	return uint32(fid.rung) == cur
 }
 
 // subSnapshot is the immutable subscriber set; the hot path reads it with
@@ -257,6 +312,19 @@ type Router struct {
 	ctlSeq      atomic.Uint64
 	subSeq      atomic.Int32 // next subscriber id
 
+	// Quality-ladder state. rungBytes accumulates wire bytes per rung on
+	// the media hot path (one atomic add per packet); the fbMu-guarded rate
+	// estimator folds the deltas into per-rung EWMA bitrates at REMB cadence
+	// and the selector assigns each subscriber the best rung its estimate
+	// affords. ladderSeen latches once any rung > 0 is observed — until
+	// then the stream is single-rung and every path behaves as before.
+	ladderSeen   atomic.Bool
+	rungSwitches atomic.Int64
+	rungBytes    [transport.MaxRungs]atomic.Int64
+	rungRate     [transport.MaxRungs]float64 // fbMu
+	rungLastByte [transport.MaxRungs]int64   // fbMu
+	rungRateNs   int64                       // fbMu
+
 	mediaPkts     atomic.Int64
 	fanoutPkts    atomic.Int64
 	pliFwd        atomic.Int64
@@ -276,7 +344,27 @@ type Router struct {
 	telRetxEvict, telLiveEvict         *telemetry.Counter
 	telSubs, telDepthMax, telRetxCache *telemetry.Gauge
 	telBatch                           *telemetry.Histogram
+	telRungSwitch                      *telemetry.Counter
+	telRungSubs                        [transport.MaxRungs]*telemetry.Gauge
 }
+
+// Rung-selection policy. A rung is affordable when its measured bitrate
+// fits inside the subscriber's REMB with rungDownHeadroom to spare; moving
+// back up to a more expensive rung additionally requires rungUpHeadroom
+// (hysteresis, so an estimate hovering at a rung's cost does not flap).
+// Rates refresh at most every rungRateMinInterval and blend with
+// rungRateAlpha.
+const (
+	rungDownHeadroom    = 0.9
+	rungUpHeadroom      = 0.75
+	rungRateMinInterval = 50 * time.Millisecond
+	rungRateAlpha       = 0.5
+)
+
+// pliWire is the one-byte PLI the router originates when a subscriber is
+// reassigned to a cheaper rung mid-GOP: the switch commits at the next key
+// frame, so the downswitch rides the existing PLI path to get one quickly.
+var pliWire = []byte{transport.FBPLI}
 
 // NewRouter builds a router writing through out toward the given sender.
 // The sharded plane's ingest and writer goroutines start immediately (none
@@ -311,6 +399,10 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 	r.telDepthMax = reg.Gauge("livo_relay_queue_depth_max")
 	r.telRetxCache = reg.Gauge("livo_relay_retx_cached")
 	r.telBatch = reg.Histogram("livo_relay_shard_batch_size", []float64{1, 2, 4, 8, 16, 32})
+	r.telRungSwitch = reg.Counter("livo_relay_rung_switches_total")
+	for i := range r.telRungSubs {
+		r.telRungSubs[i] = reg.Gauge(fmt.Sprintf(`livo_relay_rung_subscribers{rung="%d"}`, i))
+	}
 	r.retxOn = !cfg.DisableRetxCache
 
 	if cfg.Sequential {
@@ -335,6 +427,10 @@ func NewRouter(out Writer, sender net.Addr, cfg Config) *Router {
 			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_routed_total", i)),
 			reg.Counter(fmt.Sprintf("livo_relay_shard_%d_stolen_total", i)))
 		r.shards[i].trace = cfg.Trace
+		r.shards[i].events = cfg.Events
+		r.shards[i].rungSwitches = &r.rungSwitches
+		r.shards[i].telRungSwitch = r.telRungSwitch
+		r.shards[i].ladderSeen = &r.ladderSeen
 		if r.retxOn {
 			r.shards[i].retx = newRetxCache(retxPerShard, cfg.RetxCacheAge.Nanoseconds(), r.telRetxEvict)
 			r.shards[i].now = r.now
@@ -520,6 +616,7 @@ func (r *Router) frameIDOf(b []byte) frameID {
 			media:  true,
 			stream: b[1],
 			seq:    binary.BigEndian.Uint32(b[2:6]),
+			rung:   (b[10] & transport.FlagRungMask) >> transport.FlagRungShift,
 			key:    b[10]&1 != 0,
 		}
 	}
@@ -540,15 +637,29 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 	r.mediaPkts.Add(1)
 	r.telMedia.Inc()
 	b := buf.Bytes()
+	fid := r.frameIDOf(b)
+	// frag0 marks a frame's first data fragment: the trace stamp site and
+	// the rung-switch commit point.
+	_, _, frag0 := transport.FirstFragment(b)
+	if fid.media && (fid.rung > 0 || r.ladderSeen.Load()) {
+		// Per-rung byte accounting for the REMB rung selector; one atomic
+		// add per packet, folded into EWMA bitrates off the hot path.
+		// Legacy rung-0-only traffic skips the add (a shared-cacheline
+		// write) for the cost of one read-only load; the estimator warms
+		// up from live traffic within an EWMA interval once a ladder
+		// appears.
+		if !r.ladderSeen.Load() {
+			r.ladderSeen.Store(true)
+		}
+		r.rungBytes[fid.rung].Add(int64(len(b)))
+	}
 	// One branch per packet when tracing is off; when on, each frame's
 	// first fragment is stamped at ingest and flagged so the shard and
 	// queue hops stamp the same fragment downstream.
 	first := false
-	if r.cfg.Trace != nil {
-		if stream, seq, ok := transport.FirstFragment(b); ok {
-			first = true
-			r.cfg.Trace.StampNow(frametrace.HopRelayIngest, stream, seq, frametrace.NoSub)
-		}
+	if r.cfg.Trace != nil && frag0 {
+		first = true
+		r.cfg.Trace.StampNow(frametrace.HopRelayIngest, fid.stream, fid.seq, frametrace.NoSub)
 	}
 	if mediaKeyFlag(b) {
 		// A key frame is on its way to everyone: the PLI refresh cycle is
@@ -563,11 +674,10 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 				r.retxSeq.Insert(rk, buf, r.now())
 			}
 		}
-		r.routeSequential(b)
+		r.routeSequential(b, fid, frag0)
 		buf.Release()
 		return
 	}
-	fid := r.frameIDOf(b)
 	// A cacheable packet is assigned an owner shard whose ingest goroutine
 	// inserts it into that shard's retransmission cache — cache bookkeeping
 	// rides the existing fan-out hop instead of the producer hot path. The
@@ -590,7 +700,7 @@ func (r *Router) RouteMedia(buf *PacketBuf) {
 			continue
 		}
 		buf.Retain()
-		if !s.push(ingestEntry{buf: buf, fid: fid, rk: rk, cache: i == owner, first: first}) {
+		if !s.push(ingestEntry{buf: buf, fid: fid, rk: rk, cache: i == owner, first: first, frag0: frag0}) {
 			buf.Release()
 		}
 	}
@@ -680,20 +790,23 @@ func (r *Router) writeBatch(pkts [][]byte, addr net.Addr) {
 	}
 }
 
-// routeSequential is the pre-change data plane, preserved verbatim for the
-// A/B benchmark: snapshot the subscriber list with a fresh allocation,
-// then write to each subscriber in turn, blocking the whole relay on the
-// slowest one.
-func (r *Router) routeSequential(b []byte) {
+// routeSequential is the pre-change data plane, preserved for the A/B
+// benchmark: snapshot the subscriber list with a fresh allocation, then
+// write to each subscriber in turn, blocking the whole relay on the
+// slowest one. The rung filter applies here too, so ladder behavior is
+// identical across planes.
+func (r *Router) routeSequential(b []byte, fid frameID, frag0 bool) {
 	r.mu.Lock()
 	snap := r.snap.Load()
-	subs := make([]net.Addr, 0, len(snap.subs))
-	for _, s := range snap.subs {
-		subs = append(subs, s.addr)
-	}
+	subs := make([]*Subscriber, 0, len(snap.subs))
+	subs = append(subs, snap.subs...)
 	r.mu.Unlock()
-	for _, a := range subs {
-		_, _ = r.out.WriteTo(b, a)
+	ladder := r.ladderSeen.Load()
+	for _, s := range subs {
+		if ladder && !commitAndFilterRung(s, fid, frag0, r.cfg.Events, &r.rungSwitches, r.telRungSwitch) {
+			continue
+		}
+		_, _ = r.out.WriteTo(b, s.addr)
 	}
 	r.fanoutPkts.Add(int64(len(subs)))
 	r.telFanout.Add(int64(len(subs)))
@@ -723,22 +836,50 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 			sub.q.UpdateBandwidth(bps)
 		}
 		now := r.now()
+		ladder := r.ladderSeen.Load()
 		r.fbMu.Lock()
 		min := r.remb.Update(k, bps)
-		fwd := !r.rembSent || min != r.lastREMBMin || now-r.lastREMBFwd >= r.cfg.REMBInterval.Nanoseconds()
+		target := min
+		var downswitch bool
+		if ladder {
+			r.updateRungRatesLocked(now)
+			downswitch = r.selectRungLocked(sub, bps)
+			// With a ladder the sender budget follows the *fastest* class:
+			// rung 0 must stay worth watching for it, while slower classes
+			// ride the cheaper rungs instead of dragging everyone down.
+			target = r.remb.Max()
+		}
+		fwd := !r.rembSent || target != r.lastREMBMin || now-r.lastREMBFwd >= r.cfg.REMBInterval.Nanoseconds()
 		var wire []byte
 		if fwd {
 			r.rembSent = true
-			r.lastREMBMin = min
+			r.lastREMBMin = target
 			r.lastREMBFwd = now
-			wire = transport.AppendREMB(r.rembScratch[:0], min)
+			wire = transport.AppendREMB(r.rembScratch[:0], target)
 		}
 		r.fbMu.Unlock()
 		if fwd {
 			r.rembFwd.Add(1)
 			r.telREMB.Inc()
-			r.cfg.Events.Add(frametrace.EvREMB, 0, 0, subID(sub), int64(min))
+			r.cfg.Events.Add(frametrace.EvREMB, 0, 0, subID(sub), int64(target))
 			_, _ = r.out.WriteTo(wire, r.sender)
+		}
+		if downswitch {
+			// The subscriber can no longer afford its rung: the switch only
+			// commits at a key frame, so ride the PLI path to pull one
+			// forward instead of waiting out the GOP.
+			r.fbMu.Lock()
+			pliFwd := r.pli.ShouldForward(now)
+			r.fbMu.Unlock()
+			if pliFwd {
+				r.pliFwd.Add(1)
+				r.telPLIFwd.Inc()
+				r.cfg.Events.Add(frametrace.EvPLI, 0, 0, subID(sub), 0)
+				_, _ = r.out.WriteTo(pliWire, r.sender)
+			} else {
+				r.pliSuppressed.Add(1)
+				r.telPLISup.Inc()
+			}
 		}
 	case transport.FBPose:
 		// Only the primary viewer's poses reach the sender: culling is
@@ -753,7 +894,13 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		if err != nil {
 			return
 		}
-		nk := nackKey{seq: seq, frag: frag, stream: stream}
+		// The wire NACK has no rung field; the requester's loss is in
+		// whichever rung it was being served for that sequence.
+		var rung uint8
+		if sub != nil {
+			rung = sub.rungForSeq(seq)
+		}
+		nk := nackKey{seq: seq, frag: frag, stream: stream, rung: rung}
 		// Self-healing path: a cache hit retransmits to the requester only
 		// and the sender never sees the loss. Misses (expired, evicted, or
 		// never routed here) escalate through the coalescer as before.
@@ -798,6 +945,73 @@ func (r *Router) RouteFeedback(b []byte, from net.Addr) {
 		// Pings, pongs, unknown types: forward to the sender.
 		_, _ = r.out.WriteTo(b, r.sender)
 	}
+}
+
+// updateRungRatesLocked folds the hot path's per-rung byte counters into
+// EWMA bitrate estimates (fbMu held). Called at REMB cadence; refreshes at
+// most every rungRateMinInterval so a REMB burst cannot alias the rates.
+func (r *Router) updateRungRatesLocked(now int64) {
+	if r.rungRateNs == 0 {
+		r.rungRateNs = now
+		for i := range r.rungLastByte {
+			r.rungLastByte[i] = r.rungBytes[i].Load()
+		}
+		return
+	}
+	dt := now - r.rungRateNs
+	if dt < rungRateMinInterval.Nanoseconds() {
+		return
+	}
+	sec := float64(dt) / 1e9
+	for i := range r.rungRate {
+		total := r.rungBytes[i].Load()
+		inst := float64(total-r.rungLastByte[i]) * 8 / sec
+		r.rungLastByte[i] = total
+		if r.rungRate[i] == 0 {
+			r.rungRate[i] = inst
+		} else {
+			r.rungRate[i] += rungRateAlpha * (inst - r.rungRate[i])
+		}
+	}
+	r.rungRateNs = now
+}
+
+// selectRungLocked assigns sub the best rung its REMB estimate affords
+// (fbMu held): the lowest rung id — rungs are ordered best-first — whose
+// measured bitrate fits inside bps with headroom, falling back to the
+// cheapest rung ever observed when nothing fits. Moving back up to a more
+// expensive rung demands extra headroom (hysteresis). The return value
+// reports a *downswitch* — a reassignment to a cheaper rung, which the
+// caller accelerates with a PLI; upswitches wait for the GOP's next
+// periodic key frame. The assignment itself commits in the subscriber's
+// shard at a key-frame boundary (commitAndFilterRung).
+func (r *Router) selectRungLocked(sub *Subscriber, bps float64) (downswitch bool) {
+	if sub == nil {
+		return false
+	}
+	cur := sub.targetRung.Load()
+	best, cheapest := -1, -1
+	for i := 0; i < transport.MaxRungs; i++ {
+		if r.rungBytes[i].Load() == 0 {
+			continue
+		}
+		cheapest = i
+		if best < 0 && r.rungRate[i] <= bps*rungDownHeadroom {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = cheapest
+	}
+	if best < 0 || uint32(best) == cur {
+		return false
+	}
+	if uint32(best) < cur && r.rungRate[best] > bps*rungUpHeadroom {
+		return false // not comfortably affordable yet: hold the cheaper rung
+	}
+	sub.selREMB.Store(int64(bps))
+	sub.targetRung.Store(uint32(best))
+	return uint32(best) > cur
 }
 
 // serveRetx answers one NACK from the retransmission cache, reporting
@@ -984,6 +1198,10 @@ type Stats struct {
 	RetxCached      int64
 	RetxEvicted     int64
 	LivenessEvicted int64
+	// RungSwitches counts committed per-subscriber rung switches;
+	// RungSubscribers is how many subscribers currently sit on each rung.
+	RungSwitches    int64
+	RungSubscribers [transport.MaxRungs]int
 	// PoolLive sums Live() over every shard pool — the leak invariant
 	// (0 once every buffer reference, cached ones included, is released).
 	PoolLive int64
@@ -1011,6 +1229,7 @@ func (r *Router) Stats() Stats {
 		RetxHits:        r.retxHits.Load(),
 		RetxMisses:      r.retxMisses.Load(),
 		LivenessEvicted: r.liveEvicted.Load(),
+		RungSwitches:    r.rungSwitches.Load(),
 
 		Subs:   make([]SubStats, 0, len(snap.subs)),
 		Shards: make([]ShardStats, 0, len(r.shards)),
@@ -1035,11 +1254,19 @@ func (r *Router) Stats() Stats {
 	for _, s := range snap.subs {
 		ss := s.q.stats()
 		ss.LastActiveAgeMs = float64(now-s.lastActive.Load()) / 1e6
+		ss.Rung = s.Rung()
+		ss.RungSwitches = s.switches.Load()
+		if int(ss.Rung) < len(st.RungSubscribers) {
+			st.RungSubscribers[ss.Rung]++
+		}
 		st.Drops += ss.Dropped
 		if ss.Depth > st.MaxDepth {
 			st.MaxDepth = ss.Depth
 		}
 		st.Subs = append(st.Subs, ss)
+	}
+	for i, g := range r.telRungSubs {
+		g.SetInt(int64(st.RungSubscribers[i]))
 	}
 	for _, s := range r.shards {
 		st.Shards = append(st.Shards, ShardStats{

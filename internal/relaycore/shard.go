@@ -61,6 +61,16 @@ type shard struct {
 	// each frame's first fragment (cfg.Trace; nil disables tracing).
 	trace *frametrace.Ledger
 
+	// Quality-ladder hooks (router-owned): events receives rung-switch
+	// events (nil-safe), rungSwitches and telRungSwitch count commits. The
+	// commit itself runs here because each subscriber is fanned out by
+	// exactly one ingest goroutine, so its curRung never races a delivery
+	// decision.
+	events        *frametrace.EventRing
+	rungSwitches  *atomic.Int64
+	telRungSwitch *telemetry.Counter
+	ladderSeen    *atomic.Bool
+
 	telRouted, telStolen *telemetry.Counter
 }
 
@@ -70,6 +80,7 @@ type ingestEntry struct {
 	rk    nackKey // retransmission-cache key (valid when cache is set)
 	cache bool    // this shard owns caching this packet
 	first bool    // frame's first fragment — the one trace stamp sites fire on
+	frag0 bool    // first data fragment of a media frame (rung-switch commit point)
 }
 
 // ingestRingCap bounds per-shard ingest backlog (power of two). At 2048
@@ -178,10 +189,19 @@ func (s *shard) runIngest(wg *sync.WaitGroup) {
 			if e.cache && s.retx != nil {
 				s.retx.Insert(e.rk, e.buf, s.now())
 			}
-			if e.first {
-				s.trace.StampNow(frametrace.HopShardRoute, e.fid.stream, e.fid.seq, frametrace.NoSub)
-			}
 			for _, sub := range subs {
+				// shard_route is stamped per subscriber (not once per
+				// shard with NoSub): a NoSub stamp from another shard —
+				// or from the retx-cache owner's subscriber-less visit —
+				// can land after this shard's sub_enqueue, and the
+				// collector's max-wins merge would then show the frame
+				// leaving the shard after it entered the queue.
+				if e.first {
+					s.trace.StampNow(frametrace.HopShardRoute, e.fid.stream, e.fid.seq, sub.q.sub)
+				}
+				if !s.admitRung(sub, &e) {
+					continue
+				}
 				e.buf.Retain()
 				if !sub.q.Enqueue(e.buf, e.fid) {
 					e.buf.Release()
@@ -195,6 +215,26 @@ func (s *shard) runIngest(wg *sync.WaitGroup) {
 		s.routed.Add(int64(n))
 		s.telRouted.Add(int64(n))
 	}
+}
+
+// admitRung reports whether a packet passes the subscriber's quality-rung
+// filter, committing a pending rung switch first when the packet opens a
+// key frame. The commit point is the first data fragment of a key frame —
+// regardless of which rung's copy arrives first — so the old rung's stream
+// ends cleanly at the previous frame and the new rung starts at a key:
+// exactly the boundary a stateful decoder can cross. Non-media packets
+// (pongs, pings) always pass. Legacy single-rung streams carry rung 0
+// everywhere and every subscriber starts at rung 0, so the filter admits
+// everything until a ladder and a reassignment exist.
+func (s *shard) admitRung(sub *Subscriber, e *ingestEntry) bool {
+	// Until a ladder is observed every packet is rung 0 and every
+	// subscriber sits at rung 0 with no pending reassignment
+	// (selectRungLocked only runs once ladderSeen latches), so the filter
+	// is a guaranteed admit — skip its per-subscriber atomic loads.
+	if !s.ladderSeen.Load() {
+		return true
+	}
+	return commitAndFilterRung(sub, e.fid, e.frag0, s.events, s.rungSwitches, s.telRungSwitch)
 }
 
 // close wakes everything parked on the ingest ring; the ingest goroutine

@@ -9,8 +9,8 @@ import (
 )
 
 // TestRouterTraceStamps routes frames through a traced sharded router and
-// checks every relay hop lands in the ledger: one relay_ingest and
-// shard_route stamp per frame, and one sub_enqueue/sub_drain pair per
+// checks every relay hop lands in the ledger: one relay_ingest stamp per
+// frame, and one shard_route stamp plus a sub_enqueue/sub_drain pair per
 // frame per subscriber, in monotone order on a merged timeline.
 func TestRouterTraceStamps(t *testing.T) {
 	led := frametrace.NewLedger("relay", 4096)
@@ -45,12 +45,13 @@ func TestRouterTraceStamps(t *testing.T) {
 			t.Fatalf("stamp with stream %d, want 1: %+v", st.Stream, st)
 		}
 	}
-	// shard_route may exceed frames: the retransmission-cache owner shard
-	// receives each cacheable descriptor too, and stamps it (max-wins in the
-	// merged timeline). ingest is exact — one stamp per first fragment.
-	if perHop[frametrace.HopRelayIngest] != frames || perHop[frametrace.HopShardRoute] < frames {
-		t.Fatalf("ingest/shard stamps = %d/%d, want %d/>=%d",
-			perHop[frametrace.HopRelayIngest], perHop[frametrace.HopShardRoute], frames, frames)
+	// shard_route is stamped per subscriber so each merged timeline only
+	// sees its own shard's stamp (the retx-cache owner's subscriber-less
+	// visit stamps nothing). ingest is exact — one stamp per first
+	// fragment.
+	if perHop[frametrace.HopRelayIngest] != frames || perHop[frametrace.HopShardRoute] != 2*frames {
+		t.Fatalf("ingest/shard stamps = %d/%d, want %d/%d",
+			perHop[frametrace.HopRelayIngest], perHop[frametrace.HopShardRoute], frames, 2*frames)
 	}
 	if perHop[frametrace.HopSubEnqueue] != 2*frames || perHop[frametrace.HopSubDrain] != 2*frames {
 		t.Fatalf("enqueue/drain stamps = %d/%d, want %d each",

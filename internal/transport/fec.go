@@ -59,6 +59,7 @@ func BuildParity(pkts []Packet) []Packet {
 			FragCount:  first.FragCount,
 			Key:        first.Key,
 			Parity:     true,
+			Rung:       first.Rung,
 			SendTimeUs: first.SendTimeUs,
 			Payload:    payload,
 		})

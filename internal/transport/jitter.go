@@ -11,6 +11,7 @@ type AssembledFrame struct {
 	Stream       uint8
 	FrameSeq     uint32
 	Key          bool
+	Rung         uint8 // quality-ladder rung the frame arrived on
 	Data         []byte
 	FirstArrival float64 // arrival of the first fragment
 	LastArrival  float64
@@ -92,6 +93,7 @@ type nackKey struct {
 type partialFrame struct {
 	stream       uint8
 	key          bool
+	rung         uint8
 	count        uint16
 	got          map[uint16][]byte
 	parity       map[uint16][]byte // parity payloads by group first-index
@@ -123,6 +125,7 @@ func (jb *JitterBuffer) Push(p Packet, arrival float64) {
 		f = &partialFrame{
 			stream:       p.Stream,
 			key:          p.Key,
+			rung:         p.Rung,
 			count:        p.FragCount,
 			got:          make(map[uint16][]byte),
 			parity:       make(map[uint16][]byte),
@@ -196,6 +199,7 @@ func (jb *JitterBuffer) Pop(now float64) []AssembledFrame {
 				Stream:       f.stream,
 				FrameSeq:     seq,
 				Key:          f.key,
+				Rung:         f.rung,
 				Data:         data,
 				FirstArrival: f.firstArrival,
 				LastArrival:  f.lastArrival,

@@ -27,7 +27,15 @@ const (
 const (
 	FlagKey    = 0x1 // key-frame fragment
 	FlagParity = 0x2 // FEC parity packet (fec.go)
+	// FlagRungShift/FlagRungMask carve bits 2–3 out of the flags byte for
+	// the quality-ladder rung id (0–3). Pre-ladder senders leave the bits
+	// zero, so legacy streams parse as rung 0 — the full-quality rung.
+	FlagRungShift      = 2
+	FlagRungMask  byte = 0x3 << FlagRungShift
 )
+
+// MaxRungs is the number of rung ids the wire format can carry.
+const MaxRungs = 4
 
 // Packet is one transport packet: a fragment of an encoded video frame, or
 // a parity packet protecting a group of fragments (fec.go).
@@ -38,6 +46,7 @@ type Packet struct {
 	FragCount  uint16
 	Key        bool
 	Parity     bool
+	Rung       uint8  // quality-ladder rung id (0 = full quality)
 	SendTimeUs uint64 // sender timestamp, microseconds
 	Payload    []byte
 }
@@ -57,6 +66,7 @@ func (p *Packet) Marshal() []byte {
 	if p.Parity {
 		out[9] |= parityFlag
 	}
+	out[9] |= (p.Rung << FlagRungShift) & FlagRungMask
 	binary.BigEndian.PutUint64(out[10:], p.SendTimeUs)
 	binary.BigEndian.PutUint16(out[18:], uint16(len(p.Payload)))
 	copy(out[headerSize:], p.Payload)
@@ -75,6 +85,7 @@ func Unmarshal(b []byte) (Packet, error) {
 		FragCount:  binary.BigEndian.Uint16(b[7:]),
 		Key:        b[9]&1 != 0,
 		Parity:     b[9]&parityFlag != 0,
+		Rung:       (b[9] & FlagRungMask) >> FlagRungShift,
 		SendTimeUs: binary.BigEndian.Uint64(b[10:]),
 	}
 	n := int(binary.BigEndian.Uint16(b[18:]))
@@ -102,8 +113,25 @@ func FirstFragment(wire []byte) (stream uint8, frameSeq uint32, ok bool) {
 	return wire[1], binary.BigEndian.Uint32(wire[2:]), true
 }
 
-// Packetize splits one encoded frame into MTU-sized packets.
+// WireRung extracts the quality-ladder rung id from a MediaMagic-prefixed
+// wire datagram without unmarshalling — the relay's per-packet rung filter
+// reads it straight off the raw bytes. Non-media or short datagrams report
+// rung 0 (the full-quality rung every legacy stream occupies).
+func WireRung(wire []byte) uint8 {
+	if len(wire) < 11 || wire[0] != MediaMagic {
+		return 0
+	}
+	return (wire[10] & FlagRungMask) >> FlagRungShift
+}
+
+// Packetize splits one encoded frame into MTU-sized packets on rung 0.
 func Packetize(stream uint8, frameSeq uint32, key bool, sendTimeUs uint64, data []byte) []Packet {
+	return PacketizeRung(stream, frameSeq, key, 0, sendTimeUs, data)
+}
+
+// PacketizeRung splits one encoded frame into MTU-sized packets stamped
+// with a quality-ladder rung id (0–3).
+func PacketizeRung(stream uint8, frameSeq uint32, key bool, rung uint8, sendTimeUs uint64, data []byte) []Packet {
 	if len(data) == 0 {
 		return nil
 	}
@@ -121,6 +149,7 @@ func Packetize(stream uint8, frameSeq uint32, key bool, sendTimeUs uint64, data 
 			FragIndex:  uint16(i),
 			FragCount:  uint16(count),
 			Key:        key,
+			Rung:       rung,
 			SendTimeUs: sendTimeUs,
 			Payload:    data[lo:hi],
 		})

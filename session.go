@@ -29,6 +29,7 @@ type SendSession struct {
 	remote net.Addr
 	fps    int
 	fec    bool
+	ladder bool
 	trace  *frametrace.Ledger // cfg.Sender.Trace (nil disables stamps)
 
 	rateBps atomic.Uint64 // current send rate from receiver REMB
@@ -65,6 +66,7 @@ type retxKey struct {
 	stream uint8
 	seq    uint32
 	frag   uint16
+	rung   uint8
 }
 
 // SendSessionConfig configures a SendSession.
@@ -101,6 +103,7 @@ func NewSendSession(conn net.PacketConn, remote net.Addr, cfg SendSessionConfig)
 		remote:  remote,
 		fps:     cfg.FPS,
 		fec:     cfg.EnableFEC,
+		ladder:  cfg.Sender.Ladder,
 		trace:   cfg.Sender.Trace,
 		history: make(map[retxKey][]byte),
 		start:   time.Now(),
@@ -180,12 +183,33 @@ func (s *SendSession) SendViews(views []RGBDFrame) (*EncodedFrame, error) {
 	}
 	ts := uint64(s.now() * 1e6)
 	tPkt := time.Now()
-	colorPkts := transport.Packetize(transport.StreamColor, enc.Seq, enc.Color.Key, ts, enc.Color.Data)
-	depthPkts := transport.Packetize(transport.StreamDepth, enc.Seq, enc.Depth.Key, ts, enc.Depth.Data)
-	pkts := append(colorPkts, depthPkts...)
-	if s.fec {
-		pkts = append(pkts, transport.BuildParity(colorPkts)...)
-		pkts = append(pkts, transport.BuildParity(depthPkts)...)
+	var pkts []transport.Packet
+	if enc.ColorRungs != nil {
+		// Ladder mode: every rung of both streams goes on the wire once; the
+		// relay filters per subscriber (DESIGN.md §8). FEC groups are built
+		// per rung so a parity packet never spans encodings.
+		for _, cp := range enc.ColorRungs {
+			rp := transport.PacketizeRung(transport.StreamColor, enc.Seq, cp.Key, cp.Rung, ts, cp.Data)
+			if s.fec {
+				rp = append(rp, transport.BuildParity(rp)...)
+			}
+			pkts = append(pkts, rp...)
+		}
+		for _, dp := range enc.DepthRungs {
+			rp := transport.PacketizeRung(transport.StreamDepth, enc.Seq, dp.Key, dp.Rung, ts, dp.Data)
+			if s.fec {
+				rp = append(rp, transport.BuildParity(rp)...)
+			}
+			pkts = append(pkts, rp...)
+		}
+	} else {
+		colorPkts := transport.Packetize(transport.StreamColor, enc.Seq, enc.Color.Key, ts, enc.Color.Data)
+		depthPkts := transport.Packetize(transport.StreamDepth, enc.Seq, enc.Depth.Key, ts, enc.Depth.Data)
+		pkts = append(colorPkts, depthPkts...)
+		if s.fec {
+			pkts = append(pkts, transport.BuildParity(colorPkts)...)
+			pkts = append(pkts, transport.BuildParity(depthPkts)...)
+		}
 	}
 	s.stages.Done(enc.Seq, telemetry.StagePacketize, tPkt)
 	s.trace.StampNow(frametrace.HopPacketize, 0, enc.Seq, frametrace.NoSub)
@@ -221,12 +245,16 @@ func (s *SendSession) sendPacket(p *transport.Packet) error {
 		s.mPaceDrops.Inc()
 	}
 	s.mu.Lock()
-	k := retxKey{p.Stream, p.FrameSeq, p.FragIndex}
+	k := retxKey{p.Stream, p.FrameSeq, p.FragIndex, p.Rung}
 	if _, exists := s.history[k]; !exists {
 		s.history[k] = wire
 		s.order = append(s.order, k)
-		// Keep roughly one second of history for NACKs.
+		// Keep roughly one second of history for NACKs (a ladder triples the
+		// packet rate, so it gets a proportionally deeper window).
 		limit := 4096
+		if s.ladder {
+			limit = 8192
+		}
 		for len(s.order) > limit {
 			delete(s.history, s.order[0])
 			s.order = s.order[1:]
@@ -279,10 +307,20 @@ func (s *SendSession) handleFeedback(b []byte) {
 	case fbNACK:
 		if stream, seq, frag, err := unmarshalNACK(b); err == nil {
 			s.nacksRecv.Add(1)
+			// The wire NACK carries no rung id, so resend every rung's copy
+			// of the fragment that exists in history. Direct receivers only
+			// ever buffered one rung's fragments for that slot; through a
+			// relay, the rung-aware retransmission cache or the subscriber
+			// filter delivers just the copy the subscriber is watching.
+			var wires [][]byte
 			s.mu.Lock()
-			wire := s.history[retxKey{stream, seq, frag}]
+			for rung := uint8(0); rung < transport.MaxRungs; rung++ {
+				if w := s.history[retxKey{stream, seq, frag, rung}]; w != nil {
+					wires = append(wires, w)
+				}
+			}
 			s.mu.Unlock()
-			if wire != nil {
+			for _, wire := range wires {
 				s.retx.Add(1)
 				s.mRetx.Inc()
 				_, _ = s.conn.WriteTo(wire, s.remote)
@@ -462,14 +500,22 @@ func NewRecvSession(conn net.PacketConn, remote net.Addr, cfg RecvSessionConfig)
 		conn:     conn,
 		remote:   remote,
 		trace:    cfg.Receiver.Trace,
-		jb: map[uint8]*transport.JitterBuffer{
-			transport.StreamColor: transport.NewJitterBuffer(),
-			transport.StreamDepth: transport.NewJitterBuffer(),
-		},
-		gcc:    transport.NewGCC(cfg.InitialRateBps, cfg.MinRateBps, cfg.MaxRateBps),
+		jb:       make(map[uint8]*transport.JitterBuffer),
+		gcc:      transport.NewGCC(cfg.InitialRateBps, cfg.MinRateBps, cfg.MaxRateBps),
 		pli:    transport.NewPLITracker(),
 		start:  time.Now(),
 		closed: make(chan struct{}),
+	}
+	// One jitter buffer per (stream, rung): fragments from two encodings of
+	// the same frame seq must never land in one reassembly slot, and a relay
+	// rung switch can interleave packets from both rungs around the key
+	// boundary. Buffers are pre-created (not lazily on first packet) so the
+	// map is never written after construction — Stats() reads it without
+	// loopMu. Legacy streams carry rung 0 and use the jbKey(stream, 0) entry.
+	for _, stream := range []uint8{transport.StreamColor, transport.StreamDepth} {
+		for rung := uint8(0); rung < transport.MaxRungs; rung++ {
+			r.jb[jbKey(stream, rung)] = transport.NewJitterBuffer()
+		}
 	}
 	if cfg.JitterDelay > 0 {
 		for _, jb := range r.jb {
@@ -600,11 +646,16 @@ func (r *RecvSession) handleMedia(buf []byte, now float64) bool {
 	r.received.Add(1)
 	r.rxTotal.Add(1)
 	r.mRx.Inc()
-	if jb := r.jb[pkt.Stream]; jb != nil {
+	if jb := r.jb[jbKey(pkt.Stream, pkt.Rung)]; jb != nil {
 		jb.Push(pkt, now)
 	}
 	return true
 }
+
+// jbKey maps a (stream, rung) pair onto one jitter-buffer map key: stream id
+// in the low nibble, rung in the high nibble (stream ids are 1 and 2, rungs
+// are 0–3, so the packing is collision-free and jbKey(stream, 0) == stream).
+func jbKey(stream, rung uint8) uint8 { return stream | rung<<4 }
 
 // housekeeping owns the session's timed work until Close: jitter-buffer
 // delivery and NACK scheduling every 20 ms (the cadence the old read
@@ -638,7 +689,8 @@ func (r *RecvSession) now() float64 { return time.Since(r.start).Seconds() }
 // drain delivers ready frames from both jitter buffers and reconstructs
 // completed pairs.
 func (r *RecvSession) drain(now float64) {
-	for stream, jb := range r.jb {
+	for key, jb := range r.jb {
+		stream := key & 0x0f
 		for _, af := range jb.Pop(now) {
 			// Record jitter-buffer residency (first fragment arrival →
 			// delivery) as the jitter stage; ~Delay in a healthy session.
@@ -647,7 +699,7 @@ func (r *RecvSession) drain(now float64) {
 					time.Now().Add(-time.Duration(res*float64(time.Second))))
 			}
 			r.trace.StampNow(frametrace.HopJitter, stream, af.FrameSeq, frametrace.NoSub)
-			pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq}
+			pkt := &vcodec.Packet{Data: af.Data, Key: af.Key, Seq: af.FrameSeq, Rung: af.Rung}
 			var pf *PairedFrame
 			var err error
 			if stream == transport.StreamColor {
@@ -694,7 +746,7 @@ func (r *RecvSession) drain(now float64) {
 			r.mNACKSent.Inc()
 			_, _ = r.conn.WriteTo(marshalNACK(nack.Stream, nack.FrameSeq, nack.FragIndex), r.remote)
 		}
-		switch stream {
+		switch key {
 		case transport.StreamColor:
 			r.gJitterColor.SetInt(int64(jb.Stats().Pending))
 		case transport.StreamDepth:
